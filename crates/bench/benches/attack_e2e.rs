@@ -1,0 +1,59 @@
+//! End-to-end cold boot attack latency on a small machine: victim setup,
+//! frozen transplant, dump, mine, search, master-key recovery.
+//!
+//! This is the criterion companion of the `attack_e2e` binary (which
+//! narrates the full demonstration); here we measure the complete pipeline
+//! as one unit.
+
+use coldboot::attack::{
+    capture_dump_via_transplant, run_ddr4_attack, AttackConfig, TransplantParams,
+};
+use coldboot_bench::machines::micro_geometry;
+use coldboot_bench::workload::{fill_realistic, WorkloadMix};
+use coldboot_dram::mapping::Microarchitecture;
+use coldboot_dram::module::DramModule;
+use coldboot_dram::retention::DecayModel;
+use coldboot_scrambler::controller::{BiosConfig, Machine};
+use coldboot_veracrypt::{MountedVolume, Volume};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn full_attack() -> usize {
+    let volume = Volume::create(b"pw", b"bench secret", &mut StdRng::seed_from_u64(1));
+    let geometry = micro_geometry();
+    let mut victim = Machine::new(Microarchitecture::Skylake, geometry, BiosConfig::default(), 1);
+    let size = victim.capacity() as usize;
+    victim
+        .insert_module(DramModule::with_quality(size, 3, 0.35))
+        .expect("fresh socket");
+    fill_realistic(&mut victim, WorkloadMix::mostly_idle(), 11).expect("module present");
+    MountedVolume::mount(&mut victim, &volume, b"pw", 0x4_0040).expect("mountable");
+    let mut attacker =
+        Machine::new(Microarchitecture::Skylake, geometry, BiosConfig::default(), 2);
+    let dump = capture_dump_via_transplant(
+        &mut victim,
+        &mut attacker,
+        TransplantParams::paper_demo(),
+        DecayModel::paper_calibrated(),
+    )
+    .expect("transplant");
+    let report = run_ddr4_attack(&dump, &AttackConfig::default());
+    report.outcome.recovered.len()
+}
+
+fn bench_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_boot_attack");
+    group.sample_size(10);
+    group.bench_function("e2e_1MiB_ddr4", |b| {
+        b.iter(|| {
+            let recovered = full_attack();
+            assert!(recovered >= 2, "attack must recover both XTS schedules");
+            std::hint::black_box(recovered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Keystream-generation throughput of the candidate ciphers (software
+//! implementations; the paper's hardware numbers live in `table2`).
+
+use coldboot_crypto::chacha::{ChaCha, Rounds};
+use coldboot_crypto::ctr::AesCtr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_keystream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keystream_64B");
+    group.throughput(Throughput::Bytes(64));
+
+    let aes128 = AesCtr::new(&[7u8; 16], 1).expect("valid key");
+    group.bench_function("aes128_ctr", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr = ctr.wrapping_add(4);
+            std::hint::black_box(aes128.keystream64(ctr))
+        })
+    });
+
+    let aes256 = AesCtr::new(&[7u8; 32], 1).expect("valid key");
+    group.bench_function("aes256_ctr", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr = ctr.wrapping_add(4);
+            std::hint::black_box(aes256.keystream64(ctr))
+        })
+    });
+
+    for rounds in Rounds::ALL {
+        let chacha = ChaCha::new([7u8; 32], [3u8; 12], rounds);
+        group.bench_with_input(
+            BenchmarkId::new("chacha", rounds.count()),
+            &chacha,
+            |b, cipher| {
+                let mut ctr = 0u32;
+                b.iter(|| {
+                    ctr = ctr.wrapping_add(1);
+                    std::hint::black_box(cipher.keystream_block(ctr))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bulk_xts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xts_sector");
+    group.throughput(Throughput::Bytes(512));
+    let xts = coldboot_crypto::xts::Xts::new(&[1u8; 32], &[2u8; 32]).expect("valid keys");
+    group.bench_function("aes256_xts_encrypt_512B", |b| {
+        let mut sector = vec![0xA5u8; 512];
+        let mut unit = 0u64;
+        b.iter(|| {
+            unit = unit.wrapping_add(1);
+            xts.encrypt_data_unit(unit, &mut sector).expect("aligned");
+            std::hint::black_box(sector[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keystream, bench_bulk_xts);
+criterion_main!(benches);

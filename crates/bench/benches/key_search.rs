@@ -1,0 +1,70 @@
+//! AES key litmus and full-search throughput — the attack's Step 2 cost
+//! (§III-C "Attack Performance": the paper scanned 100 MB per ~2 hours per
+//! core with AES-NI).
+
+use coldboot::dump::MemoryDump;
+use coldboot::keysearch::{aes_block_litmus, search_dump, SearchConfig};
+use coldboot::litmus::CandidateKey;
+use coldboot_bench::workload::{generate_image, WorkloadMix};
+use coldboot_crypto::aes::{KeySchedule, KeySize};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_block_litmus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes_block_litmus");
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut random_block = [0u8; 64];
+    rng.fill(&mut random_block[..]);
+    let sched = KeySchedule::expand(&[0x42u8; 32]).expect("valid key").to_bytes();
+    let schedule_block: [u8; 64] = sched[64..128].try_into().expect("64 bytes");
+
+    for size in [KeySize::Aes256, KeySize::Aes128] {
+        group.bench_function(format!("random_block_{size:?}"), |b| {
+            b.iter(|| std::hint::black_box(aes_block_litmus(&random_block, size, 6, false).len()))
+        });
+    }
+    group.bench_function("schedule_block_Aes256", |b| {
+        b.iter(|| {
+            std::hint::black_box(aes_block_litmus(&schedule_block, KeySize::Aes256, 6, false).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_dump");
+    group.sample_size(10);
+    let image = generate_image(
+        1 << 20,
+        WorkloadMix {
+            zero: 0.0,
+            constant: 0.0,
+            text: 0.0,
+        },
+        5,
+    );
+    let dump = MemoryDump::new(image, 0);
+    for n_keys in [64usize, 512] {
+        let candidates: Vec<CandidateKey> = (0..n_keys)
+            .map(|i| CandidateKey {
+                key: core::array::from_fn(|j| ((i * 37 + j * 11) % 253) as u8),
+                observations: 1,
+            })
+            .collect();
+        group.throughput(Throughput::Bytes(1 << 20));
+        group.bench_function(format!("1MiB_x_{n_keys}_keys"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    search_dump(&dump, &candidates, &SearchConfig::default())
+                        .hits
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_litmus, bench_search);
+criterion_main!(benches);

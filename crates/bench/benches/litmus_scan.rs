@@ -1,0 +1,41 @@
+//! Scrambler-key litmus test and mining throughput — the cost of the
+//! attack's Step 1 (§III-B: "we were able to mine all scrambler keys by
+//! running the tests on less than 16MB of the memory dump").
+
+use coldboot::dump::MemoryDump;
+use coldboot::litmus::{invariant_violations, mine_candidate_keys, MiningConfig};
+use coldboot_bench::workload::{generate_image, WorkloadMix};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_litmus_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scrambler_litmus");
+    group.throughput(Throughput::Bytes(64));
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut block = [0u8; 64];
+    rng.fill(&mut block[..]);
+    group.bench_function("invariant_violations_64B", |b| {
+        b.iter(|| std::hint::black_box(invariant_violations(&block)))
+    });
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_mining");
+    group.sample_size(10);
+    for mib in [1usize, 4] {
+        let image = generate_image(mib << 20, WorkloadMix::default(), 3);
+        let dump = MemoryDump::new(image, 0);
+        group.throughput(Throughput::Bytes((mib << 20) as u64));
+        group.bench_function(format!("mine_{mib}MiB"), |b| {
+            b.iter(|| {
+                std::hint::black_box(mine_candidate_keys(&dump, &MiningConfig::default()).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_litmus_single, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Keystream throughput of the memory-interface transforms: DDR3/DDR4
+//! scramblers vs the strong cipher engines that the paper proposes as
+//! replacements.
+
+use coldboot_dram::geometry::DramGeometry;
+use coldboot_dram::mapping::{AddressMapping, Microarchitecture};
+use coldboot_memenc::controller::EncryptedBus;
+use coldboot_memenc::engine::EngineKind;
+use coldboot_scrambler::ddr3::Ddr3Scrambler;
+use coldboot_scrambler::ddr4::Ddr4Scrambler;
+use coldboot_scrambler::MemoryTransform;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_transform(c: &mut Criterion, name: &str, transform: &dyn MemoryTransform) {
+    let mut group = c.benchmark_group("transform_keystream_64B");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function(name, |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xF_FFFF;
+            std::hint::black_box(transform.keystream(addr))
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let ddr3_map = AddressMapping::new(
+        Microarchitecture::SandyBridge,
+        DramGeometry::ddr3_dual_channel_4gib(),
+    );
+    let ddr4_map = AddressMapping::new(
+        Microarchitecture::Skylake,
+        DramGeometry::ddr4_dual_channel_8gib(),
+    );
+    bench_transform(c, "ddr3_scrambler", &Ddr3Scrambler::new(ddr3_map, 1));
+    bench_transform(c, "ddr4_scrambler", &Ddr4Scrambler::new(ddr4_map, 1));
+    bench_transform(c, "chacha8_engine", &EncryptedBus::new(EngineKind::ChaCha8, 1));
+    bench_transform(c, "aes128_engine", &EncryptedBus::new(EngineKind::Aes128, 1));
+
+    // Bulk scramble/descramble of a 64 KiB buffer.
+    let ddr4 = Ddr4Scrambler::new(
+        AddressMapping::new(
+            Microarchitecture::Skylake,
+            DramGeometry::ddr4_dual_channel_8gib(),
+        ),
+        7,
+    );
+    let mut group = c.benchmark_group("bulk_apply");
+    group.throughput(Throughput::Bytes(64 << 10));
+    group.bench_function("ddr4_scramble_64KiB", |b| {
+        let mut buf = vec![0x5Au8; 64 << 10];
+        b.iter(|| {
+            ddr4.apply(0, &mut buf);
+            std::hint::black_box(buf[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(all, benches);
+criterion_main!(all);

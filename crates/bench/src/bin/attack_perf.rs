@@ -1,0 +1,84 @@
+//! Regenerates the paper's **attack-performance** numbers (§III-C): memory
+//! scanned per unit time by the AES key search, single-core and scaled
+//! across cores.
+//!
+//! The paper (2016 hardware + AES-NI): 100 MB per ~2 hours per core;
+//! 8 GB in ~21 hours on an 8-core Xeon D1541. We report our software-AES
+//! numbers on this machine and the extrapolations in the same units.
+//!
+//! Usage: `attack_perf [scan-MiB] [candidate-keys]` (defaults 2 MiB, 4096).
+
+use coldboot::dump::MemoryDump;
+use coldboot::keysearch::{search_dump, SearchConfig};
+use coldboot::litmus::CandidateKey;
+use coldboot_bench::table;
+use coldboot_bench::workload::{generate_image, WorkloadMix};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scan_mib: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let n_candidates: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
+
+    // A scrambled-looking image (high entropy) and a full candidate pool:
+    // the worst case for the scan, since nothing early-outs at the block
+    // level.
+    let image = generate_image(
+        scan_mib << 20,
+        WorkloadMix {
+            zero: 0.0,
+            constant: 0.0,
+            text: 0.0,
+        },
+        1,
+    );
+    let dump = MemoryDump::new(image, 0);
+    let candidates: Vec<CandidateKey> = (0..n_candidates)
+        .map(|i| CandidateKey {
+            key: core::array::from_fn(|j| ((i * 31 + j * 7) % 251) as u8),
+            observations: 1,
+        })
+        .collect();
+
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut rows = Vec::new();
+    let mut single_core_mib_s = 0.0;
+    for threads in [1usize, 2, 4, max_threads] {
+        if threads > max_threads {
+            continue;
+        }
+        let config = SearchConfig {
+            threads,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let outcome = search_dump(&dump, &candidates, &config);
+        let secs = t.elapsed().as_secs_f64();
+        let mib_s = scan_mib as f64 / secs;
+        if threads == 1 {
+            single_core_mib_s = mib_s;
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.2}", secs),
+            format!("{:.3}", mib_s),
+            outcome.hits.len().to_string(),
+        ]);
+    }
+    table::print(
+        &format!(
+            "Attack scan throughput ({scan_mib} MiB high-entropy dump, {n_candidates} candidate keys)"
+        ),
+        &["threads", "seconds", "MiB/s", "false hits"],
+        &rows,
+    );
+
+    let hours_100mb = 100.0 / (single_core_mib_s * 3600.0);
+    let hours_8gb_8core = (8.0 * 1024.0) / (single_core_mib_s * 8.0 * 3600.0);
+    println!("\nExtrapolations at the single-core rate:");
+    println!("  100 MB on one core: {hours_100mb:.2} hours (paper: ~2 hours with AES-NI)");
+    println!("  8 GB on 8 cores:    {hours_8gb_8core:.2} hours (paper: ~21 hours)");
+    println!(
+        "  (the task is embarrassingly parallel across blocks, as the paper notes)"
+    );
+}

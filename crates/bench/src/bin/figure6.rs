@@ -1,0 +1,72 @@
+//! Regenerates the paper's **Figure 6** — decryption latency of each cipher
+//! engine vs. the number of outstanding back-to-back CAS requests on
+//! DDR4-2400, against the 12.5–15.01 ns JEDEC CAS-latency band.
+
+use coldboot_bench::table;
+use coldboot_dram::timing::{DDR4_MAX_CAS_NS, DDR4_MIN_CAS_NS};
+use coldboot_memenc::engine::EngineKind;
+use coldboot_memenc::overlap::{OverlapModel, MAX_OUTSTANDING_CAS};
+
+fn main() {
+    let models: Vec<OverlapModel> = EngineKind::ALL
+        .iter()
+        .map(|&k| OverlapModel::ddr4_2400(k))
+        .collect();
+
+    let mut rows = Vec::new();
+    for k in 1..=MAX_OUTSTANDING_CAS {
+        let mut row = vec![k.to_string()];
+        for m in &models {
+            row.push(format!("{:.2}", m.burst_latency(k).latency_ns));
+        }
+        rows.push(row);
+    }
+    table::print(
+        "Figure 6: Decryption latency (ns) vs outstanding CAS requests (DDR4-2400)",
+        &[
+            "outstanding",
+            "AES-128",
+            "AES-256",
+            "ChaCha8",
+            "ChaCha12",
+            "ChaCha20",
+        ],
+        &rows,
+    );
+    println!(
+        "\nDDR4 CAS-latency band: {DDR4_MIN_CAS_NS} .. {DDR4_MAX_CAS_NS} ns \
+         (latency below the band is fully hidden)."
+    );
+
+    let mut summary = Vec::new();
+    for m in &models {
+        let worst = m.burst_latency(MAX_OUTSTANDING_CAS);
+        summary.push(vec![
+            m.spec.kind.name().to_string(),
+            format!("{:.2}", m.burst_latency(1).latency_ns),
+            format!("{:.2}", worst.latency_ns),
+            format!("{:.2}", worst.exposed_ns),
+            if m.zero_exposed_under_all_loads() {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
+        ]);
+    }
+    table::print(
+        "Exposed-latency summary",
+        &[
+            "Cipher",
+            "unloaded ns",
+            "worst ns",
+            "worst exposed ns",
+            "zero-exposed under all loads",
+        ],
+        &summary,
+    );
+    println!(
+        "\nPaper headline: ChaCha8 always completes before the minimum 12.5 ns \
+         read delay; AES-128's worst-case exposed latency is ~1.3 ns at 18 \
+         outstanding requests."
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's **Figure 7** — power and area overhead of
+//! replacing the scrambler with AES-128 / ChaCha8 engines on four 45 nm
+//! CPUs, at 100 % and 20 % DRAM bandwidth utilization.
+
+use coldboot_bench::table;
+use coldboot_memenc::engine::EngineKind;
+use coldboot_memenc::power::{overhead, FIGURE7_CPUS};
+
+fn main() {
+    let engines = [EngineKind::ChaCha8, EngineKind::Aes128];
+    let mut rows = Vec::new();
+    for cpu in &FIGURE7_CPUS {
+        for kind in engines {
+            let full = overhead(cpu, kind, 1.0);
+            let low = overhead(cpu, kind, 0.2);
+            rows.push(vec![
+                cpu.name.to_string(),
+                cpu.segment.to_string(),
+                format!("{}", cpu.channels),
+                kind.name().to_string(),
+                format!("{:.2}", full.area_pct),
+                format!("{:.2}", full.power_pct),
+                format!("{:.2}", low.power_pct),
+            ]);
+        }
+    }
+    table::print(
+        "Figure 7: Power and area overhead of per-channel cipher engines (45 nm)",
+        &[
+            "CPU",
+            "segment",
+            "ch",
+            "engine",
+            "area %",
+            "power % @100% util",
+            "power % @20% util",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper headline: area overheads are about or below 1% everywhere; \
+         power overheads are below 3% except the Atom N280, which sees up to \
+         ~17% at full utilization but under 6% at realistic (20%) utilization."
+    );
+}

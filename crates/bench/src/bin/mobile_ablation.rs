@@ -1,0 +1,58 @@
+//! Ablation of the §IV-B "Speed vs Area and Power" design choice: fully
+//! pipelined engines (Table II) vs the time-multiplexed variant the paper
+//! recommends for mobile CPUs ("more energy-efficient memory encryption can
+//! be achieved by using cipher engines that have much lower performance").
+
+use coldboot_bench::table;
+use coldboot_dram::timing::DDR4_MIN_CAS_NS;
+use coldboot_memenc::engine::{CipherEngineSpec, EngineKind};
+use coldboot_memenc::power::{overhead_for_spec, FIGURE7_CPUS};
+
+fn main() {
+    let atom = FIGURE7_CPUS[0];
+    let mut rows = Vec::new();
+    for kind in EngineKind::ALL {
+        for (label, spec) in [
+            ("pipelined", CipherEngineSpec::for_kind(kind)),
+            ("time-mux", CipherEngineSpec::time_multiplexed(kind)),
+        ] {
+            let o_full = overhead_for_spec(&atom, &spec, 1.0);
+            let o_low = overhead_for_spec(&atom, &spec, 0.2);
+            rows.push(vec![
+                kind.name().to_string(),
+                label.to_string(),
+                format!("{:.2}", spec.block_latency_ns()),
+                if spec.block_latency_ns() < DDR4_MIN_CAS_NS {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
+                format!("{:.1}", spec.throughput_gbps()),
+                format!("{:.2}", o_full.area_pct),
+                format!("{:.2}", o_full.power_pct),
+                format!("{:.2}", o_low.power_pct),
+            ]);
+        }
+    }
+    table::print(
+        "Mobile ablation (Atom N280): pipelined vs time-multiplexed engines",
+        &[
+            "cipher",
+            "style",
+            "64B latency ns",
+            "hidden @min CAS",
+            "peak GB/s",
+            "area %",
+            "power % @100%",
+            "power % @20%",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe time-multiplexed ChaCha8 keeps its unloaded latency (one \
+         counter per block, same 18-cycle iteration) while cutting the Atom \
+         power overhead by more than half — the paper's mobile trade-off. \
+         AES variants lose latency hiding when time-multiplexed because \
+         each 64-byte block needs four serialized passes."
+    );
+}

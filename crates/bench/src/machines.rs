@@ -1,0 +1,101 @@
+//! The paper's Table I: the machines whose scramblers were analyzed —
+//! plus the simulated configurations standing in for them.
+
+use coldboot_dram::geometry::DramGeometry;
+use coldboot_dram::mapping::Microarchitecture;
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy)]
+pub struct TestedMachine {
+    /// CPU model string.
+    pub cpu_model: &'static str,
+    /// Microarchitecture (selects the scrambler generation and address
+    /// mapping).
+    pub uarch: Microarchitecture,
+    /// Launch date as the paper lists it.
+    pub launch: &'static str,
+}
+
+/// The five machines of Table I.
+pub const TABLE1: [TestedMachine; 5] = [
+    TestedMachine {
+        cpu_model: "i5-2540M (DDR3)",
+        uarch: Microarchitecture::SandyBridge,
+        launch: "Q1, 2011",
+    },
+    TestedMachine {
+        cpu_model: "i5-2430M (DDR3)",
+        uarch: Microarchitecture::SandyBridge,
+        launch: "Q4, 2011",
+    },
+    TestedMachine {
+        cpu_model: "i7-3540M (DDR3)",
+        uarch: Microarchitecture::IvyBridge,
+        launch: "Q1, 2013",
+    },
+    TestedMachine {
+        cpu_model: "i5-6400 (DDR4)",
+        uarch: Microarchitecture::Skylake,
+        launch: "Q3, 2015",
+    },
+    TestedMachine {
+        cpu_model: "i5-6600K (DDR4)",
+        uarch: Microarchitecture::Skylake,
+        launch: "Q3, 2015",
+    },
+];
+
+impl TestedMachine {
+    /// A full-size simulated geometry appropriate for this machine.
+    pub fn geometry(&self) -> DramGeometry {
+        match self.uarch {
+            Microarchitecture::SandyBridge | Microarchitecture::IvyBridge => {
+                DramGeometry::ddr3_dual_channel_4gib()
+            }
+            Microarchitecture::Skylake => DramGeometry::ddr4_dual_channel_8gib(),
+        }
+    }
+}
+
+/// A small geometry (1 MiB) used by experiment binaries that sweep whole
+/// memories; observable scrambler behaviour (key pool size, invariants,
+/// reboot behaviour) is identical to the full-size configurations.
+pub fn micro_geometry() -> DramGeometry {
+    DramGeometry {
+        channels: 1,
+        ranks: 1,
+        bank_groups: 2,
+        banks_per_group: 2,
+        rows: 64,
+        blocks_per_row: 64,
+    }
+}
+
+/// A medium geometry (16 MiB) for the heavier end-to-end runs.
+pub fn medium_geometry() -> DramGeometry {
+    DramGeometry::tiny_test()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_the_papers_five_machines() {
+        assert_eq!(TABLE1.len(), 5);
+        let ddr4 = TABLE1
+            .iter()
+            .filter(|m| m.uarch == Microarchitecture::Skylake)
+            .count();
+        assert_eq!(ddr4, 2);
+    }
+
+    #[test]
+    fn geometries_are_valid() {
+        for m in &TABLE1 {
+            assert!(m.geometry().is_power_of_two_shaped());
+        }
+        assert_eq!(micro_geometry().capacity_bytes(), 1 << 20);
+        assert_eq!(medium_geometry().capacity_bytes(), 16 << 20);
+    }
+}

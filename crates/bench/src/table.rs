@@ -1,0 +1,74 @@
+//! Minimal aligned-column table printing for the regeneration binaries.
+
+/// Renders a header row plus data rows with aligned columns.
+///
+/// ```
+/// let out = coldboot_bench::table::render(
+///     &["cipher", "ns"],
+///     &[vec!["ChaCha8".into(), "9.18".into()]],
+/// );
+/// assert!(out.contains("ChaCha8"));
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row has wrong number of columns");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            if i + 1 < cells.len() {
+                line.push_str("  ");
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a rendered table with a title banner.
+pub fn print(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    print!("{}", render(headers, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let out = render(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer-cell".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("x "));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of columns")]
+    fn rejects_ragged_rows() {
+        render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

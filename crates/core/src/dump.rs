@@ -1,0 +1,180 @@
+//! Captured memory images.
+//!
+//! A [`MemoryDump`] is what the paper's bare-metal GRUB module produces: a
+//! linear byte image of physical memory as seen through the (attacker's)
+//! memory interface, annotated with the physical base address so block
+//! indices map back to addresses.
+
+use bytes::Bytes;
+use coldboot_dram::BLOCK_BYTES;
+
+/// A captured physical-memory image.
+#[derive(Debug, Clone)]
+pub struct MemoryDump {
+    data: Bytes,
+    base_addr: u64,
+}
+
+impl MemoryDump {
+    /// Wraps an image captured starting at physical address `base_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_addr` is not 64-byte aligned or the image is not a
+    /// whole number of blocks (a real dump always is; trailing partial
+    /// blocks would silently skew every block-indexed algorithm).
+    pub fn new(data: impl Into<Bytes>, base_addr: u64) -> Self {
+        let data = data.into();
+        assert_eq!(
+            base_addr % BLOCK_BYTES as u64,
+            0,
+            "dump base address must be block-aligned"
+        );
+        assert_eq!(
+            data.len() % BLOCK_BYTES,
+            0,
+            "dump length must be a multiple of {BLOCK_BYTES}"
+        );
+        Self { data, base_addr }
+    }
+
+    /// The physical address of the first byte.
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Image length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of 64-byte blocks.
+    pub fn block_count(&self) -> usize {
+        self.data.len() / BLOCK_BYTES
+    }
+
+    /// The `i`-th block as a fixed-size array reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= block_count()`.
+    pub fn block(&self, i: usize) -> &[u8; BLOCK_BYTES] {
+        self.data[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]
+            .try_into()
+            .expect("slice is exactly one block")
+    }
+
+    /// The physical address of block `i`.
+    pub fn block_addr(&self, i: usize) -> u64 {
+        self.base_addr + (i * BLOCK_BYTES) as u64
+    }
+
+    /// The block index containing physical address `addr`, if it lies in
+    /// this dump.
+    pub fn block_index_of(&self, addr: u64) -> Option<usize> {
+        if addr < self.base_addr {
+            return None;
+        }
+        let idx = ((addr - self.base_addr) / BLOCK_BYTES as u64) as usize;
+        (idx < self.block_count()).then_some(idx)
+    }
+
+    /// Raw bytes for physical address range `[addr, addr + len)`, if fully
+    /// contained.
+    pub fn slice_at(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        if addr < self.base_addr {
+            return None;
+        }
+        let start = (addr - self.base_addr) as usize;
+        let end = start.checked_add(len)?;
+        self.data.get(start..end)
+    }
+
+    /// Iterates over `(physical address, block)` pairs.
+    pub fn blocks(&self) -> impl Iterator<Item = (u64, &[u8; BLOCK_BYTES])> + '_ {
+        (0..self.block_count()).map(move |i| (self.block_addr(i), self.block(i)))
+    }
+
+    /// The whole image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// A sub-dump covering the first `len` bytes (cheap; shares storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not a multiple of the block size or exceeds the
+    /// image.
+    pub fn prefix(&self, len: usize) -> MemoryDump {
+        assert!(len <= self.len(), "prefix longer than dump");
+        MemoryDump::new(self.data.slice(..len), self.base_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MemoryDump {
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        MemoryDump::new(data, 0x1000)
+    }
+
+    #[test]
+    fn block_addressing() {
+        let d = sample();
+        assert_eq!(d.block_count(), 4);
+        assert_eq!(d.block_addr(2), 0x1080);
+        assert_eq!(d.block(1)[0], 64);
+    }
+
+    #[test]
+    fn block_index_of_bounds() {
+        let d = sample();
+        assert_eq!(d.block_index_of(0x1000), Some(0));
+        assert_eq!(d.block_index_of(0x10FF), Some(3));
+        assert_eq!(d.block_index_of(0x1100), None);
+        assert_eq!(d.block_index_of(0xFFF), None);
+    }
+
+    #[test]
+    fn slice_at_ranges() {
+        let d = sample();
+        assert_eq!(d.slice_at(0x1001, 3), Some(&[1u8, 2, 3][..]));
+        assert!(d.slice_at(0x10FE, 3).is_none());
+        assert!(d.slice_at(0x0, 1).is_none());
+    }
+
+    #[test]
+    fn blocks_iterator_covers_all() {
+        let d = sample();
+        let addrs: Vec<u64> = d.blocks().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10C0]);
+    }
+
+    #[test]
+    fn prefix_shares_base() {
+        let d = sample();
+        let p = d.prefix(128);
+        assert_eq!(p.block_count(), 2);
+        assert_eq!(p.base_addr(), 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn rejects_unaligned_base() {
+        MemoryDump::new(vec![0u8; 64], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn rejects_partial_blocks() {
+        MemoryDump::new(vec![0u8; 65], 0);
+    }
+}

@@ -1,0 +1,797 @@
+//! The AES key litmus test and scrambled-memory key search (paper §III-C).
+//!
+//! The problem: an expanded AES-256 schedule spans four 64-byte blocks, and
+//! each block may be scrambled with a different one of 4096 keys — brute
+//! forcing the combination is 2⁴⁸. The paper's insight: **at least three
+//! consecutive round keys always lie wholly inside a single 64-byte
+//! block**, so one descrambled block is enough to recognize a schedule.
+//! Take `Nk` words from the block at a guessed position, run the key
+//! expansion recurrence, and check the prediction against the adjacent
+//! bytes of the *same block*. Only then extend to neighbouring blocks
+//! (guessing their scrambler keys independently) to confirm, and run the
+//! recurrence backwards to the master key.
+//!
+//! All comparisons use Hamming distance, making the search resilient to
+//! the bit decay incurred while the frozen DIMM was in transit.
+
+use crate::dump::MemoryDump;
+use crate::litmus::CandidateKey;
+use coldboot_crypto::aes::key_schedule::{expansion_step, rcon, KeySchedule, KeySize};
+use coldboot_crypto::aes::sbox::{rot_word, sub_word};
+use coldboot_crypto::hamming;
+use coldboot_dram::BLOCK_BYTES;
+use std::ops::Range;
+
+/// How many bytes of a block a single litmus trial covers (three
+/// consecutive round keys).
+const TEST_SPAN: usize = 48;
+
+/// Configuration for the scrambled-memory AES key search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Key sizes to search for, tried in the listed order per block.
+    pub key_sizes: Vec<KeySize>,
+    /// Hamming budget (bits) for the single-block expansion check.
+    pub block_tolerance_bits: u32,
+    /// Hamming budget (bits) for full-schedule verification against
+    /// neighbouring blocks.
+    pub schedule_tolerance_bits: u32,
+    /// Worker threads for the scan (1 = sequential).
+    pub threads: usize,
+    /// Restrict the scan to this physical-address range (cost control on
+    /// very large dumps); `None` scans everything.
+    pub region: Option<Range<u64>>,
+    /// Try expansion windows at every word position (resilient but ~4×
+    /// slower) instead of only at round-key boundaries.
+    pub exhaustive_word_offsets: bool,
+    /// During verification, tolerate up to this many schedule blocks whose
+    /// scrambler key is absent from the candidate pool (no candidate
+    /// descrambles them anywhere near the prediction). A key id can be
+    /// missing when no zero-filled block with that id existed in the dump.
+    pub max_unexplained_blocks: u32,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            key_sizes: vec![KeySize::Aes256, KeySize::Aes128],
+            // Must stay below the structural floor of the AES-256 position
+            // degeneracy: a wrong-Rcon guess differs from the true
+            // prediction by at least popcount(Rcon_a ^ Rcon_b) x 4 >= 8
+            // bits, so 6 rejects them while tolerating ~3 decayed bits.
+            block_tolerance_bits: 6,
+            // Well above realistic transit decay (~10-30 bits across a
+            // 240-byte schedule) and below the ~150-bit floor of
+            // shifted-schedule false reconstructions.
+            schedule_tolerance_bits: 96,
+            threads: 1,
+            region: None,
+            exhaustive_word_offsets: false,
+            max_unexplained_blocks: 1,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A slower, decay-hardened configuration: roughly 10× the scan cost of
+    /// the default, in exchange for tolerating several bit flips inside the
+    /// expansion window itself. Measured on the −25 °C / 5 s / nominal-module
+    /// scenario (≈1.5 % bit error) where the default search recovers only
+    /// one of the two XTS schedules, this preset recovers both.
+    ///
+    /// The wider block tolerance admits the structurally-misplaced matches
+    /// the default tolerance excludes, so this preset leans on full-schedule
+    /// verification and overlap-aware deduplication to sort them out — which
+    /// is also why its schedule budget is higher.
+    pub fn deep() -> Self {
+        Self {
+            block_tolerance_bits: 20,
+            schedule_tolerance_bits: 200,
+            ..Self::default()
+        }
+    }
+}
+
+/// A single-block litmus hit: this block, descrambled with this key, looks
+/// like the middle of an AES key schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleHit {
+    /// Physical address of the block.
+    pub block_addr: u64,
+    /// The scrambler key that descrambled it.
+    pub scrambler_key: [u8; BLOCK_BYTES],
+    /// Key size of the matched schedule.
+    pub key_size: KeySize,
+    /// Byte offset of the matched window within the block (0..=16).
+    pub window_offset: usize,
+    /// Absolute word index of the window within the schedule.
+    pub start_word: usize,
+    /// Hamming distance of the in-block prediction check.
+    pub prediction_distance: u32,
+}
+
+/// A fully recovered AES key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredAesKey {
+    /// The key size.
+    pub key_size: KeySize,
+    /// The recovered master (cipher) key.
+    pub master_key: Vec<u8>,
+    /// Physical address where the expanded schedule starts.
+    pub schedule_addr: u64,
+    /// Total Hamming distance between the re-expanded schedule and the
+    /// (best-key-descrambled) dump contents — the decay damage absorbed.
+    pub total_error_bits: u32,
+    /// Schedule blocks whose scrambler key was absent from the candidate
+    /// pool (excluded from the error sum).
+    pub unexplained_blocks: u32,
+    /// The hit that led to this recovery.
+    pub hit: ScheduleHit,
+}
+
+/// Outcome of a search: raw hits and verified recoveries.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOutcome {
+    /// All single-block hits (including duplicates from different blocks of
+    /// the same schedule).
+    pub hits: Vec<ScheduleHit>,
+    /// Verified, deduplicated key recoveries.
+    pub recovered: Vec<RecoveredAesKey>,
+    /// Number of blocks scanned.
+    pub blocks_scanned: usize,
+}
+
+/// One passing position of the AES block litmus test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LitmusMatch {
+    /// Byte offset of the window within the block (0..=16).
+    pub window_offset: usize,
+    /// Guessed absolute word index of the window within the schedule.
+    pub start_word: usize,
+    /// Hamming distance of the prediction check.
+    pub distance: u32,
+}
+
+/// Runs the AES key litmus test on one descrambled 64-byte block.
+///
+/// Tries every window offset `o ∈ {0,4,8,12,16}` and every guessed schedule
+/// word position, runs the expansion recurrence, and returns **every**
+/// `(window_offset, start_word)` whose prediction matches the adjacent
+/// bytes within `tolerance` bits.
+///
+/// All passing positions are returned (not just the best) because the
+/// AES-256 recurrence only pins the absolute round position when the
+/// checked extension crosses an `i % Nk == 0` (Rcon) step; other phases
+/// match at several equivalent positions and only full-schedule
+/// verification can tell them apart.
+///
+/// With `exhaustive` false, only round-key-aligned word positions are tried
+/// (the paper's "12 possible expansions" for AES-256 — plus the round-0
+/// window); `true` tries every word index.
+pub fn aes_block_litmus(
+    block: &[u8; BLOCK_BYTES],
+    key_size: KeySize,
+    tolerance: u32,
+    exhaustive: bool,
+) -> Vec<LitmusMatch> {
+    let mut words = [0u32; BLOCK_BYTES / 4];
+    for (i, c) in block.chunks_exact(4).enumerate() {
+        words[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+    }
+    aes_block_litmus_words(&words, key_size, tolerance, exhaustive)
+}
+
+/// Word-level form of [`aes_block_litmus`], used by the scan so blocks and
+/// candidate keys can be parsed to words once and XORed per pair.
+///
+/// This is the innermost hot loop of the whole attack (it runs once per
+/// block x candidate key x key size), so it works on fixed-size arrays, and
+/// the first predicted word is checked through per-phase precomputation:
+/// for a fixed window, `expansion_step` only depends on the guessed
+/// position through its Rcon phase, so one `sub_word` pair covers every
+/// guess at an offset.
+pub fn aes_block_litmus_words(
+    block_words: &[u32; BLOCK_BYTES / 4],
+    key_size: KeySize,
+    tolerance: u32,
+    exhaustive: bool,
+) -> Vec<LitmusMatch> {
+    let nk = key_size.nk();
+    let extend_words = TEST_SPAN / 4 - nk;
+    let total_words = key_size.schedule_words();
+    let step = if exhaustive { 1 } else { 4 };
+    let mut matches = Vec::new();
+    for offset in (0..=BLOCK_BYTES - TEST_SPAN).step_by(4) {
+        let span = &block_words[offset / 4..offset / 4 + TEST_SPAN / 4];
+        let observed = &span[nk..];
+        // First-word filter precomputation. The first extension word is
+        // span[0] ^ f(i, span[nk-1]) where f depends on the guessed
+        // absolute index i only through its phase:
+        //   i % nk == 0          -> sub_word(rot_word(prev)) ^ rcon(i/nk)
+        //   i % nk == 4 (nk > 6) -> sub_word(prev)
+        //   otherwise            -> prev
+        let prev = span[nk - 1];
+        let target = span[0] ^ observed[0];
+        let t_rcon = target ^ sub_word(rot_word(prev));
+        let d_rcon_low = (t_rcon & 0x00FF_FFFF).count_ones();
+        let t_rcon_hi = (t_rcon >> 24) as u8;
+        let d_sub = (target ^ sub_word(prev)).count_ones();
+        let d_id = (target ^ prev).count_ones();
+
+        // If every phase already exceeds the budget on the first word, no
+        // position at this offset can match: skip the position loop. This
+        // bail fires on ~99% of non-schedule offsets.
+        if d_rcon_low > tolerance && d_sub > tolerance && d_id > tolerance {
+            continue;
+        }
+
+        let mut start_word = 0usize;
+        while start_word + TEST_SPAN / 4 <= total_words {
+            let i = start_word + nk;
+            let d0 = if i.is_multiple_of(nk) {
+                if d_rcon_low > tolerance {
+                    start_word += step;
+                    continue;
+                }
+                d_rcon_low + (t_rcon_hi ^ (rcon(i / nk) >> 24) as u8).count_ones()
+            } else if nk > 6 && i % nk == 4 {
+                d_sub
+            } else {
+                d_id
+            };
+            if d0 > tolerance {
+                start_word += step;
+                continue;
+            }
+            // Survived the cheap filter; run the remaining extension with a
+            // rolling window (slot e mod nk holds w[start+e] until it is
+            // overwritten by the predicted w[start+nk+e]).
+            let first = span[0] ^ expansion_step(key_size, i, prev);
+            let mut dist = d0;
+            debug_assert_eq!(dist, (first ^ observed[0]).count_ones());
+            let mut rolling = [0u32; 8];
+            rolling[..nk].copy_from_slice(&span[..nk]);
+            rolling[0] = first;
+            let mut prev_word = first;
+            let mut ok = true;
+            for e in 1..extend_words {
+                let temp = expansion_step(key_size, start_word + nk + e, prev_word);
+                let predicted = rolling[e % nk] ^ temp;
+                dist += (predicted ^ observed[e]).count_ones();
+                if dist > tolerance {
+                    ok = false;
+                    break;
+                }
+                rolling[e % nk] = predicted;
+                prev_word = predicted;
+            }
+            if ok {
+                matches.push(LitmusMatch {
+                    window_offset: offset,
+                    start_word,
+                    distance: dist,
+                });
+            }
+            start_word += step;
+        }
+    }
+    matches
+}
+
+fn xor_block(block: &[u8; BLOCK_BYTES], key: &[u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
+    let mut out = [0u8; BLOCK_BYTES];
+    for i in 0..BLOCK_BYTES {
+        out[i] = block[i] ^ key[i];
+    }
+    out
+}
+
+/// Verifies a hit against the rest of its schedule and recovers the master
+/// key.
+///
+/// Reconstructs the full schedule from the hit window (forward and backward
+/// through the recurrence), locates the schedule's address range, and for
+/// every overlapped dump block picks the candidate scrambler key whose
+/// descrambling lies closest to the prediction. If the total distance is
+/// within budget the recovery is accepted; otherwise a noisy-schedule
+/// recovery pass (`KeySchedule::recover_from_noisy`) is attempted on the
+/// assembled bytes.
+pub fn verify_and_recover(
+    dump: &MemoryDump,
+    candidates: &[CandidateKey],
+    hit: &ScheduleHit,
+    config: &SearchConfig,
+) -> Option<RecoveredAesKey> {
+    let size = hit.key_size;
+    let block_idx = dump.block_index_of(hit.block_addr)?;
+    let descrambled = xor_block(dump.block(block_idx), &hit.scrambler_key);
+    let span = &descrambled[hit.window_offset..hit.window_offset + TEST_SPAN];
+    let window: Vec<u32> = span[..size.nk() * 4]
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let schedule = KeySchedule::reconstruct(size, &window, hit.start_word)?;
+    let predicted = schedule.to_bytes();
+
+    // Physical address where the schedule starts.
+    let window_addr = hit.block_addr + hit.window_offset as u64;
+    let schedule_addr = window_addr.checked_sub(hit.start_word as u64 * 4)?;
+    let len = size.schedule_len();
+    // The whole schedule must lie inside the dump.
+    dump.slice_at(schedule_addr, len)?;
+
+    // Assemble the observed schedule, choosing the best scrambler key per
+    // block. Blocks that no candidate explains at all (their key id never
+    // surfaced on a zero block, so it was never mined) are counted rather
+    // than summed: a genuine schedule has at most a couple of those, while
+    // a bogus reconstruction has nothing but.
+    let mut observed = vec![0u8; len];
+    let mut total_error = 0u32;
+    let mut unexplained = 0u32;
+    let mut cursor = schedule_addr;
+    let end = schedule_addr + len as u64;
+    while cursor < end {
+        let block_base = cursor & !(BLOCK_BYTES as u64 - 1);
+        let in_block = (cursor - block_base) as usize;
+        let take = ((end - cursor) as usize).min(BLOCK_BYTES - in_block);
+        let idx = dump.block_index_of(block_base)?;
+        let raw = dump.block(idx);
+        let pred_slice = &predicted[(cursor - schedule_addr) as usize..][..take];
+        let mut best: Option<(u32, [u8; BLOCK_BYTES])> = None;
+        for cand in candidates {
+            let des = xor_block(raw, &cand.key);
+            let dist = hamming::distance(&des[in_block..in_block + take], pred_slice);
+            if best.is_none_or(|(d, _)| dist < d) {
+                best = Some((dist, des));
+            }
+        }
+        let (dist, des) = best?;
+        // Decayed-but-correct keys land within a few percent of the
+        // prediction; a missing key leaves ~50% of bits wrong. A third of
+        // the compared bits separates the two regimes cleanly.
+        if dist > (take as u32 * 8) / 3 {
+            unexplained += 1;
+            if unexplained > config.max_unexplained_blocks {
+                return None;
+            }
+            // Neutral fill so the noisy-recovery pass below is not poisoned
+            // by a block we know we cannot descramble.
+            observed[(cursor - schedule_addr) as usize..][..take].copy_from_slice(pred_slice);
+        } else {
+            observed[(cursor - schedule_addr) as usize..][..take]
+                .copy_from_slice(&des[in_block..in_block + take]);
+            total_error += dist;
+        }
+        cursor = block_base + BLOCK_BYTES as u64;
+    }
+
+    // The hit window itself may have carried decayed bits that the forward
+    // expansion check never consumed (the check only exercises part of the
+    // window), silently corrupting the reconstruction. Always attempt an
+    // error-corrected recovery over the assembled observation as well, and
+    // keep whichever explanation of the observed bytes is closer.
+    let mut best_key = schedule.master_key();
+    let mut best_dist = total_error;
+    if best_dist > 0 {
+        if let Some((repaired, dist)) = KeySchedule::recover_from_noisy(size, &observed) {
+            if dist < best_dist {
+                best_key = repaired.master_key();
+                best_dist = dist;
+            }
+        }
+    }
+    (best_dist <= config.schedule_tolerance_bits).then(|| RecoveredAesKey {
+        key_size: size,
+        master_key: best_key,
+        schedule_addr,
+        total_error_bits: best_dist,
+        unexplained_blocks: unexplained,
+        hit: hit.clone(),
+    })
+}
+
+/// Scans a dump for AES key schedules using a set of candidate scrambler
+/// keys, verifying and recovering master keys.
+///
+/// The scan parallelizes over blocks with `config.threads` workers.
+pub fn search_dump(
+    dump: &MemoryDump,
+    candidates: &[CandidateKey],
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let indices: Vec<usize> = (0..dump.block_count())
+        .filter(|&i| {
+            config
+                .region
+                .as_ref()
+                .is_none_or(|r| r.contains(&dump.block_addr(i)))
+        })
+        .collect();
+    let blocks_scanned = indices.len();
+
+    let hits: Vec<ScheduleHit> = if config.threads <= 1 {
+        scan_blocks(dump, candidates, config, &indices)
+    } else {
+        let chunk = indices.len().div_ceil(config.threads).max(1);
+        let mut all = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = indices
+                .chunks(chunk)
+                .map(|part| scope.spawn(move |_| scan_blocks(dump, candidates, config, part)))
+                .collect();
+            for h in handles {
+                all.extend(h.join().expect("scan worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        all
+    };
+
+    // Verify hits and deduplicate. Two recoveries whose schedule ranges
+    // overlap are competing explanations of the same physical bytes (the
+    // position-degenerate hits reconstruct the true schedule shifted by a
+    // few round keys), so keep whichever explains the dump better: fewer
+    // unexplained blocks first, then less decay damage.
+    let mut recovered: Vec<RecoveredAesKey> = Vec::new();
+    for hit in &hits {
+        if let Some(rec) = verify_and_recover(dump, candidates, hit, config) {
+            let rec_end = rec.schedule_addr + rec.key_size.schedule_len() as u64;
+            let quality = (rec.unexplained_blocks, rec.total_error_bits);
+            match recovered.iter_mut().find(|r| {
+                let r_end = r.schedule_addr + r.key_size.schedule_len() as u64;
+                r.key_size == rec.key_size && rec.schedule_addr < r_end && r.schedule_addr < rec_end
+            }) {
+                Some(existing) => {
+                    if quality < (existing.unexplained_blocks, existing.total_error_bits) {
+                        *existing = rec;
+                    }
+                }
+                None => recovered.push(rec),
+            }
+        }
+    }
+    recovered.sort_by_key(|r| r.schedule_addr);
+
+    SearchOutcome {
+        hits,
+        recovered,
+        blocks_scanned,
+    }
+}
+
+fn scan_blocks(
+    dump: &MemoryDump,
+    candidates: &[CandidateKey],
+    config: &SearchConfig,
+    indices: &[usize],
+) -> Vec<ScheduleHit> {
+    let mut hits = Vec::new();
+    // Parse every candidate key to words once; per (block, key) pair the
+    // descramble is then 16 word XORs.
+    let key_words: Vec<[u32; BLOCK_BYTES / 4]> = candidates
+        .iter()
+        .map(|cand| {
+            let mut w = [0u32; BLOCK_BYTES / 4];
+            for (i, c) in cand.key.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            }
+            w
+        })
+        .collect();
+    let mut block_w = [0u32; BLOCK_BYTES / 4];
+    let mut desc = [0u32; BLOCK_BYTES / 4];
+    for &i in indices {
+        let raw = dump.block(i);
+        for (j, c) in raw.chunks_exact(4).enumerate() {
+            block_w[j] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        for (cand, kw) in candidates.iter().zip(&key_words) {
+            for j in 0..BLOCK_BYTES / 4 {
+                desc[j] = block_w[j] ^ kw[j];
+            }
+            for &size in &config.key_sizes {
+                for m in aes_block_litmus_words(
+                    &desc,
+                    size,
+                    config.block_tolerance_bits,
+                    config.exhaustive_word_offsets,
+                ) {
+                    hits.push(ScheduleHit {
+                        block_addr: dump.block_addr(i),
+                        scrambler_key: cand.key,
+                        key_size: size,
+                        window_offset: m.window_offset,
+                        start_word: m.start_word,
+                        prediction_distance: m.distance,
+                    });
+                }
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldboot_crypto::aes::KeySchedule;
+
+    fn schedule_bytes(key: &[u8]) -> Vec<u8> {
+        KeySchedule::expand(key).unwrap().to_bytes()
+    }
+
+    /// Builds a dump: `pre` bytes of filler, then the schedule, then filler,
+    /// XORed per-block with the given repeating key set.
+    fn build_dump(pre: usize, key: &[u8], scrambler_keys: &[[u8; 64]]) -> (MemoryDump, Vec<CandidateKey>) {
+        let sched = schedule_bytes(key);
+        let mut image = vec![0x11u8; pre];
+        image.extend_from_slice(&sched);
+        while !image.len().is_multiple_of(64) || image.len() < pre + sched.len() + 128 {
+            image.push(0x22);
+        }
+        for (i, chunk) in image.chunks_mut(64).enumerate() {
+            let k = &scrambler_keys[i % scrambler_keys.len()];
+            for (b, kb) in chunk.iter_mut().zip(k.iter()) {
+                *b ^= kb;
+            }
+        }
+        let candidates = scrambler_keys
+            .iter()
+            .map(|k| CandidateKey {
+                key: *k,
+                observations: 1,
+            })
+            .collect();
+        (MemoryDump::new(image, 0), candidates)
+    }
+
+    fn test_keys() -> Vec<[u8; 64]> {
+        (0..4u8)
+            .map(|t| core::array::from_fn(|i| (i as u8).wrapping_mul(7).wrapping_add(t * 53) ^ 0x5A))
+            .collect()
+    }
+
+    #[test]
+    fn litmus_recognizes_clean_schedule_blocks() {
+        let key: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(7).wrapping_add(1)).collect();
+        let sched = schedule_bytes(&key);
+        // Block 1 of the (aligned) schedule: bytes 64..128 = words 16..32.
+        let block: [u8; 64] = sched[64..128].try_into().unwrap();
+        let matches = aes_block_litmus(&block, KeySize::Aes256, 0, false);
+        assert!(
+            matches.contains(&LitmusMatch {
+                window_offset: 0,
+                start_word: 16,
+                distance: 0
+            }),
+            "true position missing from {matches:?}"
+        );
+    }
+
+    #[test]
+    fn litmus_handles_unaligned_schedules() {
+        let sched = schedule_bytes(&[0x17u8; 32]);
+        for shift in [4usize, 8, 12] {
+            let mut region = vec![0x99u8; shift];
+            region.extend_from_slice(&sched);
+            region.resize(64 * 5, 0x99);
+            let block: [u8; 64] = region[64..128].try_into().unwrap();
+            let matches = aes_block_litmus(&block, KeySize::Aes256, 0, false);
+            assert!(!matches.is_empty(), "no hit at shift {shift}");
+            // The true (round-key-aligned) position must be among them.
+            assert!(
+                matches
+                    .iter()
+                    .any(|m| m.distance == 0 && (m.window_offset + 64 - shift) % 16 == 0),
+                "round-aligned hit missing at shift {shift}: {matches:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn litmus_rejects_random_blocks() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let mut block = [0u8; 64];
+            rng.fill(&mut block[..]);
+            for size in KeySize::ALL {
+                assert!(aes_block_litmus(&block, size, 10, false).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn litmus_works_for_all_key_sizes() {
+        for size in KeySize::ALL {
+            let key: Vec<u8> = (0..size.key_len() as u8).map(|b| b ^ 0x3C).collect();
+            let sched = schedule_bytes(&key);
+            let block: [u8; 64] = sched[64..128].try_into().unwrap();
+            assert!(
+                !aes_block_litmus(&block, size, 0, false).is_empty(),
+                "{size:?} block not recognized"
+            );
+        }
+    }
+
+    #[test]
+    fn litmus_tolerates_bit_decay_in_prediction_target() {
+        // NOTE: a varied key — repeated-byte keys produce degenerate
+        // schedules with coincidental matches at shifted positions.
+        let key: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(41).wrapping_add(3)).collect();
+        let sched = schedule_bytes(&key);
+        let mut block: [u8; 64] = sched[64..128].try_into().unwrap();
+        // Damage the *predicted* region (last 16 bytes of the 48-byte span),
+        // not the window.
+        block[34] ^= 0x01;
+        block[40] ^= 0x80;
+        let matches = aes_block_litmus(&block, KeySize::Aes256, 10, false);
+        assert!(
+            matches.contains(&LitmusMatch {
+                window_offset: 0,
+                start_word: 16,
+                distance: 2
+            }),
+            "damaged-but-tolerated position missing from {matches:?}"
+        );
+    }
+
+    #[test]
+    fn search_recovers_key_from_scrambled_dump() {
+        let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(59).wrapping_add(0xC4));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(192, &master, &keys);
+        let outcome = search_dump(&dump, &candidates, &SearchConfig::default());
+        assert!(!outcome.hits.is_empty());
+        assert_eq!(outcome.recovered.len(), 1);
+        assert_eq!(outcome.recovered[0].master_key, master.to_vec());
+        assert_eq!(outcome.recovered[0].schedule_addr, 192);
+        assert_eq!(outcome.recovered[0].total_error_bits, 0);
+    }
+
+    #[test]
+    fn search_recovers_unaligned_schedule() {
+        let master: Vec<u8> = (0..32).map(|i| (i * 11) as u8).collect();
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(100, &master, &keys); // 100 % 16 == 4
+        let outcome = search_dump(&dump, &candidates, &SearchConfig::default());
+        assert_eq!(outcome.recovered.len(), 1);
+        assert_eq!(outcome.recovered[0].master_key, master);
+        assert_eq!(outcome.recovered[0].schedule_addr, 100);
+    }
+
+    #[test]
+    fn search_recovers_aes128() {
+        let master: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(23).wrapping_add(0x77));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(256, &master, &keys);
+        let config = SearchConfig {
+            key_sizes: vec![KeySize::Aes128],
+            ..SearchConfig::default()
+        };
+        let outcome = search_dump(&dump, &candidates, &config);
+        assert_eq!(outcome.recovered.len(), 1);
+        assert_eq!(outcome.recovered[0].master_key, master.to_vec());
+    }
+
+    #[test]
+    fn search_recovers_aes192() {
+        let master: [u8; 24] = core::array::from_fn(|i| (i as u8).wrapping_mul(19).wrapping_add(0x31));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(256, &master, &keys);
+        let config = SearchConfig {
+            key_sizes: vec![KeySize::Aes192],
+            ..SearchConfig::default()
+        };
+        let outcome = search_dump(&dump, &candidates, &config);
+        assert_eq!(outcome.recovered.len(), 1);
+        assert_eq!(outcome.recovered[0].master_key, master.to_vec());
+        assert_eq!(outcome.recovered[0].schedule_addr, 256);
+    }
+
+    #[test]
+    fn search_survives_bit_decay() {
+        let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(67).wrapping_add(0x5E));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(192, &master, &keys);
+        // Flip scattered bits across the image (~0.2% of bits).
+        let mut image = dump.bytes().to_vec();
+        let nbits = image.len() * 8;
+        let mut pos = 97usize;
+        let mut flips = 0;
+        while pos < nbits {
+            image[pos / 8] ^= 1 << (pos % 8);
+            flips += 1;
+            pos += 449; // co-prime stride
+        }
+        assert!(flips > 10);
+        let dump = MemoryDump::new(image, 0);
+        let outcome = search_dump(&dump, &candidates, &SearchConfig::default());
+        assert_eq!(outcome.recovered.len(), 1, "decay defeated the search");
+        assert_eq!(outcome.recovered[0].master_key, master.to_vec());
+        assert!(outcome.recovered[0].total_error_bits > 0);
+    }
+
+    #[test]
+    fn search_with_region_restriction() {
+        let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(13).wrapping_add(0x99));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(192, &master, &keys);
+        let miss = SearchConfig {
+            region: Some(1024..2048),
+            ..SearchConfig::default()
+        };
+        assert!(search_dump(&dump, &candidates, &miss).recovered.is_empty());
+        let hit = SearchConfig {
+            region: Some(0..1024),
+            ..SearchConfig::default()
+        };
+        assert_eq!(search_dump(&dump, &candidates, &hit).recovered.len(), 1);
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(29).wrapping_add(0xD2));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(320, &master, &keys);
+        let seq = search_dump(&dump, &candidates, &SearchConfig::default());
+        let par_config = SearchConfig {
+            threads: 4,
+            ..SearchConfig::default()
+        };
+        let par = search_dump(&dump, &candidates, &par_config);
+        assert_eq!(seq.recovered.len(), par.recovered.len());
+        assert_eq!(seq.recovered[0].master_key, par.recovered[0].master_key);
+        assert_eq!(seq.hits.len(), par.hits.len());
+    }
+
+    #[test]
+    fn deep_search_locates_schedules_when_every_window_is_decayed() {
+        // Adversarial damage: bits flipped inside EVERY expansion window of
+        // every schedule block. The default tolerance finds nothing at all;
+        // deep() still locates the schedule and recovers the key to within
+        // the damage (with no clean window anywhere, exact recovery is
+        // information-theoretically unavailable — under *random* decay a
+        // clean window exists with high probability and recovery is exact,
+        // as the decay-sweep experiment shows).
+        let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(71).wrapping_add(5));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(192, &master, &keys);
+        let mut image = dump.bytes().to_vec();
+        // Two flips in each aligned window's checked region: bytes 2/6
+        // damage the offset-0 window (prediction distance 7 > default
+        // tolerance 6), bytes 18/22 damage the offset-16 window the same
+        // way while sitting in the offset-0 window's unchecked middle.
+        for block_start in (192..432).step_by(64) {
+            image[block_start + 2] ^= 0x10;
+            image[block_start + 6] ^= 0x01;
+            image[block_start + 18] ^= 0x04;
+            image[block_start + 22] ^= 0x40;
+        }
+        let dump = MemoryDump::new(image, 0);
+
+        let shallow = search_dump(&dump, &candidates, &SearchConfig::default());
+        assert!(shallow.recovered.is_empty(), "default tolerance should miss");
+
+        let deep = search_dump(&dump, &candidates, &SearchConfig::deep());
+        assert_eq!(deep.recovered.len(), 1, "deep search failed to locate");
+        assert_eq!(deep.recovered[0].schedule_addr, 192);
+        let dist = coldboot_crypto::hamming::distance(&deep.recovered[0].master_key, &master);
+        assert!(dist <= 20, "recovered key too damaged: {dist} bits");
+    }
+
+    #[test]
+    fn wrong_candidates_find_nothing() {
+        let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(37).wrapping_add(0xAB));
+        let keys = test_keys();
+        let (dump, _) = build_dump(192, &master, &keys);
+        let wrong: Vec<CandidateKey> = (10..14u8)
+            .map(|t| CandidateKey {
+                key: core::array::from_fn(|i| (i as u8).wrapping_mul(13) ^ t.wrapping_mul(29)),
+                observations: 1,
+            })
+            .collect();
+        let outcome = search_dump(&dump, &wrong, &SearchConfig::default());
+        assert!(outcome.recovered.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! The cold boot attack toolkit — the paper's primary contribution.
+//!
+//! Given a memory image captured from a scrambled DDR4 DIMM (frozen,
+//! transplanted, and dumped on an attacker's machine whose own scrambler
+//! may still be enabled), this crate:
+//!
+//! 1. **Mines scrambler keys** ([`litmus`]): zero-filled 64-byte blocks
+//!    expose the scrambler keystream directly (`0 ⊕ key = key`), and real
+//!    Skylake scrambler keys satisfy byte-pair XOR invariants that random
+//!    data essentially never does. The litmus test finds them, frequency
+//!    ranking sorts true keys from coincidences, and bitwise majority
+//!    voting repairs decay damage.
+//! 2. **Finds AES key schedules** ([`keysearch`]): any 64-byte block inside
+//!    an expanded AES key contains at least three consecutive round keys,
+//!    so a *single descrambled block* can be recognized by running the key
+//!    expansion recurrence (all 13/11/9 possible round positions × 4
+//!    alignments) and checking the prediction against the block's own
+//!    bytes — no need to descramble more than one block at a time.
+//! 3. **Recovers master keys**: the schedule recurrence is run backward to
+//!    the original cipher key, verified against neighbouring blocks with
+//!    Hamming tolerance.
+//! 4. **Packages end-to-end pipelines** ([`attack`]): the DDR4 attack of
+//!    §III-C, the DDR3 baseline (frequency analysis + reboot-collapse
+//!    universal key), and the "reverse cold boot" analysis framework of
+//!    §III-A.
+//! 5. **Quantifies obfuscation** ([`stats`]): the block-correlation and
+//!    entropy metrics behind the paper's Figure 3 comparison.
+//!
+//! # Quick start
+//!
+//! ```
+//! use coldboot::dump::MemoryDump;
+//! use coldboot::litmus::{mine_candidate_keys, MiningConfig};
+//!
+//! // A dump where one block is a scrambler key exposed by zeroed memory:
+//! let mut image = vec![0u8; 4096];
+//! // (a structured key: second 8 bytes of each 16-byte group = first 8
+//! //  bytes XOR a repeating 2-byte mask)
+//! for g in 0..4 {
+//!     for i in 0..8 {
+//!         image[g * 16 + i] = (g * 8 + i + 1) as u8;
+//!         image[g * 16 + 8 + i] = (g * 8 + i + 1) as u8 ^ [0xAA, 0x55][i % 2];
+//!     }
+//! }
+//! let dump = MemoryDump::new(image, 0);
+//! let found = mine_candidate_keys(&dump, &MiningConfig::default());
+//! assert!(!found.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod dump;
+pub mod keymap;
+pub mod keysearch;
+pub mod litmus;
+pub mod stats;

@@ -1,0 +1,316 @@
+//! The scrambler key litmus test and candidate-key mining (paper §III-B).
+//!
+//! Zero-filled memory blocks pass through the scrambler as the raw
+//! keystream itself (`0 ⊕ key = key`). The Skylake DDR4 scrambler's keys
+//! satisfy four byte-pair XOR invariants inside every 16-byte-aligned
+//! group, which random data violates with overwhelming probability — so
+//! scanning a dump for blocks that satisfy the invariants recovers the key
+//! pool. Because the invariants are XOR-linear, they also hold for
+//! *combined* keys (victim ⊕ attacker scrambler), so the attacker's own
+//! scrambler never needs to be disabled.
+
+use crate::dump::MemoryDump;
+use coldboot_crypto::hamming;
+use coldboot_dram::BLOCK_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Result of scoring a single block against the invariants: the total
+/// number of violated constraint bits (0 for a pristine key).
+///
+/// The four invariants per 16-byte group each constrain 16 bits; with 4
+/// groups that is 256 constraint bits per block.
+pub fn invariant_violations(block: &[u8; BLOCK_BYTES]) -> u32 {
+    let w = |i: usize| u16::from_le_bytes([block[i], block[i + 1]]);
+    let mut violated = 0u32;
+    for g in [0usize, 16, 32, 48] {
+        // W1^W2 = W5^W6
+        violated += ((w(g + 2) ^ w(g + 4)) ^ (w(g + 10) ^ w(g + 12))).count_ones();
+        // W0^W3 = W4^W7
+        violated += ((w(g) ^ w(g + 6)) ^ (w(g + 8) ^ w(g + 14))).count_ones();
+        // W0^W2 = W4^W6
+        violated += ((w(g) ^ w(g + 4)) ^ (w(g + 8) ^ w(g + 12))).count_ones();
+        // W0^W1 = W4^W5
+        violated += ((w(g) ^ w(g + 2)) ^ (w(g + 8) ^ w(g + 10))).count_ones();
+    }
+    violated
+}
+
+/// The scrambler key litmus test: does `block` look like an exposed DDR4
+/// scrambler key, tolerating up to `tolerance_bits` violated constraint
+/// bits (bit decay)?
+pub fn scrambler_key_litmus(block: &[u8; BLOCK_BYTES], tolerance_bits: u32) -> bool {
+    invariant_violations(block) <= tolerance_bits
+}
+
+/// Mining configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MiningConfig {
+    /// Maximum violated constraint bits for a block to count as a key
+    /// observation (decay tolerance).
+    pub litmus_tolerance_bits: u32,
+    /// Observations closer than this (in Hamming bits) are treated as the
+    /// same key and merged by bitwise majority vote.
+    pub consolidate_bits: u32,
+    /// Drop the all-zeros "key" (an unscrambled zero block — only relevant
+    /// when part of the image was captured with scrambling disabled).
+    pub drop_null_key: bool,
+    /// Keep at most this many candidates (most frequent first); `None`
+    /// keeps all.
+    pub max_candidates: Option<usize>,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        Self {
+            litmus_tolerance_bits: 20,
+            consolidate_bits: 40,
+            drop_null_key: true,
+            max_candidates: None,
+        }
+    }
+}
+
+/// A mined candidate scrambler key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateKey {
+    /// The (majority-vote consolidated) 64-byte key.
+    pub key: [u8; BLOCK_BYTES],
+    /// How many blocks in the dump matched this key.
+    pub observations: u32,
+}
+
+/// An in-progress consolidation cluster: per-bit one-counts weighted by
+/// observations.
+struct Cluster {
+    representative: [u8; BLOCK_BYTES],
+    ones: [u32; BLOCK_BYTES * 8],
+    observations: u32,
+}
+
+impl Cluster {
+    fn new(block: &[u8; BLOCK_BYTES]) -> Self {
+        let mut c = Self {
+            representative: *block,
+            ones: [0; BLOCK_BYTES * 8],
+            observations: 0,
+        };
+        c.absorb(block);
+        c
+    }
+
+    fn absorb(&mut self, block: &[u8; BLOCK_BYTES]) {
+        self.observations += 1;
+        for (byte_idx, &b) in block.iter().enumerate() {
+            for bit in 0..8 {
+                if b & (1 << bit) != 0 {
+                    self.ones[byte_idx * 8 + bit] += 1;
+                }
+            }
+        }
+    }
+
+    fn majority(&self) -> [u8; BLOCK_BYTES] {
+        let mut out = [0u8; BLOCK_BYTES];
+        for (byte_idx, byte) in out.iter_mut().enumerate() {
+            for bit in 0..8 {
+                if self.ones[byte_idx * 8 + bit] * 2 > self.observations {
+                    *byte |= 1 << bit;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Scans a dump for blocks passing the scrambler key litmus test and
+/// consolidates them into candidate keys, most frequently observed first.
+///
+/// Frequency is the paper's signal separating true keys (zeros are the most
+/// common block value in real memory) from coincidences such as
+/// constant-pattern data, which also satisfies the linear invariants.
+pub fn mine_candidate_keys(dump: &MemoryDump, config: &MiningConfig) -> Vec<CandidateKey> {
+    let mut clusters: Vec<Cluster> = Vec::new();
+    // Exact-value fast path: at realistic decay most key observations are
+    // bit-identical to one already seen, so an exact lookup avoids the
+    // linear Hamming sweep over all clusters (which is quadratic on large
+    // dumps with thousands of keys).
+    let mut exact: std::collections::HashMap<[u8; BLOCK_BYTES], usize> =
+        std::collections::HashMap::new();
+    for (_addr, block) in dump.blocks() {
+        if !scrambler_key_litmus(block, config.litmus_tolerance_bits) {
+            continue;
+        }
+        if config.drop_null_key && block.iter().all(|&b| b == 0) {
+            continue;
+        }
+        if let Some(&idx) = exact.get(block) {
+            clusters[idx].absorb(block);
+            continue;
+        }
+        let idx = match clusters
+            .iter_mut()
+            .position(|c| hamming::within(&c.representative, block, config.consolidate_bits))
+        {
+            Some(idx) => {
+                clusters[idx].absorb(block);
+                idx
+            }
+            None => {
+                clusters.push(Cluster::new(block));
+                clusters.len() - 1
+            }
+        };
+        exact.insert(*block, idx);
+    }
+    let mut candidates: Vec<CandidateKey> = clusters
+        .iter()
+        .map(|c| CandidateKey {
+            key: c.majority(),
+            observations: c.observations,
+        })
+        .collect();
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.observations));
+    if let Some(max) = config.max_candidates {
+        candidates.truncate(max);
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a structured key like the Skylake scrambler's.
+    fn structured_key(tag: u8) -> [u8; 64] {
+        let mut key = [0u8; 64];
+        for g in 0..4 {
+            for i in 0..8 {
+                let base = tag
+                    .wrapping_mul(31)
+                    .wrapping_add((g * 8 + i) as u8)
+                    .wrapping_mul(113);
+                key[g * 16 + i] = base;
+                key[g * 16 + 8 + i] = base ^ [0x3C ^ tag, 0xC3][i % 2];
+            }
+        }
+        key
+    }
+
+    #[test]
+    fn structured_keys_pass() {
+        for tag in 0..20u8 {
+            assert_eq!(invariant_violations(&structured_key(tag)), 0, "tag {tag}");
+            assert!(scrambler_key_litmus(&structured_key(tag), 0));
+        }
+    }
+
+    #[test]
+    fn constant_blocks_pass_trivially() {
+        // Constant data satisfies all XOR-linear invariants — this is why
+        // mining needs frequency ranking, not just the litmus test.
+        let block = [0x77u8; 64];
+        assert_eq!(invariant_violations(&block), 0);
+    }
+
+    #[test]
+    fn random_blocks_fail() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let mut block = [0u8; 64];
+            rng.fill(&mut block[..]);
+            assert!(!scrambler_key_litmus(&block, 20));
+        }
+    }
+
+    #[test]
+    fn decayed_keys_still_pass_with_tolerance() {
+        let mut key = structured_key(5);
+        for (byte, bit) in [(0usize, 1u8), (20, 7), (41, 3), (63, 0)] {
+            key[byte] ^= 1 << bit;
+        }
+        let v = invariant_violations(&key);
+        assert!(v > 0, "flips must violate something");
+        assert!(v <= 20, "violations {v} exceed tolerance");
+        assert!(scrambler_key_litmus(&key, 20));
+    }
+
+    #[test]
+    fn xor_of_two_structured_keys_passes() {
+        let a = structured_key(1);
+        let b = structured_key(2);
+        let mut x = [0u8; 64];
+        for i in 0..64 {
+            x[i] = a[i] ^ b[i];
+        }
+        assert_eq!(invariant_violations(&x), 0);
+    }
+
+    #[test]
+    fn mining_finds_and_ranks_keys() {
+        // Image: key A appears 5 times, key B twice, plus random filler.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut image = vec![0u8; 64 * 100];
+        rng.fill(&mut image[..]);
+        let a = structured_key(10);
+        let b = structured_key(11);
+        for i in [3usize, 17, 40, 66, 90] {
+            image[i * 64..(i + 1) * 64].copy_from_slice(&a);
+        }
+        for i in [8usize, 55] {
+            image[i * 64..(i + 1) * 64].copy_from_slice(&b);
+        }
+        let dump = MemoryDump::new(image, 0);
+        let found = mine_candidate_keys(&dump, &MiningConfig::default());
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].key, a);
+        assert_eq!(found[0].observations, 5);
+        assert_eq!(found[1].key, b);
+        assert_eq!(found[1].observations, 2);
+    }
+
+    #[test]
+    fn majority_vote_repairs_decay() {
+        // Five observations of the same key, each with different single-bit
+        // damage: the consolidated key must be pristine.
+        let key = structured_key(9);
+        let mut image = Vec::new();
+        for i in 0..5 {
+            let mut noisy = key;
+            noisy[i * 7] ^= 1 << (i % 8);
+            image.extend_from_slice(&noisy);
+        }
+        let dump = MemoryDump::new(image, 0);
+        let found = mine_candidate_keys(&dump, &MiningConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, key, "majority vote failed to repair decay");
+        assert_eq!(found[0].observations, 5);
+    }
+
+    #[test]
+    fn null_key_is_dropped_by_default() {
+        let image = vec![0u8; 64 * 4];
+        let dump = MemoryDump::new(image, 0);
+        assert!(mine_candidate_keys(&dump, &MiningConfig::default()).is_empty());
+        let keep = MiningConfig {
+            drop_null_key: false,
+            ..MiningConfig::default()
+        };
+        assert_eq!(mine_candidate_keys(&dump, &keep).len(), 1);
+    }
+
+    #[test]
+    fn max_candidates_truncates() {
+        let mut image = Vec::new();
+        for tag in 0..10u8 {
+            image.extend_from_slice(&structured_key(tag));
+        }
+        let dump = MemoryDump::new(image, 0);
+        let config = MiningConfig {
+            max_candidates: Some(3),
+            ..MiningConfig::default()
+        };
+        assert_eq!(mine_candidate_keys(&dump, &config).len(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the attack toolkit.
+
+use coldboot::dump::MemoryDump;
+use coldboot::keysearch::{aes_block_litmus, search_dump, SearchConfig};
+use coldboot::litmus::{
+    invariant_violations, mine_candidate_keys, CandidateKey, MiningConfig,
+};
+use coldboot_crypto::aes::{KeySchedule, KeySize};
+use proptest::prelude::*;
+
+/// Builds a structured (Skylake-shaped) scrambler key from arbitrary bytes.
+fn structured_key(material: [u8; 40]) -> [u8; 64] {
+    let mut key = [0u8; 64];
+    for g in 0..4 {
+        let base = &material[g * 10..g * 10 + 8];
+        let mask = [material[g * 10 + 8], material[g * 10 + 9]];
+        key[g * 16..g * 16 + 8].copy_from_slice(base);
+        for i in 0..8 {
+            key[g * 16 + 8 + i] = base[i] ^ mask[i % 2];
+        }
+    }
+    key
+}
+
+proptest! {
+    #[test]
+    fn structured_keys_always_pass_litmus(material in any::<[u8; 40]>()) {
+        prop_assert_eq!(invariant_violations(&structured_key(material)), 0);
+    }
+
+    #[test]
+    fn litmus_is_xor_linear(a in any::<[u8; 40]>(), b in any::<[u8; 40]>()) {
+        let ka = structured_key(a);
+        let kb = structured_key(b);
+        let mut x = [0u8; 64];
+        for i in 0..64 {
+            x[i] = ka[i] ^ kb[i];
+        }
+        prop_assert_eq!(invariant_violations(&x), 0);
+    }
+
+    #[test]
+    fn random_blocks_rarely_pass_litmus(block in any::<[u8; 64]>()) {
+        // 256 constraint bits: a uniformly random block passing at
+        // tolerance 20 has probability ~2^-170; treat any pass as failure.
+        prop_assert!(invariant_violations(&block) > 20);
+    }
+
+    #[test]
+    fn mining_reports_frequencies_faithfully(
+        material in any::<[u8; 40]>(),
+        copies in 1usize..10,
+        filler in proptest::collection::vec(any::<u8>(), 64 * 4),
+    ) {
+        let key = structured_key(material);
+        prop_assume!(key.iter().any(|&b| b != 0));
+        prop_assume!(invariant_violations(filler[..64].try_into().unwrap()) > 20);
+        let mut image = filler;
+        for _ in 0..copies {
+            image.extend_from_slice(&key);
+        }
+        let found = mine_candidate_keys(&MemoryDump::new(image, 0), &MiningConfig::default());
+        let entry = found.iter().find(|c| c.key == key);
+        prop_assert!(entry.is_some(), "planted key not mined");
+        prop_assert_eq!(entry.expect("checked").observations, copies as u32);
+    }
+
+    #[test]
+    fn schedule_blocks_always_hit_litmus(key in proptest::collection::vec(any::<u8>(), 32)) {
+        let sched = KeySchedule::expand(&key).expect("32 bytes").to_bytes();
+        // Any interior aligned block of the schedule must be recognized.
+        let block: [u8; 64] = sched[64..128].try_into().expect("64 bytes");
+        let matches = aes_block_litmus(&block, KeySize::Aes256, 0, false);
+        prop_assert!(matches.iter().any(|m| m.start_word == 16 && m.window_offset == 0));
+    }
+
+    #[test]
+    fn search_finds_planted_schedule(
+        key in proptest::collection::vec(any::<u8>(), 32),
+        scrambler_material in any::<[u8; 40]>(),
+        pre_blocks in 1usize..6,
+    ) {
+        let scrambler_key = structured_key(scrambler_material);
+        let sched = KeySchedule::expand(&key).expect("32 bytes").to_bytes();
+        let mut image = vec![0x33u8; pre_blocks * 64];
+        image.extend_from_slice(&sched);
+        image.resize(image.len().next_multiple_of(64) + 128, 0x44);
+        for chunk in image.chunks_mut(64) {
+            for (b, k) in chunk.iter_mut().zip(scrambler_key.iter()) {
+                *b ^= k;
+            }
+        }
+        let dump = MemoryDump::new(image, 0);
+        let candidates = vec![CandidateKey { key: scrambler_key, observations: 1 }];
+        let outcome = search_dump(&dump, &candidates, &SearchConfig::default());
+        prop_assert_eq!(outcome.recovered.len(), 1);
+        prop_assert_eq!(&outcome.recovered[0].master_key, &key);
+        prop_assert_eq!(outcome.recovered[0].schedule_addr, (pre_blocks * 64) as u64);
+    }
+}

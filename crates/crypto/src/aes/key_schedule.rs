@@ -1,0 +1,440 @@
+//! The AES key schedule, including the non-standard directions the cold
+//! boot attack needs:
+//!
+//! * [`KeySchedule::expand`] — the ordinary FIPS-197 forward expansion.
+//! * [`KeySchedule::reconstruct`] — rebuild the *entire* schedule (and hence
+//!   the master key) from any window of `Nk` consecutive schedule words at a
+//!   known absolute position. This is what turns "I found three consecutive
+//!   round keys in a 64-byte DRAM block" into "I have the disk key".
+//! * [`KeySchedule::recover_from_noisy`] — decay-tolerant recovery: tries
+//!   every window position of an observed (possibly bit-flipped) schedule
+//!   image, reconstructs from each, and returns the reconstruction closest
+//!   to the observation.
+
+use crate::aes::sbox::{rot_word, sub_word};
+use crate::hamming;
+use crate::InvalidKeyLengthError;
+
+/// AES key size variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 192-bit key, 12 rounds.
+    Aes192,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    /// All key sizes, largest first (the order the attack scans in).
+    pub const ALL: [KeySize; 3] = [KeySize::Aes256, KeySize::Aes192, KeySize::Aes128];
+
+    /// Number of 32-bit words in the cipher key (`Nk`).
+    #[inline]
+    pub const fn nk(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes192 => 6,
+            KeySize::Aes256 => 8,
+        }
+    }
+
+    /// Number of rounds (`Nr`).
+    #[inline]
+    pub const fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes192 => 12,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    /// Length of the cipher key in bytes.
+    #[inline]
+    pub const fn key_len(self) -> usize {
+        self.nk() * 4
+    }
+
+    /// Total number of 32-bit words in the expanded schedule
+    /// (`4 * (Nr + 1)`).
+    #[inline]
+    pub const fn schedule_words(self) -> usize {
+        4 * (self.rounds() + 1)
+    }
+
+    /// Total length of the expanded schedule in bytes (176/208/240).
+    #[inline]
+    pub const fn schedule_len(self) -> usize {
+        self.schedule_words() * 4
+    }
+
+    /// Determines the key size from a key length in bytes.
+    pub fn from_key_len(len: usize) -> Result<Self, InvalidKeyLengthError> {
+        match len {
+            16 => Ok(KeySize::Aes128),
+            24 => Ok(KeySize::Aes192),
+            32 => Ok(KeySize::Aes256),
+            other => Err(InvalidKeyLengthError {
+                supplied: other,
+                expected: &[16, 24, 32],
+            }),
+        }
+    }
+}
+
+/// Round constants for the expansion, as word values:
+/// `RCON[j] = x^(j-1) << 24` in GF(2⁸) (index 0 is unused padding).
+///
+/// Precomputed because [`expansion_step`] sits in the attack's innermost
+/// scan loop.
+const RCON: [u32; 16] = build_rcon();
+
+const fn build_rcon() -> [u32; 16] {
+    let mut table = [0u32; 16];
+    let mut v = 1u8;
+    let mut j = 1usize;
+    while j < 16 {
+        table[j] = (v as u32) << 24;
+        v = crate::gf::xtime(v);
+        j += 1;
+    }
+    table
+}
+
+/// Round constant for expansion step `j = i / Nk` (1-based), as the high
+/// byte of a word: `rcon(j) = x^(j-1) << 24` in GF(2⁸).
+///
+/// Public because the attack's scan loop specializes the expansion check by
+/// Rcon phase.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `j` is outside `1..16`.
+#[inline]
+pub fn rcon(j: usize) -> u32 {
+    debug_assert!((1..16).contains(&j));
+    RCON[j]
+}
+
+/// Computes one step of the FIPS-197 key expansion recurrence: the word at
+/// absolute index `i` is `w[i - Nk] ^ expansion_step(size, i, w[i - 1])`.
+///
+/// Exposed as a primitive so hot scan loops (the cold boot attack's AES key
+/// litmus test runs this millions of times per megabyte) can extend
+/// schedules word-at-a-time without allocating.
+///
+/// ```
+/// use coldboot_crypto::aes::key_schedule::{expansion_step, KeySchedule, KeySize};
+/// let ks = KeySchedule::expand(&[7u8; 32])?;
+/// let w = ks.words();
+/// assert_eq!(w[8] ^ expansion_step(KeySize::Aes256, 8, w[7]), w[0]);
+/// # Ok::<(), coldboot_crypto::InvalidKeyLengthError>(())
+/// ```
+#[inline]
+pub fn expansion_step(size: KeySize, i: usize, prev: u32) -> u32 {
+    let nk = size.nk();
+    if i.is_multiple_of(nk) {
+        sub_word(rot_word(prev)) ^ rcon(i / nk)
+    } else if nk > 6 && i % nk == 4 {
+        sub_word(prev)
+    } else {
+        prev
+    }
+}
+
+/// A fully expanded AES key schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySchedule {
+    size: KeySize,
+    words: Vec<u32>,
+}
+
+impl KeySchedule {
+    /// Expands a cipher key into the full schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLengthError`] if `key` is not 16, 24, or 32 bytes.
+    ///
+    /// ```
+    /// use coldboot_crypto::aes::KeySchedule;
+    /// let ks = KeySchedule::expand(&[0u8; 16])?;
+    /// assert_eq!(ks.round_count(), 10);
+    /// # Ok::<(), coldboot_crypto::InvalidKeyLengthError>(())
+    /// ```
+    pub fn expand(key: &[u8]) -> Result<Self, InvalidKeyLengthError> {
+        let size = KeySize::from_key_len(key.len())?;
+        let nk = size.nk();
+        let total = size.schedule_words();
+        let mut words = Vec::with_capacity(total);
+        for chunk in key.chunks_exact(4) {
+            words.push(u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        for i in nk..total {
+            let temp = expansion_step(size, i, words[i - 1]);
+            words.push(words[i - nk] ^ temp);
+        }
+        Ok(Self { size, words })
+    }
+
+    /// Reconstructs the full schedule from `Nk` consecutive schedule words
+    /// located at absolute word index `start`.
+    ///
+    /// The forward direction applies the ordinary recurrence; the backward
+    /// direction inverts it (`w[i] = w[i+Nk] ^ temp(w[i+Nk-1])`), which is
+    /// possible because `temp` only consumes *later* words when walking
+    /// downward.
+    ///
+    /// Returns `None` if `start + Nk` exceeds the schedule length.
+    pub fn reconstruct(size: KeySize, window: &[u32], start: usize) -> Option<Self> {
+        let nk = size.nk();
+        let total = size.schedule_words();
+        if window.len() != nk || start + nk > total {
+            return None;
+        }
+        let mut words = vec![0u32; total];
+        words[start..start + nk].copy_from_slice(window);
+        // Forward.
+        for i in (start + nk)..total {
+            let temp = expansion_step(size, i, words[i - 1]);
+            words[i] = words[i - nk] ^ temp;
+        }
+        // Backward.
+        for i in (0..start).rev() {
+            let temp = expansion_step(size, i + nk, words[i + nk - 1]);
+            words[i] = words[i + nk] ^ temp;
+        }
+        Some(Self { size, words })
+    }
+
+    /// Decay-tolerant recovery: given an `observed` image of a full expanded
+    /// schedule (possibly containing bit flips from DRAM decay), tries a
+    /// reconstruction from **every** `Nk`-word window and returns the
+    /// candidate whose re-expansion is closest to the observation, together
+    /// with that Hamming distance in bits.
+    ///
+    /// If any window happens to be free of bit errors the reconstruction is
+    /// exact; the attack exploits this redundancy exactly as the paper
+    /// describes ("we measure hamming distance to test equality").
+    ///
+    /// Returns `None` if `observed` has the wrong length.
+    pub fn recover_from_noisy(size: KeySize, observed: &[u8]) -> Option<(Self, u32)> {
+        if observed.len() != size.schedule_len() {
+            return None;
+        }
+        let total = size.schedule_words();
+        let nk = size.nk();
+        let obs_words: Vec<u32> = observed
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let mut best: Option<(Self, u32)> = None;
+        for start in 0..=(total - nk) {
+            let window = &obs_words[start..start + nk];
+            let candidate = Self::reconstruct(size, window, start)?;
+            let dist = hamming::distance(&candidate.to_bytes(), observed);
+            match &best {
+                Some((_, d)) if *d <= dist => {}
+                _ => best = Some((candidate, dist)),
+            }
+            if let Some((_, 0)) = best {
+                break;
+            }
+        }
+        best
+    }
+
+    /// The key size this schedule belongs to.
+    #[inline]
+    pub fn key_size(&self) -> KeySize {
+        self.size
+    }
+
+    /// Number of rounds (`Nr`).
+    #[inline]
+    pub fn round_count(&self) -> usize {
+        self.size.rounds()
+    }
+
+    /// The schedule as 32-bit words.
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The 16-byte round key for round `r` (0 ≤ `r` ≤ `Nr`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > Nr`.
+    pub fn round_key(&self, r: usize) -> [u8; 16] {
+        assert!(r <= self.round_count(), "round {r} out of range");
+        let mut out = [0u8; 16];
+        for (i, w) in self.words[4 * r..4 * r + 4].iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// The original cipher key (the first `Nk` words of the schedule).
+    pub fn master_key(&self) -> Vec<u8> {
+        self.words[..self.size.nk()]
+            .iter()
+            .flat_map(|w| w.to_be_bytes())
+            .collect()
+    }
+
+    /// The full expanded schedule as bytes — the exact image a program
+    /// leaves in DRAM when it caches round keys.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_be_bytes()).collect()
+    }
+}
+
+/// Extends a window of schedule words forward by `count` words.
+///
+/// `window` must contain at least `Nk` words and is interpreted as the
+/// schedule words at absolute indices `start .. start + window.len()`. Only
+/// the last `Nk` words are consumed. Returns `None` if the extension would
+/// run past the end of the schedule.
+///
+/// This is the primitive behind the paper's **AES key litmus test**: run one
+/// (or more) expansion steps from 2·`Nk` bytes found in a memory block and
+/// check the result against the adjacent bytes.
+pub fn extend_forward(size: KeySize, window: &[u32], start: usize, count: usize) -> Option<Vec<u32>> {
+    let nk = size.nk();
+    if window.len() < nk {
+        return None;
+    }
+    let end = start + window.len();
+    if end + count > size.schedule_words() {
+        return None;
+    }
+    let mut words = window[window.len() - nk..].to_vec();
+    let mut out = Vec::with_capacity(count);
+    for i in end..end + count {
+        let temp = expansion_step(size, i, *words.last().expect("window is non-empty"));
+        let next = words[words.len() - nk] ^ temp;
+        out.push(next);
+        words.push(next);
+        words.remove(0);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn aes128_expansion_matches_fips197_appendix_a1() {
+        // FIPS-197 A.1: key 2b7e151628aed2a6abf7158809cf4f3c
+        let ks = KeySchedule::expand(&hex("2b7e151628aed2a6abf7158809cf4f3c")).unwrap();
+        assert_eq!(ks.words()[4], 0xa0fafe17);
+        assert_eq!(ks.words()[5], 0x88542cb1);
+        assert_eq!(ks.words()[43], 0xb6630ca6);
+    }
+
+    #[test]
+    fn aes256_expansion_matches_fips197_appendix_a3() {
+        let key = hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let ks = KeySchedule::expand(&key).unwrap();
+        assert_eq!(ks.words()[8], 0x9ba35411);
+        assert_eq!(ks.words()[59], 0x706c631e);
+    }
+
+    #[test]
+    fn aes192_expansion_matches_fips197_appendix_a2() {
+        let key = hex("8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b");
+        let ks = KeySchedule::expand(&key).unwrap();
+        assert_eq!(ks.words()[6], 0xfe0c91f7);
+        assert_eq!(ks.words()[51], 0x01002202);
+    }
+
+    #[test]
+    fn schedule_lengths() {
+        assert_eq!(KeySize::Aes128.schedule_len(), 176);
+        assert_eq!(KeySize::Aes192.schedule_len(), 208);
+        assert_eq!(KeySize::Aes256.schedule_len(), 240);
+    }
+
+    #[test]
+    fn reconstruct_from_every_window_recovers_master_key() {
+        for size in KeySize::ALL {
+            let key: Vec<u8> = (0..size.key_len() as u8).map(|b| b.wrapping_mul(37)).collect();
+            let ks = KeySchedule::expand(&key).unwrap();
+            let nk = size.nk();
+            for start in 0..=(size.schedule_words() - nk) {
+                let window = ks.words()[start..start + nk].to_vec();
+                let rec = KeySchedule::reconstruct(size, &window, start).unwrap();
+                assert_eq!(rec.master_key(), key, "size {size:?} window {start}");
+                assert_eq!(rec.words(), ks.words());
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_rejects_out_of_range_window() {
+        let window = vec![0u32; 8];
+        assert!(KeySchedule::reconstruct(KeySize::Aes256, &window, 53).is_none());
+        assert!(KeySchedule::reconstruct(KeySize::Aes256, &window[..4], 0).is_none());
+    }
+
+    #[test]
+    fn extend_forward_matches_expansion() {
+        let key = hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let ks = KeySchedule::expand(&key).unwrap();
+        for start in [0usize, 4, 8, 20, 40] {
+            let window = ks.words()[start..start + 8].to_vec();
+            let ext = extend_forward(KeySize::Aes256, &window, start, 4).unwrap();
+            assert_eq!(&ext[..], &ks.words()[start + 8..start + 12]);
+        }
+    }
+
+    #[test]
+    fn extend_forward_refuses_past_end() {
+        let ks = KeySchedule::expand(&[7u8; 32]).unwrap();
+        let window = ks.words()[52..60].to_vec();
+        assert!(extend_forward(KeySize::Aes256, &window, 52, 1).is_none());
+    }
+
+    #[test]
+    fn recover_from_noisy_with_clean_image() {
+        let ks = KeySchedule::expand(&[42u8; 32]).unwrap();
+        let (rec, dist) = KeySchedule::recover_from_noisy(KeySize::Aes256, &ks.to_bytes()).unwrap();
+        assert_eq!(dist, 0);
+        assert_eq!(rec.master_key(), vec![42u8; 32]);
+    }
+
+    #[test]
+    fn recover_from_noisy_with_bit_flips() {
+        let ks = KeySchedule::expand(&[0xA5u8; 32]).unwrap();
+        let mut image = ks.to_bytes();
+        // Flip a handful of bits scattered across the image, leaving at
+        // least one clean 32-byte window.
+        for (byte, bit) in [(3usize, 0u8), (50, 4), (51, 7), (120, 1), (200, 6)] {
+            image[byte] ^= 1 << bit;
+        }
+        let (rec, dist) = KeySchedule::recover_from_noisy(KeySize::Aes256, &image).unwrap();
+        assert_eq!(rec.master_key(), vec![0xA5u8; 32]);
+        assert_eq!(dist, 5);
+    }
+
+    #[test]
+    fn round_keys_concatenate_to_schedule() {
+        let ks = KeySchedule::expand(&[1u8; 16]).unwrap();
+        let mut cat = Vec::new();
+        for r in 0..=ks.round_count() {
+            cat.extend_from_slice(&ks.round_key(r));
+        }
+        assert_eq!(cat, ks.to_bytes());
+    }
+}

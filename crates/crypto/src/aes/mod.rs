@@ -1,0 +1,12 @@
+//! AES-128/192/256 implemented from FIPS-197, plus the schedule
+//! reconstruction primitives the cold boot attack is built on.
+//!
+//! See [`KeySchedule::reconstruct`] and [`key_schedule::extend_forward`] for
+//! the attack-specific entry points; [`Aes`] is the ordinary block cipher.
+
+mod block;
+pub mod key_schedule;
+pub mod sbox;
+
+pub use block::Aes;
+pub use key_schedule::{extend_forward, KeySchedule, KeySize};

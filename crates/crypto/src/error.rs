@@ -1,0 +1,24 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a key slice has a length that is not valid for the
+/// cipher it was handed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKeyLengthError {
+    /// The length that was supplied.
+    pub supplied: usize,
+    /// The lengths the cipher accepts.
+    pub expected: &'static [usize],
+}
+
+impl fmt::Display for InvalidKeyLengthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid key length {} (expected one of {:?})",
+            self.supplied, self.expected
+        )
+    }
+}
+
+impl Error for InvalidKeyLengthError {}

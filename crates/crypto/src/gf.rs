@@ -1,0 +1,165 @@
+//! Finite-field arithmetic used by AES and XTS.
+//!
+//! Two fields appear in this crate:
+//!
+//! * **GF(2⁸)** with the AES reduction polynomial `x⁸ + x⁴ + x³ + x + 1`
+//!   (0x11B), used by the AES S-box and MixColumns.
+//! * **GF(2¹²⁸)** with the XTS reduction polynomial (feedback constant
+//!   0x87), used to derive per-block tweaks in XTS mode.
+
+/// Multiplies `a` by `x` (i.e. by 2) in GF(2⁸) modulo the AES polynomial.
+///
+/// ```
+/// assert_eq!(coldboot_crypto::gf::xtime(0x80), 0x1b);
+/// assert_eq!(coldboot_crypto::gf::xtime(0x01), 0x02);
+/// ```
+#[inline]
+pub const fn xtime(a: u8) -> u8 {
+    let shifted = (a as u16) << 1;
+    let reduced = shifted ^ if a & 0x80 != 0 { 0x11b } else { 0 };
+    (reduced & 0xff) as u8
+}
+
+/// Multiplies two elements of GF(2⁸) modulo the AES polynomial.
+///
+/// ```
+/// // 0x57 * 0x83 = 0xc1 (FIPS-197 worked example)
+/// assert_eq!(coldboot_crypto::gf::mul(0x57, 0x83), 0xc1);
+/// ```
+#[inline]
+pub const fn mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Computes the multiplicative inverse of `a` in GF(2⁸), with `inv(0) = 0`
+/// as AES requires.
+///
+/// Uses Fermat's little theorem for GF(2⁸): `a⁻¹ = a^254`.
+pub const fn inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 via square-and-multiply (exponent 254 = 0b1111_1110).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u16;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            result = mul(result, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Doubles a 16-byte tweak in GF(2¹²⁸) using the XTS (IEEE 1619) little-
+/// endian convention with feedback constant `0x87`.
+///
+/// ```
+/// let mut t = [0u8; 16];
+/// t[0] = 0x80;
+/// // 0x80 shifted left overflows byte 0 and carries into byte 1.
+/// let doubled = coldboot_crypto::gf::xts_double(&t);
+/// assert_eq!(doubled[0], 0x00);
+/// assert_eq!(doubled[1], 0x01);
+/// ```
+pub fn xts_double(tweak: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in 0..16 {
+        let b = tweak[i];
+        out[i] = (b << 1) | carry;
+        carry = b >> 7;
+    }
+    if carry != 0 {
+        out[0] ^= 0x87;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xtime_matches_fips_example() {
+        // FIPS-197 §4.2.1: 57 -> ae -> 47 -> 8e -> 07 under repeated xtime.
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x47), 0x8e);
+        assert_eq!(xtime(0x8e), 0x07);
+    }
+
+    #[test]
+    fn mul_is_commutative_on_samples() {
+        for a in [0u8, 1, 2, 0x53, 0x57, 0x83, 0xca, 0xff] {
+            for b in [0u8, 1, 2, 0x13, 0x57, 0x83, 0xca, 0xff] {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn inv_is_true_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "inv({a:#04x}) failed");
+        }
+        assert_eq!(inv(0), 0);
+    }
+
+    #[test]
+    fn inv_known_value() {
+        // FIPS-197: inverse of 0x53 is 0xca.
+        assert_eq!(inv(0x53), 0xca);
+        assert_eq!(inv(0xca), 0x53);
+    }
+
+    #[test]
+    fn xts_double_no_carry() {
+        let mut t = [0u8; 16];
+        t[0] = 0x01;
+        assert_eq!(xts_double(&t)[0], 0x02);
+    }
+
+    #[test]
+    fn xts_double_with_carry_out() {
+        let mut t = [0u8; 16];
+        t[15] = 0x80;
+        let d = xts_double(&t);
+        assert_eq!(d[15], 0x00);
+        assert_eq!(d[0], 0x87);
+    }
+
+    #[test]
+    fn xts_double_linear_over_xor() {
+        let a: [u8; 16] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+        let b: [u8; 16] = [0xff; 16];
+        let mut ab = [0u8; 16];
+        for i in 0..16 {
+            ab[i] = a[i] ^ b[i];
+        }
+        let da = xts_double(&a);
+        let db = xts_double(&b);
+        let dab = xts_double(&ab);
+        for i in 0..16 {
+            assert_eq!(dab[i], da[i] ^ db[i]);
+        }
+    }
+}

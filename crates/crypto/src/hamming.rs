@@ -1,0 +1,88 @@
+//! Hamming-distance helpers.
+//!
+//! Every comparison in the attack pipeline is decay-tolerant: DRAM bits flip
+//! toward their ground state while the module is being transplanted, so the
+//! paper "measures hamming distance to test equality instead of relying on
+//! a simple bit-by-bit comparison".
+
+/// Counts differing bits between two equal-length byte slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(coldboot_crypto::hamming::distance(&[0xFF], &[0x0F]), 4);
+/// ```
+#[inline]
+pub fn distance(a: &[u8], b: &[u8]) -> u32 {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Returns `true` if the Hamming distance between `a` and `b` is at most
+/// `max_bits`, short-circuiting as soon as the budget is exceeded.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn within(a: &[u8], b: &[u8], max_bits: u32) -> bool {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    let mut total = 0u32;
+    for (x, y) in a.iter().zip(b) {
+        total += (x ^ y).count_ones();
+        if total > max_bits {
+            return false;
+        }
+    }
+    true
+}
+
+/// Counts the set bits in a slice (distance from all-zeros).
+#[inline]
+pub fn weight(a: &[u8]) -> u32 {
+    a.iter().map(|x| x.count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_zero_for_equal() {
+        assert_eq!(distance(b"hello", b"hello"), 0);
+    }
+
+    #[test]
+    fn distance_counts_bits() {
+        assert_eq!(distance(&[0b1010_1010], &[0b0101_0101]), 8);
+        assert_eq!(distance(&[0, 0, 1], &[0, 0, 0]), 1);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        assert!(within(&[0x01], &[0x00], 1));
+        assert!(!within(&[0x03], &[0x00], 1));
+    }
+
+    #[test]
+    fn within_short_circuits_consistently() {
+        let a = vec![0xFFu8; 100];
+        let b = vec![0x00u8; 100];
+        assert!(!within(&a, &b, 10));
+        assert!(within(&a, &b, 800));
+    }
+
+    #[test]
+    fn weight_counts() {
+        assert_eq!(weight(&[0xFF, 0x0F]), 12);
+        assert_eq!(weight(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn distance_panics_on_mismatch() {
+        distance(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,130 @@
+//! A deliberately simple iterated key-derivation function built on the
+//! ChaCha20 permutation.
+//!
+//! **This is a stand-in substrate, not PBKDF2.** Real VeraCrypt derives
+//! header keys with PBKDF2-HMAC over SHA-512/Whirlpool; implementing those
+//! hashes would add nothing to the reproduction, because the attack never
+//! touches the KDF — it steals the *expanded master keys* straight out of
+//! DRAM. The simulated volume only needs a deterministic, salt-dependent,
+//! iteration-hardened mapping from password to header key, which this
+//! provides.
+
+use crate::chacha::ChaCha;
+
+/// Derives `out_len` bytes of key material from a password and salt.
+///
+/// The construction absorbs the password into a 32-byte state through the
+/// ChaCha20 block function, stirs for `iterations` rounds, then expands.
+/// Deterministic; changing any input byte changes the whole output.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero (an unstirred KDF is always a bug).
+///
+/// ```
+/// let a = coldboot_crypto::kdf::derive_key(b"password", &[0u8; 16], 100, 64);
+/// let b = coldboot_crypto::kdf::derive_key(b"password", &[1u8; 16], 100, 64);
+/// assert_ne!(a, b);
+/// ```
+pub fn derive_key(password: &[u8], salt: &[u8; 16], iterations: u32, out_len: usize) -> Vec<u8> {
+    assert!(iterations > 0, "kdf iterations must be positive");
+    let mut nonce = [0u8; 12];
+    nonce.copy_from_slice(&salt[..12]);
+    let mut state = [0u8; 32];
+    state[..4].copy_from_slice(&salt[12..]);
+    // Absorb: fold each 32-byte password chunk into the state and stir.
+    let mut counter = 0u32;
+    let chunks: Vec<&[u8]> = if password.is_empty() {
+        vec![&[][..]]
+    } else {
+        password.chunks(32).collect()
+    };
+    for chunk in chunks {
+        for (i, b) in chunk.iter().enumerate() {
+            state[i] ^= b;
+        }
+        // Domain-separate on chunk length so "ab" + "c" != "a" + "bc".
+        state[31] ^= chunk.len() as u8;
+        state = stir(state, nonce, counter);
+        counter = counter.wrapping_add(1);
+    }
+    // Iterate.
+    for i in 0..iterations {
+        state = stir(state, nonce, 0x4000_0000 ^ i);
+    }
+    // Expand.
+    let mut out = Vec::with_capacity(out_len);
+    let mut block_idx = 0u32;
+    while out.len() < out_len {
+        let block = ChaCha::chacha20(state, nonce).keystream_block(0x8000_0000 ^ block_idx);
+        let take = (out_len - out.len()).min(64);
+        out.extend_from_slice(&block[..take]);
+        block_idx += 1;
+    }
+    out
+}
+
+fn stir(state: [u8; 32], nonce: [u8; 12], counter: u32) -> [u8; 32] {
+    let block = ChaCha::chacha20(state, nonce).keystream_block(counter);
+    let mut next = [0u8; 32];
+    next.copy_from_slice(&block[..32]);
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = derive_key(b"hunter2", &[7u8; 16], 1000, 96);
+        let b = derive_key(b"hunter2", &[7u8; 16], 1000, 96);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 96);
+    }
+
+    #[test]
+    fn password_sensitivity() {
+        let a = derive_key(b"hunter2", &[7u8; 16], 100, 32);
+        let b = derive_key(b"hunter3", &[7u8; 16], 100, 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn salt_sensitivity() {
+        let a = derive_key(b"pw", &[0u8; 16], 100, 32);
+        let b = derive_key(b"pw", &[1u8; 16], 100, 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iteration_sensitivity() {
+        let a = derive_key(b"pw", &[0u8; 16], 100, 32);
+        let b = derive_key(b"pw", &[0u8; 16], 101, 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn long_passwords_absorb_fully() {
+        let long_a = vec![b'a'; 100];
+        let mut long_b = long_a.clone();
+        long_b[99] = b'b'; // change only the last byte of the 4th chunk
+        let a = derive_key(&long_a, &[0u8; 16], 10, 32);
+        let b = derive_key(&long_b, &[0u8; 16], 10, 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_password_works() {
+        let a = derive_key(b"", &[0u8; 16], 10, 32);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn output_bits_look_balanced() {
+        let out = derive_key(b"balance-test", &[3u8; 16], 50, 4096);
+        let ones: u32 = out.iter().map(|b| b.count_ones()).sum();
+        let frac = ones as f64 / (4096.0 * 8.0);
+        assert!((0.47..0.53).contains(&frac), "bit balance {frac}");
+    }
+}

@@ -1,0 +1,46 @@
+//! From-scratch cryptographic primitives for the cold boot attack reproduction.
+//!
+//! This crate implements every cipher the paper touches, with no external
+//! crypto dependencies:
+//!
+//! * [`aes`] — AES-128/192/256 block cipher (FIPS-197), including the pieces
+//!   the attack needs that no off-the-shelf crate exposes: **partial key
+//!   expansion starting at an arbitrary round** (the "12 possible expansions"
+//!   of the paper's AES key litmus test) and the **inverse key schedule**
+//!   (recovering the master key from any window of round keys).
+//! * [`chacha`] — ChaCha with a configurable round count (8/12/20), the
+//!   stream cipher the paper proposes as a zero-latency scrambler
+//!   replacement.
+//! * [`ctr`] — counter-mode keystream generation for AES (the paper's
+//!   "physical address as counter" memory encryption scheme).
+//! * [`xts`] — AES-XTS, the mode VeraCrypt/TrueCrypt use for disk volumes
+//!   (the attack's demonstration target).
+//! * [`hamming`] — Hamming-distance helpers used throughout the
+//!   decay-tolerant attack algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use coldboot_crypto::aes::{Aes, KeySize};
+//!
+//! let key = [0u8; 32];
+//! let aes = Aes::new(&key).expect("32 bytes is a valid AES-256 key");
+//! assert_eq!(aes.key_size(), KeySize::Aes256);
+//! let ct = aes.encrypt_block([0u8; 16]);
+//! assert_eq!(aes.decrypt_block(ct), [0u8; 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod chacha;
+pub mod ctr;
+mod error;
+pub mod gf;
+pub mod hamming;
+pub mod kdf;
+pub mod sha512;
+pub mod xts;
+
+pub use error::InvalidKeyLengthError;

@@ -1,0 +1,158 @@
+//! Property-based tests for the cryptographic primitives.
+
+use coldboot_crypto::aes::key_schedule::{expansion_step, KeySchedule, KeySize};
+use coldboot_crypto::aes::Aes;
+use coldboot_crypto::chacha::{ChaCha, Rounds};
+use coldboot_crypto::ctr::AesCtr;
+use coldboot_crypto::hamming;
+use coldboot_crypto::xts::Xts;
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 16),
+        proptest::collection::vec(any::<u8>(), 24),
+        proptest::collection::vec(any::<u8>(), 32),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn aes_decrypt_inverts_encrypt(key in key_strategy(), block in any::<[u8; 16]>()) {
+        let aes = Aes::new(&key).expect("strategy yields valid lengths");
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+    }
+
+    #[test]
+    fn aes_encryption_changes_block(key in key_strategy(), block in any::<[u8; 16]>()) {
+        let aes = Aes::new(&key).expect("valid length");
+        prop_assert_ne!(aes.encrypt_block(block), block);
+    }
+
+    #[test]
+    fn schedule_reconstructs_from_any_window(key in key_strategy(), start_frac in 0.0f64..1.0) {
+        let ks = KeySchedule::expand(&key).expect("valid length");
+        let size = ks.key_size();
+        let nk = size.nk();
+        let max_start = size.schedule_words() - nk;
+        let start = (start_frac * max_start as f64) as usize;
+        let window = ks.words()[start..start + nk].to_vec();
+        let rec = KeySchedule::reconstruct(size, &window, start).expect("in range");
+        prop_assert_eq!(rec.master_key(), key);
+    }
+
+    #[test]
+    fn schedule_words_satisfy_recurrence(key in key_strategy()) {
+        let ks = KeySchedule::expand(&key).expect("valid length");
+        let size = ks.key_size();
+        let nk = size.nk();
+        let w = ks.words();
+        for i in nk..w.len() {
+            prop_assert_eq!(w[i], w[i - nk] ^ expansion_step(size, i, w[i - 1]));
+        }
+    }
+
+    #[test]
+    fn noisy_recovery_fixes_scattered_flips(
+        key in proptest::collection::vec(any::<u8>(), 32),
+        flips in proptest::collection::vec((0usize..240, 0u8..8), 0..6),
+    ) {
+        // Flips confined to the last 200 bytes leave the first 32-byte
+        // window clean, guaranteeing exact recovery; general scattered
+        // flips must still recover whenever some window stays clean.
+        let ks = KeySchedule::expand(&key).expect("32 bytes");
+        let mut image = ks.to_bytes();
+        for (byte, bit) in &flips {
+            image[*byte] ^= 1 << bit;
+        }
+        let clean_window_exists = (0..=(240 - 32)).step_by(4).any(|w| {
+            flips.iter().all(|(b, _)| *b < w || *b >= w + 32)
+        });
+        if let Some((rec, dist)) = KeySchedule::recover_from_noisy(KeySize::Aes256, &image) {
+            if clean_window_exists {
+                prop_assert_eq!(rec.master_key(), key.clone());
+            }
+            prop_assert!(dist <= 6 * 8);
+        }
+    }
+
+    #[test]
+    fn chacha_apply_is_involutive(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        counter in any::<u32>(),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        for rounds in Rounds::ALL {
+            let cipher = ChaCha::new(key, nonce, rounds);
+            let mut work = data.clone();
+            cipher.apply(counter, &mut work);
+            cipher.apply(counter, &mut work);
+            prop_assert_eq!(&work, &data);
+        }
+    }
+
+    #[test]
+    fn ctr_keystreams_are_position_unique(
+        key in proptest::collection::vec(any::<u8>(), 16),
+        nonce in any::<u64>(),
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+    ) {
+        prop_assume!(a != b);
+        let ctr = AesCtr::new(&key, nonce).expect("16 bytes");
+        prop_assert_ne!(ctr.keystream16(a), ctr.keystream16(b));
+    }
+
+    #[test]
+    fn xts_round_trips(
+        dk in any::<[u8; 32]>(),
+        tk in any::<[u8; 32]>(),
+        sector in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 1..8usize),
+    ) {
+        // Build a whole-block buffer from the seed data.
+        let mut buf: Vec<u8> = data.iter().cycle().take(data.len() * 16).copied().collect();
+        let original = buf.clone();
+        let xts = Xts::new(&dk, &tk).expect("32-byte keys");
+        xts.encrypt_data_unit(sector, &mut buf).expect("multiple of 16");
+        prop_assert_ne!(&buf, &original);
+        xts.decrypt_data_unit(sector, &mut buf).expect("multiple of 16");
+        prop_assert_eq!(&buf, &original);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric(
+        a in proptest::collection::vec(any::<u8>(), 32),
+        b in proptest::collection::vec(any::<u8>(), 32),
+        c in proptest::collection::vec(any::<u8>(), 32),
+    ) {
+        // Symmetry, identity, triangle inequality.
+        prop_assert_eq!(hamming::distance(&a, &b), hamming::distance(&b, &a));
+        prop_assert_eq!(hamming::distance(&a, &a), 0);
+        prop_assert!(
+            hamming::distance(&a, &c) <= hamming::distance(&a, &b) + hamming::distance(&b, &c)
+        );
+    }
+
+    #[test]
+    fn hamming_within_agrees_with_distance(
+        a in proptest::collection::vec(any::<u8>(), 16),
+        b in proptest::collection::vec(any::<u8>(), 16),
+        budget in 0u32..130,
+    ) {
+        prop_assert_eq!(hamming::within(&a, &b, budget), hamming::distance(&a, &b) <= budget);
+    }
+
+    #[test]
+    fn kdf_is_injective_on_samples(
+        pw1 in proptest::collection::vec(any::<u8>(), 0..20),
+        pw2 in proptest::collection::vec(any::<u8>(), 0..20),
+        salt in any::<[u8; 16]>(),
+    ) {
+        prop_assume!(pw1 != pw2);
+        let a = coldboot_crypto::kdf::derive_key(&pw1, &salt, 5, 32);
+        let b = coldboot_crypto::kdf::derive_key(&pw2, &salt, 5, 32);
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,59 @@
+//! DRAM substrate simulator for the cold boot attack reproduction.
+//!
+//! The paper's experiments run on physical DIMMs: DDR3/DDR4 modules that are
+//! frozen with compressed gas, unplugged from a victim machine, and
+//! re-socketed into an attacker machine while their capacitors slowly leak
+//! toward a per-cell ground state. This crate replaces that hardware with a
+//! faithful model:
+//!
+//! * [`geometry`] — channels / ranks / bank groups / banks / rows / columns
+//!   and capacity arithmetic.
+//! * [`mapping`] — invertible physical-address → DRAM-location mappings in
+//!   the style of different Intel microarchitectures (the attack requires a
+//!   same-generation CPU precisely because these mappings differ).
+//! * [`timing`] — JEDEC DDR4 speed grades, the nine allowable CAS latencies
+//!   (12.5–15.01 ns), and an open-page row-buffer timing model. The memory
+//!   encryption overlap analysis is built on these numbers.
+//! * [`module`] — a [`module::DramModule`]: raw cell storage, a per-cell
+//!   ground state, power and temperature state.
+//! * [`retention`] — the temperature-dependent charge-decay model
+//!   (calibrated to the paper's §III-D observations).
+//! * [`transplant`] — the freeze → unplug → transfer → re-socket workflow
+//!   shared by the analysis framework and the attack.
+//!
+//! # Example: a cold DIMM transplant
+//!
+//! ```
+//! use coldboot_dram::module::DramModule;
+//! use coldboot_dram::transplant::Transplant;
+//!
+//! let mut dimm = DramModule::new(1 << 20, 42); // 1 MiB module, serial 42
+//! dimm.write(0, b"secret key material");
+//!
+//! let dimm = Transplant::begin(dimm)
+//!     .freeze_to(-25.0)
+//!     .unplug()
+//!     .wait_seconds(5.0)
+//!     .resocket();
+//! // At -25C for 5s, the vast majority of bits survive.
+//! let mut buf = [0u8; 19];
+//! dimm.read(0, &mut buf);
+//! let flipped = coldboot_dram::retention::bit_errors(b"secret key material", &buf);
+//! assert!(flipped < 8, "unexpectedly heavy decay: {flipped} bits");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod mapping;
+pub mod module;
+pub mod retention;
+pub mod timing;
+pub mod transplant;
+
+/// The size of one memory block (cache line / DRAM burst) in bytes.
+///
+/// Scrambler keys, litmus tests, and memory-encryption keystreams all
+/// operate at this granularity.
+pub const BLOCK_BYTES: usize = 64;

@@ -1,0 +1,252 @@
+//! The charge-decay model: how fast unpowered DRAM cells flip toward their
+//! ground state as a function of temperature.
+//!
+//! # Calibration
+//!
+//! The paper (§III-D) reports, for five DDR3 and two DDR4 modules:
+//!
+//! * at normal operating temperature "a significant fraction of the data is
+//!   lost within 3 seconds";
+//! * super-cooled to ≈ −25 °C with a gas duster, modules "retain 90 %–99 %
+//!   of their charges if transferred ... in approximately 5 seconds";
+//! * prior work (Halderman et al.) saw minutes of retention at −50 °C.
+//!
+//! We model the per-bit decay rate with an Arrhenius-style exponential in
+//! temperature: `λ(T) = λ₀ · exp(k·T)` (T in °C), and the probability that
+//! a charged cell has decayed after `t` seconds as `d = 1 − exp(−λ(T)·t)`.
+//! [`DecayModel::paper_calibrated`] chooses `λ₀ = 0.07 s⁻¹`, `k = 0.098`,
+//! which lands inside all three observations (see the `retention` bench
+//! binary for the reproduced sweep).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Temperature-dependent decay model for unpowered DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayModel {
+    /// Base decay rate at 0 °C, in 1/seconds.
+    pub lambda0_per_sec: f64,
+    /// Exponential temperature coefficient, per °C.
+    pub temp_coeff: f64,
+}
+
+impl DecayModel {
+    /// The model calibrated to the paper's §III-D observations.
+    pub fn paper_calibrated() -> Self {
+        Self {
+            lambda0_per_sec: 0.07,
+            temp_coeff: 0.098,
+        }
+    }
+
+    /// An idealized freezer: no decay at all (useful for isolating
+    /// decay-free behaviour in tests).
+    pub fn lossless() -> Self {
+        Self {
+            lambda0_per_sec: 0.0,
+            temp_coeff: 0.0,
+        }
+    }
+
+    /// The instantaneous decay rate λ(T) at `celsius`, scaled by a module
+    /// quality multiplier.
+    pub fn rate_per_sec(&self, celsius: f64, quality: f64) -> f64 {
+        self.lambda0_per_sec * (self.temp_coeff * celsius).exp() * quality
+    }
+
+    /// Probability that a charged (non-ground) cell has decayed after
+    /// `seconds` at `celsius`.
+    pub fn decay_fraction(&self, celsius: f64, seconds: f64, quality: f64) -> f64 {
+        let lambda = self.rate_per_sec(celsius, quality);
+        1.0 - (-lambda * seconds).exp()
+    }
+
+    /// The fraction of *charge* retained (1 − decay fraction), the metric
+    /// the paper's §III-D quotes.
+    pub fn retention_fraction(&self, celsius: f64, seconds: f64, quality: f64) -> f64 {
+        1.0 - self.decay_fraction(celsius, seconds, quality)
+    }
+}
+
+impl Default for DecayModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+/// Applies decay in place: every bit of `data` that differs from `ground`
+/// flips toward `ground` with probability `fraction`, deterministically
+/// derived from `seed`.
+///
+/// Candidate flip positions are drawn over **all** bits by geometric-gap
+/// sampling (O(flips), not O(bits)), then only bits that actually hold
+/// charge (differ from ground) are flipped — which realizes exactly the
+/// per-charged-bit probability `fraction`.
+///
+/// # Panics
+///
+/// Panics if `data` and `ground` have different lengths or `fraction` is
+/// outside `[0, 1]`.
+pub fn apply_decay(data: &mut [u8], ground: &[u8], fraction: f64, seed: u64) {
+    assert_eq!(data.len(), ground.len(), "data/ground length mismatch");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "decay fraction {fraction} out of range"
+    );
+    if fraction <= 0.0 || data.is_empty() {
+        return;
+    }
+    if fraction >= 1.0 {
+        data.copy_from_slice(ground);
+        return;
+    }
+    let total_bits = data.len() as u64 * 8;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ln_keep = (1.0 - fraction).ln();
+    let mut pos: u64 = 0;
+    loop {
+        // Geometric gap: number of non-events before the next event.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (u.ln() / ln_keep).floor() as u64;
+        pos = match pos.checked_add(gap) {
+            Some(p) if p < total_bits => p,
+            _ => break,
+        };
+        let byte = (pos / 8) as usize;
+        let bit = (pos % 8) as u8;
+        let mask = 1u8 << bit;
+        // Only charged cells decay; cells already at ground are inert.
+        if (data[byte] ^ ground[byte]) & mask != 0 {
+            data[byte] ^= mask;
+        }
+        pos += 1;
+        if pos >= total_bits {
+            break;
+        }
+    }
+}
+
+/// Counts bit errors between a reference image and an observed image.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn bit_errors(reference: &[u8], observed: &[u8]) -> u64 {
+    assert_eq!(reference.len(), observed.len(), "length mismatch");
+    reference
+        .iter()
+        .zip(observed)
+        .map(|(a, b)| u64::from((a ^ b).count_ones()))
+        .sum()
+}
+
+/// Fraction of bits retained (unchanged) between a reference and an
+/// observed image.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `reference` is empty.
+pub fn retention(reference: &[u8], observed: &[u8]) -> f64 {
+    assert!(!reference.is_empty(), "empty reference");
+    let errs = bit_errors(reference, observed);
+    let total = reference.len() as u64 * 8;
+    1.0 - errs as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_room_temperature_loses_data_fast() {
+        let m = DecayModel::paper_calibrated();
+        // "a significant fraction of the data is lost within 3 seconds"
+        let d = m.decay_fraction(20.0, 3.0, 1.0);
+        assert!(d > 0.5, "room-temp 3s decay only {d}");
+    }
+
+    #[test]
+    fn calibration_frozen_retains_90_to_99_percent() {
+        let m = DecayModel::paper_calibrated();
+        let r = m.retention_fraction(-25.0, 5.0, 1.0);
+        assert!((0.90..=0.99).contains(&r), "frozen retention {r}");
+    }
+
+    #[test]
+    fn calibration_minus_50_survives_a_minute() {
+        let m = DecayModel::paper_calibrated();
+        let r = m.retention_fraction(-50.0, 60.0, 1.0);
+        assert!(r > 0.95, "-50C/60s retention {r}");
+    }
+
+    #[test]
+    fn decay_fraction_monotone_in_time_and_temperature() {
+        let m = DecayModel::paper_calibrated();
+        assert!(m.decay_fraction(20.0, 2.0, 1.0) < m.decay_fraction(20.0, 4.0, 1.0));
+        assert!(m.decay_fraction(-25.0, 5.0, 1.0) < m.decay_fraction(0.0, 5.0, 1.0));
+    }
+
+    #[test]
+    fn lossless_model_never_decays() {
+        let m = DecayModel::lossless();
+        assert_eq!(m.decay_fraction(100.0, 1e6, 1.0), 0.0);
+    }
+
+    #[test]
+    fn apply_decay_fraction_zero_is_identity() {
+        let mut data = vec![0xFFu8; 1024];
+        let ground = vec![0x00u8; 1024];
+        apply_decay(&mut data, &ground, 0.0, 1);
+        assert_eq!(data, vec![0xFFu8; 1024]);
+    }
+
+    #[test]
+    fn apply_decay_fraction_one_is_ground() {
+        let mut data = vec![0xFFu8; 1024];
+        let ground = vec![0x5Au8; 1024];
+        apply_decay(&mut data, &ground, 1.0, 1);
+        assert_eq!(data, ground);
+    }
+
+    #[test]
+    fn apply_decay_hits_expected_rate() {
+        let n = 1 << 18;
+        let mut data = vec![0xFFu8; n];
+        let ground = vec![0x00u8; n]; // every bit is charged
+        apply_decay(&mut data, &ground, 0.05, 42);
+        let flipped = bit_errors(&vec![0xFFu8; n], &data);
+        let expected = (n as f64) * 8.0 * 0.05;
+        let ratio = flipped as f64 / expected;
+        assert!((0.9..1.1).contains(&ratio), "flip rate off: {ratio}");
+    }
+
+    #[test]
+    fn apply_decay_never_flips_ground_bits() {
+        let n = 4096;
+        let mut data = vec![0xAAu8; n];
+        let ground = vec![0xAAu8; n]; // fully decayed already
+        apply_decay(&mut data, &ground, 0.9, 7);
+        assert_eq!(data, vec![0xAAu8; n]);
+    }
+
+    #[test]
+    fn apply_decay_is_deterministic_per_seed() {
+        let ground = vec![0u8; 4096];
+        let mut a = vec![0xFFu8; 4096];
+        let mut b = vec![0xFFu8; 4096];
+        apply_decay(&mut a, &ground, 0.1, 99);
+        apply_decay(&mut b, &ground, 0.1, 99);
+        assert_eq!(a, b);
+        let mut c = vec![0xFFu8; 4096];
+        apply_decay(&mut c, &ground, 0.1, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn retention_metric() {
+        assert_eq!(retention(&[0xFF], &[0xFF]), 1.0);
+        assert_eq!(retention(&[0xFF], &[0x00]), 0.0);
+        assert_eq!(retention(&[0xF0], &[0x00]), 0.5);
+    }
+}

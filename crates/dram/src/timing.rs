@@ -1,0 +1,277 @@
+//! JEDEC DDR timing: speed grades, the nine allowable DDR4 CAS latencies,
+//! and an open-page row-buffer timing model.
+//!
+//! The paper's zero-latency memory encryption argument rests on one number:
+//! *every* JEDEC-allowable DDR4 column access takes between 12.5 ns and
+//! 15.01 ns, so a keystream pipeline that finishes within 12.5 ns is never
+//! exposed. This module is the source of those numbers for the rest of the
+//! workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// The minimum JEDEC DDR4 CAS latency in nanoseconds (the paper's headline
+/// bound: an engine faster than this has zero exposed latency under all
+/// speed grades).
+pub const DDR4_MIN_CAS_NS: f64 = 12.5;
+
+/// The maximum JEDEC DDR4 CAS latency in nanoseconds.
+pub const DDR4_MAX_CAS_NS: f64 = 15.01;
+
+/// DDR4 speed grades (JESD79-4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpeedGrade {
+    /// DDR4-1600: 1600 MT/s.
+    Ddr4_1600,
+    /// DDR4-1866: 1866 MT/s.
+    Ddr4_1866,
+    /// DDR4-2133: 2133 MT/s.
+    Ddr4_2133,
+    /// DDR4-2400: 2400 MT/s — the grade the paper's Figure 6 analysis uses.
+    Ddr4_2400,
+}
+
+impl SpeedGrade {
+    /// All grades, slowest first.
+    pub const ALL: [SpeedGrade; 4] = [
+        SpeedGrade::Ddr4_1600,
+        SpeedGrade::Ddr4_1866,
+        SpeedGrade::Ddr4_2133,
+        SpeedGrade::Ddr4_2400,
+    ];
+
+    /// Transfer rate in mega-transfers per second.
+    pub fn transfers_per_sec(self) -> f64 {
+        match self {
+            SpeedGrade::Ddr4_1600 => 1600.0e6,
+            SpeedGrade::Ddr4_1866 => 1866.0e6,
+            SpeedGrade::Ddr4_2133 => 2133.0e6,
+            SpeedGrade::Ddr4_2400 => 2400.0e6,
+        }
+    }
+
+    /// I/O bus clock in Hz (half the transfer rate, DDR).
+    pub fn bus_clock_hz(self) -> f64 {
+        self.transfers_per_sec() / 2.0
+    }
+
+    /// One bus clock period in nanoseconds.
+    pub fn clock_ns(self) -> f64 {
+        1e9 / self.bus_clock_hz()
+    }
+
+    /// Time to transfer one 64-byte burst (BL8 on a 64-bit bus): 8
+    /// transfers = 4 bus clocks.
+    pub fn burst_ns(self) -> f64 {
+        4.0 * self.clock_ns()
+    }
+
+    /// The JEDEC CAS latencies (in clock cycles) allowed for this grade.
+    ///
+    /// These are the standard bins whose absolute latencies fall in the
+    /// 12.5–15.01 ns window the paper quotes.
+    pub fn cas_latency_cycles(self) -> &'static [u32] {
+        match self {
+            SpeedGrade::Ddr4_1600 => &[10, 11, 12],
+            SpeedGrade::Ddr4_1866 => &[12, 13, 14],
+            SpeedGrade::Ddr4_2133 => &[14, 15, 16],
+            SpeedGrade::Ddr4_2400 => &[15, 16, 17, 18],
+        }
+    }
+
+    /// CAS latencies for this grade in nanoseconds.
+    pub fn cas_latencies_ns(self) -> Vec<f64> {
+        self.cas_latency_cycles()
+            .iter()
+            .map(|&cl| f64::from(cl) * self.clock_ns())
+            .collect()
+    }
+}
+
+/// Returns the distinct JEDEC-allowable DDR4 column access latencies in
+/// nanoseconds, ascending. The paper: "there are only 9 allowable column
+/// access latencies ... between 12.5ns and 15.01ns".
+pub fn jedec_ddr4_cas_latencies_ns() -> Vec<f64> {
+    let mut all: Vec<f64> = SpeedGrade::ALL
+        .iter()
+        .flat_map(|g| g.cas_latencies_ns())
+        .collect();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // The four ~15.0 ns bins (one per speed grade) are a single JEDEC
+    // latency point; merge anything closer than 0.05 ns.
+    all.dedup_by(|a, b| (*a - *b).abs() < 0.05);
+    all
+}
+
+/// The outcome class of a DRAM access under an open-page policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The target row was already open: CAS only.
+    RowHit,
+    /// The bank was idle: activate (tRCD) then CAS.
+    RowMiss,
+    /// A different row was open: precharge (tRP), activate, CAS.
+    RowConflict,
+}
+
+/// Core timing parameters in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// CAS latency (column access) in ns.
+    pub cl_ns: f64,
+    /// Row-to-column delay in ns.
+    pub trcd_ns: f64,
+    /// Row precharge time in ns.
+    pub trp_ns: f64,
+    /// Burst transfer time for 64 bytes in ns.
+    pub burst_ns: f64,
+    /// Average refresh interval (tREFI); one refresh command per interval.
+    /// The paper notes the refresh rate "has remained fixed over many
+    /// previous generations of DRAM" — 7.8 µs per JEDEC.
+    pub trefi_ns: f64,
+    /// Refresh cycle time (tRFC): how long a refresh blocks the rank
+    /// (8 Gb DDR4 devices: 350 ns).
+    pub trfc_ns: f64,
+}
+
+impl TimingParams {
+    /// Typical DDR4-2400 CL17 timings (17-17-17): CL = tRCD = tRP ≈ 14.16 ns.
+    pub fn ddr4_2400_cl17() -> Self {
+        let clock = SpeedGrade::Ddr4_2400.clock_ns();
+        Self {
+            cl_ns: 17.0 * clock,
+            trcd_ns: 17.0 * clock,
+            trp_ns: 17.0 * clock,
+            burst_ns: SpeedGrade::Ddr4_2400.burst_ns(),
+            trefi_ns: 7812.5,
+            trfc_ns: 350.0,
+        }
+    }
+
+    /// The fastest JEDEC-allowable DDR4 configuration (CL = 12.5 ns), the
+    /// bound the paper measures exposed encryption latency against.
+    pub fn ddr4_fastest() -> Self {
+        Self {
+            cl_ns: DDR4_MIN_CAS_NS,
+            trcd_ns: DDR4_MIN_CAS_NS,
+            trp_ns: DDR4_MIN_CAS_NS,
+            burst_ns: SpeedGrade::Ddr4_2400.burst_ns(),
+            trefi_ns: 7812.5,
+            trfc_ns: 350.0,
+        }
+    }
+
+    /// Fraction of time the rank is unavailable due to refresh
+    /// (tRFC / tREFI — ~4.5% for 8 Gb DDR4, the background tax every
+    /// volatile DRAM pays that NVDIMMs avoid).
+    pub fn refresh_overhead_fraction(&self) -> f64 {
+        self.trfc_ns / self.trefi_ns
+    }
+
+    /// Latency from command to first data beat for an access class.
+    pub fn access_latency_ns(&self, kind: AccessKind) -> f64 {
+        match kind {
+            AccessKind::RowHit => self.cl_ns,
+            AccessKind::RowMiss => self.trcd_ns + self.cl_ns,
+            AccessKind::RowConflict => self.trp_ns + self.trcd_ns + self.cl_ns,
+        }
+    }
+}
+
+/// Per-bank open-row state for an open-page controller.
+#[derive(Debug, Clone, Default)]
+pub struct BankState {
+    open_row: Option<u32>,
+}
+
+impl BankState {
+    /// Creates a bank with no open row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accesses `row`, returning the access class and updating the open row.
+    pub fn access(&mut self, row: u32) -> AccessKind {
+        let kind = match self.open_row {
+            Some(open) if open == row => AccessKind::RowHit,
+            Some(_) => AccessKind::RowConflict,
+            None => AccessKind::RowMiss,
+        };
+        self.open_row = Some(row);
+        kind
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// Precharges (closes) the bank.
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_nine_allowable_cas_latencies() {
+        let lats = jedec_ddr4_cas_latencies_ns();
+        assert_eq!(lats.len(), 9, "{lats:?}");
+    }
+
+    #[test]
+    fn cas_latencies_span_papers_window() {
+        let lats = jedec_ddr4_cas_latencies_ns();
+        let min = lats.first().copied().unwrap();
+        let max = lats.last().copied().unwrap();
+        assert!((min - DDR4_MIN_CAS_NS).abs() < 0.01, "min {min}");
+        assert!((max - DDR4_MAX_CAS_NS).abs() < 0.05, "max {max}");
+        for l in lats {
+            assert!((DDR4_MIN_CAS_NS - 0.01..=DDR4_MAX_CAS_NS + 0.05).contains(&l));
+        }
+    }
+
+    #[test]
+    fn ddr4_2400_bus_facts() {
+        let g = SpeedGrade::Ddr4_2400;
+        assert!((g.bus_clock_hz() - 1.2e9).abs() < 1.0);
+        assert!((g.clock_ns() - 0.8333).abs() < 0.001);
+        assert!((g.burst_ns() - 3.3333).abs() < 0.001);
+    }
+
+    #[test]
+    fn access_latency_ordering() {
+        let t = TimingParams::ddr4_2400_cl17();
+        let hit = t.access_latency_ns(AccessKind::RowHit);
+        let miss = t.access_latency_ns(AccessKind::RowMiss);
+        let conflict = t.access_latency_ns(AccessKind::RowConflict);
+        assert!(hit < miss && miss < conflict);
+        assert!((hit - 14.166).abs() < 0.01);
+    }
+
+    #[test]
+    fn bank_state_machine() {
+        let mut bank = BankState::new();
+        assert_eq!(bank.access(5), AccessKind::RowMiss);
+        assert_eq!(bank.access(5), AccessKind::RowHit);
+        assert_eq!(bank.access(6), AccessKind::RowConflict);
+        assert_eq!(bank.open_row(), Some(6));
+        bank.precharge();
+        assert_eq!(bank.access(6), AccessKind::RowMiss);
+    }
+
+    #[test]
+    fn fastest_config_is_the_bound() {
+        let t = TimingParams::ddr4_fastest();
+        assert_eq!(t.access_latency_ns(AccessKind::RowHit), DDR4_MIN_CAS_NS);
+    }
+
+    #[test]
+    fn refresh_overhead_is_a_few_percent() {
+        let t = TimingParams::ddr4_2400_cl17();
+        let f = t.refresh_overhead_fraction();
+        assert!((0.03..0.06).contains(&f), "refresh fraction {f}");
+    }
+}

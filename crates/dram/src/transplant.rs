@@ -1,0 +1,202 @@
+//! The physical DIMM transplant workflow: freeze → unplug → transfer →
+//! re-socket.
+//!
+//! Both the paper's analysis framework ("reverse cold boot attack") and the
+//! real attack move a module between machines. The typestate API below makes
+//! the simulation explicit about *when* decay applies: only between
+//! [`Powered::unplug`] and [`Unplugged::resocket`].
+
+use crate::module::DramModule;
+use crate::retention::DecayModel;
+
+/// A transplant in progress with the module still powered.
+#[derive(Debug)]
+pub struct Powered {
+    module: DramModule,
+    model: DecayModel,
+}
+
+/// A transplant in progress with the module unplugged (decaying).
+#[derive(Debug)]
+pub struct Unplugged {
+    module: DramModule,
+    model: DecayModel,
+    elapsed: f64,
+}
+
+/// Entry point for the transplant workflow.
+///
+/// ```
+/// use coldboot_dram::module::DramModule;
+/// use coldboot_dram::transplant::Transplant;
+///
+/// let mut dimm = DramModule::new(4096, 1);
+/// dimm.write(0, &[0xEE; 16]);
+/// let dimm = Transplant::begin(dimm)
+///     .freeze_to(-25.0)
+///     .unplug()
+///     .wait_seconds(5.0)
+///     .resocket();
+/// assert!(dimm.is_powered());
+/// ```
+#[derive(Debug)]
+pub struct Transplant;
+
+impl Transplant {
+    /// Starts a transplant of `module` using the paper-calibrated decay
+    /// model.
+    pub fn begin(module: DramModule) -> Powered {
+        Self::begin_with_model(module, DecayModel::paper_calibrated())
+    }
+
+    /// Starts a transplant with an explicit decay model.
+    pub fn begin_with_model(module: DramModule, model: DecayModel) -> Powered {
+        Powered { module, model }
+    }
+}
+
+impl Powered {
+    /// Sprays the module down to `celsius` while it is still refreshing
+    /// (the paper cools the DIMM *before* pulling it; Figure 2).
+    pub fn freeze_to(mut self, celsius: f64) -> Powered {
+        self.module.set_temperature(celsius);
+        self
+    }
+
+    /// Pulls the module out of the socket. Decay begins.
+    pub fn unplug(mut self) -> Unplugged {
+        self.module.power_off();
+        Unplugged {
+            module: self.module,
+            model: self.model,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Abandons the transplant, returning the still-powered module.
+    pub fn into_module(self) -> DramModule {
+        self.module
+    }
+}
+
+impl Unplugged {
+    /// Time passes while the module is carried between machines.
+    pub fn wait_seconds(mut self, seconds: f64) -> Unplugged {
+        self.module.elapse(seconds, &self.model);
+        self.elapsed += seconds;
+        self
+    }
+
+    /// The module warms (or is re-sprayed) to `celsius` mid-transfer.
+    pub fn temperature_shift(mut self, celsius: f64) -> Unplugged {
+        self.module.set_temperature(celsius);
+        self
+    }
+
+    /// Total unpowered time so far in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Seats the module in the attacker's machine; refresh resumes and
+    /// decay stops.
+    pub fn resocket(mut self) -> DramModule {
+        self.module.power_on();
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::{bit_errors, DecayModel};
+
+    fn patterned_module() -> DramModule {
+        let mut m = DramModule::new(1 << 16, 17);
+        let pattern: Vec<u8> = (0..(1 << 16)).map(|i| (i % 256) as u8).collect();
+        m.write(0, &pattern);
+        m
+    }
+
+    #[test]
+    fn frozen_transfer_preserves_most_bits() {
+        let m = patterned_module();
+        let before = m.contents().to_vec();
+        let after = Transplant::begin(m)
+            .freeze_to(-25.0)
+            .unplug()
+            .wait_seconds(5.0)
+            .resocket();
+        let errs = bit_errors(&before, after.contents());
+        let total = before.len() as u64 * 8;
+        let retained = 1.0 - errs as f64 / total as f64;
+        // Half the bits are at ground already; of the charged half, ~3%
+        // decay, so total retention should be ~98.5%.
+        assert!(retained > 0.97, "retention {retained}");
+        assert!(errs > 0, "a realistic transfer flips at least some bits");
+    }
+
+    #[test]
+    fn warm_transfer_destroys_data() {
+        let m = patterned_module();
+        let before = m.contents().to_vec();
+        let ground = m.ground_state().to_vec();
+        let after = Transplant::begin(m).unplug().wait_seconds(30.0).resocket();
+        let errs = bit_errors(&before, after.contents());
+        let max_errs = bit_errors(&before, &ground);
+        assert!(
+            errs as f64 > 0.9 * max_errs as f64,
+            "warm transfer retained too much: {errs}/{max_errs}"
+        );
+    }
+
+    #[test]
+    fn lossless_model_is_perfect() {
+        let m = patterned_module();
+        let before = m.contents().to_vec();
+        let after = Transplant::begin_with_model(m, DecayModel::lossless())
+            .unplug()
+            .wait_seconds(3600.0)
+            .resocket();
+        assert_eq!(bit_errors(&before, after.contents()), 0);
+    }
+
+    #[test]
+    fn elapsed_accumulates() {
+        let m = patterned_module();
+        let u = Transplant::begin(m)
+            .freeze_to(-25.0)
+            .unplug()
+            .wait_seconds(2.0)
+            .wait_seconds(3.0);
+        assert_eq!(u.elapsed_seconds(), 5.0);
+        u.resocket();
+    }
+
+    #[test]
+    fn temperature_shift_mid_transfer_changes_rate() {
+        // Freeze, carry 5s cold, then it warms up for 5s: more decay than
+        // 10s cold, less than 10s warm.
+        let runs: Vec<u64> = [
+            (-25.0, -25.0), // stays cold
+            (-25.0, 20.0),  // warms up
+            (20.0, 20.0),   // never frozen
+        ]
+        .iter()
+        .map(|&(t1, t2)| {
+            let m = patterned_module();
+            let before = m.contents().to_vec();
+            let after = Transplant::begin(m)
+                .freeze_to(t1)
+                .unplug()
+                .wait_seconds(5.0)
+                .temperature_shift(t2)
+                .wait_seconds(5.0)
+                .resocket();
+            bit_errors(&before, after.contents())
+        })
+        .collect();
+        assert!(runs[0] < runs[1], "cold {} !< mixed {}", runs[0], runs[1]);
+        assert!(runs[1] < runs[2], "mixed {} !< warm {}", runs[1], runs[2]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the DRAM substrate.
+
+use coldboot_dram::geometry::DramGeometry;
+use coldboot_dram::mapping::{AddressMapping, Microarchitecture};
+use coldboot_dram::module::DramModule;
+use coldboot_dram::retention::{apply_decay, bit_errors, DecayModel};
+use proptest::prelude::*;
+
+fn uarch_strategy() -> impl Strategy<Value = Microarchitecture> {
+    prop_oneof![
+        Just(Microarchitecture::SandyBridge),
+        Just(Microarchitecture::IvyBridge),
+        Just(Microarchitecture::Skylake),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mapping_round_trips(uarch in uarch_strategy(), addr in any::<u64>()) {
+        let geometry = DramGeometry::tiny_test();
+        let map = AddressMapping::new(uarch, geometry);
+        let addr = addr % geometry.capacity_bytes();
+        let loc = map.decompose(addr);
+        prop_assert_eq!(map.compose(loc), addr & !0x3f);
+        prop_assert!(loc.channel < geometry.channels);
+        prop_assert!(loc.bank_group < geometry.bank_groups);
+        prop_assert!(loc.bank < geometry.banks_per_group);
+        prop_assert!(loc.row < geometry.rows);
+        prop_assert!(loc.block < geometry.blocks_per_row);
+    }
+
+    #[test]
+    fn channel_block_index_in_range(uarch in uarch_strategy(), addr in any::<u64>()) {
+        let geometry = DramGeometry::tiny_test();
+        let map = AddressMapping::new(uarch, geometry);
+        let addr = addr % geometry.capacity_bytes();
+        prop_assert!(map.channel_block_index(addr) < geometry.blocks_per_channel());
+    }
+
+    #[test]
+    fn module_read_write_round_trips(
+        offset in 0usize..3000,
+        data in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let mut m = DramModule::new(4096, 1);
+        prop_assume!(offset + data.len() <= 4096);
+        m.write(offset, &data);
+        let mut buf = vec![0u8; data.len()];
+        m.read(offset, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn decay_never_exceeds_distance_to_ground(
+        fraction in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let n = 4096;
+        let mut m = DramModule::new(n, seed);
+        m.fill(0xAA);
+        let ground = m.ground_state().to_vec();
+        let max_possible = bit_errors(&vec![0xAAu8; n], &ground);
+        m.power_off();
+        let mut data = m.contents().to_vec();
+        apply_decay(&mut data, &ground, fraction, seed);
+        let errs = bit_errors(&vec![0xAAu8; n], &data);
+        prop_assert!(errs <= max_possible);
+        // Every flipped bit moved *toward* ground, never away.
+        for (i, (&d, &g)) in data.iter().zip(&ground).enumerate() {
+            let moved_away = (d ^ 0xAA) & !(g ^ 0xAA);
+            prop_assert_eq!(moved_away, 0, "byte {} flipped away from ground", i);
+        }
+    }
+
+    #[test]
+    fn decay_fraction_is_monotone(
+        t1 in 0.1f64..100.0,
+        dt in 0.1f64..100.0,
+        temp in -60.0f64..40.0,
+    ) {
+        let m = DecayModel::paper_calibrated();
+        prop_assert!(m.decay_fraction(temp, t1, 1.0) <= m.decay_fraction(temp, t1 + dt, 1.0));
+    }
+
+    #[test]
+    fn colder_is_always_better(
+        t in 0.1f64..60.0,
+        temp in -60.0f64..40.0,
+        delta in 0.5f64..30.0,
+    ) {
+        let m = DecayModel::paper_calibrated();
+        prop_assert!(
+            m.retention_fraction(temp - delta, t, 1.0) >= m.retention_fraction(temp, t, 1.0)
+        );
+    }
+
+    #[test]
+    fn retention_bounds(t in 0.0f64..1000.0, temp in -80.0f64..60.0, q in 0.1f64..10.0) {
+        let m = DecayModel::paper_calibrated();
+        let r = m.retention_fraction(temp, t, q);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the memory-encryption models.
+
+use coldboot_memenc::controller::EncryptedBus;
+use coldboot_memenc::engine::{CipherEngineSpec, EngineKind};
+use coldboot_memenc::overlap::OverlapModel;
+use coldboot_memenc::power::{overhead, FIGURE7_CPUS};
+use coldboot_scrambler::MemoryTransform;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = EngineKind> {
+    prop_oneof![
+        Just(EngineKind::Aes128),
+        Just(EngineKind::Aes256),
+        Just(EngineKind::ChaCha8),
+        Just(EngineKind::ChaCha12),
+        Just(EngineKind::ChaCha20),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn keystreams_are_deterministic_and_seed_sensitive(
+        kind in kind_strategy(),
+        seed1 in any::<u64>(),
+        seed2 in any::<u64>(),
+        addr in any::<u64>(),
+    ) {
+        let addr = addr & !63 & 0xFFFF_FFFF;
+        let a1 = EncryptedBus::new(kind, seed1);
+        let a2 = EncryptedBus::new(kind, seed1);
+        prop_assert_eq!(a1.keystream(addr), a2.keystream(addr));
+        if seed1 != seed2 {
+            let b = EncryptedBus::new(kind, seed2);
+            prop_assert_ne!(a1.keystream(addr), b.keystream(addr));
+        }
+    }
+
+    #[test]
+    fn apply_is_involutive(
+        kind in kind_strategy(),
+        seed in any::<u64>(),
+        addr in 0u64..1_000_000,
+        data in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let bus = EncryptedBus::new(kind, seed);
+        let mut work = data.clone();
+        bus.apply(addr, &mut work);
+        bus.apply(addr, &mut work);
+        prop_assert_eq!(work, data);
+    }
+
+    #[test]
+    fn offset_ignored_within_block(kind in kind_strategy(), seed in any::<u64>(), block in 0u64..100_000, off in 0u64..64) {
+        let bus = EncryptedBus::new(kind, seed);
+        prop_assert_eq!(bus.keystream(block * 64), bus.keystream(block * 64 + off));
+    }
+
+    #[test]
+    fn burst_latency_bounds(kind in kind_strategy(), k in 1u32..=18) {
+        let m = OverlapModel::ddr4_2400(kind);
+        let b = m.burst_latency(k);
+        let spec = CipherEngineSpec::for_kind(kind);
+        // Never faster than the unloaded block latency; exposed is
+        // consistent with latency.
+        prop_assert!(b.latency_ns >= spec.block_latency_ns() - 1e-9);
+        prop_assert!((b.exposed_ns - (b.latency_ns - 12.5).max(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_is_monotone_in_utilization(
+        kind in kind_strategy(),
+        cpu_idx in 0usize..4,
+        u1 in 0.0f64..1.0,
+        u2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let cpu = &FIGURE7_CPUS[cpu_idx];
+        prop_assert!(overhead(cpu, kind, lo).power_pct <= overhead(cpu, kind, hi).power_pct);
+        // Area does not depend on utilization.
+        prop_assert_eq!(overhead(cpu, kind, lo).area_pct, overhead(cpu, kind, hi).area_pct);
+    }
+
+    #[test]
+    fn time_multiplexing_never_improves_latency_or_throughput(kind in kind_strategy()) {
+        let piped = CipherEngineSpec::for_kind(kind);
+        let tm = CipherEngineSpec::time_multiplexed(kind);
+        prop_assert!(tm.block_latency_ns() >= piped.block_latency_ns() - 1e-12);
+        prop_assert!(tm.throughput_gbps() <= piped.throughput_gbps());
+    }
+}

@@ -1,0 +1,209 @@
+//! Linear feedback shift registers.
+//!
+//! Intel's VLSI-DAT 2011 paper discloses that the Westmere scrambler
+//! generates its keystream with LFSRs seeded from a boot-time random value
+//! and a portion of the address bits. LFSRs are *linear* — every output bit
+//! is an XOR of seed bits — which is the root cause of every correlation the
+//! cold boot attack exploits.
+
+/// A Fibonacci LFSR over a 16-bit state.
+///
+/// The feedback taps default to the maximal-length polynomial
+/// `x¹⁶ + x¹⁴ + x¹³ + x¹¹ + 1` (taps at state bits 0, 2, 3, 5 for a
+/// right-shifting register), giving a period of 2¹⁶ − 1.
+///
+/// ```
+/// use coldboot_scrambler::lfsr::Lfsr16;
+/// let mut lfsr = Lfsr16::new(0xACE1);
+/// let first = lfsr.next_word();
+/// let mut again = Lfsr16::new(0xACE1);
+/// assert_eq!(again.next_word(), first); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr16 {
+    state: u16,
+    taps: u16,
+}
+
+/// The default maximal-length tap mask for [`Lfsr16`].
+pub const LFSR16_MAXIMAL_TAPS: u16 = 0b0000_0000_0010_1101;
+
+impl Lfsr16 {
+    /// Creates an LFSR with the maximal-length taps. A zero seed is mapped
+    /// to 1 (the all-zero state is a fixed point of any LFSR).
+    pub fn new(seed: u16) -> Self {
+        Self::with_taps(seed, LFSR16_MAXIMAL_TAPS)
+    }
+
+    /// Creates an LFSR with explicit feedback taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is zero.
+    pub fn with_taps(seed: u16, taps: u16) -> Self {
+        assert!(taps != 0, "an LFSR needs at least one feedback tap");
+        Self {
+            state: if seed == 0 { 1 } else { seed },
+            taps,
+        }
+    }
+
+    /// Current register state.
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+
+    /// Advances one step and returns the output bit.
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        let feedback = (self.state & self.taps).count_ones() & 1;
+        let out = self.state & 1;
+        self.state = (self.state >> 1) | ((feedback as u16) << 15);
+        out != 0
+    }
+
+    /// Produces the next 16 output bits as a word (LSB first).
+    pub fn next_word(&mut self) -> u16 {
+        let mut w = 0u16;
+        for i in 0..16 {
+            if self.step() {
+                w |= 1 << i;
+            }
+        }
+        w
+    }
+
+    /// Fills a byte buffer with keystream.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(2) {
+            let w = self.next_word().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+/// A Galois LFSR over a 32-bit state (used where a longer period matters,
+/// e.g. deriving per-boot seed material).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaloisLfsr32 {
+    state: u32,
+    taps: u32,
+}
+
+/// A maximal-length Galois tap mask for 32 bits
+/// (`x³² + x²² + x² + x + 1`).
+pub const GALOIS32_MAXIMAL_TAPS: u32 = 0x8020_0003;
+
+impl GaloisLfsr32 {
+    /// Creates a Galois LFSR; zero seeds are mapped to 1.
+    pub fn new(seed: u32) -> Self {
+        Self {
+            state: if seed == 0 { 1 } else { seed },
+            taps: GALOIS32_MAXIMAL_TAPS,
+        }
+    }
+
+    /// Advances one step and returns the output bit.
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1;
+        self.state >>= 1;
+        if out != 0 {
+            self.state ^= self.taps;
+        }
+        out != 0
+    }
+
+    /// Produces the next 32 output bits as a word (LSB first).
+    pub fn next_word(&mut self) -> u32 {
+        let mut w = 0u32;
+        for i in 0..32 {
+            if self.step() {
+                w |= 1 << i;
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn maximal_lfsr16_has_full_period() {
+        let mut lfsr = Lfsr16::new(1);
+        let start = lfsr.state();
+        let mut count = 0u32;
+        loop {
+            lfsr.step();
+            count += 1;
+            if lfsr.state() == start {
+                break;
+            }
+            assert!(count <= 70000, "period runaway");
+        }
+        assert_eq!(count, 65535, "not a maximal-length polynomial");
+    }
+
+    #[test]
+    fn zero_seed_is_mapped_away() {
+        let mut lfsr = Lfsr16::new(0);
+        // Must not be stuck at zero.
+        let w = lfsr.next_word();
+        let w2 = lfsr.next_word();
+        assert!(w != 0 || w2 != 0);
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut a = Lfsr16::new(0x1234);
+        let mut b = Lfsr16::new(0x4321);
+        let wa: Vec<u16> = (0..8).map(|_| a.next_word()).collect();
+        let wb: Vec<u16> = (0..8).map(|_| b.next_word()).collect();
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn fill_covers_odd_lengths() {
+        let mut lfsr = Lfsr16::new(77);
+        let mut buf = [0u8; 7];
+        lfsr.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn lfsr_output_is_linear_in_seed() {
+        // The defining weakness: keystream(seed_a ^ seed_b ^ seed_c) ==
+        // keystream(a) ^ keystream(b) ^ keystream(c). (XOR of an odd number
+        // of streams, since the affine zero-seed correction cancels.)
+        let (a, b, c) = (0x1357u16, 0x2468, 0x7fff);
+        let stream = |s: u16| -> Vec<u16> {
+            let mut l = Lfsr16::new(s);
+            (0..8).map(|_| l.next_word()).collect()
+        };
+        let sa = stream(a);
+        let sb = stream(b);
+        let sc = stream(c);
+        let sx = stream(a ^ b ^ c);
+        for i in 0..8 {
+            assert_eq!(sx[i], sa[i] ^ sb[i] ^ sc[i], "word {i}");
+        }
+    }
+
+    #[test]
+    fn galois32_produces_distinct_states() {
+        let mut lfsr = GaloisLfsr32::new(0xDEADBEEF);
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(lfsr.next_word()), "early cycle");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback tap")]
+    fn rejects_zero_taps() {
+        Lfsr16::with_taps(1, 0);
+    }
+}

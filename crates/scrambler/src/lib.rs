@@ -1,0 +1,66 @@
+//! Models of the memory scramblers in Intel DDR3 and DDR4 memory
+//! controllers, reverse-engineered at the level of observable behaviour by
+//! the paper.
+//!
+//! * [`lfsr`] — linear feedback shift registers, the PRNGs Intel's 2011
+//!   VLSI-DAT publication discloses as the scrambler keystream source.
+//! * [`transform`] — the [`transform::MemoryTransform`] trait: a symmetric,
+//!   address-keyed XOR keystream applied to every 64-byte block crossing the
+//!   memory bus. Implemented by both scrambler generations, by plaintext
+//!   (DDR/DDR2) interfaces, and by the strong cipher engines in
+//!   `coldboot-memenc`.
+//! * [`ddr3`] — the SandyBridge-era scrambler: **16 keys per channel**, and
+//!   the fatal property that re-reading after a reboot collapses the entire
+//!   memory to a *single universal key* (Bauer et al., reproduced here as
+//!   the baseline).
+//! * [`ddr4`] — the Skylake scrambler: **4096 keys per channel**, byte-pair
+//!   XOR invariants inside every key (the paper's litmus-test target), no
+//!   cross-boot collapse, and stable key-sharing across boots.
+//! * [`controller`] — a [`controller::Machine`]: memory controller + BIOS
+//!   configuration + socketed module, the unit the transplant workflow moves
+//!   DIMMs between.
+//!
+//! # Example
+//!
+//! ```
+//! use coldboot_scrambler::controller::{BiosConfig, Machine};
+//! use coldboot_dram::geometry::DramGeometry;
+//! use coldboot_dram::mapping::Microarchitecture;
+//! use coldboot_dram::module::DramModule;
+//!
+//! let mut machine = Machine::new(
+//!     Microarchitecture::Skylake,
+//!     DramGeometry::tiny_test(),
+//!     BiosConfig::default(),
+//!     /* machine id */ 1,
+//! );
+//! machine.insert_module(DramModule::new(machine.capacity() as usize, 7))?;
+//! machine.write(0x1000, b"plaintext through the scrambler")?;
+//! let mut buf = [0u8; 31];
+//! machine.read(0x1000, &mut buf)?;
+//! assert_eq!(&buf, b"plaintext through the scrambler");
+//! // ... but the raw cells hold scrambled data:
+//! let raw = machine.peek_raw(0x1000, 31)?;
+//! assert_ne!(&raw[..], b"plaintext through the scrambler");
+//! # Ok::<(), coldboot_scrambler::controller::MachineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus_stats;
+pub mod controller;
+pub mod ddr3;
+pub mod ddr4;
+pub mod lfsr;
+pub mod transform;
+
+pub use transform::MemoryTransform;
+
+/// Number of distinct scrambler keys per channel in the DDR3 model
+/// (Bauer et al., confirmed by the paper).
+pub const DDR3_KEYS_PER_CHANNEL: usize = 16;
+
+/// Number of distinct scrambler keys per channel in the Skylake DDR4 model
+/// (the paper's Key Idea 1).
+pub const DDR4_KEYS_PER_CHANNEL: usize = 4096;

@@ -1,0 +1,126 @@
+//! The [`MemoryTransform`] trait: what a memory interface does to data on
+//! its way to and from the DIMM.
+//!
+//! Figure 1 of the paper: the transform is a symmetric XOR with a keystream
+//! that depends only on the *physical address* and boot-time state — never
+//! on the data. Scramblers, plaintext buses, and strong CTR-mode cipher
+//! engines all fit this one interface, which is what lets the same attack
+//! code run unchanged against every defense.
+
+use std::fmt::Debug;
+
+/// A symmetric, address-keyed XOR transform on 64-byte memory blocks.
+///
+/// Implementors produce a keystream per block-aligned physical address;
+/// scrambling and descrambling are the same XOR.
+pub trait MemoryTransform: Debug + Send + Sync {
+    /// The 64-byte keystream for the block containing `phys_addr`
+    /// (the low 6 bits of `phys_addr` are ignored).
+    fn keystream(&self, phys_addr: u64) -> [u8; 64];
+
+    /// Short human-readable name ("DDR4 scrambler", "ChaCha8 engine", ...).
+    fn name(&self) -> &'static str;
+
+    /// XORs the keystream into `data`, which starts at byte `phys_addr`
+    /// (not necessarily block-aligned) and may span multiple blocks.
+    fn apply(&self, phys_addr: u64, data: &mut [u8]) {
+        let mut addr = phys_addr;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let block_base = addr & !63;
+            let offset = (addr - block_base) as usize;
+            let take = remaining.len().min(64 - offset);
+            let ks = self.keystream(block_base);
+            let (chunk, rest) = remaining.split_at_mut(take);
+            for (d, k) in chunk.iter_mut().zip(&ks[offset..offset + take]) {
+                *d ^= k;
+            }
+            remaining = rest;
+            addr = block_base + 64;
+        }
+    }
+}
+
+/// The identity transform: a DDR/DDR2-era plaintext memory bus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Plaintext;
+
+impl MemoryTransform for Plaintext {
+    fn keystream(&self, _phys_addr: u64) -> [u8; 64] {
+        [0u8; 64]
+    }
+
+    fn name(&self) -> &'static str {
+        "plaintext (no scrambling)"
+    }
+
+    fn apply(&self, _phys_addr: u64, _data: &mut [u8]) {
+        // Identity; skip the XOR work.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy transform whose keystream is the block address repeated.
+    #[derive(Debug)]
+    struct AddrEcho;
+
+    impl MemoryTransform for AddrEcho {
+        fn keystream(&self, phys_addr: u64) -> [u8; 64] {
+            let mut ks = [0u8; 64];
+            for (i, chunk) in ks.chunks_mut(8).enumerate() {
+                chunk.copy_from_slice(&(phys_addr & !63).to_le_bytes());
+                let _ = i;
+            }
+            ks
+        }
+
+        fn name(&self) -> &'static str {
+            "addr-echo"
+        }
+    }
+
+    #[test]
+    fn apply_twice_is_identity() {
+        let t = AddrEcho;
+        let original: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let mut data = original.clone();
+        t.apply(30, &mut data); // unaligned start, spans 4 blocks
+        assert_ne!(data, original);
+        t.apply(30, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn apply_respects_block_boundaries() {
+        let t = AddrEcho;
+        // Writing bytes 60..68 must use block 0's keystream for 60..64 and
+        // block 64's keystream for 64..68.
+        let mut data = [0u8; 8];
+        t.apply(60, &mut data);
+        let ks0 = t.keystream(0);
+        let ks1 = t.keystream(64);
+        assert_eq!(&data[..4], &ks0[60..64]);
+        assert_eq!(&data[4..], &ks1[..4]);
+    }
+
+    #[test]
+    fn unaligned_application_is_consistent_with_aligned() {
+        let t = AddrEcho;
+        let mut whole = vec![0u8; 128];
+        t.apply(0, &mut whole);
+        let mut part = vec![0u8; 50];
+        t.apply(39, &mut part);
+        assert_eq!(&part[..], &whole[39..89]);
+    }
+
+    #[test]
+    fn plaintext_is_identity() {
+        let mut data = vec![7u8; 100];
+        Plaintext.apply(3, &mut data);
+        assert_eq!(data, vec![7u8; 100]);
+        assert_eq!(Plaintext.keystream(1234), [0u8; 64]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the scrambler models and the machine
+//! controller.
+
+use coldboot_dram::geometry::DramGeometry;
+use coldboot_dram::mapping::{AddressMapping, Microarchitecture};
+use coldboot_dram::module::DramModule;
+use coldboot_scrambler::controller::{BiosConfig, Machine};
+use coldboot_scrambler::ddr3::Ddr3Scrambler;
+use coldboot_scrambler::ddr4::Ddr4Scrambler;
+use coldboot_scrambler::MemoryTransform;
+use proptest::prelude::*;
+
+fn geometry() -> DramGeometry {
+    DramGeometry::tiny_test()
+}
+
+fn ddr4(seed: u64) -> Ddr4Scrambler {
+    Ddr4Scrambler::new(
+        AddressMapping::new(Microarchitecture::Skylake, geometry()),
+        seed,
+    )
+}
+
+/// The four §III-B invariants, evaluated directly.
+fn invariants_hold(key: &[u8; 64]) -> bool {
+    let w = |i: usize| u16::from_le_bytes([key[i], key[i + 1]]);
+    [0usize, 16, 32, 48].iter().all(|&g| {
+        w(g + 2) ^ w(g + 4) == w(g + 10) ^ w(g + 12)
+            && w(g) ^ w(g + 6) == w(g + 8) ^ w(g + 14)
+            && w(g) ^ w(g + 4) == w(g + 8) ^ w(g + 12)
+            && w(g) ^ w(g + 2) == w(g + 8) ^ w(g + 10)
+    })
+}
+
+proptest! {
+    #[test]
+    fn ddr4_keystreams_always_satisfy_invariants(seed in any::<u64>(), addr in any::<u64>()) {
+        let s = ddr4(seed);
+        let addr = addr % geometry().capacity_bytes();
+        prop_assert!(invariants_hold(&s.keystream(addr)));
+    }
+
+    #[test]
+    fn ddr4_apply_is_involutive(
+        seed in any::<u64>(),
+        addr in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let s = ddr4(seed);
+        let addr = addr % (geometry().capacity_bytes() - 256);
+        let mut work = data.clone();
+        s.apply(addr, &mut work);
+        s.apply(addr, &mut work);
+        prop_assert_eq!(work, data);
+    }
+
+    #[test]
+    fn ddr4_key_id_depends_only_on_address(seed1 in any::<u64>(), seed2 in any::<u64>(), addr in any::<u64>()) {
+        let addr = addr % geometry().capacity_bytes();
+        prop_assert_eq!(ddr4(seed1).key_id_of(addr), ddr4(seed2).key_id_of(addr));
+    }
+
+    #[test]
+    fn ddr3_cross_boot_is_universal(seed1 in any::<u64>(), seed2 in any::<u64>(), addr in any::<u64>()) {
+        prop_assume!(seed1 != seed2);
+        let map = AddressMapping::new(Microarchitecture::SandyBridge, geometry());
+        let a = Ddr3Scrambler::new(map.clone(), seed1);
+        let b = Ddr3Scrambler::new(map, seed2);
+        let addr = (addr % geometry().capacity_bytes()) & !63;
+        // The XOR of the two keystreams must equal the XOR at address 0 of
+        // the same channel (single universal key per channel).
+        let ch = a.mapping().channel_of(addr);
+        let base_addr = (0..geometry().capacity_bytes())
+            .step_by(64)
+            .find(|&x| a.mapping().channel_of(x) == ch)
+            .expect("channel has blocks");
+        let xor_here: Vec<u8> = a
+            .keystream(addr)
+            .iter()
+            .zip(b.keystream(addr).iter())
+            .map(|(x, y)| x ^ y)
+            .collect();
+        let xor_base: Vec<u8> = a
+            .keystream(base_addr)
+            .iter()
+            .zip(b.keystream(base_addr).iter())
+            .map(|(x, y)| x ^ y)
+            .collect();
+        prop_assert_eq!(xor_here, xor_base);
+    }
+
+    #[test]
+    fn machine_read_write_round_trips(
+        machine_id in any::<u64>(),
+        addr in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let mut m = Machine::new(
+            Microarchitecture::Skylake,
+            geometry(),
+            BiosConfig::default(),
+            machine_id,
+        );
+        let capacity = m.capacity();
+        let addr = addr % (capacity - 300);
+        m.insert_module(DramModule::new(capacity as usize, 1)).expect("fresh socket");
+        m.write(addr, &data).expect("in range");
+        let mut buf = vec![0u8; data.len()];
+        m.read(addr, &mut buf).expect("in range");
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn scrambled_write_equals_keystream_xor(
+        machine_id in any::<u64>(),
+        block_idx in 0u64..1024,
+        data in any::<[u8; 64]>(),
+    ) {
+        let mut m = Machine::new(
+            Microarchitecture::Skylake,
+            geometry(),
+            BiosConfig::default(),
+            machine_id,
+        );
+        let capacity = m.capacity();
+        m.insert_module(DramModule::new(capacity as usize, 1)).expect("fresh socket");
+        let addr = (block_idx * 64) % capacity;
+        m.write(addr, &data).expect("in range");
+        let raw = m.peek_raw(addr, 64).expect("in range");
+        let ks = m.transform().keystream(addr);
+        for i in 0..64 {
+            prop_assert_eq!(raw[i], data[i] ^ ks[i]);
+        }
+    }
+
+    #[test]
+    fn transplant_same_generation_preserves_view(
+        id1 in any::<u64>(),
+        id2 in any::<u64>(),
+        addr in 0u64..1_000_000,
+        data in any::<[u8; 32]>(),
+    ) {
+        // Raw cells written on one machine read back identically (raw) on
+        // another machine of the same generation.
+        let mut a = Machine::new(
+            Microarchitecture::Skylake,
+            geometry(),
+            BiosConfig::default(),
+            id1,
+        );
+        let capacity = a.capacity();
+        let addr = addr % (capacity - 32);
+        a.insert_module(DramModule::new(capacity as usize, 9)).expect("fresh socket");
+        a.poke_raw(addr, &data).expect("in range");
+        let module = a.remove_module().expect("socketed");
+        let mut b = Machine::new(
+            Microarchitecture::Skylake,
+            geometry(),
+            BiosConfig::default(),
+            id2,
+        );
+        b.insert_module(module).expect("fresh socket");
+        let raw = b.peek_raw(addr, 32).expect("in range");
+        prop_assert_eq!(&raw[..], &data[..]);
+    }
+}

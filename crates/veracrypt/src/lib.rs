@@ -1,0 +1,33 @@
+//! A miniature VeraCrypt/TrueCrypt-style encrypted volume — the
+//! demonstration target of the paper's cold boot attack.
+//!
+//! The attack never touches the password or the KDF: it steals the
+//! **expanded XTS master-key schedules** that the disk-encryption driver
+//! caches in DRAM while a volume is mounted. This crate reproduces exactly
+//! that attack surface:
+//!
+//! * [`volume`] — an encrypted container: salted header holding two
+//!   AES-256 master keys (data + tweak, as XTS requires), payload sectors
+//!   encrypted with AES-256-XTS.
+//! * [`mount`] — mounting decrypts the header with a password-derived key
+//!   and **writes the four expanded key schedules into simulated DRAM**
+//!   through the machine's scrambled memory controller, at an arbitrary
+//!   (not block-aligned) address — just like the in-memory key material the
+//!   paper recovered.
+//!
+//! # Fidelity note (see DESIGN.md)
+//!
+//! Header keys are derived with PBKDF2-HMAC-SHA512 — VeraCrypt's default
+//! KDF — implemented from scratch in `coldboot-crypto`. The remaining
+//! simplifications (no cipher cascades, a reduced iteration count, a
+//! compact header layout) do not touch the attack surface, which is the
+//! expanded AES-XTS schedules cached in DRAM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mount;
+pub mod volume;
+
+pub use mount::MountedVolume;
+pub use volume::{Volume, VolumeError};

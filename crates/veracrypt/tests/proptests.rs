@@ -1,0 +1,74 @@
+//! Property-based tests for the encrypted-volume substrate.
+
+use coldboot_veracrypt::volume::{MasterKeys, Volume, SECTOR_BYTES};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn create_unlock_decrypt_round_trips(
+        password in proptest::collection::vec(any::<u8>(), 0..24),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..2000),
+        seed in any::<u64>(),
+    ) {
+        let vol = Volume::create(&password, &plaintext, &mut StdRng::seed_from_u64(seed));
+        let keys = vol.unlock(&password).expect("correct password");
+        let out = vol.decrypt_all(&keys).expect("keys decrypt");
+        prop_assert_eq!(&out[..plaintext.len()], &plaintext[..]);
+        prop_assert!(out[plaintext.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn wrong_password_never_unlocks(
+        password in proptest::collection::vec(any::<u8>(), 1..16),
+        wrong in proptest::collection::vec(any::<u8>(), 1..16),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(password != wrong);
+        let vol = Volume::create(&password, b"data", &mut StdRng::seed_from_u64(seed));
+        prop_assert!(vol.unlock(&wrong).is_err());
+    }
+
+    #[test]
+    fn wrong_master_keys_yield_garbage(
+        seed in any::<u64>(),
+        bad_data in any::<[u8; 32]>(),
+        bad_tweak in any::<[u8; 32]>(),
+    ) {
+        let plaintext = vec![0x41u8; SECTOR_BYTES];
+        let vol = Volume::create(b"pw", &plaintext, &mut StdRng::seed_from_u64(seed));
+        let real = vol.unlock(b"pw").expect("correct password");
+        prop_assume!(bad_data != real.data_key);
+        let bad = MasterKeys { data_key: bad_data, tweak_key: bad_tweak };
+        let out = vol.decrypt_all(&bad).expect("in range");
+        prop_assert_ne!(&out[..plaintext.len()], &plaintext[..]);
+    }
+
+    #[test]
+    fn container_never_leaks_key_material(
+        seed in any::<u64>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 64..512),
+    ) {
+        let vol = Volume::create(b"pw", &plaintext, &mut StdRng::seed_from_u64(seed));
+        let keys = vol.unlock(b"pw").expect("correct password");
+        let hay = vol.as_bytes();
+        for needle in [&keys.data_key[..16], &keys.tweak_key[..16]] {
+            prop_assert!(!hay.windows(needle.len()).any(|w| w == needle));
+        }
+    }
+
+    #[test]
+    fn reparsed_container_behaves_identically(
+        seed in any::<u64>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let vol = Volume::create(b"pw", &plaintext, &mut StdRng::seed_from_u64(seed));
+        let reparsed = Volume::from_bytes(vol.as_bytes().to_vec()).expect("well-formed");
+        let a = vol.unlock(b"pw").expect("correct password");
+        let b = reparsed.unlock(b"pw").expect("correct password");
+        prop_assert_eq!(a, b);
+    }
+}

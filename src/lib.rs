@@ -1,0 +1,40 @@
+//! Workspace umbrella crate.
+//!
+//! The reproduction's functionality lives in the member crates
+//! (`coldboot-crypto`, `coldboot-dram`, `coldboot-scrambler`, `coldboot`,
+//! `coldboot-veracrypt`, `coldboot-memenc`); this crate exists to host the
+//! runnable examples under `examples/` and the cross-crate integration
+//! tests under `tests/`, plus a few shared test fixtures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Shared fixtures for the integration tests and examples.
+pub mod test_support {
+    use coldboot_scrambler::controller::{Machine, MachineError};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Fills a machine's memory with a mostly-idle workload: ~85 % zeroed
+    /// blocks, the rest high-entropy. Small test machines give each of the
+    /// 4096 scrambler key ids only a handful of blocks, so a high zero
+    /// fraction is needed for every id to expose its key at least once.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the machine has no module.
+    pub fn fill_mostly_zero(machine: &mut Machine, seed: u64) -> Result<(), MachineError> {
+        let capacity = machine.capacity() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut image = vec![0u8; capacity];
+        for block in image.chunks_mut(64) {
+            if rng.gen_bool(0.15) {
+                rng.fill(block);
+            }
+        }
+        for (i, chunk) in image.chunks(64 << 10).enumerate() {
+            machine.write((i * (64 << 10)) as u64, chunk)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,109 @@
+//! `coldboot-lint`: run the secret-hygiene analysis over the workspace.
+//!
+//! ```text
+//! coldboot-lint [--root PATH] [--config PATH] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use coldboot_analyzer::{lint_workspace, render_json, render_text, LintConfig, RULE_IDS};
+
+const USAGE: &str =
+    "usage: coldboot-lint [--root PATH] [--config PATH] [--format text|json] [--list-rules]";
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    list_rules: bool,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        list_rules: false,
+        help: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root requires a path")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config requires a path")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("coldboot-lint: {msg}");
+            eprintln!("coldboot-lint: {USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.list_rules {
+        for rule in RULE_IDS {
+            println!("{rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let config = match &args.config {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))
+            .and_then(|text| LintConfig::parse(&text)),
+        None => coldboot_analyzer::load_config(&args.root),
+    };
+    let config = match config {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("coldboot-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint_workspace(&args.root, &config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("coldboot-lint: workspace walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        println!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

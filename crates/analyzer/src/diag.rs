@@ -1,0 +1,159 @@
+//! Findings and their text/JSON renderings.
+
+use std::fmt;
+
+/// The stable identifiers of every rule the engine can fire.
+pub const RULE_IDS: &[&str] = &[
+    "secret-print",
+    "secret-debug",
+    "zeroize-drop",
+    "const-time",
+    "forbid-unsafe",
+    "truncating-cast",
+    "panic",
+    "suppression",
+];
+
+/// One diagnostic produced by the rule engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule identifier from [`RULE_IDS`].
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The item (struct, identifier, macro) the finding is about, used for
+    /// `item`-scoped allowlist entries.
+    pub item: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON document:
+/// `{"findings":[{"file":..,"line":..,"rule":..,"message":..,"item":..}],"count":N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.message)
+        ));
+        if let Some(item) = &f.item {
+            out.push_str(&format!(",\"item\":\"{}\"", json_escape(item)));
+        }
+        out.push('}');
+    }
+    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
+/// Renders findings in rustc style, one per line, plus a trailing summary.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("coldboot-lint: no findings\n");
+    } else {
+        out.push_str(&format!(
+            "coldboot-lint: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            file: "crates/crypto/src/xts.rs".to_string(),
+            line: 12,
+            rule: "panic",
+            message: "call to `unwrap()` in library code".to_string(),
+            item: Some("unwrap".to_string()),
+        }
+    }
+
+    #[test]
+    fn text_is_rustc_style() {
+        assert_eq!(
+            sample().to_string(),
+            "crates/crypto/src/xts.rs:12: panic: call to `unwrap()` in library code"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_shape() {
+        let doc = render_json(&[sample()]);
+        assert!(doc.starts_with("{\"findings\":["));
+        assert!(doc.contains("\"line\":12"));
+        assert!(doc.contains("\"rule\":\"panic\""));
+        assert!(doc.ends_with("\"count\":1}"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let doc = render_json(&[Finding {
+            file: "a\"b".to_string(),
+            line: 1,
+            rule: "panic",
+            message: "tab\there".to_string(),
+            item: None,
+        }]);
+        assert!(doc.contains("a\\\"b"));
+        assert!(doc.contains("tab\\there"));
+    }
+
+    #[test]
+    fn empty_render() {
+        assert_eq!(render_json(&[]), "{\"findings\":[],\"count\":0}");
+        assert!(render_text(&[]).contains("no findings"));
+    }
+}

@@ -1,0 +1,1058 @@
+//! The rule engine: classifies files, runs every rule over the lexed token
+//! streams, and applies inline suppressions plus the `lint.toml` allowlist.
+
+use crate::config::LintConfig;
+use crate::diag::Finding;
+use crate::lexer::{self, Comment, Token, TokenKind};
+use crate::secrets;
+
+/// An in-memory source file with its workspace-relative path
+/// (`/`-separated), the unit the engine operates on. [`crate::lint_workspace`]
+/// builds these from disk; tests can build them directly.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, e.g. `crates/crypto/src/xts.rs`.
+    pub path: String,
+    /// Full file contents.
+    pub source: String,
+}
+
+/// How a file participates in the build, derived from its path. Rules
+/// scope themselves by kind: library code carries the full rule set while
+/// tests, benches, and demo binaries get progressively more latitude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Code under `src/` (excluding `src/bin/`).
+    Lib,
+    /// A binary target (`src/bin/` or `bin/`).
+    Bin,
+    /// An example under `examples/`.
+    Example,
+    /// Integration test under `tests/`.
+    Test,
+    /// Benchmark under `benches/`.
+    Bench,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(path: &str) -> FileKind {
+    let segs: Vec<&str> = path.split('/').collect();
+    if segs.contains(&"tests") {
+        FileKind::Test
+    } else if segs.contains(&"benches") {
+        FileKind::Bench
+    } else if segs.contains(&"examples") {
+        FileKind::Example
+    } else if segs.contains(&"bin") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/...` ->
+/// `<name>`; anything else is the root package).
+pub fn crate_of(path: &str) -> &str {
+    let mut segs = path.split('/');
+    if segs.next() == Some("crates") {
+        if let Some(name) = segs.next() {
+            return name;
+        }
+    }
+    "root"
+}
+
+/// True when `path` is a crate root that must carry
+/// `#![forbid(unsafe_code)]`.
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs"
+        || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+}
+
+/// A parsed inline `// lint:allow(rule, ...): reason` suppression.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rules: Vec<String>,
+    has_reason: bool,
+    line: u32,
+    end_line: u32,
+}
+
+impl Suppression {
+    fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule) && line >= self.line && line <= self.end_line + 1
+    }
+}
+
+/// Everything the rules need about one file.
+struct Analysis {
+    path: String,
+    kind: FileKind,
+    tokens: Vec<Token>,
+    in_test: Vec<bool>,
+    suppressions: Vec<Suppression>,
+    structs: Vec<StructInfo>,
+    drop_impls: Vec<String>,
+}
+
+/// One struct definition with the facts the secret rules care about.
+#[derive(Debug)]
+struct StructInfo {
+    name: String,
+    line: u32,
+    derives: Vec<String>,
+    /// `(field_name, rendered_type)`; tuple fields have an empty name.
+    fields: Vec<(String, String)>,
+    in_test: bool,
+}
+
+impl StructInfo {
+    /// A struct is secret-bearing when its own name is in the secret
+    /// lexicon and it has a container-typed payload field, or when one of
+    /// its fields both names a secret and is a container. Metadata fields
+    /// (`selector_bits`, `key_count`, ...) never qualify, so types like
+    /// `KeyMapInference` that only *describe* keys stay clean.
+    fn is_secret_bearing(&self) -> bool {
+        let name_secret = secrets::is_secret_ident(&self.name);
+        self.fields.iter().any(|(fname, fty)| {
+            if !secrets::is_container_type(fty) {
+                return false;
+            }
+            if field_is_secret(fname) {
+                return true;
+            }
+            name_secret && !field_is_metadata(fname)
+        })
+    }
+}
+
+/// Field-name payload test: carries a secret stem and does not end in a
+/// metadata tail.
+fn field_is_secret(name: &str) -> bool {
+    if name.is_empty() {
+        return false;
+    }
+    let segs = secrets::segments(name);
+    segs.iter().any(|s| {
+        secrets::is_secret_ident(s) // single-segment check against the stems
+    }) && !field_is_metadata(name)
+}
+
+/// Metadata tails for *field names*: sizes, counts, addresses, bit
+/// selections. Deliberately narrower than the expression-level benign set —
+/// a container field named `words` or `bytes` inside a `KeySchedule` is the
+/// key material itself.
+fn field_is_metadata(name: &str) -> bool {
+    const METADATA_TAILS: &[&str] = &[
+        "size", "sizes", "len", "lens", "length", "lengths", "count", "counts", "id", "ids",
+        "idx", "index", "indices", "addr", "addrs", "address", "addresses", "bit", "bits",
+        "offset", "offsets", "policy", "kind", "kinds", "range", "ranges", "width", "widths",
+    ];
+    if name.is_empty() {
+        return true; // tuple fields are judged by type alone via field_is_secret
+    }
+    let segs = secrets::segments(name);
+    match segs.last() {
+        Some(tail) => METADATA_TAILS.contains(&tail.as_str()),
+        None => true,
+    }
+}
+
+/// Macros whose arguments must never see secret identifiers.
+const PRINT_MACROS: &[&str] = &[
+    "println",
+    "print",
+    "eprintln",
+    "eprint",
+    "format",
+    "format_args",
+    "dbg",
+    "write",
+    "writeln",
+];
+
+/// Panicking constructs audited in library code.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Lints a set of in-memory sources as one workspace: runs every per-file
+/// rule, then the cross-file zeroize-on-drop rule, then filters through
+/// inline suppressions and the allowlist. Returned findings are sorted by
+/// `(file, line, rule)`.
+pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Vec<Finding> {
+    let analyses: Vec<Analysis> = files.iter().map(analyze).collect();
+    let mut findings = Vec::new();
+    for a in &analyses {
+        rule_secret_print(a, &mut findings);
+        rule_secret_debug(a, &mut findings);
+        rule_const_time(a, &mut findings);
+        rule_forbid_unsafe(a, &mut findings);
+        rule_truncating_cast(a, &mut findings);
+        rule_panic(a, &mut findings);
+    }
+    rule_zeroize_drop(&analyses, &mut findings);
+
+    // Inline suppressions and the config allowlist silence ordinary
+    // findings; malformed suppressions are reported afterwards and are
+    // never themselves silenceable.
+    findings.retain(|f| {
+        let suppressed = analyses
+            .iter()
+            .find(|a| a.path == f.file)
+            .map_or(false, |a| {
+                a.suppressions
+                    .iter()
+                    .any(|s| s.has_reason && s.covers(f.rule, f.line))
+            });
+        !suppressed && !config.allows_finding(f.rule, &f.file, f.item.as_deref())
+    });
+    for a in &analyses {
+        for s in &a.suppressions {
+            if !s.has_reason {
+                findings.push(Finding {
+                    file: a.path.clone(),
+                    line: s.line,
+                    rule: "suppression",
+                    message: "lint:allow without a reason is ignored; append `: <why>`"
+                        .to_string(),
+                    item: None,
+                });
+            }
+            for r in &s.rules {
+                if !crate::diag::RULE_IDS.contains(&r.as_str()) {
+                    findings.push(Finding {
+                        file: a.path.clone(),
+                        line: s.line,
+                        rule: "suppression",
+                        message: format!("lint:allow names unknown rule `{r}`"),
+                        item: None,
+                    });
+                }
+            }
+        }
+    }
+    findings.sort_by(|x, y| {
+        (x.file.as_str(), x.line, x.rule).cmp(&(y.file.as_str(), y.line, y.rule))
+    });
+    findings
+}
+
+fn analyze(file: &SourceFile) -> Analysis {
+    let lexed = lexer::lex(&file.source);
+    let in_test = mark_test_spans(&lexed.tokens);
+    let suppressions = parse_suppressions(&lexed.comments);
+    let (structs, drop_impls) = parse_items(&lexed.tokens, &in_test);
+    Analysis {
+        path: file.path.clone(),
+        kind: classify(&file.path),
+        tokens: lexed.tokens,
+        in_test,
+        suppressions,
+        structs,
+        drop_impls,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == text
+}
+
+/// Marks the token spans belonging to `#[cfg(test)]` / `#[test]` items so
+/// rules can skip test code.
+fn mark_test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![...]`: skip, never a test marker.
+        if tokens.get(i + 1).map_or(false, |t| t.text == "!") {
+            i += 1;
+            continue;
+        }
+        if !tokens.get(i + 1).map_or(false, |t| t.text == "[") {
+            i += 1;
+            continue;
+        }
+        let attr_end = match matching(tokens, i + 1, "[", "]") {
+            Some(e) => e,
+            None => break,
+        };
+        let body = &tokens[i + 2..attr_end];
+        let has = |name: &str| body.iter().any(|t| is_ident(t, name));
+        let is_test_attr = (has("cfg") && has("test") && !has("not"))
+            || body.first().map_or(false, |t| is_ident(t, "test"));
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further outer attributes, then consume the item.
+        let mut j = attr_end + 1;
+        while tokens.get(j).map_or(false, |t| t.text == "#")
+            && tokens.get(j + 1).map_or(false, |t| t.text == "[")
+        {
+            match matching(tokens, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => return in_test,
+            }
+        }
+        // Find the item body: first `{` (then match braces) or `;` at
+        // paren depth 0.
+        let mut paren = 0i32;
+        let mut end = None;
+        let mut k = j;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "{" if paren == 0 => {
+                    end = matching(tokens, k, "{", "}");
+                    break;
+                }
+                ";" if paren == 0 => {
+                    end = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = end.unwrap_or(tokens.len() - 1);
+        for flag in in_test.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+/// Index of the token matching the opener at `open_idx`.
+fn matching(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Parses `lint:allow(...)` suppressions out of the comment stream. Doc
+/// comments never carry suppressions — they are prose that may *mention*
+/// the syntax.
+fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let is_doc = c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let Some(start) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &c.text[start + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| normalize_rule(r.trim()))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let after = rest[close + 1..].trim_start();
+        let has_reason = after
+            .strip_prefix(':')
+            .map_or(false, |reason| !reason.trim().is_empty());
+        out.push(Suppression {
+            rules,
+            has_reason,
+            line: c.line,
+            end_line: c.end_line,
+        });
+    }
+    out
+}
+
+/// Accepts the short alias the issue tracker uses for the zeroize rule.
+fn normalize_rule(r: &str) -> String {
+    if r == "zeroize" {
+        "zeroize-drop".to_string()
+    } else {
+        r.to_string()
+    }
+}
+
+/// One linear pass extracting struct definitions (with their derive
+/// attributes and fields) and `impl Drop for X` targets.
+fn parse_items(tokens: &[Token], in_test: &[bool]) -> (Vec<StructInfo>, Vec<String>) {
+    let mut structs = Vec::new();
+    let mut drops = Vec::new();
+    let mut pending_derives: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.text == "#" && tokens.get(i + 1).map_or(false, |n| n.text == "[") {
+            if let Some(end) = matching(tokens, i + 1, "[", "]") {
+                let body = &tokens[i + 2..end];
+                if body.first().map_or(false, |b| is_ident(b, "derive")) {
+                    pending_derives.extend(
+                        body.iter()
+                            .skip(1)
+                            .filter(|b| b.kind == TokenKind::Ident)
+                            .map(|b| b.text.clone()),
+                    );
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        if t.kind == TokenKind::Ident {
+            match t.text.as_str() {
+                "struct" => {
+                    if let Some(info) =
+                        parse_struct(tokens, i, std::mem::take(&mut pending_derives), in_test)
+                    {
+                        structs.push(info);
+                    }
+                }
+                "Drop" => {
+                    if tokens.get(i + 1).map_or(false, |n| is_ident(n, "for")) {
+                        if let Some(name) =
+                            tokens.get(i + 2).filter(|n| n.kind == TokenKind::Ident)
+                        {
+                            drops.push(name.text.clone());
+                        }
+                    }
+                }
+                "enum" | "fn" | "impl" | "trait" | "mod" | "union" | "const" | "static"
+                | "type" | "use" | "let" | "macro" => pending_derives.clear(),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (structs, drops)
+}
+
+fn parse_struct(
+    tokens: &[Token],
+    struct_idx: usize,
+    derives: Vec<String>,
+    in_test: &[bool],
+) -> Option<StructInfo> {
+    let name_tok = tokens.get(struct_idx + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut i = struct_idx + 2;
+    // Skip generic parameters.
+    if tokens.get(i).map_or(false, |t| t.text == "<") {
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match tokens[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Skip a where-clause, if any, up to the body.
+    while i < tokens.len() && !matches!(tokens[i].text.as_str(), "{" | "(" | ";") {
+        i += 1;
+    }
+    let mut fields = Vec::new();
+    match tokens.get(i).map(|t| t.text.as_str()) {
+        Some("{") => {
+            let end = matching(tokens, i, "{", "}")?;
+            let mut j = i + 1;
+            while j < end {
+                // Skip field attributes and visibility.
+                while j < end && tokens[j].text == "#" {
+                    j = matching(tokens, j + 1, "[", "]")? + 1;
+                }
+                if tokens.get(j).map_or(false, |t| is_ident(t, "pub")) {
+                    j += 1;
+                    if tokens.get(j).map_or(false, |t| t.text == "(") {
+                        j = matching(tokens, j, "(", ")")? + 1;
+                    }
+                }
+                if j >= end || tokens[j].kind != TokenKind::Ident {
+                    break;
+                }
+                let fname = tokens[j].text.clone();
+                j += 1;
+                if !tokens.get(j).map_or(false, |t| t.text == ":") {
+                    break;
+                }
+                j += 1;
+                let (ty, next) = read_type(tokens, j, end);
+                fields.push((fname, ty));
+                j = next;
+                if tokens.get(j).map_or(false, |t| t.text == ",") {
+                    j += 1;
+                }
+            }
+        }
+        Some("(") => {
+            let end = matching(tokens, i, "(", ")")?;
+            let mut j = i + 1;
+            while j < end {
+                while j < end && tokens[j].text == "#" {
+                    j = matching(tokens, j + 1, "[", "]")? + 1;
+                }
+                if tokens.get(j).map_or(false, |t| is_ident(t, "pub")) {
+                    j += 1;
+                    if tokens.get(j).map_or(false, |t| t.text == "(") {
+                        j = matching(tokens, j, "(", ")")? + 1;
+                    }
+                }
+                let (ty, next) = read_type(tokens, j, end);
+                fields.push((String::new(), ty));
+                j = next;
+                if tokens.get(j).map_or(false, |t| t.text == ",") {
+                    j += 1;
+                }
+            }
+        }
+        _ => {}
+    }
+    Some(StructInfo {
+        name: name_tok.text.clone(),
+        line: tokens[struct_idx].line,
+        derives,
+        fields,
+        in_test: in_test.get(struct_idx).copied().unwrap_or(false),
+    })
+}
+
+/// Reads a type starting at `start`, stopping at a top-level `,` or at
+/// `end`. Returns the rendered type and the index of the stopping token.
+fn read_type(tokens: &[Token], start: usize, end: usize) -> (String, usize) {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut ty = String::new();
+    let mut j = start;
+    while j < end {
+        let text = tokens[j].text.as_str();
+        match text {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "," if angle == 0 && paren == 0 && bracket == 0 => break,
+            _ => {}
+        }
+        ty.push_str(text);
+        j += 1;
+    }
+    (ty, j)
+}
+
+/// Idents that are "size observations" of a secret (`key.len()`,
+/// `keys.is_empty()`): branching or comparing on these is fine.
+fn is_len_observation(tokens: &[Token], ident_idx: usize) -> bool {
+    tokens.get(ident_idx + 1).map_or(false, |d| d.text == ".")
+        && tokens.get(ident_idx + 2).map_or(false, |m| {
+            matches!(m.text.as_str(), "len" | "is_empty" | "capacity")
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// Rule `secret-print`: secret identifiers must not reach formatting /
+/// printing macros, either as arguments or as `{ident}` inline captures.
+fn rule_secret_print(a: &Analysis, findings: &mut Vec<Finding>) {
+    if !matches!(a.kind, FileKind::Lib | FileKind::Bin | FileKind::Example) {
+        return;
+    }
+    let toks = &a.tokens;
+    for i in 0..toks.len() {
+        if a.in_test[i] {
+            continue;
+        }
+        if toks[i].kind != TokenKind::Ident || !PRINT_MACROS.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        if !toks.get(i + 1).map_or(false, |t| t.text == "!") {
+            continue;
+        }
+        let Some(open) = toks.get(i + 2) else { continue };
+        let (oc, cc) = match open.text.as_str() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => continue,
+        };
+        let Some(end) = matching(toks, i + 2, oc, cc) else {
+            continue;
+        };
+        let macro_name = toks[i].text.clone();
+        for j in i + 3..end {
+            let t = &toks[j];
+            let mut hit: Option<String> = None;
+            if t.kind == TokenKind::Ident
+                && secrets::is_secret_ident(&t.text)
+                && !is_len_observation(toks, j)
+            {
+                hit = Some(t.text.clone());
+            } else if t.kind == TokenKind::Literal && t.text.contains('{') {
+                hit = format_capture_secret(&t.text);
+            }
+            if let Some(ident) = hit {
+                findings.push(Finding {
+                    file: a.path.clone(),
+                    line: t.line,
+                    rule: "secret-print",
+                    message: format!(
+                        "secret identifier `{ident}` reaches `{macro_name}!`; key material \
+                         must never be formatted"
+                    ),
+                    item: Some(ident),
+                });
+                break; // one finding per macro invocation
+            }
+        }
+    }
+}
+
+/// Scans a format string body for `{ident}` / `{ident:spec}` captures that
+/// name secrets.
+fn format_capture_secret(body: &str) -> Option<String> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                i += 2;
+                continue;
+            }
+            let mut name = String::new();
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                name.push(chars[j]);
+                j += 1;
+            }
+            let terminated = matches!(chars.get(j), Some(':') | Some('}'));
+            if terminated && !name.is_empty() && secrets::is_secret_ident(&name) {
+                return Some(name);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Rule `secret-debug`: a secret-bearing struct must not derive `Debug`
+/// (write a redacting manual impl instead, or allowlist with a reason).
+fn rule_secret_debug(a: &Analysis, findings: &mut Vec<Finding>) {
+    if a.kind != FileKind::Lib {
+        return;
+    }
+    for s in &a.structs {
+        if s.in_test || !s.is_secret_bearing() {
+            continue;
+        }
+        if s.derives.iter().any(|d| d == "Debug") {
+            findings.push(Finding {
+                file: a.path.clone(),
+                line: s.line,
+                rule: "secret-debug",
+                message: format!(
+                    "secret-bearing struct `{}` derives `Debug`, exposing key material via \
+                     `{{:?}}`; write a redacting manual impl",
+                    s.name
+                ),
+                item: Some(s.name.clone()),
+            });
+        }
+    }
+}
+
+/// Rule `zeroize-drop`: secret-bearing structs in the victim-side crates
+/// (`crypto`, `veracrypt`) must implement `Drop` so key bytes do not
+/// linger in freed memory — the exact remanence the paper exploits.
+fn rule_zeroize_drop(analyses: &[Analysis], findings: &mut Vec<Finding>) {
+    let mut crate_drops: Vec<(&str, &Vec<String>)> = Vec::new();
+    for a in analyses {
+        crate_drops.push((crate_of(&a.path), &a.drop_impls));
+    }
+    for a in analyses {
+        let krate = crate_of(&a.path);
+        if a.kind != FileKind::Lib || !matches!(krate, "crypto" | "veracrypt") {
+            continue;
+        }
+        for s in &a.structs {
+            if s.in_test || !s.is_secret_bearing() {
+                continue;
+            }
+            let has_drop = crate_drops
+                .iter()
+                .any(|(c, drops)| *c == krate && drops.iter().any(|d| d == &s.name));
+            if !has_drop {
+                findings.push(Finding {
+                    file: a.path.clone(),
+                    line: s.line,
+                    rule: "zeroize-drop",
+                    message: format!(
+                        "secret-bearing struct `{}` has no `Drop` impl; zeroize key material \
+                         before the allocation is freed",
+                        s.name
+                    ),
+                    item: Some(s.name.clone()),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `const-time`: early-exit `==`/`!=` on secret identifiers in the
+/// crypto, veracrypt, and core crates, plus secret-dependent `if`/`match`
+/// branches inside `crates/crypto` itself.
+fn rule_const_time(a: &Analysis, findings: &mut Vec<Finding>) {
+    let krate = crate_of(&a.path);
+    if a.kind != FileKind::Lib || !matches!(krate, "crypto" | "veracrypt" | "core") {
+        return;
+    }
+    let toks = &a.tokens;
+    for i in 0..toks.len() {
+        if a.in_test[i] {
+            continue;
+        }
+        let text = toks[i].text.as_str();
+        if toks[i].kind == TokenKind::Punct && (text == "==" || text == "!=") {
+            if let Some(ident) = secret_operand(toks, i) {
+                findings.push(Finding {
+                    file: a.path.clone(),
+                    line: toks[i].line,
+                    rule: "const-time",
+                    message: format!(
+                        "`{text}` on secret `{ident}` is an early-exit comparison; use the \
+                         constant-time helpers in `coldboot_crypto::ct`"
+                    ),
+                    item: Some(ident),
+                });
+            }
+        }
+        if krate == "crypto"
+            && toks[i].kind == TokenKind::Ident
+            && (text == "if" || text == "match")
+        {
+            // `if let` is a destructuring bind, not a data-dependent branch.
+            if toks.get(i + 1).map_or(false, |t| is_ident(t, "let")) {
+                continue;
+            }
+            if let Some(ident) = secret_in_condition(toks, i) {
+                findings.push(Finding {
+                    file: a.path.clone(),
+                    line: toks[i].line,
+                    rule: "const-time",
+                    message: format!(
+                        "`{text}` branches on secret `{ident}`; secret-dependent control \
+                         flow leaks timing"
+                    ),
+                    item: Some(ident),
+                });
+            }
+        }
+    }
+}
+
+/// Looks for a secret identifier among the operands adjacent to a
+/// comparison operator at `op_idx`.
+fn secret_operand(tokens: &[Token], op_idx: usize) -> Option<String> {
+    let boundary = |t: &Token| {
+        matches!(
+            t.text.as_str(),
+            ";" | "{" | "}" | "," | "&&" | "||" | "=" | "(" | ")"
+        ) || matches!(t.text.as_str(), "if" | "while" | "let" | "return" | "match")
+    };
+    // Walk outward in both directions until a clause boundary, bounded to a
+    // small window: comparisons are syntactically local.
+    for dir in [-1i64, 1i64] {
+        let mut steps = 0;
+        let mut j = op_idx as i64 + dir;
+        while j >= 0 && (j as usize) < tokens.len() && steps < 10 {
+            let t = &tokens[j as usize];
+            if boundary(t) {
+                break;
+            }
+            if t.kind == TokenKind::Ident
+                && secrets::is_secret_ident(&t.text)
+                && !is_len_observation(tokens, j as usize)
+            {
+                return Some(t.text.clone());
+            }
+            j += dir;
+            steps += 1;
+        }
+    }
+    None
+}
+
+/// Looks for a secret identifier inside the condition of an `if`/`match`
+/// starting at `kw_idx` (tokens up to the opening `{`).
+fn secret_in_condition(tokens: &[Token], kw_idx: usize) -> Option<String> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for j in kw_idx + 1..tokens.len() {
+        let t = &tokens[j];
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => return None,
+            ";" => return None,
+            _ => {}
+        }
+        if t.kind == TokenKind::Ident
+            && secrets::is_secret_ident(&t.text)
+            && !is_len_observation(tokens, j)
+        {
+            return Some(t.text.clone());
+        }
+    }
+    None
+}
+
+/// Rule `forbid-unsafe`: every crate root keeps `#![forbid(unsafe_code)]`.
+fn rule_forbid_unsafe(a: &Analysis, findings: &mut Vec<Finding>) {
+    if !is_crate_root(&a.path) {
+        return;
+    }
+    let toks = &a.tokens;
+    let expected = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    let present = (0..toks.len().saturating_sub(expected.len() - 1)).any(|i| {
+        expected
+            .iter()
+            .enumerate()
+            .all(|(k, want)| toks[i + k].text == *want)
+    });
+    if !present {
+        findings.push(Finding {
+            file: a.path.clone(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            item: None,
+        });
+    }
+}
+
+/// Rule `truncating-cast`: `as u8/u16/u32/usize` applied to address
+/// arithmetic in the DRAM mapping/geometry modules can silently truncate a
+/// physical address.
+fn rule_truncating_cast(a: &Analysis, findings: &mut Vec<Finding>) {
+    if a.path != "crates/dram/src/mapping.rs" && a.path != "crates/dram/src/geometry.rs" {
+        return;
+    }
+    const NARROW: &[&str] = &["u8", "u16", "u32", "usize"];
+    const ADDR_HINTS: &[&str] = &[
+        "addr", "address", "phys", "physical", "index", "idx", "row", "col", "column", "bank",
+        "rank", "channel", "page", "frame", "cursor", "base",
+    ];
+    let toks = &a.tokens;
+    for i in 0..toks.len() {
+        if a.in_test[i] || !is_ident(&toks[i], "as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else { continue };
+        if target.kind != TokenKind::Ident || !NARROW.contains(&target.text.as_str()) {
+            continue;
+        }
+        // Scan the cast operand backwards to the start of the expression.
+        let mut j = i as i64 - 1;
+        let mut steps = 0;
+        while j >= 0 && steps < 16 {
+            let t = &toks[j as usize];
+            if matches!(t.text.as_str(), ";" | "{" | "}" | "=" | ",")
+                || matches!(t.text.as_str(), "let" | "return")
+            {
+                break;
+            }
+            if t.kind == TokenKind::Ident {
+                let addr_like = secrets::segments(&t.text)
+                    .iter()
+                    .any(|s| ADDR_HINTS.contains(&s.as_str()));
+                if addr_like {
+                    findings.push(Finding {
+                        file: a.path.clone(),
+                        line: toks[i].line,
+                        rule: "truncating-cast",
+                        message: format!(
+                            "`as {}` on address-derived value `{}` can silently truncate a \
+                             physical address",
+                            target.text, t.text
+                        ),
+                        item: Some(t.text.clone()),
+                    });
+                    break;
+                }
+            }
+            j -= 1;
+            steps += 1;
+        }
+    }
+}
+
+/// Rule `panic`: no `unwrap()`, `expect()`, `panic!`, `unreachable!`,
+/// `todo!`, or `unimplemented!` in non-test library code.
+fn rule_panic(a: &Analysis, findings: &mut Vec<Finding>) {
+    if a.kind != FileKind::Lib {
+        return;
+    }
+    let toks = &a.tokens;
+    for i in 0..toks.len() {
+        if a.in_test[i] || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = toks[i].text.as_str();
+        let is_method_panic = (text == "unwrap" || text == "expect")
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map_or(false, |t| t.text == "(");
+        let is_macro_panic = PANIC_MACROS.contains(&text)
+            && toks.get(i + 1).map_or(false, |t| t.text == "!");
+        if is_method_panic || is_macro_panic {
+            let display = if is_macro_panic {
+                format!("{text}!")
+            } else {
+                format!("{text}()")
+            };
+            findings.push(Finding {
+                file: a.path.clone(),
+                line: toks[i].line,
+                rule: "panic",
+                message: format!(
+                    "`{display}` in library code; propagate an error or justify with \
+                     lint:allow(panic)"
+                ),
+                item: Some(text.to_string()),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Vec<Finding> {
+        lint_sources(
+            &[SourceFile {
+                path: path.to_string(),
+                source: src.to_string(),
+            }],
+            &LintConfig::default(),
+        )
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/core/src/attack.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/core/src/bin/demo.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/core/tests/e2e.rs"), FileKind::Test);
+        assert_eq!(classify("crates/bench/benches/b.rs"), FileKind::Bench);
+        assert_eq!(classify("examples/ex.rs"), FileKind::Example);
+        assert_eq!(classify("tests/lint_gate.rs"), FileKind::Test);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+    }
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_of("crates/crypto/src/xts.rs"), "crypto");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+        assert_eq!(crate_of("tests/lint_gate.rs"), "root");
+    }
+
+    #[test]
+    fn test_spans_are_marked() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn b() { y.unwrap(); }\n}";
+        let findings = lint_one("crates/core/src/a.rs", src);
+        let panics: Vec<_> = findings.iter().filter(|f| f.rule == "panic").collect();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].line, 1);
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "fn a() {\n    // lint:allow(panic): structurally infallible here\n    x.unwrap();\n}";
+        let findings = lint_one("crates/core/src/a.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_reported() {
+        let src = "fn a() {\n    // lint:allow(panic)\n    x.unwrap();\n}";
+        let findings = lint_one("crates/core/src/a.rs", src);
+        assert!(findings.iter().any(|f| f.rule == "panic"));
+        assert!(findings.iter().any(|f| f.rule == "suppression"));
+    }
+
+    #[test]
+    fn forbid_unsafe_only_on_crate_roots() {
+        let missing = lint_one("crates/core/src/lib.rs", "pub fn f() {}");
+        assert!(missing.iter().any(|f| f.rule == "forbid-unsafe"));
+        let present = lint_one(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+        );
+        assert!(present.iter().all(|f| f.rule != "forbid-unsafe"));
+        let non_root = lint_one("crates/core/src/other.rs", "pub fn f() {}");
+        assert!(non_root.iter().all(|f| f.rule != "forbid-unsafe"));
+    }
+
+    #[test]
+    fn drop_impl_satisfies_zeroize() {
+        let src = "pub struct RoundKeys { words: Vec<u32> }\nimpl Drop for RoundKeys { fn drop(&mut self) {} }";
+        let findings = lint_one("crates/crypto/src/k.rs", src);
+        assert!(findings.iter().all(|f| f.rule != "zeroize-drop"), "{findings:?}");
+    }
+
+    #[test]
+    fn zeroize_flags_secret_struct_without_drop() {
+        let src = "pub struct RoundKeys { words: Vec<u32> }";
+        let findings = lint_one("crates/crypto/src/k.rs", src);
+        assert!(findings.iter().any(|f| f.rule == "zeroize-drop" && f.item.as_deref() == Some("RoundKeys")));
+        // Outside crypto/veracrypt the rule does not apply.
+        let elsewhere = lint_one("crates/scrambler/src/k.rs", src);
+        assert!(elsewhere.iter().all(|f| f.rule != "zeroize-drop"));
+    }
+
+    #[test]
+    fn format_capture_detection() {
+        assert_eq!(
+            format_capture_secret("round trip {master_key:02x}"),
+            Some("master_key".to_string())
+        );
+        assert_eq!(format_capture_secret("count {n} of {total}"), None);
+        assert_eq!(format_capture_secret("escaped {{key}}"), None);
+    }
+}

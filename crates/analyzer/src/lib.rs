@@ -1,0 +1,55 @@
+//! `coldboot-analyzer` — secret-hygiene static analysis for the cold-boot
+//! reproduction workspace.
+//!
+//! The paper's whole premise is that key material (scrambler keystreams,
+//! AES round-key schedules, XTS master keys) leaks when it touches memory
+//! in recoverable form. A reproduction that `Debug`-prints a round key,
+//! compares key bytes with early-exit `==`, or leaves master keys
+//! un-zeroized on drop undermines its own threat model. This crate
+//! enforces those properties mechanically: a hand-rolled lexer feeds a
+//! rule engine that walks every `.rs` file in the workspace, and
+//! `tests/lint_gate.rs` at the workspace root turns the result into a CI
+//! gate.
+//!
+//! Rules: `secret-print`, `secret-debug`, `zeroize-drop`, `const-time`,
+//! `forbid-unsafe`, `truncating-cast`, `panic`, plus the `suppression`
+//! meta-rule policing `// lint:allow(rule): reason` annotations. See
+//! DESIGN.md ("Static analysis") for each rule's paper rationale.
+//!
+//! The crate is deliberately std-only so the gate runs in offline build
+//! environments.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod secrets;
+pub mod walk;
+
+pub use config::LintConfig;
+pub use diag::{render_json, render_text, Finding, RULE_IDS};
+pub use engine::{lint_sources, SourceFile};
+
+use std::io;
+use std::path::Path;
+
+/// Lints every `.rs` file under `root` against `config`. This is the
+/// entry point both the `coldboot-lint` binary and the workspace lint
+/// gate use.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Finding>> {
+    let sources = walk::collect_sources(root)?;
+    Ok(engine::lint_sources(&sources, config))
+}
+
+/// Loads `lint.toml` from `root` if present; a missing file is an empty
+/// allowlist, a malformed one is an error.
+pub fn load_config(root: &Path) -> Result<LintConfig, String> {
+    let path = root.join("lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => LintConfig::parse(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(LintConfig::default()),
+        Err(e) => Err(format!("failed to read {}: {e}", path.display())),
+    }
+}

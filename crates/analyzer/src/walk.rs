@@ -1,0 +1,52 @@
+//! Workspace traversal: collects every `.rs` file under the workspace
+//! root, skipping build output, VCS metadata, and the analyzer's own lint
+//! fixtures (which contain deliberate violations).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::engine::SourceFile;
+
+/// Directory names that are never walked.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".claude", "fixtures"];
+
+/// Reads every workspace `.rs` file into memory, with paths relative to
+/// `root` using `/` separators, sorted for deterministic output.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let source = fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push(SourceFile { path: rel, source });
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! True negative: observing a key's *length* is not key-dependent.
+pub fn valid(key: &[u8]) -> bool {
+    key.len() == 32
+}

@@ -1,0 +1,4 @@
+//! True positive: early-exit equality on key bytes.
+pub fn matches(key: &[u8], candidate_key: &[u8]) -> bool {
+    key == candidate_key
+}

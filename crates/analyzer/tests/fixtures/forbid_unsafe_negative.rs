@@ -1,0 +1,3 @@
+//! True negative: crate root forbids unsafe code.
+#![forbid(unsafe_code)]
+pub fn f() {}

@@ -1,0 +1,2 @@
+//! True positive: crate root missing `#![forbid(unsafe_code)]`.
+pub fn f() {}

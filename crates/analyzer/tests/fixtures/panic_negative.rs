@@ -1,0 +1,12 @@
+//! True negative: `unwrap` confined to a test module.
+pub fn first(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn first_works() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,4 @@
+//! True positive: `unwrap` in non-test library code.
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}

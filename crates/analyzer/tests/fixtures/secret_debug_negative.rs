@@ -1,0 +1,12 @@
+//! True negative: `Debug` is hand-written and redacts the key bytes.
+pub struct Recovered {
+    pub master_key: [u8; 32],
+}
+
+impl std::fmt::Debug for Recovered {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recovered")
+            .field("master_key", &"[redacted]")
+            .finish()
+    }
+}

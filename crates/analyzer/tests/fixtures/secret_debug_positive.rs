@@ -1,0 +1,5 @@
+//! True positive: `Debug` derived on a struct holding key bytes.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    pub master_key: [u8; 32],
+}

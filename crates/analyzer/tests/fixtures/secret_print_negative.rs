@@ -1,0 +1,4 @@
+//! True negative: only key *metadata* (a length) is printed.
+pub fn report(key_len: usize) {
+    println!("schedule length = {key_len}");
+}

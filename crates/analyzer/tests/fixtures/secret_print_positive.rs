@@ -1,0 +1,4 @@
+//! True positive: a round key reaches a formatting macro.
+pub fn leak(round_key: &[u8]) {
+    println!("{:?}", round_key);
+}

@@ -1,0 +1,5 @@
+//! A reasonless suppression is itself a finding and suppresses nothing.
+pub fn checked(xs: &[u8]) -> u8 {
+    // lint:allow(panic)
+    *xs.first().unwrap()
+}

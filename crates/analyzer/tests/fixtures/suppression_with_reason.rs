@@ -1,0 +1,5 @@
+//! A justified suppression silences the finding.
+pub fn checked(xs: &[u8]) -> u8 {
+    // lint:allow(panic): caller guarantees xs is non-empty
+    *xs.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//! True negative: widening a field width is not address arithmetic.
+pub fn widen(width: u16) -> u64 {
+    u64::from(width)
+}

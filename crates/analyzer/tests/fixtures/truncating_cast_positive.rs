@@ -1,0 +1,4 @@
+//! True positive: address arithmetic truncated by `as u32`.
+pub fn row_of(phys_addr: u64) -> u32 {
+    (phys_addr >> 18) as u32
+}

@@ -1,0 +1,13 @@
+//! True negative: the same struct zeroizes its key material on drop.
+pub struct Expanded {
+    pub round_keys: Vec<u32>,
+}
+
+impl Drop for Expanded {
+    fn drop(&mut self) {
+        for w in self.round_keys.iter_mut() {
+            *w = 0;
+        }
+        std::hint::black_box(&self.round_keys);
+    }
+}

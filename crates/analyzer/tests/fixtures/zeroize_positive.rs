@@ -1,0 +1,4 @@
+//! True positive: key-bearing struct in a victim-side crate without `Drop`.
+pub struct Expanded {
+    pub round_keys: Vec<u32>,
+}

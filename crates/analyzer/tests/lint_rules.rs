@@ -1,0 +1,225 @@
+//! Fixture-driven integration tests for the lint rules.
+//!
+//! Every rule has at least one true-positive and one true-negative fixture
+//! under `tests/fixtures/`. Fixtures are fed to [`lint_sources`] under
+//! *virtual* workspace paths so the path-scoped rules (crypto-only
+//! const-time, dram-only truncating-cast, crate-root forbid-unsafe) see
+//! the location they police.
+
+use coldboot_analyzer::{lint_sources, Finding, LintConfig, SourceFile};
+
+fn lint(virtual_path: &str, source: &str) -> Vec<Finding> {
+    lint_with(virtual_path, source, &LintConfig::default())
+}
+
+fn lint_with(virtual_path: &str, source: &str, config: &LintConfig) -> Vec<Finding> {
+    let files = vec![SourceFile {
+        path: virtual_path.to_string(),
+        source: source.to_string(),
+    }];
+    lint_sources(&files, config)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn secret_print_true_positive() {
+    let findings = lint(
+        "crates/crypto/src/fix.rs",
+        include_str!("fixtures/secret_print_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["secret-print"], "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+    assert_eq!(findings[0].item.as_deref(), Some("round_key"));
+}
+
+#[test]
+fn secret_print_true_negative() {
+    let findings = lint(
+        "crates/crypto/src/fix.rs",
+        include_str!("fixtures/secret_print_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn secret_debug_true_positive() {
+    // Placed outside crypto/veracrypt so only the Debug rule fires.
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/secret_debug_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["secret-debug"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("Recovered"));
+}
+
+#[test]
+fn secret_debug_true_negative() {
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/secret_debug_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn zeroize_true_positive() {
+    let findings = lint(
+        "crates/crypto/src/fix.rs",
+        include_str!("fixtures/zeroize_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["zeroize-drop"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("Expanded"));
+}
+
+#[test]
+fn zeroize_true_negative() {
+    let findings = lint(
+        "crates/crypto/src/fix.rs",
+        include_str!("fixtures/zeroize_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn zeroize_scoped_to_victim_crates() {
+    // The same Drop-less struct outside crypto/veracrypt is attacker-side
+    // working state and is not flagged.
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/zeroize_positive.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn const_time_true_positive() {
+    let findings = lint(
+        "crates/crypto/src/fix.rs",
+        include_str!("fixtures/const_time_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["const-time"], "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn const_time_true_negative() {
+    let findings = lint(
+        "crates/crypto/src/fix.rs",
+        include_str!("fixtures/const_time_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn forbid_unsafe_true_positive() {
+    let findings = lint(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/forbid_unsafe_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["forbid-unsafe"], "{findings:?}");
+}
+
+#[test]
+fn forbid_unsafe_true_negative() {
+    let findings = lint(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/forbid_unsafe_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn truncating_cast_true_positive() {
+    let findings = lint(
+        "crates/dram/src/mapping.rs",
+        include_str!("fixtures/truncating_cast_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["truncating-cast"], "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn truncating_cast_true_negative() {
+    let findings = lint(
+        "crates/dram/src/mapping.rs",
+        include_str!("fixtures/truncating_cast_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_true_positive() {
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/panic_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["panic"], "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn panic_true_negative() {
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/panic_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn suppression_with_reason_silences_finding() {
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/suppression_with_reason.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn suppression_without_reason_is_itself_a_finding() {
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/suppression_missing_reason.rs"),
+    );
+    let got = rules(&findings);
+    assert!(got.contains(&"panic"), "original finding must survive: {findings:?}");
+    assert!(got.contains(&"suppression"), "reasonless allow must be reported: {findings:?}");
+}
+
+#[test]
+fn config_allowlist_silences_matching_finding() {
+    let config = LintConfig::parse(concat!(
+        "[[allow]]\n",
+        "rule = \"secret-debug\"\n",
+        "path = \"crates/core/src/fix.rs\"\n",
+        "item = \"Recovered\"\n",
+        "reason = \"attacker-side output struct\"\n",
+    ))
+    .expect("valid allowlist");
+    let findings = lint_with(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/secret_debug_positive.rs"),
+        &config,
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn config_allowlist_is_path_scoped() {
+    let config = LintConfig::parse(concat!(
+        "[[allow]]\n",
+        "rule = \"secret-debug\"\n",
+        "path = \"crates/scrambler/\"\n",
+        "reason = \"scoped elsewhere\"\n",
+    ))
+    .expect("valid allowlist");
+    let findings = lint_with(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/secret_debug_positive.rs"),
+        &config,
+    );
+    assert_eq!(rules(&findings), vec!["secret-debug"], "{findings:?}");
+}

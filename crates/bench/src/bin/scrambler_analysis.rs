@@ -18,7 +18,7 @@ use coldboot_scrambler::controller::{BiosConfig, Machine, MachineError};
 use std::collections::{HashMap, HashSet};
 
 struct Census {
-    distinct_keys: usize,
+    distinct_key_count: usize,
     litmus_pass_pct: f64,
     cross_boot_classes: usize,
     sharing_stable: bool,
@@ -72,7 +72,7 @@ fn analyze(uarch: Microarchitecture, id: u64) -> Result<Census, MachineError> {
     let buggy_bios_reuses_seed = before == buggy.transform().keystream(0);
 
     Ok(Census {
-        distinct_keys: distinct.len(),
+        distinct_key_count: distinct.len(),
         litmus_pass_pct: 100.0 * litmus_pass as f64 / keys.len() as f64,
         cross_boot_classes: xor_classes.len(),
         sharing_stable,
@@ -86,11 +86,11 @@ fn main() {
         ("DDR4 (Skylake)", Microarchitecture::Skylake, 4096, 4096),
     ];
     let mut rows = Vec::new();
-    for (i, (name, uarch, paper_keys, paper_classes)) in configs.iter().enumerate() {
+    for (i, (name, uarch, paper_key_count, paper_classes)) in configs.iter().enumerate() {
         let c = analyze(*uarch, i as u64 + 1).expect("analysis failed");
         rows.push(vec![
             name.to_string(),
-            format!("{} (paper: {})", c.distinct_keys, paper_keys),
+            format!("{} (paper: {})", c.distinct_key_count, paper_key_count),
             format!("{:.1}%", c.litmus_pass_pct),
             format!("{} (paper: {})", c.cross_boot_classes, paper_classes),
             c.sharing_stable.to_string(),

@@ -251,14 +251,9 @@ pub mod ddr3 {
     /// dominate real memory, that key is simply the most frequent block
     /// value of the after-reboot view.
     ///
-    /// # Panics
-    ///
-    /// Panics if the dump is empty.
-    pub fn universal_key(after_reboot_view: &MemoryDump) -> CandidateKey {
-        frequency_keys(after_reboot_view, 1)
-            .into_iter()
-            .next()
-            .expect("non-empty dump")
+    /// Returns `None` if the dump contains no blocks.
+    pub fn universal_key(after_reboot_view: &MemoryDump) -> Option<CandidateKey> {
+        frequency_keys(after_reboot_view, 1).into_iter().next()
     }
 
     /// Descrambles an entire dump with a single key (valid after the
@@ -446,7 +441,7 @@ mod tests {
         // descrambler: data ^ K_boot1 ^ K_boot2 — one universal key on DDR3.
         m.reboot();
         let after = MemoryDump::new(m.dump(0, size).unwrap(), 0);
-        let uni = ddr3::universal_key(&after);
+        let uni = ddr3::universal_key(&after).expect("dump has blocks");
         let plain = ddr3::descramble_all(&after, &uni.key);
         assert_eq!(&plain[0x8000..0x8000 + secret.len()], secret);
         // The whole memory, not just the secret, must be recovered: the

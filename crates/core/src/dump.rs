@@ -66,6 +66,7 @@ impl MemoryDump {
     pub fn block(&self, i: usize) -> &[u8; BLOCK_BYTES] {
         self.data[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES]
             .try_into()
+            // lint:allow(panic): the slice above is exactly BLOCK_BYTES long
             .expect("slice is exactly one block")
     }
 

@@ -42,11 +42,9 @@ impl KeyMapInference {
 /// observations (e.g. the output of
 /// [`crate::attack::zero_fill_key_extraction`]).
 ///
-/// # Panics
-///
-/// Panics if `observations` is empty.
-pub fn infer_key_mapping(observations: &[(u64, [u8; BLOCK_BYTES])]) -> KeyMapInference {
-    assert!(!observations.is_empty(), "need at least one observation");
+/// Returns `None` when `observations` is empty — there is nothing to
+/// infer from.
+pub fn infer_key_mapping(observations: &[(u64, [u8; BLOCK_BYTES])]) -> Option<KeyMapInference> {
     // Intern keys to small ids for cheap comparison.
     let mut key_ids: HashMap<[u8; BLOCK_BYTES], u32> = HashMap::new();
     let mut by_addr: HashMap<u64, u32> = HashMap::new();
@@ -55,7 +53,7 @@ pub fn infer_key_mapping(observations: &[(u64, [u8; BLOCK_BYTES])]) -> KeyMapInf
         let id = *key_ids.entry(*key).or_insert(next);
         by_addr.insert(*addr, id);
     }
-    let max_addr = observations.iter().map(|(a, _)| *a).max().expect("non-empty");
+    let max_addr = observations.iter().map(|(a, _)| *a).max()?;
     let addr_bits_in_play = 64 - max_addr.max(64).leading_zeros();
 
     // Spatial period: smallest power-of-two block count p such that every
@@ -106,12 +104,12 @@ pub fn infer_key_mapping(observations: &[(u64, [u8; BLOCK_BYTES])]) -> KeyMapInf
         }
     }
 
-    KeyMapInference {
+    Some(KeyMapInference {
         distinct_keys: key_ids.len(),
         period_blocks,
         selector_bits,
         ignored_bits,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -133,7 +131,7 @@ mod tests {
     #[test]
     fn infers_low_bit_selection() {
         let obs = observations(4, 256);
-        let inf = infer_key_mapping(&obs);
+        let inf = infer_key_mapping(&obs).expect("non-empty observations");
         assert_eq!(inf.distinct_keys, 16);
         assert_eq!(inf.period_blocks, Some(16));
         assert_eq!(inf.selector_bits, vec![6, 7, 8, 9]);
@@ -144,7 +142,7 @@ mod tests {
     #[test]
     fn infers_larger_pools() {
         let obs = observations(6, 512);
-        let inf = infer_key_mapping(&obs);
+        let inf = infer_key_mapping(&obs).expect("non-empty observations");
         assert_eq!(inf.distinct_keys, 64);
         assert_eq!(inf.period_blocks, Some(64));
         assert_eq!(inf.selector_bits, vec![6, 7, 8, 9, 10, 11]);
@@ -154,7 +152,7 @@ mod tests {
     fn single_key_scrambler_has_no_selector_bits() {
         let key = [9u8; 64];
         let obs: Vec<(u64, [u8; 64])> = (0..64).map(|b| (b * 64, key)).collect();
-        let inf = infer_key_mapping(&obs);
+        let inf = infer_key_mapping(&obs).expect("non-empty observations");
         assert_eq!(inf.distinct_keys, 1);
         assert_eq!(inf.period_blocks, Some(1));
         assert!(inf.selector_bits.is_empty());
@@ -169,15 +167,14 @@ mod tests {
             .into_iter()
             .step_by(2)
             .collect();
-        let inf = infer_key_mapping(&obs);
+        let inf = infer_key_mapping(&obs).expect("non-empty observations");
         assert!(!inf.selector_bits.contains(&6));
         assert!(!inf.ignored_bits.contains(&6));
         assert!(inf.selector_bits.contains(&7));
     }
 
     #[test]
-    #[should_panic(expected = "at least one observation")]
-    fn empty_observations_panic() {
-        infer_key_mapping(&[]);
+    fn empty_observations_yield_none() {
+        assert!(infer_key_mapping(&[]).is_none());
     }
 }

@@ -420,9 +420,11 @@ pub fn search_dump(
                 .map(|part| scope.spawn(move |_| scan_blocks(dump, candidates, config, part)))
                 .collect();
             for h in handles {
+                // lint:allow(panic): join() only errs if the worker panicked; re-raising is the intent
                 all.extend(h.join().expect("scan worker panicked"));
             }
         })
+        // lint:allow(panic): scope() only errs on a child panic; propagate it
         .expect("crossbeam scope failed");
         all
     };

@@ -10,7 +10,7 @@
 //! scrambler never needs to be disabled.
 
 use crate::dump::MemoryDump;
-use coldboot_crypto::hamming;
+use coldboot_crypto::{ct, hamming};
 use coldboot_dram::BLOCK_BYTES;
 use serde::{Deserialize, Serialize};
 
@@ -140,7 +140,7 @@ pub fn mine_candidate_keys(dump: &MemoryDump, config: &MiningConfig) -> Vec<Cand
         if !scrambler_key_litmus(block, config.litmus_tolerance_bits) {
             continue;
         }
-        if config.drop_null_key && block.iter().all(|&b| b == 0) {
+        if config.drop_null_key && ct::is_zero(block) {
             continue;
         }
         if let Some(&idx) = exact.get(block) {

@@ -11,6 +11,8 @@
 //!   image, reconstructs from each, and returns the reconstruction closest
 //!   to the observation.
 
+use std::fmt;
+
 use crate::aes::sbox::{rot_word, sub_word};
 use crate::hamming;
 use crate::InvalidKeyLengthError;
@@ -144,10 +146,36 @@ pub fn expansion_step(size: KeySize, i: usize, prev: u32) -> u32 {
 }
 
 /// A fully expanded AES key schedule.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Holds every round key, so it is exactly the in-memory image the cold
+/// boot attack mines for: `Debug` redacts the words and `Drop` zeroizes
+/// them before the allocation is freed.
+#[derive(Clone, PartialEq, Eq)]
 pub struct KeySchedule {
     size: KeySize,
     words: Vec<u32>,
+}
+
+impl fmt::Debug for KeySchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeySchedule")
+            .field("size", &self.size)
+            .field("words", &"[redacted]")
+            .finish()
+    }
+}
+
+impl Drop for KeySchedule {
+    fn drop(&mut self) {
+        // Best-effort zeroization: `#![forbid(unsafe_code)]` rules out
+        // volatile writes, so pin the cleared buffer with `black_box` to
+        // keep the optimizer from eliding the stores. Simulation-grade —
+        // see DESIGN.md ("Static analysis").
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+        std::hint::black_box(&self.words);
+    }
 }
 
 impl KeySchedule {
@@ -313,12 +341,14 @@ pub fn extend_forward(size: KeySize, window: &[u32], start: usize, count: usize)
     }
     let mut words = window[window.len() - nk..].to_vec();
     let mut out = Vec::with_capacity(count);
+    let mut prev = words[nk - 1];
     for i in end..end + count {
-        let temp = expansion_step(size, i, *words.last().expect("window is non-empty"));
+        let temp = expansion_step(size, i, prev);
         let next = words[words.len() - nk] ^ temp;
         out.push(next);
         words.push(next);
         words.remove(0);
+        prev = next;
     }
     Some(out)
 }

@@ -53,11 +53,30 @@ impl Rounds {
 ///
 /// The block counter is supplied per call, mirroring how the memory
 /// encryption engine derives it from the physical address.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ChaCha {
     key: [u8; 32],
     nonce: [u8; 12],
     rounds: Rounds,
+}
+
+impl core::fmt::Debug for ChaCha {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ChaCha")
+            .field("key", &"[redacted]")
+            .field("nonce", &self.nonce)
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+impl Drop for ChaCha {
+    fn drop(&mut self) {
+        // Best-effort zeroization under `#![forbid(unsafe_code)]`; the
+        // black_box pin keeps the stores from being optimized away.
+        self.key = [0u8; 32];
+        std::hint::black_box(&self.key);
+    }
 }
 
 impl ChaCha {

@@ -1,0 +1,72 @@
+//! Constant-time comparison helpers for key material.
+//!
+//! The attack pipeline mines keystreams out of DRAM precisely because the
+//! victim let key bytes sit in observable state; the victim-side code in
+//! this workspace must not add a *timing* channel on top. An early-exit
+//! `==` on key bytes leaks the length of the matching prefix through
+//! execution time. These helpers always touch every byte.
+//!
+//! Implementation note: [`crate::hamming::distance`] is already a
+//! fixed-work full-width scan (the attack side uses it for decay-tolerant
+//! matching), so equality is expressed as "Hamming distance is zero" and
+//! inherits that property rather than duplicating the loop.
+
+use crate::hamming;
+
+/// Constant-time equality for equal-length byte slices.
+///
+/// Always inspects every byte: the running time depends only on the slice
+/// lengths, never on where the first difference sits. Slices of different
+/// lengths compare unequal (lengths are public).
+///
+/// ```
+/// assert!(coldboot_crypto::ct::eq(&[1, 2, 3], &[1, 2, 3]));
+/// assert!(!coldboot_crypto::ct::eq(&[1, 2, 3], &[1, 9, 3]));
+/// assert!(!coldboot_crypto::ct::eq(&[1, 2], &[1, 2, 3]));
+/// ```
+#[inline]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && hamming::distance(a, b) == 0
+}
+
+/// Constant-time all-zero test: true when every byte of `a` is `0`.
+///
+/// ```
+/// assert!(coldboot_crypto::ct::is_zero(&[0, 0, 0]));
+/// assert!(!coldboot_crypto::ct::is_zero(&[0, 4, 0]));
+/// ```
+#[inline]
+pub fn is_zero(a: &[u8]) -> bool {
+    hamming::weight(a) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_matches_slice_eq() {
+        let a = [7u8; 64];
+        let mut b = a;
+        assert!(eq(&a, &b));
+        b[63] ^= 1;
+        assert!(!eq(&a, &b));
+        b[63] ^= 1;
+        b[0] ^= 0x80;
+        assert!(!eq(&a, &b));
+    }
+
+    #[test]
+    fn eq_rejects_length_mismatch_without_panicking() {
+        assert!(!eq(&[1, 2, 3], &[1, 2]));
+        assert!(eq(&[], &[]));
+    }
+
+    #[test]
+    fn is_zero_edges() {
+        assert!(is_zero(&[]));
+        assert!(is_zero(&[0u8; 64]));
+        assert!(!is_zero(&[0, 0, 0, 1]));
+        assert!(!is_zero(&[0x80]));
+    }
+}

@@ -17,6 +17,8 @@
 //!   (the attack's demonstration target).
 //! * [`hamming`] — Hamming-distance helpers used throughout the
 //!   decay-tolerant attack algorithms.
+//! * [`ct`] — constant-time equality/zero tests for victim-side key
+//!   handling (enforced by the `const-time` rule of `coldboot-lint`).
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 
 pub mod aes;
 pub mod chacha;
+pub mod ct;
 pub mod ctr;
 mod error;
 pub mod gf;

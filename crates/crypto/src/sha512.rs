@@ -218,6 +218,7 @@ impl Sha512 {
         }
         while data.len() >= BLOCK_BYTES {
             let (block, rest) = data.split_at(BLOCK_BYTES);
+            // lint:allow(panic): split_at(BLOCK_BYTES) guarantees the length
             let block: [u8; BLOCK_BYTES] = block.try_into().expect("exact split");
             self.compress(&block);
             data = rest;
@@ -255,6 +256,7 @@ impl Sha512 {
     fn compress(&mut self, block: &[u8; BLOCK_BYTES]) {
         let mut w = [0u64; 80];
         for (i, chunk) in block.chunks_exact(8).enumerate() {
+            // lint:allow(panic): chunks_exact(8) yields exactly 8 bytes
             w[i] = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
         }
         for i in 16..80 {

@@ -155,6 +155,7 @@ impl AddressMapping {
             block: 0,
         };
         for &(field, width) in &self.layout {
+            // lint:allow(truncating-cast): value is masked to `width` (< 32) bits before the cast
             let value = (index & ((1u64 << width) - 1)) as u32;
             index >>= width;
             match field {

@@ -95,7 +95,7 @@ pub fn jedec_ddr4_cas_latencies_ns() -> Vec<f64> {
         .iter()
         .flat_map(|g| g.cas_latencies_ns())
         .collect();
-    all.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    all.sort_by(|a, b| a.total_cmp(b));
     // The four ~15.0 ns bins (one per speed grade) are a single JEDEC
     // latency point; merge anything closer than 0.05 ns.
     all.dedup_by(|a, b| (*a - *b).abs() < 0.05);

@@ -57,18 +57,22 @@ impl EncryptedBus {
         let cipher = match kind {
             EngineKind::Aes128 => BusCipher::Aes(
                 AesCtr::new(&key_material(boot_seed, 16), nonce_seed)
+                    // lint:allow(panic): key_material(_, 16) returns exactly 16 bytes
                     .expect("16 bytes is a valid AES key"),
             ),
             EngineKind::Aes256 => BusCipher::Aes(
                 AesCtr::new(&key_material(boot_seed, 32), nonce_seed)
+                    // lint:allow(panic): key_material(_, 32) returns exactly 32 bytes
                     .expect("32 bytes is a valid AES key"),
             ),
             EngineKind::ChaCha8 | EngineKind::ChaCha12 | EngineKind::ChaCha20 => {
                 let key: [u8; 32] = key_material(boot_seed, 32)
                     .try_into()
+                    // lint:allow(panic): key_material(_, 32) returns exactly 32 bytes
                     .expect("exactly 32 bytes requested");
                 let nonce: [u8; 12] = key_material(nonce_seed, 12)
                     .try_into()
+                    // lint:allow(panic): key_material(_, 12) returns exactly 12 bytes
                     .expect("exactly 12 bytes requested");
                 BusCipher::ChaCha(match kind {
                     EngineKind::ChaCha8 => ChaCha::chacha8(key, nonce),

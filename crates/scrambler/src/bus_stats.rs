@@ -61,6 +61,7 @@ pub fn analyze_bus_traffic(
 
     let beats: Vec<u64> = wire
         .chunks_exact(8)
+        // lint:allow(panic): chunks_exact(8) yields exactly 8 bytes
         .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
         .collect();
     let mut transitions = 0u64;

@@ -349,6 +349,7 @@ impl Machine {
             let take = ((end - cursor) as usize).min(64 - in_block);
             let loc = self.mapping.decompose(block_base);
             let cell_offset = self.canonical_block_offset(loc) + in_block;
+            // lint:allow(panic): self.module was checked for None on entry
             let module = self.module.as_mut().expect("checked above");
             f(
                 module,

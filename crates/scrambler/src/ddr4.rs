@@ -36,11 +36,20 @@ use coldboot_dram::mapping::AddressMapping;
 /// Keys are precomputed per `(channel, key_id)` at boot: 4096 keys × 64
 /// bytes per channel (the real hardware regenerates them in LFSR lanes; a
 /// table is observationally identical and faster to simulate).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Ddr4Scrambler {
     mapping: AddressMapping,
     /// `keys[channel][key_id]`.
     keys: Vec<Vec<[u8; 64]>>,
+}
+
+impl std::fmt::Debug for Ddr4Scrambler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ddr4Scrambler")
+            .field("mapping", &self.mapping)
+            .field("keys", &"[redacted]")
+            .finish()
+    }
 }
 
 impl Ddr4Scrambler {

@@ -9,6 +9,7 @@
 
 use crate::volume::{Volume, VolumeError};
 use coldboot_crypto::aes::{Aes, KeySchedule};
+use coldboot_crypto::ct;
 use coldboot_crypto::xts::Xts;
 use coldboot_scrambler::controller::{Machine, MachineError};
 use std::error::Error;
@@ -70,7 +71,6 @@ pub enum KeyStoragePolicy {
 }
 
 /// A volume mounted on a simulated machine.
-#[derive(Debug)]
 pub struct MountedVolume {
     key_table_addr: u64,
     policy: KeyStoragePolicy,
@@ -78,6 +78,29 @@ pub struct MountedVolume {
     /// only under [`KeyStoragePolicy::RegistersOnly`]. Lives in the mount
     /// object — i.e. CPU state — never in the simulated DRAM.
     register_keys: Option<([u8; 32], [u8; 32])>,
+}
+
+impl fmt::Debug for MountedVolume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MountedVolume")
+            .field("key_table_addr", &self.key_table_addr)
+            .field("policy", &self.policy)
+            .field("register_keys", &self.register_keys.as_ref().map(|_| "[redacted]"))
+            .finish()
+    }
+}
+
+impl Drop for MountedVolume {
+    fn drop(&mut self) {
+        // TRESOR semantics: the register bank is erased the moment the
+        // mount object goes away (best-effort under forbid(unsafe_code);
+        // the black_box pin keeps the stores from being optimized away).
+        if let Some(bank) = self.register_keys.as_mut() {
+            bank.0 = [0u8; 32];
+            bank.1 = [0u8; 32];
+        }
+        std::hint::black_box(&self.register_keys);
+    }
 }
 
 impl MountedVolume {
@@ -124,11 +147,13 @@ impl MountedVolume {
                 let mut table = Vec::with_capacity(KEY_TABLE_BYTES);
                 table.extend_from_slice(
                     &KeySchedule::expand(&keys.data_key)
+                        // lint:allow(panic): data_key is a fixed 32-byte array
                         .expect("32-byte key")
                         .to_bytes(),
                 );
                 table.extend_from_slice(
                     &KeySchedule::expand(&keys.tweak_key)
+                        // lint:allow(panic): tweak_key is a fixed 32-byte array
                         .expect("32-byte key")
                         .to_bytes(),
                 );
@@ -175,6 +200,7 @@ impl MountedVolume {
         let xts = self.cipher_from_dram(machine)?;
         let mut data = volume.ciphertext_sector(sector)?.to_vec();
         xts.decrypt_data_unit(sector, &mut data)
+            // lint:allow(panic): SECTOR_BYTES is a multiple of 16
             .expect("sector is a multiple of 16");
         Ok(data)
     }
@@ -185,7 +211,9 @@ impl MountedVolume {
             // the §II-B performance cost ("round keys must be generated
             // before any encryption operation and subsequently erased").
             return Ok(Xts::from_ciphers(
+                // lint:allow(panic): register bank keys are fixed 32-byte arrays
                 Aes::from_schedule(KeySchedule::expand(data_key).expect("32-byte key")),
+                // lint:allow(panic): register bank keys are fixed 32-byte arrays
                 Aes::from_schedule(KeySchedule::expand(tweak_key).expect("32-byte key")),
             ));
         }
@@ -193,12 +221,16 @@ impl MountedVolume {
         machine.read(self.key_table_addr, &mut table)?;
         let data_key: Vec<u8> = table[..32].to_vec();
         let tweak_key: Vec<u8> = table[SCHEDULE_BYTES..SCHEDULE_BYTES + 32].to_vec();
+        // lint:allow(panic): the slice is exactly 32 bytes
         let data_schedule = KeySchedule::expand(&data_key).expect("32-byte key");
+        // lint:allow(panic): the slice is exactly 32 bytes
         let tweak_schedule = KeySchedule::expand(&tweak_key).expect("32-byte key");
         // Integrity check: the cached table must still be a consistent
-        // expansion (detects DRAM corruption).
-        if data_schedule.to_bytes() != table[..SCHEDULE_BYTES]
-            || tweak_schedule.to_bytes() != table[SCHEDULE_BYTES..]
+        // expansion (detects DRAM corruption). Constant-time: the check
+        // touches live key schedules, so it must not leak a matching-prefix
+        // length through early exit.
+        if !ct::eq(&data_schedule.to_bytes(), &table[..SCHEDULE_BYTES])
+            || !ct::eq(&tweak_schedule.to_bytes(), &table[SCHEDULE_BYTES..])
         {
             return Err(MountError::Volume(VolumeError::MalformedContainer));
         }

@@ -19,6 +19,7 @@
 //! keys (as the cold boot attack does) decrypts the disk without ever
 //! learning the password.
 
+use coldboot_crypto::ct;
 use coldboot_crypto::sha512::pbkdf2_hmac_sha512;
 use coldboot_crypto::xts::Xts;
 use rand::rngs::StdRng;
@@ -76,7 +77,11 @@ impl fmt::Display for VolumeError {
 impl Error for VolumeError {}
 
 /// The two AES-256 master keys of an XTS volume.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// This is the exact material the cold boot attack recovers from DRAM, so
+/// the victim-side representation redacts `Debug` output and zeroizes on
+/// `Drop`.
+#[derive(Clone, PartialEq, Eq)]
 pub struct MasterKeys {
     /// Key encrypting sector data.
     pub data_key: [u8; 32],
@@ -84,9 +89,30 @@ pub struct MasterKeys {
     pub tweak_key: [u8; 32],
 }
 
+impl fmt::Debug for MasterKeys {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MasterKeys")
+            .field("data_key", &"[redacted]")
+            .field("tweak_key", &"[redacted]")
+            .finish()
+    }
+}
+
+impl Drop for MasterKeys {
+    fn drop(&mut self) {
+        // Best-effort zeroization under `#![forbid(unsafe_code)]`; the
+        // black_box pin keeps the stores from being optimized away.
+        self.data_key = [0u8; 32];
+        self.tweak_key = [0u8; 32];
+        std::hint::black_box(&self.data_key);
+        std::hint::black_box(&self.tweak_key);
+    }
+}
+
 impl MasterKeys {
     /// Builds the XTS cipher for these keys.
     pub fn cipher(&self) -> Xts {
+        // lint:allow(panic): both key slices are fixed 32-byte arrays
         Xts::new(&self.data_key, &self.tweak_key).expect("32-byte keys are always valid")
     }
 }
@@ -99,6 +125,7 @@ pub struct Volume {
 
 fn header_keys(password: &[u8], salt: &[u8; SALT_BYTES]) -> Xts {
     let material = pbkdf2_hmac_sha512(password, salt, KDF_ITERATIONS, 64);
+    // lint:allow(panic): the KDF output is exactly 64 bytes by construction
     Xts::new(&material[..32], &material[32..]).expect("32-byte keys are always valid")
 }
 
@@ -119,6 +146,7 @@ impl Volume {
         let xts = keys.cipher();
         for (i, sector) in payload.chunks_mut(SECTOR_BYTES).enumerate() {
             xts.encrypt_data_unit(i as u64, sector)
+                // lint:allow(panic): SECTOR_BYTES is a multiple of 16
                 .expect("sector size is a multiple of 16");
         }
 
@@ -129,6 +157,7 @@ impl Volume {
         header[72..80].copy_from_slice(&sector_count.to_le_bytes());
         header_keys(password, &salt)
             .encrypt_data_unit(0, &mut header)
+            // lint:allow(panic): HEADER_BYTES is a multiple of 16
             .expect("header is a multiple of 16");
 
         let mut bytes = Vec::with_capacity(SALT_BYTES + HEADER_BYTES + payload.len());
@@ -174,22 +203,28 @@ impl Volume {
     pub fn unlock(&self, password: &[u8]) -> Result<MasterKeys, VolumeError> {
         let salt: [u8; SALT_BYTES] = self.bytes[..SALT_BYTES]
             .try_into()
+            // lint:allow(panic): container length checked in the constructor
             .expect("length checked in constructor");
         let mut header: [u8; HEADER_BYTES] = self.bytes[SALT_BYTES..SALT_BYTES + HEADER_BYTES]
             .try_into()
+            // lint:allow(panic): container length checked in the constructor
             .expect("length checked in constructor");
         header_keys(password, &salt)
             .decrypt_data_unit(0, &mut header)
+            // lint:allow(panic): HEADER_BYTES is a multiple of 16
             .expect("header is a multiple of 16");
-        if &header[..8] != MAGIC {
+        if !ct::eq(&header[..8], MAGIC) {
             return Err(VolumeError::WrongPassword);
         }
+        // lint:allow(panic): the slice is exactly 8 bytes
         let sector_count = u64::from_le_bytes(header[72..80].try_into().expect("8 bytes"));
         if sector_count != self.sector_capacity() {
             return Err(VolumeError::MalformedContainer);
         }
         Ok(MasterKeys {
+            // lint:allow(panic): the slice is exactly 32 bytes
             data_key: header[8..40].try_into().expect("32 bytes"),
+            // lint:allow(panic): the slice is exactly 32 bytes
             tweak_key: header[40..72].try_into().expect("32 bytes"),
         })
     }
@@ -225,6 +260,7 @@ impl Volume {
         let mut data = self.ciphertext_sector(sector)?.to_vec();
         keys.cipher()
             .decrypt_data_unit(sector, &mut data)
+            // lint:allow(panic): SECTOR_BYTES is a multiple of 16
             .expect("sector size is a multiple of 16");
         Ok(data)
     }

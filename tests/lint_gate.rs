@@ -1,0 +1,23 @@
+//! Tier-1 CI gate: the workspace must be clean under `coldboot-lint`.
+//!
+//! Runs the in-tree secret-hygiene analyzer (crates/analyzer) over every
+//! `.rs` file in the repository with the checked-in `lint.toml` allowlist
+//! and fails on any finding. Seeding a violation — e.g.
+//! `println!("{:?}", round_key)` inside crates/crypto — makes this test
+//! fail with the offending file, line, and rule in the message.
+
+use coldboot_analyzer::{lint_workspace, load_config, render_text};
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let config = load_config(root).expect("lint.toml parses");
+    let findings = lint_workspace(root, &config).expect("workspace sources are readable");
+    assert!(
+        findings.is_empty(),
+        "coldboot-lint found {} issue(s):\n{}",
+        findings.len(),
+        render_text(&findings)
+    );
+}

@@ -33,7 +33,7 @@ fn ddr3_reboot_collapse_recovers_plaintext() {
     m.write(0x5000, secret).expect("in range");
     m.reboot();
     let view = MemoryDump::new(m.dump(0, size).expect("module present"), 0);
-    let uni = ddr3::universal_key(&view);
+    let uni = ddr3::universal_key(&view).expect("dump has blocks");
     let plain = ddr3::descramble_all(&view, &uni.key);
     assert_eq!(&plain[0x5000..0x5000 + secret.len()], secret);
 }
@@ -48,7 +48,7 @@ fn ddr4_resists_the_ddr3_attack() {
     m.write(0x5000, secret).expect("in range");
     m.reboot();
     let view = MemoryDump::new(m.dump(0, size).expect("module present"), 0);
-    let uni = ddr3::universal_key(&view);
+    let uni = ddr3::universal_key(&view).expect("dump has blocks");
     let plain = ddr3::descramble_all(&view, &uni.key);
     assert_ne!(&plain[0x5000..0x5000 + secret.len()], secret);
     // The after-reboot view has thousands of keystream classes, not one.
@@ -136,7 +136,7 @@ fn key_mapping_inference_identifies_selector_bits() {
     let mut ddr4_machine =
         Machine::new(Microarchitecture::Skylake, geometry(), BiosConfig::default(), 11);
     let obs = zero_fill_key_extraction(&mut ddr4_machine, 3).expect("socket free");
-    let inf = coldboot::keymap::infer_key_mapping(&obs);
+    let inf = coldboot::keymap::infer_key_mapping(&obs).expect("non-empty observations");
     assert_eq!(inf.distinct_keys, 4096);
     assert_eq!(inf.period_blocks, Some(4096));
     // 12 selector bits => 4096-key pool, exactly the low block-index bits.
@@ -146,7 +146,7 @@ fn key_mapping_inference_identifies_selector_bits() {
     let mut ddr3_machine =
         Machine::new(Microarchitecture::SandyBridge, geometry(), BiosConfig::default(), 12);
     let obs = zero_fill_key_extraction(&mut ddr3_machine, 4).expect("socket free");
-    let inf = coldboot::keymap::infer_key_mapping(&obs);
+    let inf = coldboot::keymap::infer_key_mapping(&obs).expect("non-empty observations");
     assert_eq!(inf.distinct_keys, 16);
     assert_eq!(inf.selector_bits, (6..10).collect::<Vec<u32>>());
 }

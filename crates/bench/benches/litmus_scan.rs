@@ -37,5 +37,43 @@ fn bench_mining(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_litmus_single, bench_mining);
+/// Isolates the two scan-engine effects on mining: sequential vs
+/// work-stealing (all cores), and the group-0 prefilter on vs off. All four
+/// variants return byte-identical candidates — only the wall clock moves.
+fn bench_mining_engine_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_mining_engine");
+    group.sample_size(10);
+    let mib = 4usize;
+    let image = generate_image(mib << 20, WorkloadMix::default(), 3);
+    let dump = MemoryDump::new(image, 0);
+    group.throughput(Throughput::Bytes((mib << 20) as u64));
+    let variants = [
+        ("sequential", 1, true),
+        ("sequential_unfiltered", 1, false),
+        ("work_stealing", 0, true), // 0 = all cores (clamped to >= 1)
+        ("work_stealing_unfiltered", 0, false),
+    ];
+    for (name, threads, prefilter) in variants {
+        let config = MiningConfig {
+            threads: if threads == 0 {
+                coldboot::scan::default_threads()
+            } else {
+                threads
+            },
+            prefilter,
+            ..MiningConfig::default()
+        };
+        group.bench_function(format!("mine_{mib}MiB_{name}"), |b| {
+            b.iter(|| std::hint::black_box(mine_candidate_keys(&dump, &config).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_litmus_single,
+    bench_mining,
+    bench_mining_engine_variants
+);
 criterion_main!(benches);

@@ -1,28 +1,168 @@
 //! Regenerates the paper's **attack-performance** numbers (§III-C): memory
-//! scanned per unit time by the AES key search, single-core and scaled
-//! across cores.
+//! scanned per unit time by each stage of the attack pipeline, single-core
+//! and scaled across cores on the work-stealing scan engine.
 //!
-//! The paper (2016 hardware + AES-NI): 100 MB per ~2 hours per core;
-//! 8 GB in ~21 hours on an 8-core Xeon D1541. We report our software-AES
-//! numbers on this machine and the extrapolations in the same units.
+//! Two stages are measured separately because their costs differ by orders
+//! of magnitude per block:
 //!
-//! Usage: `attack_perf [scan-MiB] [candidate-keys]` (defaults 2 MiB, 4096).
+//! * **mining** — the scrambler-key litmus sweep + consolidation over a
+//!   realistic (default-mix) scrambled image, where zero-filled blocks
+//!   expose scrambler keys;
+//! * **key search** — the AES schedule litmus over a high-entropy image ×
+//!   a full 4096-candidate pool, the worst case (nothing early-outs).
+//!
+//! The paper (2016 hardware + AES-NI): 100 MB per ~2 hours per core; 8 GB
+//! in ~21 hours on an 8-core Xeon D1541. We report our software-AES numbers
+//! on this machine and the extrapolations in the same units.
+//!
+//! Usage: `attack_perf [scan-MiB] [candidate-keys] [--json PATH]`
+//! (defaults: 2 MiB, 4096 candidates, JSON to `BENCH_scan.json`).
+//! The JSON report carries counts and rates only — never key bytes.
 
 use coldboot::dump::MemoryDump;
 use coldboot::keysearch::{search_dump, SearchConfig};
-use coldboot::litmus::CandidateKey;
+use coldboot::litmus::{mine_candidate_keys, CandidateKey, MiningConfig};
+use coldboot_bench::report::Json;
 use coldboot_bench::table;
 use coldboot_bench::workload::{generate_image, WorkloadMix};
 use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scan_mib: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let n_candidates: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
+/// Distinct scrambler keys planted in the mining image (one per 64-block
+/// stripe, like a key pool addressed by low block-index bits).
+const MINING_KEY_POOL: usize = 64;
 
-    // A scrambled-looking image (high entropy) and a full candidate pool:
-    // the worst case for the scan, since nothing early-outs at the block
-    // level.
+/// A structured (Skylake-shaped) scrambler key: in each 16-byte group the
+/// second 8 bytes are the first 8 XOR a repeating 2-byte mask.
+fn structured_key(tag: u8) -> [u8; 64] {
+    let mut key = [0u8; 64];
+    for g in 0..4 {
+        for i in 0..8 {
+            let base = tag
+                .wrapping_mul(31)
+                .wrapping_add((g * 8 + i) as u8)
+                .wrapping_mul(113);
+            key[g * 16 + i] = base;
+            key[g * 16 + 8 + i] = base ^ [0x3C ^ tag, 0xC3][i % 2];
+        }
+    }
+    key
+}
+
+struct StageRow {
+    threads: usize,
+    seconds: f64,
+    mib_per_s: f64,
+    count: usize,
+}
+
+fn thread_counts(max_threads: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = [1usize, 2, 4, max_threads]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    counts.dedup();
+    counts
+}
+
+fn print_stage(title: &str, count_header: &str, rows: &[StageRow]) {
+    let single = rows.first().map_or(1.0, |r| r.mib_per_s);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.2}", r.seconds),
+                format!("{:.3}", r.mib_per_s),
+                format!("{:.2}x", r.mib_per_s / single),
+                r.count.to_string(),
+            ]
+        })
+        .collect();
+    table::print(
+        title,
+        &["threads", "seconds", "MiB/s", "speedup", count_header],
+        &table_rows,
+    );
+}
+
+fn stage_json(rows: &[StageRow], count_field: &'static str) -> Json {
+    let single = rows.first().map_or(1.0, |r| r.mib_per_s);
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("threads", Json::Int(r.threads as i64)),
+                    ("seconds", Json::Num(r.seconds)),
+                    ("mib_per_s", Json::Num(r.mib_per_s)),
+                    ("speedup_vs_single_thread", Json::Num(r.mib_per_s / single)),
+                    (count_field, Json::Int(r.count as i64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let mut scan_mib: usize = 2;
+    let mut n_candidates: usize = 4096;
+    let mut json_path = String::from("BENCH_scan.json");
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json_path = args.next().unwrap_or(json_path);
+        } else if let Ok(v) = arg.parse::<usize>() {
+            match positional {
+                0 => scan_mib = v,
+                _ => n_candidates = v,
+            }
+            positional += 1;
+        } else {
+            eprintln!("usage: attack_perf [scan-MiB] [candidate-keys] [--json PATH]");
+            std::process::exit(2);
+        }
+    }
+    let mining_mib = (scan_mib * 8).max(1);
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let counts = thread_counts(max_threads);
+
+    // Stage 1: scrambler-key mining over a realistic scrambled image.
+    // Default-mix content (40% zeros) XORed block-wise with a pool of
+    // structured keys: the zero blocks expose the pool, exactly the dump
+    // prefix the real attack mines.
+    let mut mining_image = generate_image(mining_mib << 20, WorkloadMix::default(), 3);
+    for (i, block) in mining_image.chunks_mut(64).enumerate() {
+        let key = structured_key((i % MINING_KEY_POOL) as u8);
+        for (b, k) in block.iter_mut().zip(key.iter()) {
+            *b ^= k;
+        }
+    }
+    let mining_dump = MemoryDump::new(mining_image, 0);
+    let mut mining_rows = Vec::new();
+    for &threads in &counts {
+        let config = MiningConfig {
+            threads,
+            ..MiningConfig::default()
+        };
+        let t = Instant::now();
+        let found = mine_candidate_keys(&mining_dump, &config);
+        let seconds = t.elapsed().as_secs_f64();
+        mining_rows.push(StageRow {
+            threads,
+            seconds,
+            mib_per_s: mining_mib as f64 / seconds,
+            count: found.len(),
+        });
+    }
+    print_stage(
+        &format!("Scrambler-key mining throughput ({mining_mib} MiB default-mix scrambled image)"),
+        "keys",
+        &mining_rows,
+    );
+
+    // Stage 2: AES key search over a high-entropy image with a full
+    // candidate pool — the worst case for the scan, since nothing
+    // early-outs at the block level.
     let image = generate_image(
         scan_mib << 20,
         WorkloadMix {
@@ -39,46 +179,64 @@ fn main() {
             observations: 1,
         })
         .collect();
-
-    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut rows = Vec::new();
-    let mut single_core_mib_s = 0.0;
-    for threads in [1usize, 2, 4, max_threads] {
-        if threads > max_threads {
-            continue;
-        }
+    let mut search_rows = Vec::new();
+    for &threads in &counts {
         let config = SearchConfig {
             threads,
             ..Default::default()
         };
         let t = Instant::now();
         let outcome = search_dump(&dump, &candidates, &config);
-        let secs = t.elapsed().as_secs_f64();
-        let mib_s = scan_mib as f64 / secs;
-        if threads == 1 {
-            single_core_mib_s = mib_s;
-        }
-        rows.push(vec![
-            threads.to_string(),
-            format!("{:.2}", secs),
-            format!("{:.3}", mib_s),
-            outcome.hits.len().to_string(),
-        ]);
+        let seconds = t.elapsed().as_secs_f64();
+        search_rows.push(StageRow {
+            threads,
+            seconds,
+            mib_per_s: scan_mib as f64 / seconds,
+            count: outcome.hits.len(),
+        });
     }
-    table::print(
+    print_stage(
         &format!(
             "Attack scan throughput ({scan_mib} MiB high-entropy dump, {n_candidates} candidate keys)"
         ),
-        &["threads", "seconds", "MiB/s", "false hits"],
-        &rows,
+        "false hits",
+        &search_rows,
     );
 
+    let single_core_mib_s = search_rows.first().map_or(1.0, |r| r.mib_per_s);
     let hours_100mb = 100.0 / (single_core_mib_s * 3600.0);
     let hours_8gb_8core = (8.0 * 1024.0) / (single_core_mib_s * 8.0 * 3600.0);
-    println!("\nExtrapolations at the single-core rate:");
+    println!("\nExtrapolations at the single-core key-search rate:");
     println!("  100 MB on one core: {hours_100mb:.2} hours (paper: ~2 hours with AES-NI)");
     println!("  8 GB on 8 cores:    {hours_8gb_8core:.2} hours (paper: ~21 hours)");
-    println!(
-        "  (the task is embarrassingly parallel across blocks, as the paper notes)"
-    );
+    println!("  (the task is embarrassingly parallel across blocks, as the paper notes)");
+
+    let doc = Json::obj([
+        ("report", Json::Str("attack_perf scan throughput".into())),
+        (
+            "config",
+            Json::obj([
+                ("mining_mib", Json::Int(mining_mib as i64)),
+                ("search_mib", Json::Int(scan_mib as i64)),
+                ("candidate_keys", Json::Int(n_candidates as i64)),
+                ("max_threads", Json::Int(max_threads as i64)),
+            ]),
+        ),
+        ("mining", stage_json(&mining_rows, "keys_mined")),
+        ("keysearch", stage_json(&search_rows, "false_hits")),
+        (
+            "extrapolations",
+            Json::obj([
+                ("hours_100mb_one_core", Json::Num(hours_100mb)),
+                ("hours_8gb_8_cores", Json::Num(hours_8gb_8core)),
+            ]),
+        ),
+    ]);
+    match std::fs::write(&json_path, doc.render()) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

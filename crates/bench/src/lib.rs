@@ -21,5 +21,6 @@
 #![warn(missing_docs)]
 
 pub mod machines;
+pub mod report;
 pub mod table;
 pub mod workload;

@@ -17,6 +17,7 @@
 use crate::dump::MemoryDump;
 use crate::keysearch::{search_dump, SearchConfig, SearchOutcome};
 use crate::litmus::{mine_candidate_keys, CandidateKey, MiningConfig};
+use crate::scan::{self, ScanOptions};
 use coldboot_dram::module::DramModule;
 use coldboot_dram::retention::DecayModel;
 use coldboot_dram::transplant::Transplant;
@@ -171,7 +172,11 @@ pub fn zero_fill_key_extraction(
     analyzed.insert_module(module)?;
     let image = analyzed.dump(0, capacity)?;
     let dump = MemoryDump::new(image, 0);
-    Ok(dump.blocks().map(|(addr, block)| (addr, *block)).collect())
+    Ok(scan::scan_collect(
+        dump.block_count(),
+        &ScanOptions::default(),
+        |i, out| out.push((dump.block_addr(i), *dump.block(i))),
+    ))
 }
 
 /// The §III-A ground-state variant: let the module decay fully, profile the
@@ -206,19 +211,19 @@ pub fn ground_state_key_extraction(
     let module = rig.remove_module()?;
     analyzed.insert_module(module)?;
 
-    let mut out = Vec::with_capacity(capacity / BLOCK_BYTES);
-    for (i, (s, g)) in scrambled_view
-        .chunks_exact(BLOCK_BYTES)
-        .zip(ground_view.chunks_exact(BLOCK_BYTES))
-        .enumerate()
-    {
-        let mut key = [0u8; BLOCK_BYTES];
-        for j in 0..BLOCK_BYTES {
-            key[j] = s[j] ^ g[j];
-        }
-        out.push(((i * BLOCK_BYTES) as u64, key));
-    }
-    Ok(out)
+    Ok(scan::scan_collect(
+        capacity / BLOCK_BYTES,
+        &ScanOptions::default(),
+        |i, out| {
+            let s = &scrambled_view[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES];
+            let g = &ground_view[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES];
+            let mut key = [0u8; BLOCK_BYTES];
+            for j in 0..BLOCK_BYTES {
+                key[j] = s[j] ^ g[j];
+            }
+            out.push(((i * BLOCK_BYTES) as u64, key));
+        },
+    ))
 }
 
 /// The DDR3 baseline attack (Bauer et al.), which the paper reproduces for
@@ -230,16 +235,30 @@ pub mod ddr3 {
     /// Frequency analysis: the `top_n` most common block values in a dump.
     /// On a DDR3 system with 16 keys per channel, zero-filled memory makes
     /// the 16 exposed keys the most frequent values.
+    ///
+    /// The histogram is built on the scan engine (worker-local maps merged
+    /// by summation) and ties are broken by key bytes, so the ranking is
+    /// fully deterministic for any thread count — the old sequential
+    /// version left equal-count ordering to `HashMap` iteration order.
     pub fn frequency_keys(dump: &MemoryDump, top_n: usize) -> Vec<CandidateKey> {
-        let mut counts: HashMap<[u8; BLOCK_BYTES], u32> = HashMap::new();
-        for (_, block) in dump.blocks() {
-            *counts.entry(*block).or_insert(0) += 1;
-        }
+        type Histogram = HashMap<[u8; BLOCK_BYTES], u32>;
+        let counts: Histogram = scan::scan_fold(
+            dump.block_count(),
+            &ScanOptions::default(),
+            Histogram::new,
+            |acc, i| *acc.entry(*dump.block(i)).or_insert(0) += 1,
+            |mut a, b| {
+                for (key, n) in b {
+                    *a.entry(key).or_insert(0) += n;
+                }
+                a
+            },
+        );
         let mut all: Vec<CandidateKey> = counts
             .into_iter()
             .map(|(key, observations)| CandidateKey { key, observations })
             .collect();
-        all.sort_by_key(|c| std::cmp::Reverse(c.observations));
+        all.sort_by_key(|c| (std::cmp::Reverse(c.observations), c.key));
         all.truncate(top_n);
         all
     }
@@ -417,6 +436,25 @@ mod tests {
             // Find at least one address using this keystream.
             let found = raw.blocks().any(|(_, b)| *b == cand.key);
             assert!(found);
+        }
+    }
+
+    #[test]
+    fn ddr3_frequency_ranking_breaks_ties_deterministically() {
+        // Four distinct values, all observed exactly twice: ranking must be
+        // stable (by key bytes) rather than leaking HashMap iteration order.
+        let mut image = Vec::new();
+        for _ in 0..2 {
+            for tag in [0x40u8, 0x10, 0x30, 0x20] {
+                image.extend_from_slice(&[tag; 64]);
+            }
+        }
+        let dump = MemoryDump::new(image, 0);
+        let keys = ddr3::frequency_keys(&dump, 4);
+        let tags: Vec<u8> = keys.iter().map(|c| c.key[0]).collect();
+        assert_eq!(tags, vec![0x10, 0x20, 0x30, 0x40]);
+        for _ in 0..5 {
+            assert_eq!(ddr3::frequency_keys(&dump, 4), keys);
         }
     }
 

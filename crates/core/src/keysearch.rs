@@ -16,6 +16,7 @@
 
 use crate::dump::MemoryDump;
 use crate::litmus::CandidateKey;
+use crate::scan::{self, ScanOptions};
 use coldboot_crypto::aes::key_schedule::{expansion_step, rcon, KeySchedule, KeySize};
 use coldboot_crypto::aes::sbox::{rot_word, sub_word};
 use coldboot_crypto::hamming;
@@ -25,6 +26,12 @@ use std::ops::Range;
 /// How many bytes of a block a single litmus trial covers (three
 /// consecutive round keys).
 const TEST_SPAN: usize = 48;
+
+/// Blocks per stolen batch during the scan. Each block costs
+/// `candidates × key_sizes` litmus runs, so batches are kept small enough
+/// that hit-dense regions (schedules, constant pools) rebalance across
+/// workers.
+const SEARCH_BATCH_BLOCKS: usize = 16;
 
 /// Configuration for the scrambled-memory AES key search.
 #[derive(Debug, Clone)]
@@ -36,7 +43,10 @@ pub struct SearchConfig {
     /// Hamming budget (bits) for full-schedule verification against
     /// neighbouring blocks.
     pub schedule_tolerance_bits: u32,
-    /// Worker threads for the scan (1 = sequential).
+    /// Worker threads for the scan. Defaults to every available core
+    /// ([`scan::default_threads`]); set `1` to run inline on the caller's
+    /// thread. The result is byte-identical for any value — the scan engine
+    /// merges worker output in block order.
     pub threads: usize,
     /// Restrict the scan to this physical-address range (cost control on
     /// very large dumps); `None` scans everything.
@@ -64,7 +74,7 @@ impl Default for SearchConfig {
             // 240-byte schedule) and below the ~150-bit floor of
             // shifted-schedule false reconstructions.
             schedule_tolerance_bits: 96,
-            threads: 1,
+            threads: scan::default_threads(),
             region: None,
             exhaustive_word_offsets: false,
             max_unexplained_blocks: 1,
@@ -393,7 +403,11 @@ pub fn verify_and_recover(
 /// Scans a dump for AES key schedules using a set of candidate scrambler
 /// keys, verifying and recovering master keys.
 ///
-/// The scan parallelizes over blocks with `config.threads` workers.
+/// The scan runs on the work-stealing [`crate::scan`] engine with
+/// `config.threads` workers (static chunking was abandoned: schedules and
+/// other hit-dense data cluster spatially, so fixed per-worker chunks left
+/// all but one worker idle on real dumps). Hits are merged in block order,
+/// so the outcome is byte-identical for any thread count.
 pub fn search_dump(
     dump: &MemoryDump,
     candidates: &[CandidateKey],
@@ -409,25 +423,23 @@ pub fn search_dump(
         .collect();
     let blocks_scanned = indices.len();
 
-    let hits: Vec<ScheduleHit> = if config.threads <= 1 {
-        scan_blocks(dump, candidates, config, &indices)
-    } else {
-        let chunk = indices.len().div_ceil(config.threads).max(1);
-        let mut all = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = indices
-                .chunks(chunk)
-                .map(|part| scope.spawn(move |_| scan_blocks(dump, candidates, config, part)))
-                .collect();
-            for h in handles {
-                // lint:allow(panic): join() only errs if the worker panicked; re-raising is the intent
-                all.extend(h.join().expect("scan worker panicked"));
+    // Parse every candidate key to words once; per (block, key) pair the
+    // descramble is then 16 word XORs.
+    let key_words: Vec<[u32; BLOCK_BYTES / 4]> = candidates
+        .iter()
+        .map(|cand| {
+            let mut w = [0u32; BLOCK_BYTES / 4];
+            for (i, c) in cand.key.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
             }
+            w
         })
-        // lint:allow(panic): scope() only errs on a child panic; propagate it
-        .expect("crossbeam scope failed");
-        all
-    };
+        .collect();
+
+    let opts = ScanOptions::with_threads(config.threads).batch_items(SEARCH_BATCH_BLOCKS);
+    let hits: Vec<ScheduleHit> = scan::scan_collect(indices.len(), &opts, |n, out| {
+        scan_block(dump, candidates, &key_words, config, indices[n], out);
+    });
 
     // Verify hits and deduplicate. Two recoveries whose schedule ranges
     // overlap are competing explanations of the same physical bytes (the
@@ -461,56 +473,44 @@ pub fn search_dump(
     }
 }
 
-fn scan_blocks(
+/// Litmus-tests one block against every candidate key and key size,
+/// appending hits in (candidate, key size, litmus position) order.
+fn scan_block(
     dump: &MemoryDump,
     candidates: &[CandidateKey],
+    key_words: &[[u32; BLOCK_BYTES / 4]],
     config: &SearchConfig,
-    indices: &[usize],
-) -> Vec<ScheduleHit> {
-    let mut hits = Vec::new();
-    // Parse every candidate key to words once; per (block, key) pair the
-    // descramble is then 16 word XORs.
-    let key_words: Vec<[u32; BLOCK_BYTES / 4]> = candidates
-        .iter()
-        .map(|cand| {
-            let mut w = [0u32; BLOCK_BYTES / 4];
-            for (i, c) in cand.key.chunks_exact(4).enumerate() {
-                w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
-            }
-            w
-        })
-        .collect();
+    i: usize,
+    hits: &mut Vec<ScheduleHit>,
+) {
+    let raw = dump.block(i);
     let mut block_w = [0u32; BLOCK_BYTES / 4];
+    for (j, c) in raw.chunks_exact(4).enumerate() {
+        block_w[j] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+    }
     let mut desc = [0u32; BLOCK_BYTES / 4];
-    for &i in indices {
-        let raw = dump.block(i);
-        for (j, c) in raw.chunks_exact(4).enumerate() {
-            block_w[j] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+    for (cand, kw) in candidates.iter().zip(key_words) {
+        for j in 0..BLOCK_BYTES / 4 {
+            desc[j] = block_w[j] ^ kw[j];
         }
-        for (cand, kw) in candidates.iter().zip(&key_words) {
-            for j in 0..BLOCK_BYTES / 4 {
-                desc[j] = block_w[j] ^ kw[j];
-            }
-            for &size in &config.key_sizes {
-                for m in aes_block_litmus_words(
-                    &desc,
-                    size,
-                    config.block_tolerance_bits,
-                    config.exhaustive_word_offsets,
-                ) {
-                    hits.push(ScheduleHit {
-                        block_addr: dump.block_addr(i),
-                        scrambler_key: cand.key,
-                        key_size: size,
-                        window_offset: m.window_offset,
-                        start_word: m.start_word,
-                        prediction_distance: m.distance,
-                    });
-                }
+        for &size in &config.key_sizes {
+            for m in aes_block_litmus_words(
+                &desc,
+                size,
+                config.block_tolerance_bits,
+                config.exhaustive_word_offsets,
+            ) {
+                hits.push(ScheduleHit {
+                    block_addr: dump.block_addr(i),
+                    scrambler_key: cand.key,
+                    key_size: size,
+                    window_offset: m.window_offset,
+                    start_word: m.start_word,
+                    prediction_distance: m.distance,
+                });
             }
         }
     }
-    hits
 }
 
 #[cfg(test)]
@@ -736,15 +736,78 @@ mod tests {
         let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(29).wrapping_add(0xD2));
         let keys = test_keys();
         let (dump, candidates) = build_dump(320, &master, &keys);
-        let seq = search_dump(&dump, &candidates, &SearchConfig::default());
-        let par_config = SearchConfig {
-            threads: 4,
+        let seq_config = SearchConfig {
+            threads: 1,
             ..SearchConfig::default()
         };
-        let par = search_dump(&dump, &candidates, &par_config);
-        assert_eq!(seq.recovered.len(), par.recovered.len());
-        assert_eq!(seq.recovered[0].master_key, par.recovered[0].master_key);
-        assert_eq!(seq.hits.len(), par.hits.len());
+        let seq = search_dump(&dump, &candidates, &seq_config);
+        for threads in [2usize, 4, 8] {
+            let par_config = SearchConfig {
+                threads,
+                ..SearchConfig::default()
+            };
+            let par = search_dump(&dump, &candidates, &par_config);
+            // Byte-identical, identically ordered — not just the same set.
+            assert_eq!(seq.hits, par.hits, "threads={threads}");
+            assert_eq!(seq.recovered, par.recovered, "threads={threads}");
+            assert_eq!(seq.blocks_scanned, par.blocks_scanned);
+        }
+    }
+
+    #[test]
+    fn skewed_hit_placement_keeps_parallel_output_identical() {
+        // Regression for the static-chunking scan: all schedules live in the
+        // final stretch of the dump, so whole-range-per-worker partitioning
+        // put every hit in the last worker's chunk (and any reordered merge
+        // of worker results scrambled hit order). The engine must return
+        // hits in block order regardless of thread count.
+        let keys = test_keys();
+        let mut image = vec![0x33u8; 64 * 96];
+        let masters: Vec<[u8; 32]> = (0..3u8)
+            .map(|t| core::array::from_fn(|i| (i as u8).wrapping_mul(61).wrapping_add(t.wrapping_mul(87) ^ 0x19)))
+            .collect();
+        // Three schedules packed at the tail, 64*80, 64*85, 64*90.
+        for (n, master) in masters.iter().enumerate() {
+            let sched = schedule_bytes(master);
+            let at = 64 * (80 + n * 5);
+            image[at..at + sched.len()].copy_from_slice(&sched);
+        }
+        for (i, chunk) in image.chunks_mut(64).enumerate() {
+            let k = &keys[i % keys.len()];
+            for (b, kb) in chunk.iter_mut().zip(k.iter()) {
+                *b ^= kb;
+            }
+        }
+        let candidates: Vec<CandidateKey> = keys
+            .iter()
+            .map(|k| CandidateKey {
+                key: *k,
+                observations: 1,
+            })
+            .collect();
+        let dump = MemoryDump::new(image, 0);
+        let seq = search_dump(
+            &dump,
+            &candidates,
+            &SearchConfig {
+                threads: 1,
+                ..SearchConfig::default()
+            },
+        );
+        assert_eq!(seq.recovered.len(), 3);
+        assert!(seq.hits.len() >= 3);
+        for threads in [2usize, 3, 8] {
+            let par = search_dump(
+                &dump,
+                &candidates,
+                &SearchConfig {
+                    threads,
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(seq.hits, par.hits, "threads={threads}");
+            assert_eq!(seq.recovered, par.recovered, "threads={threads}");
+        }
     }
 
     #[test]

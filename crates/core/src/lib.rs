@@ -55,4 +55,5 @@ pub mod dump;
 pub mod keymap;
 pub mod keysearch;
 pub mod litmus;
+pub mod scan;
 pub mod stats;

@@ -8,11 +8,35 @@
 //! pool. Because the invariants are XOR-linear, they also hold for
 //! *combined* keys (victim ⊕ attacker scrambler), so the attacker's own
 //! scrambler never needs to be disabled.
+//!
+//! Mining runs on the work-stealing [`crate::scan`] engine and is
+//! deterministic for any [`MiningConfig::threads`]: the dump sweep
+//! deduplicates observations into (value, count, first-seen-index) triples
+//! with a commutative merge, and consolidation then processes the distinct
+//! values in first-seen order — exactly the order the sequential algorithm
+//! would have formed clusters in.
 
 use crate::dump::MemoryDump;
+use crate::scan::{self, ScanOptions};
 use coldboot_crypto::{ct, hamming};
 use coldboot_dram::BLOCK_BYTES;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Violated constraint bits of the four invariants within one 16-byte
+/// group starting at byte `g` (`g ∈ {0, 16, 32, 48}`).
+#[inline]
+fn group_violations(block: &[u8; BLOCK_BYTES], g: usize) -> u32 {
+    let w = |i: usize| u16::from_le_bytes([block[i], block[i + 1]]);
+    // W1^W2 = W5^W6
+    ((w(g + 2) ^ w(g + 4)) ^ (w(g + 10) ^ w(g + 12))).count_ones()
+        // W0^W3 = W4^W7
+        + ((w(g) ^ w(g + 6)) ^ (w(g + 8) ^ w(g + 14))).count_ones()
+        // W0^W2 = W4^W6
+        + ((w(g) ^ w(g + 4)) ^ (w(g + 8) ^ w(g + 12))).count_ones()
+        // W0^W1 = W4^W5
+        + ((w(g) ^ w(g + 2)) ^ (w(g + 8) ^ w(g + 10))).count_ones()
+}
 
 /// Result of scoring a single block against the invariants: the total
 /// number of violated constraint bits (0 for a pristine key).
@@ -20,19 +44,22 @@ use serde::{Deserialize, Serialize};
 /// The four invariants per 16-byte group each constrain 16 bits; with 4
 /// groups that is 256 constraint bits per block.
 pub fn invariant_violations(block: &[u8; BLOCK_BYTES]) -> u32 {
-    let w = |i: usize| u16::from_le_bytes([block[i], block[i + 1]]);
-    let mut violated = 0u32;
-    for g in [0usize, 16, 32, 48] {
-        // W1^W2 = W5^W6
-        violated += ((w(g + 2) ^ w(g + 4)) ^ (w(g + 10) ^ w(g + 12))).count_ones();
-        // W0^W3 = W4^W7
-        violated += ((w(g) ^ w(g + 6)) ^ (w(g + 8) ^ w(g + 14))).count_ones();
-        // W0^W2 = W4^W6
-        violated += ((w(g) ^ w(g + 4)) ^ (w(g + 8) ^ w(g + 12))).count_ones();
-        // W0^W1 = W4^W5
-        violated += ((w(g) ^ w(g + 2)) ^ (w(g + 8) ^ w(g + 10))).count_ones();
-    }
-    violated
+    [0usize, 16, 32, 48]
+        .iter()
+        .map(|&g| group_violations(block, g))
+        .sum()
+}
+
+/// Violated constraint bits of the **first 16-byte group only** — the
+/// mining prefilter.
+///
+/// This is an exact lower bound on [`invariant_violations`] at a quarter of
+/// its cost, so `first_group_violations(b) > tolerance` soundly rejects a
+/// block without touching its remaining 48 bytes. On high-entropy data the
+/// first group alone violates ~32 constraint bits on average, so nearly
+/// every non-key block short-circuits here.
+pub fn first_group_violations(block: &[u8; BLOCK_BYTES]) -> u32 {
+    group_violations(block, 0)
 }
 
 /// The scrambler key litmus test: does `block` look like an exposed DDR4
@@ -57,6 +84,14 @@ pub struct MiningConfig {
     /// Keep at most this many candidates (most frequent first); `None`
     /// keeps all.
     pub max_candidates: Option<usize>,
+    /// Worker threads for the sweep and consolidation. Defaults to every
+    /// available core; set `1` to run inline (the output is byte-identical
+    /// either way — see the module docs).
+    pub threads: usize,
+    /// Reject blocks on the first 16-byte group's invariants before running
+    /// the full test ([`first_group_violations`]). Never changes the
+    /// result; exposed as a knob so benchmarks can measure it.
+    pub prefilter: bool,
 }
 
 impl Default for MiningConfig {
@@ -66,6 +101,8 @@ impl Default for MiningConfig {
             consolidate_bits: 40,
             drop_null_key: true,
             max_candidates: None,
+            threads: scan::default_threads(),
+            prefilter: true,
         }
     }
 }
@@ -82,28 +119,27 @@ pub struct CandidateKey {
 /// An in-progress consolidation cluster: per-bit one-counts weighted by
 /// observations.
 struct Cluster {
-    representative: [u8; BLOCK_BYTES],
     ones: [u32; BLOCK_BYTES * 8],
     observations: u32,
 }
 
 impl Cluster {
-    fn new(block: &[u8; BLOCK_BYTES]) -> Self {
+    fn new(block: &[u8; BLOCK_BYTES], count: u32) -> Self {
         let mut c = Self {
-            representative: *block,
             ones: [0; BLOCK_BYTES * 8],
             observations: 0,
         };
-        c.absorb(block);
+        c.absorb(block, count);
         c
     }
 
-    fn absorb(&mut self, block: &[u8; BLOCK_BYTES]) {
-        self.observations += 1;
+    /// Adds `count` identical observations of `block` to the vote.
+    fn absorb(&mut self, block: &[u8; BLOCK_BYTES], count: u32) {
+        self.observations += count;
         for (byte_idx, &b) in block.iter().enumerate() {
             for bit in 0..8 {
                 if b & (1 << bit) != 0 {
-                    self.ones[byte_idx * 8 + bit] += 1;
+                    self.ones[byte_idx * 8 + bit] += count;
                 }
             }
         }
@@ -122,46 +158,123 @@ impl Cluster {
     }
 }
 
+/// One distinct block value that passed the litmus test, with its
+/// observation count and first block index (for deterministic ordering).
+struct Observation {
+    value: [u8; BLOCK_BYTES],
+    count: u32,
+    first_idx: usize,
+}
+
+/// Distinct values per parallel-clustering round. Bounds the sequential
+/// fallback work (a value only probes clusters seeded within its own
+/// round sequentially; earlier rounds are probed in parallel).
+const CLUSTER_ROUND: usize = 256;
+
 /// Scans a dump for blocks passing the scrambler key litmus test and
 /// consolidates them into candidate keys, most frequently observed first.
 ///
 /// Frequency is the paper's signal separating true keys (zeros are the most
 /// common block value in real memory) from coincidences such as
 /// constant-pattern data, which also satisfies the linear invariants.
+///
+/// Both stages run on the work-stealing scan engine with
+/// `config.threads` workers:
+///
+/// 1. **Sweep** — every block is prefiltered ([`first_group_violations`]),
+///    litmus-tested, and deduplicated into worker-local
+///    value → (count, first index) maps, merged commutatively. At realistic
+///    decay most key observations are bit-identical to one already seen, so
+///    this collapses millions of blocks into at most a few thousand
+///    distinct values without any cross-thread contention.
+/// 2. **Consolidation** — distinct values, in first-seen order, join the
+///    first existing cluster within `consolidate_bits` of their value or
+///    seed a new one (weighted majority vote repairs decay). Matching
+///    against already-established clusters is fanned out across workers
+///    round by round; the first-fit choice itself stays sequential, which
+///    keeps the result identical to a fully sequential run.
 pub fn mine_candidate_keys(dump: &MemoryDump, config: &MiningConfig) -> Vec<CandidateKey> {
+    let sweep_opts = ScanOptions::with_threads(config.threads);
+
+    // Stage 1: parallel sweep + exact dedup.
+    type ValueMap = HashMap<[u8; BLOCK_BYTES], (u32, usize)>;
+    let observed: ValueMap = scan::scan_fold(
+        dump.block_count(),
+        &sweep_opts,
+        ValueMap::new,
+        |acc, i| {
+            let block = dump.block(i);
+            if config.prefilter && first_group_violations(block) > config.litmus_tolerance_bits {
+                return;
+            }
+            if !scrambler_key_litmus(block, config.litmus_tolerance_bits) {
+                return;
+            }
+            if config.drop_null_key && ct::is_zero(block) {
+                return;
+            }
+            let entry = acc.entry(*block).or_insert((0, i));
+            entry.0 += 1;
+            entry.1 = entry.1.min(i);
+        },
+        |mut a, b| {
+            for (value, (count, first_idx)) in b {
+                let entry = a.entry(value).or_insert((0, first_idx));
+                entry.0 += count;
+                entry.1 = entry.1.min(first_idx);
+            }
+            a
+        },
+    );
+    let mut distinct: Vec<Observation> = observed
+        .into_iter()
+        .map(|(value, (count, first_idx))| Observation {
+            value,
+            count,
+            first_idx,
+        })
+        .collect();
+    distinct.sort_unstable_by_key(|o| o.first_idx);
+
+    // Stage 2: first-fit consolidation, parallel per round.
+    let match_opts = ScanOptions::with_threads(config.threads).batch_items(8);
+    let budget = config.consolidate_bits;
     let mut clusters: Vec<Cluster> = Vec::new();
-    // Exact-value fast path: at realistic decay most key observations are
-    // bit-identical to one already seen, so an exact lookup avoids the
-    // linear Hamming sweep over all clusters (which is quadratic on large
-    // dumps with thousands of keys).
-    let mut exact: std::collections::HashMap<[u8; BLOCK_BYTES], usize> =
-        std::collections::HashMap::new();
-    for (_addr, block) in dump.blocks() {
-        if !scrambler_key_litmus(block, config.litmus_tolerance_bits) {
-            continue;
-        }
-        if config.drop_null_key && ct::is_zero(block) {
-            continue;
-        }
-        if let Some(&idx) = exact.get(block) {
-            clusters[idx].absorb(block);
-            continue;
-        }
-        let idx = match clusters
-            .iter_mut()
-            .position(|c| hamming::within(&c.representative, block, config.consolidate_bits))
-        {
-            Some(idx) => {
-                clusters[idx].absorb(block);
-                idx
-            }
-            None => {
-                clusters.push(Cluster::new(block));
-                clusters.len() - 1
-            }
+    let mut reps: Vec<[u8; BLOCK_BYTES]> = Vec::new();
+    for round in distinct.chunks(CLUSTER_ROUND) {
+        let established = reps.len();
+        // First matching cluster among those established before this round,
+        // computed for the whole round in parallel (representatives are
+        // frozen at creation, so these probes commute).
+        let pre: Vec<Option<usize>> = if established == 0 {
+            vec![None; round.len()]
+        } else {
+            let reps = &reps[..established];
+            scan::scan_collect(round.len(), &match_opts, |j, out| {
+                out.push(
+                    reps.iter()
+                        .position(|r| hamming::within(r, &round[j].value, budget)),
+                )
+            })
         };
-        exact.insert(*block, idx);
+        for (obs, first_fit) in round.iter().zip(pre) {
+            // In-round seeds were created after every established cluster,
+            // so first-fit order is: established match, else earliest
+            // in-round seed match, else a new cluster.
+            let idx = first_fit.or_else(|| {
+                (established..reps.len())
+                    .find(|&i| hamming::within(&reps[i], &obs.value, budget))
+            });
+            match idx {
+                Some(i) => clusters[i].absorb(&obs.value, obs.count),
+                None => {
+                    clusters.push(Cluster::new(&obs.value, obs.count));
+                    reps.push(obs.value);
+                }
+            }
+        }
     }
+
     let mut candidates: Vec<CandidateKey> = clusters
         .iter()
         .map(|c| CandidateKey {
@@ -220,6 +333,21 @@ mod tests {
             let mut block = [0u8; 64];
             rng.fill(&mut block[..]);
             assert!(!scrambler_key_litmus(&block, 20));
+        }
+    }
+
+    #[test]
+    fn prefilter_is_a_lower_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut block = [0u8; 64];
+        for _ in 0..2000 {
+            rng.fill(&mut block[..]);
+            assert!(first_group_violations(&block) <= invariant_violations(&block));
+        }
+        // On pristine keys the prefilter never rejects.
+        for tag in 0..20u8 {
+            assert_eq!(first_group_violations(&structured_key(tag)), 0);
         }
     }
 
@@ -312,5 +440,59 @@ mod tests {
             ..MiningConfig::default()
         };
         assert_eq!(mine_candidate_keys(&dump, &config).len(), 3);
+    }
+
+    /// A synthetic scrambled dump: default-mix-ish content with many keys,
+    /// repeated decayed observations, and clustered placement (all key
+    /// observations in the last quarter) to provoke scheduling skew.
+    fn skewed_dump() -> MemoryDump {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let blocks = 4096;
+        let mut image = vec![0u8; 64 * blocks];
+        rng.fill(&mut image[..]);
+        for k in 0..64u8 {
+            for rep in 0..6usize {
+                let mut key = structured_key(k);
+                // Distinct single-bit decay per repetition.
+                key[(rep * 11) % 64] ^= 1 << (rep % 8);
+                let slot = blocks - 1 - (k as usize * 6 + rep);
+                image[slot * 64..(slot + 1) * 64].copy_from_slice(&key);
+            }
+        }
+        MemoryDump::new(image, 0)
+    }
+
+    #[test]
+    fn parallel_mining_is_byte_identical_to_sequential() {
+        let dump = skewed_dump();
+        let sequential = MiningConfig {
+            threads: 1,
+            ..MiningConfig::default()
+        };
+        let seq = mine_candidate_keys(&dump, &sequential);
+        assert!(seq.len() >= 64, "expected the planted keys, got {}", seq.len());
+        for threads in [2usize, 4, 8] {
+            let parallel = MiningConfig {
+                threads,
+                ..MiningConfig::default()
+            };
+            let par = mine_candidate_keys(&dump, &parallel);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn prefilter_never_changes_the_result() {
+        let dump = skewed_dump();
+        let base = MiningConfig::default();
+        let unfiltered = MiningConfig {
+            prefilter: false,
+            ..MiningConfig::default()
+        };
+        assert_eq!(
+            mine_candidate_keys(&dump, &base),
+            mine_candidate_keys(&dump, &unfiltered)
+        );
     }
 }

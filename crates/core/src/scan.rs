@@ -1,0 +1,268 @@
+//! Work-stealing scan engine shared by every dump-wide pass.
+//!
+//! The paper's §III-C throughput story — ~100 MB of dump scanned per ~2
+//! hours *per core*, embarrassingly parallel across cores — only holds if
+//! the scan actually keeps every core busy. Static `chunks()` partitioning
+//! does not: litmus hits cluster (schedules, zero pools, and key pools are
+//! spatially contiguous), so a worker whose chunk happens to hold the
+//! expensive blocks finishes last while the others idle.
+//!
+//! This module is the shared alternative: items (block indices) are grouped
+//! into fixed-size **batches** claimed off a single atomic cursor, so a
+//! worker that drew cheap batches simply comes back for more. Two
+//! properties make the engine safe to drop into every pipeline stage:
+//!
+//! * **Determinism.** Workers tag each batch's output with its batch index
+//!   and the results are merged in batch order after the scan, so
+//!   [`scan_collect`] returns *byte-identical, identically-ordered* results
+//!   for any thread count — `threads: 1` and `threads: 64` are
+//!   indistinguishable to the caller. ([`scan_fold`] instead requires a
+//!   commutative + associative merge; see its docs.)
+//! * **No work splits mid-batch.** A batch is the atomic unit of stealing;
+//!   per-item closures never observe concurrent mutation and need no locks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of items a worker claims per cursor increment.
+///
+/// Large enough that the shared-cursor `fetch_add` is noise even for cheap
+/// per-item work (a 64-byte litmus test), small enough that skewed dumps
+/// still rebalance: 1 GiB of blocks is ~16 million items ≈ 65 thousand
+/// batches.
+pub const DEFAULT_BATCH_ITEMS: usize = 256;
+
+/// The number of worker threads the machine supports, used as the default
+/// parallelism everywhere (`SearchConfig::threads`, `MiningConfig::threads`).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Scheduling knobs for one engine pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Worker threads; `1` runs inline on the caller's thread (the
+    /// determinism escape hatch — though output is identical either way).
+    pub threads: usize,
+    /// Items per stolen batch (see [`DEFAULT_BATCH_ITEMS`]).
+    pub batch_items: usize,
+}
+
+impl ScanOptions {
+    /// Options with an explicit thread count and the default batch size.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            batch_items: DEFAULT_BATCH_ITEMS,
+        }
+    }
+
+    /// Overrides the batch size (use smaller batches when per-item work is
+    /// heavy, e.g. a block × 4096-candidate AES litmus sweep).
+    pub fn batch_items(mut self, batch_items: usize) -> Self {
+        self.batch_items = batch_items.max(1);
+        self
+    }
+}
+
+impl Default for ScanOptions {
+    /// All available cores, default batch size.
+    fn default() -> Self {
+        Self::with_threads(default_threads())
+    }
+}
+
+/// Runs `emit(item_index, &mut out)` for every item in `0..items` and
+/// returns the concatenated output **in item order**, regardless of thread
+/// count.
+///
+/// `emit` may push zero or more results per item; it must be deterministic
+/// in its item index (it runs exactly once per item, but on an arbitrary
+/// worker). The engine merges worker-local buffers by batch index, so the
+/// returned `Vec` is byte-identical to a sequential run.
+pub fn scan_collect<T, F>(items: usize, opts: &ScanOptions, emit: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Vec<T>) + Sync,
+{
+    let batch = opts.batch_items.max(1);
+    let n_batches = items.div_ceil(batch);
+    let threads = opts.threads.max(1).min(n_batches.max(1));
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for i in 0..items {
+            emit(i, &mut out);
+        }
+        return out;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let run_worker = || {
+        let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+        loop {
+            let b = cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= n_batches {
+                break;
+            }
+            let start = b * batch;
+            let end = (start + batch).min(items);
+            let mut buf = Vec::new();
+            for i in start..end {
+                emit(i, &mut buf);
+            }
+            if !buf.is_empty() {
+                local.push((b, buf));
+            }
+        }
+        local
+    };
+
+    let mut tagged: Vec<(usize, Vec<T>)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|_| run_worker())).collect();
+        let mut tagged = Vec::new();
+        for h in handles {
+            // lint:allow(panic): join() errs only if a worker panicked; re-raise
+            tagged.extend(h.join().expect("scan worker panicked"));
+        }
+        tagged
+    })
+    // lint:allow(panic): scope() errs only on a child panic; propagate it
+    .expect("crossbeam scope failed");
+
+    // Deterministic merge: batch order == item order.
+    tagged.sort_unstable_by_key(|(b, _)| *b);
+    let total = tagged.iter().map(|(_, buf)| buf.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for (_, buf) in tagged {
+        out.extend(buf);
+    }
+    out
+}
+
+/// Folds every item into a worker-local accumulator, then merges the
+/// worker accumulators.
+///
+/// Batch-to-worker assignment is racy, so the overall result is
+/// deterministic **only when `merge` is commutative and associative** (and
+/// `fold` order-independent) — counting, summing, min/max, and histogram
+/// union all qualify. For order-sensitive output use [`scan_collect`].
+pub fn scan_fold<A, I, F, M>(items: usize, opts: &ScanOptions, init: I, fold: F, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+    M: Fn(A, A) -> A,
+{
+    let batch = opts.batch_items.max(1);
+    let n_batches = items.div_ceil(batch);
+    let threads = opts.threads.max(1).min(n_batches.max(1));
+    if threads <= 1 {
+        let mut acc = init();
+        for i in 0..items {
+            fold(&mut acc, i);
+        }
+        return acc;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let run_worker = || {
+        let mut acc = init();
+        loop {
+            let b = cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= n_batches {
+                break;
+            }
+            let start = b * batch;
+            let end = (start + batch).min(items);
+            for i in start..end {
+                fold(&mut acc, i);
+            }
+        }
+        acc
+    };
+
+    let accs: Vec<A> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|_| run_worker())).collect();
+        handles
+            .into_iter()
+            // lint:allow(panic): join() errs only if a worker panicked; re-raise
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    })
+    // lint:allow(panic): scope() errs only on a child panic; propagate it
+    .expect("crossbeam scope failed");
+
+    let mut accs = accs.into_iter();
+    // lint:allow(panic): threads >= 1, so at least one accumulator exists
+    let first = accs.next().expect("at least one worker");
+    accs.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_preserves_item_order_across_thread_counts() {
+        // Skewed emission: late items emit many results, early items none —
+        // the shape that made static chunking both slow and easy to get
+        // out of order.
+        let emit = |i: usize, out: &mut Vec<(usize, usize)>| {
+            for k in 0..i % 5 {
+                out.push((i, k));
+            }
+        };
+        let seq = scan_collect(1000, &ScanOptions::with_threads(1).batch_items(7), emit);
+        for threads in [2, 3, 8] {
+            let par = scan_collect(
+                1000,
+                &ScanOptions::with_threads(threads).batch_items(7),
+                emit,
+            );
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn collect_handles_edge_sizes() {
+        let emit = |i: usize, out: &mut Vec<usize>| out.push(i * 3);
+        assert!(scan_collect(0, &ScanOptions::default(), emit).is_empty());
+        // Fewer items than one batch, and fewer batches than threads.
+        let opts = ScanOptions::with_threads(16).batch_items(64);
+        assert_eq!(scan_collect(3, &opts, emit), vec![0, 3, 6]);
+        // items an exact multiple of the batch size.
+        let opts = ScanOptions::with_threads(4).batch_items(5);
+        assert_eq!(scan_collect(10, &opts, emit).len(), 10);
+    }
+
+    #[test]
+    fn fold_counts_match_sequential() {
+        let fold = |acc: &mut u64, i: usize| *acc += i as u64;
+        let want: u64 = (0..10_000).sum();
+        for threads in [1usize, 2, 8] {
+            let got = scan_fold(
+                10_000,
+                &ScanOptions::with_threads(threads).batch_items(13),
+                || 0u64,
+                fold,
+                |a, b| a + b,
+            );
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn options_clamp_degenerate_values() {
+        let opts = ScanOptions::with_threads(0).batch_items(0);
+        assert_eq!(opts.threads, 1);
+        assert_eq!(opts.batch_items, 1);
+        // And the engine itself tolerates a raw zero without panicking.
+        let raw = ScanOptions {
+            threads: 0,
+            batch_items: 0,
+        };
+        assert_eq!(
+            scan_collect(4, &raw, |i, out: &mut Vec<usize>| out.push(i)),
+            vec![0, 1, 2, 3]
+        );
+    }
+}

@@ -75,6 +75,44 @@ proptest! {
     }
 
     #[test]
+    fn parallel_mining_and_search_match_sequential(
+        materials in proptest::collection::vec(any::<[u8; 40]>(), 1..4),
+        key in proptest::collection::vec(any::<u8>(), 32),
+        threads in 2usize..6,
+    ) {
+        // One image exercising both pipeline stages: planted scrambler keys
+        // (mining) and a scrambled AES-256 schedule (search). The engine
+        // must return byte-identical results at any thread count.
+        let scrambler_key = structured_key(materials[0]);
+        let sched = KeySchedule::expand(&key).expect("32 bytes").to_bytes();
+        let mut image = vec![0x5Au8; 192];
+        image.extend_from_slice(&sched);
+        image.resize(image.len().next_multiple_of(64) + 128, 0x5A);
+        for chunk in image.chunks_mut(64) {
+            for (b, k) in chunk.iter_mut().zip(scrambler_key.iter()) {
+                *b ^= k;
+            }
+        }
+        for m in &materials {
+            image.extend_from_slice(&structured_key(*m));
+        }
+        let dump = MemoryDump::new(image, 0);
+
+        let seq_mining = MiningConfig { threads: 1, ..MiningConfig::default() };
+        let par_mining = MiningConfig { threads, ..MiningConfig::default() };
+        let seq_keys = mine_candidate_keys(&dump, &seq_mining);
+        prop_assert_eq!(&seq_keys, &mine_candidate_keys(&dump, &par_mining));
+
+        let candidates = vec![CandidateKey { key: scrambler_key, observations: 1 }];
+        let seq_search = SearchConfig { threads: 1, ..SearchConfig::default() };
+        let par_search = SearchConfig { threads, ..SearchConfig::default() };
+        let seq = search_dump(&dump, &candidates, &seq_search);
+        let par = search_dump(&dump, &candidates, &par_search);
+        prop_assert_eq!(seq.hits, par.hits);
+        prop_assert_eq!(seq.recovered, par.recovered);
+    }
+
+    #[test]
     fn search_finds_planted_schedule(
         key in proptest::collection::vec(any::<u8>(), 32),
         scrambler_material in any::<[u8; 40]>(),

@@ -4,8 +4,31 @@
 //! toward their ground state while the module is being transplanted, so the
 //! paper "measures hamming distance to test equality instead of relying on
 //! a simple bit-by-bit comparison".
+//!
+//! These sit in the innermost loop of both litmus scans (once per block ×
+//! candidate key), so they are SWAR kernels: bytes are compared eight at a
+//! time as `u64` lanes (XOR + `count_ones`, which lowers to `popcnt` where
+//! available) with a scalar tail for lengths that are not a multiple of 8.
+//!
+//! **Constant-time contract:** [`distance`] and [`weight`] perform a fixed
+//! amount of work for a given length — every lane and tail byte is always
+//! inspected and no branch depends on the data — because [`crate::ct`]
+//! builds its constant-time equality on top of them. Only [`within`] may
+//! short-circuit (it is attack-side scan machinery, never used on victim
+//! secrets).
+
+/// Loads an 8-byte chunk as a little-endian u64 lane.
+#[inline(always)]
+fn lane(chunk: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(chunk);
+    u64::from_le_bytes(b)
+}
 
 /// Counts differing bits between two equal-length byte slices.
+///
+/// Fixed-work: always inspects every byte regardless of content (see the
+/// module docs; [`crate::ct::eq`] relies on this).
 ///
 /// # Panics
 ///
@@ -17,11 +40,21 @@
 #[inline]
 pub fn distance(a: &[u8], b: &[u8]) -> u32 {
     assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
-    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    let mut wide_a = a.chunks_exact(8);
+    let mut wide_b = b.chunks_exact(8);
+    let mut total = 0u32;
+    for (x, y) in wide_a.by_ref().zip(wide_b.by_ref()) {
+        total += (lane(x) ^ lane(y)).count_ones();
+    }
+    for (x, y) in wide_a.remainder().iter().zip(wide_b.remainder()) {
+        total += (x ^ y).count_ones();
+    }
+    total
 }
 
 /// Returns `true` if the Hamming distance between `a` and `b` is at most
-/// `max_bits`, short-circuiting as soon as the budget is exceeded.
+/// `max_bits`, short-circuiting (at 8-byte-lane granularity) as soon as the
+/// budget is exceeded.
 ///
 /// # Panics
 ///
@@ -29,25 +62,60 @@ pub fn distance(a: &[u8], b: &[u8]) -> u32 {
 #[inline]
 pub fn within(a: &[u8], b: &[u8], max_bits: u32) -> bool {
     assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    let mut wide_a = a.chunks_exact(8);
+    let mut wide_b = b.chunks_exact(8);
     let mut total = 0u32;
-    for (x, y) in a.iter().zip(b) {
-        total += (x ^ y).count_ones();
+    for (x, y) in wide_a.by_ref().zip(wide_b.by_ref()) {
+        total += (lane(x) ^ lane(y)).count_ones();
         if total > max_bits {
             return false;
         }
     }
-    true
+    for (x, y) in wide_a.remainder().iter().zip(wide_b.remainder()) {
+        total += (x ^ y).count_ones();
+    }
+    total <= max_bits
 }
 
 /// Counts the set bits in a slice (distance from all-zeros).
+///
+/// Fixed-work, like [`distance`] ([`crate::ct::is_zero`] relies on this).
 #[inline]
 pub fn weight(a: &[u8]) -> u32 {
-    a.iter().map(|x| x.count_ones()).sum()
+    let mut wide = a.chunks_exact(8);
+    let mut total = 0u32;
+    for x in wide.by_ref() {
+        total += lane(x).count_ones();
+    }
+    for x in wide.remainder() {
+        total += x.count_ones();
+    }
+    total
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Byte-at-a-time reference implementations (what the SWAR kernels
+    /// replaced) for equivalence checks.
+    fn ref_distance(a: &[u8], b: &[u8]) -> u32 {
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    }
+
+    fn ref_weight(a: &[u8]) -> u32 {
+        a.iter().map(|x| x.count_ones()).sum()
+    }
+
+    /// Deterministic pseudo-random filler (no external PRNG dep).
+    fn mix_fill(buf: &mut [u8], mut state: u64) {
+        for byte in buf.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *byte = (state >> 33) as u8;
+        }
+    }
 
     #[test]
     fn distance_zero_for_equal() {
@@ -81,8 +149,48 @@ mod tests {
     }
 
     #[test]
+    fn swar_matches_reference_for_all_lengths() {
+        // Every length 0..=257 covers all scalar-tail sizes (0..=7) on both
+        // sides of several lane boundaries.
+        for len in 0usize..=257 {
+            let mut a = vec![0u8; len];
+            let mut b = vec![0u8; len];
+            mix_fill(&mut a, len as u64 + 1);
+            mix_fill(&mut b, (len as u64 + 1) << 17);
+            let d = ref_distance(&a, &b);
+            assert_eq!(distance(&a, &b), d, "distance len {len}");
+            assert_eq!(weight(&a), ref_weight(&a), "weight len {len}");
+            assert!(within(&a, &b, d), "within at exact budget, len {len}");
+            if d > 0 {
+                assert!(!within(&a, &b, d - 1), "within below budget, len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn swar_lane_boundary_bits() {
+        // A single flipped bit at every position of a 3-lane + 5-byte-tail
+        // buffer must always be seen, wherever it lands.
+        let base = vec![0u8; 29];
+        for bit in 0..29 * 8 {
+            let mut flipped = base.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(distance(&base, &flipped), 1, "bit {bit}");
+            assert_eq!(weight(&flipped), 1, "bit {bit}");
+            assert!(within(&base, &flipped, 1));
+            assert!(!within(&base, &flipped, 0));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "equal lengths")]
     fn distance_panics_on_mismatch() {
         distance(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn within_panics_on_mismatch() {
+        within(&[0], &[0, 1], 5);
     }
 }

@@ -3,6 +3,7 @@
 use coldboot_crypto::aes::key_schedule::{expansion_step, KeySchedule, KeySize};
 use coldboot_crypto::aes::Aes;
 use coldboot_crypto::chacha::{ChaCha, Rounds};
+use coldboot_crypto::ct;
 use coldboot_crypto::ctr::AesCtr;
 use coldboot_crypto::hamming;
 use coldboot_crypto::xts::Xts;
@@ -142,6 +143,38 @@ proptest! {
         budget in 0u32..130,
     ) {
         prop_assert_eq!(hamming::within(&a, &b, budget), hamming::distance(&a, &b) <= budget);
+    }
+
+    #[test]
+    fn swar_hamming_matches_bytewise_reference(
+        pairs in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..258),
+    ) {
+        // Lengths 0..=257 cover every scalar-tail size (0..=7) around
+        // multiple 8-byte lane boundaries of the SWAR kernels.
+        let a: Vec<u8> = pairs.iter().map(|(x, _)| *x).collect();
+        let b: Vec<u8> = pairs.iter().map(|(_, y)| *y).collect();
+        let ref_distance: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let ref_weight: u32 = a.iter().map(|x| x.count_ones()).sum();
+        prop_assert_eq!(hamming::distance(&a, &b), ref_distance);
+        prop_assert_eq!(hamming::weight(&a), ref_weight);
+        prop_assert!(hamming::within(&a, &b, ref_distance));
+        if ref_distance > 0 {
+            prop_assert!(!hamming::within(&a, &b, ref_distance - 1));
+        }
+    }
+
+    #[test]
+    fn ct_eq_matches_plain_equality(
+        a in proptest::collection::vec(any::<u8>(), 0..80),
+        b in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        prop_assert_eq!(ct::eq(&a, &b), a == b);
+        prop_assert!(ct::eq(&a, &a));
+    }
+
+    #[test]
+    fn ct_is_zero_matches_plain_check(a in proptest::collection::vec(any::<u8>(), 0..80)) {
+        prop_assert_eq!(ct::is_zero(&a), a.iter().all(|&x| x == 0));
     }
 
     #[test]

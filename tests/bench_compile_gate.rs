@@ -1,0 +1,26 @@
+//! Tier-1 CI gate: every criterion benchmark must at least compile.
+//!
+//! Benchmarks are not built by `cargo test`, so bench-only breakage (an API
+//! rename, a moved type) otherwise survives until someone actually runs the
+//! perf suite. `cargo bench --no-run` compiles every bench target without
+//! executing a single iteration, which keeps the gate fast.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn benches_compile() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(&cargo)
+        .args(["bench", "--no-run", "--workspace"])
+        .current_dir(root)
+        .output()
+        .expect("failed to spawn cargo bench --no-run");
+    assert!(
+        output.status.success(),
+        "cargo bench --no-run failed ({}):\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

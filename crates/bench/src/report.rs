@@ -2,168 +2,15 @@
 //!
 //! The bench binaries emit `BENCH_*.json` files so CI and the experiment
 //! scripts can track throughput without scraping text tables. The workspace
-//! deliberately carries no JSON dependency, and the format we need is tiny,
-//! so this is a ~100-line serializer: objects preserve insertion order
-//! (deterministic output for diffing) and non-finite floats render as
-//! `null` (JSON has no NaN/Infinity).
+//! deliberately carries no JSON dependency; the serializer now lives in
+//! [`coldboot_dumpio::json`] (where the `coldboot-dumpd` wire protocol
+//! needs a parser too) and is re-exported here so existing bench code and
+//! imports keep working: objects preserve insertion order (deterministic
+//! output for diffing) and non-finite floats render as `null` (JSON has no
+//! NaN/Infinity).
 //!
 //! Reports must contain **counts and rates only** — never key material or
 //! other image-derived bytes. The secret-hygiene lint treats any
 //! `key`-named value reaching a serializer as a finding.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (serialized without a decimal point).
-    Int(i64),
-    /// A float; non-finite values render as `null`.
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion order is preserved on render.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for an object from `(key, value)` pairs.
-    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Self {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Serializes with 2-space indentation and a trailing newline.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                // lint:allow(panic): write! to a String cannot fail
-                write!(out, "{i}").expect("write to String");
-            }
-            Json::Num(v) if v.is_finite() => {
-                // lint:allow(panic): write! to a String cannot fail
-                write!(out, "{v}").expect("write to String");
-            }
-            Json::Num(_) => out.push_str("null"),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    indent(out, depth + 1);
-                    item.write(out, depth + 1);
-                }
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
-            Json::Obj(pairs) => {
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    indent(out, depth + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, depth + 1);
-                }
-                indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    out.push('\n');
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                // lint:allow(panic): write! to a String cannot fail
-                write!(out, "\\u{:04x}", c as u32).expect("write to String");
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_nested_structure() {
-        let doc = Json::obj([
-            ("name", Json::Str("scan".into())),
-            ("threads", Json::Int(4)),
-            ("mib_per_s", Json::Num(12.5)),
-            (
-                "rows",
-                Json::Arr(vec![Json::Int(1), Json::Int(2)]),
-            ),
-            ("empty", Json::Arr(vec![])),
-        ]);
-        let text = doc.render();
-        assert!(text.contains("\"name\": \"scan\""));
-        assert!(text.contains("\"threads\": 4"));
-        assert!(text.contains("\"mib_per_s\": 12.5"));
-        assert!(text.contains("\"empty\": []"));
-        assert!(text.ends_with("}\n"));
-    }
-
-    #[test]
-    fn escapes_strings() {
-        let s = Json::Str("a\"b\\c\nd\u{1}".into()).render();
-        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
-    }
-
-    #[test]
-    fn non_finite_floats_become_null() {
-        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
-        assert_eq!(Json::Num(0.0).render(), "0\n");
-    }
-
-    #[test]
-    fn object_order_is_insertion_order() {
-        let doc = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
-        let text = doc.render();
-        assert!(text.find("\"z\"").unwrap() < text.find("\"a\"").unwrap());
-    }
-}
+pub use coldboot_dumpio::json::Json;

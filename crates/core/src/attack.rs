@@ -14,7 +14,7 @@
 //!   the cross-boot universal-key trick (which the paper shows is dead on
 //!   Skylake DDR4).
 
-use crate::dump::MemoryDump;
+use crate::dump::{xor_block, MemoryDump};
 use crate::keysearch::{search_dump, SearchConfig, SearchOutcome};
 use crate::litmus::{mine_candidate_keys, CandidateKey, MiningConfig};
 use crate::scan::{self, ScanOptions};
@@ -211,17 +211,16 @@ pub fn ground_state_key_extraction(
     let module = rig.remove_module()?;
     analyzed.insert_module(module)?;
 
+    let scrambled = MemoryDump::new(scrambled_view, 0);
+    let ground = MemoryDump::new(ground_view, 0);
     Ok(scan::scan_collect(
-        capacity / BLOCK_BYTES,
+        scrambled.len_blocks(),
         &ScanOptions::default(),
         |i, out| {
-            let s = &scrambled_view[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES];
-            let g = &ground_view[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES];
-            let mut key = [0u8; BLOCK_BYTES];
-            for j in 0..BLOCK_BYTES {
-                key[j] = s[j] ^ g[j];
-            }
-            out.push(((i * BLOCK_BYTES) as u64, key));
+            out.push((
+                scrambled.block_addr(i),
+                xor_block(scrambled.block(i), ground.block(i)),
+            ))
         },
     ))
 }
@@ -232,6 +231,54 @@ pub mod ddr3 {
     use super::*;
     use std::collections::HashMap;
 
+    /// Incremental block-value histogram over a dump delivered in pieces —
+    /// the streaming form of [`frequency_keys`], used by the file-backed
+    /// CBDF pipeline. Counts merge by summation (commutative), so the
+    /// ranking is byte-identical to the one-shot pass for any windowing.
+    #[derive(Default)]
+    pub struct FrequencyCounter {
+        counts: HashMap<[u8; BLOCK_BYTES], u32>,
+    }
+
+    impl FrequencyCounter {
+        /// Creates an empty histogram.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Counts every block of one window.
+        pub fn absorb(&mut self, window: &MemoryDump) {
+            type Histogram = HashMap<[u8; BLOCK_BYTES], u32>;
+            let local: Histogram = scan::scan_fold(
+                window.len_blocks(),
+                &ScanOptions::default(),
+                Histogram::new,
+                |acc, i| *acc.entry(*window.block(i)).or_insert(0) += 1,
+                |mut a, b| {
+                    for (key, n) in b {
+                        *a.entry(key).or_insert(0) += n;
+                    }
+                    a
+                },
+            );
+            for (key, n) in local {
+                *self.counts.entry(key).or_insert(0) += n;
+            }
+        }
+
+        /// The `top_n` most common block values, ties broken by key bytes.
+        pub fn finish(self, top_n: usize) -> Vec<CandidateKey> {
+            let mut all: Vec<CandidateKey> = self
+                .counts
+                .into_iter()
+                .map(|(key, observations)| CandidateKey { key, observations })
+                .collect();
+            all.sort_by_key(|c| (std::cmp::Reverse(c.observations), c.key));
+            all.truncate(top_n);
+            all
+        }
+    }
+
     /// Frequency analysis: the `top_n` most common block values in a dump.
     /// On a DDR3 system with 16 keys per channel, zero-filled memory makes
     /// the 16 exposed keys the most frequent values.
@@ -240,27 +287,11 @@ pub mod ddr3 {
     /// by summation) and ties are broken by key bytes, so the ranking is
     /// fully deterministic for any thread count — the old sequential
     /// version left equal-count ordering to `HashMap` iteration order.
+    /// This is the one-shot form of [`FrequencyCounter`].
     pub fn frequency_keys(dump: &MemoryDump, top_n: usize) -> Vec<CandidateKey> {
-        type Histogram = HashMap<[u8; BLOCK_BYTES], u32>;
-        let counts: Histogram = scan::scan_fold(
-            dump.block_count(),
-            &ScanOptions::default(),
-            Histogram::new,
-            |acc, i| *acc.entry(*dump.block(i)).or_insert(0) += 1,
-            |mut a, b| {
-                for (key, n) in b {
-                    *a.entry(key).or_insert(0) += n;
-                }
-                a
-            },
-        );
-        let mut all: Vec<CandidateKey> = counts
-            .into_iter()
-            .map(|(key, observations)| CandidateKey { key, observations })
-            .collect();
-        all.sort_by_key(|c| (std::cmp::Reverse(c.observations), c.key));
-        all.truncate(top_n);
-        all
+        let mut counter = FrequencyCounter::new();
+        counter.absorb(dump);
+        counter.finish(top_n)
     }
 
     /// The cross-boot universal key. On DDR3, re-reading retained memory
@@ -278,11 +309,9 @@ pub mod ddr3 {
     /// Descrambles an entire dump with a single key (valid after the
     /// universal-key collapse).
     pub fn descramble_all(dump: &MemoryDump, key: &[u8; BLOCK_BYTES]) -> Vec<u8> {
-        let mut out = dump.bytes().to_vec();
-        for chunk in out.chunks_mut(BLOCK_BYTES) {
-            for (b, k) in chunk.iter_mut().zip(key.iter()) {
-                *b ^= k;
-            }
+        let mut out = Vec::with_capacity(dump.len());
+        for (_, block) in dump.iter_blocks() {
+            out.extend_from_slice(&xor_block(block, key));
         }
         out
     }
@@ -455,6 +484,32 @@ mod tests {
         assert_eq!(tags, vec![0x10, 0x20, 0x30, 0x40]);
         for _ in 0..5 {
             assert_eq!(ddr3::frequency_keys(&dump, 4), keys);
+        }
+    }
+
+    #[test]
+    fn windowed_frequency_counting_matches_one_shot() {
+        // 96 blocks of skewed repeated values.
+        let mut image = Vec::new();
+        for i in 0..96u8 {
+            let tag = i % 7;
+            image.extend_from_slice(&[tag.wrapping_mul(0x1D); 64]);
+        }
+        let dump = MemoryDump::new(image, 0);
+        let whole = ddr3::frequency_keys(&dump, 10);
+        for window_blocks in [1usize, 5, 64] {
+            let mut counter = ddr3::FrequencyCounter::new();
+            let mut i = 0;
+            while i < dump.len_blocks() {
+                let take = window_blocks.min(dump.len_blocks() - i);
+                let w = MemoryDump::new(
+                    dump.bytes()[i * 64..(i + take) * 64].to_vec(),
+                    dump.block_addr(i),
+                );
+                counter.absorb(&w);
+                i += take;
+            }
+            assert_eq!(counter.finish(10), whole, "window={window_blocks}");
         }
     }
 

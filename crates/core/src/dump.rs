@@ -54,8 +54,17 @@ impl MemoryDump {
     }
 
     /// Number of 64-byte blocks.
-    pub fn block_count(&self) -> usize {
+    ///
+    /// Both the in-memory pipelines and the file-backed CBDF backend index
+    /// work by block, so this (with [`MemoryDump::iter_blocks`]) is the
+    /// canonical block-level view of an image.
+    pub fn len_blocks(&self) -> usize {
         self.data.len() / BLOCK_BYTES
+    }
+
+    /// Number of 64-byte blocks (alias of [`MemoryDump::len_blocks`]).
+    pub fn block_count(&self) -> usize {
+        self.len_blocks()
     }
 
     /// The `i`-th block as a fixed-size array reference.
@@ -97,8 +106,14 @@ impl MemoryDump {
     }
 
     /// Iterates over `(physical address, block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (u64, &[u8; BLOCK_BYTES])> + '_ {
+        (0..self.len_blocks()).map(move |i| (self.block_addr(i), self.block(i)))
+    }
+
+    /// Iterates over `(physical address, block)` pairs (alias of
+    /// [`MemoryDump::iter_blocks`]).
     pub fn blocks(&self) -> impl Iterator<Item = (u64, &[u8; BLOCK_BYTES])> + '_ {
-        (0..self.block_count()).map(move |i| (self.block_addr(i), self.block(i)))
+        self.iter_blocks()
     }
 
     /// The whole image.
@@ -116,6 +131,19 @@ impl MemoryDump {
         assert!(len <= self.len(), "prefix longer than dump");
         MemoryDump::new(self.data.slice(..len), self.base_addr)
     }
+}
+
+/// XOR of two 64-byte blocks — the descramble primitive.
+///
+/// Shared by the AES key search, the DDR3 universal-key pipeline, and the
+/// §III-A analysis framework, all of which used to hand-roll this loop.
+#[inline]
+pub fn xor_block(a: &[u8; BLOCK_BYTES], b: &[u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
+    let mut out = [0u8; BLOCK_BYTES];
+    for i in 0..BLOCK_BYTES {
+        out[i] = a[i] ^ b[i];
+    }
+    out
 }
 
 #[cfg(test)]
@@ -165,6 +193,24 @@ mod tests {
         let p = d.prefix(128);
         assert_eq!(p.block_count(), 2);
         assert_eq!(p.base_addr(), 0x1000);
+    }
+
+    #[test]
+    fn len_blocks_and_iter_blocks_match_legacy_names() {
+        let d = sample();
+        assert_eq!(d.len_blocks(), d.block_count());
+        let a: Vec<u64> = d.iter_blocks().map(|(addr, _)| addr).collect();
+        let b: Vec<u64> = d.blocks().map(|(addr, _)| addr).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xor_block_is_involutive() {
+        let a: [u8; BLOCK_BYTES] = core::array::from_fn(|i| i as u8);
+        let b: [u8; BLOCK_BYTES] = core::array::from_fn(|i| (i as u8).wrapping_mul(7) ^ 0x5A);
+        let x = xor_block(&a, &b);
+        assert_ne!(x, a);
+        assert_eq!(xor_block(&x, &b), a);
     }
 
     #[test]

@@ -14,13 +14,14 @@
 //! All comparisons use Hamming distance, making the search resilient to
 //! the bit decay incurred while the frozen DIMM was in transit.
 
-use crate::dump::MemoryDump;
+use crate::dump::{xor_block, MemoryDump};
 use crate::litmus::CandidateKey;
 use crate::scan::{self, ScanOptions};
 use coldboot_crypto::aes::key_schedule::{expansion_step, rcon, KeySchedule, KeySize};
 use coldboot_crypto::aes::sbox::{rot_word, sub_word};
 use coldboot_crypto::hamming;
 use coldboot_dram::BLOCK_BYTES;
+use std::collections::VecDeque;
 use std::ops::Range;
 
 /// How many bytes of a block a single litmus trial covers (three
@@ -288,14 +289,6 @@ pub fn aes_block_litmus_words(
     matches
 }
 
-fn xor_block(block: &[u8; BLOCK_BYTES], key: &[u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
-    let mut out = [0u8; BLOCK_BYTES];
-    for i in 0..BLOCK_BYTES {
-        out[i] = block[i] ^ key[i];
-    }
-    out
-}
-
 /// Verifies a hit against the rest of its schedule and recovers the master
 /// key.
 ///
@@ -400,6 +393,201 @@ pub fn verify_and_recover(
     })
 }
 
+/// Merges one verified recovery into the deduplicated result set.
+///
+/// Two recoveries whose schedule ranges overlap are competing explanations
+/// of the same physical bytes (the position-degenerate hits reconstruct the
+/// true schedule shifted by a few round keys), so keep whichever explains
+/// the dump better: fewer unexplained blocks first, then less decay damage.
+fn merge_recovery(recovered: &mut Vec<RecoveredAesKey>, rec: RecoveredAesKey) {
+    let rec_end = rec.schedule_addr + rec.key_size.schedule_len() as u64;
+    let quality = (rec.unexplained_blocks, rec.total_error_bits);
+    match recovered.iter_mut().find(|r| {
+        let r_end = r.schedule_addr + r.key_size.schedule_len() as u64;
+        r.key_size == rec.key_size && rec.schedule_addr < r_end && r.schedule_addr < rec_end
+    }) {
+        Some(existing) => {
+            if quality < (existing.unexplained_blocks, existing.total_error_bits) {
+                *existing = rec;
+            }
+        }
+        None => recovered.push(rec),
+    }
+}
+
+/// Blocks of context a schedule can extend past its hit block on either
+/// side: an AES-256 schedule spans 240 bytes, so relative to the block that
+/// produced a hit the full schedule reaches at most 192 bytes before the
+/// block start (window at offset ≤ 16, up to 48 schedule words behind it)
+/// and 192 bytes past the block end — under 4 blocks either way.
+const SCHEDULE_CONTEXT_BLOCKS: usize = 4;
+
+/// Incremental AES key search over a dump delivered in contiguous windows.
+///
+/// The streaming counterpart of [`search_dump`], built for the file-backed
+/// CBDF pipeline: only a bounded tail of the image is retained. Each pushed
+/// window is scanned on the work-stealing engine exactly as the in-memory
+/// path scans its next blocks; hits are then verified in global block order
+/// as soon as [`SCHEDULE_CONTEXT_BLOCKS`] of context exist past their
+/// block (or the stream ends, which is also when the in-memory path would
+/// run out of dump). The retained tail always covers that context window
+/// for every pending hit and for any hit the next window may produce, so
+/// hits, recoveries, dedup decisions, and their order are byte-identical to
+/// the in-memory search for any windowing and any thread count.
+pub struct StreamSearcher {
+    candidates: Vec<CandidateKey>,
+    key_words: Vec<[u32; BLOCK_BYTES / 4]>,
+    config: SearchConfig,
+    /// Retained contiguous tail of the image.
+    buf: Vec<u8>,
+    /// Physical address of `buf[0]`.
+    buf_base: u64,
+    /// Physical address one past the last byte pushed so far.
+    end_addr: u64,
+    started: bool,
+    /// Hits (in global block order) awaiting right-hand context.
+    pending: VecDeque<ScheduleHit>,
+    hits: Vec<ScheduleHit>,
+    recovered: Vec<RecoveredAesKey>,
+    blocks_scanned: usize,
+}
+
+impl StreamSearcher {
+    /// Creates a searcher over the given candidate scrambler keys.
+    pub fn new(candidates: &[CandidateKey], config: &SearchConfig) -> Self {
+        // Parse every candidate key to words once; per (block, key) pair the
+        // descramble is then 16 word XORs.
+        let key_words = candidates
+            .iter()
+            .map(|cand| {
+                let mut w = [0u32; BLOCK_BYTES / 4];
+                for (i, c) in cand.key.chunks_exact(4).enumerate() {
+                    w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+                }
+                w
+            })
+            .collect();
+        Self {
+            candidates: candidates.to_vec(),
+            key_words,
+            config: config.clone(),
+            buf: Vec::new(),
+            buf_base: 0,
+            end_addr: 0,
+            started: false,
+            pending: VecDeque::new(),
+            hits: Vec::new(),
+            recovered: Vec::new(),
+            blocks_scanned: 0,
+        }
+    }
+
+    /// Scans the next window of the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not contiguous with what was pushed before
+    /// (its base address must equal the previous window's end).
+    pub fn push(&mut self, window: &MemoryDump) {
+        if !self.started {
+            self.started = true;
+            self.buf_base = window.base_addr();
+            self.end_addr = window.base_addr();
+        }
+        assert_eq!(
+            window.base_addr(),
+            self.end_addr,
+            "stream windows must be contiguous"
+        );
+        if window.is_empty() {
+            return;
+        }
+        self.buf.extend_from_slice(window.bytes());
+        self.end_addr += window.len() as u64;
+
+        // View over the retained tail (old context + the new window).
+        let view = MemoryDump::new(self.buf.clone(), self.buf_base);
+        let first_new = ((window.base_addr() - self.buf_base) / BLOCK_BYTES as u64) as usize;
+        let indices: Vec<usize> = (first_new..view.len_blocks())
+            .filter(|&i| {
+                self.config
+                    .region
+                    .as_ref()
+                    .is_none_or(|r| r.contains(&view.block_addr(i)))
+            })
+            .collect();
+        self.blocks_scanned += indices.len();
+
+        let opts = ScanOptions::with_threads(self.config.threads).batch_items(SEARCH_BATCH_BLOCKS);
+        let candidates = &self.candidates;
+        let key_words = &self.key_words;
+        let config = &self.config;
+        let new_hits: Vec<ScheduleHit> = scan::scan_collect(indices.len(), &opts, |n, out| {
+            scan_block(&view, candidates, key_words, config, indices[n], out);
+        });
+        self.hits.extend(new_hits.iter().cloned());
+        self.pending.extend(new_hits);
+
+        self.verify_ready(&view, false);
+        self.trim();
+    }
+
+    /// Verifies pending hits, oldest first, stopping at the first one that
+    /// still lacks right-hand context (readiness is monotone in block
+    /// address, so everything behind it waits too).
+    fn verify_ready(&mut self, view: &MemoryDump, at_end: bool) {
+        let ctx = (SCHEDULE_CONTEXT_BLOCKS * BLOCK_BYTES) as u64;
+        loop {
+            let ready = match self.pending.front() {
+                None => break,
+                Some(h) => at_end || h.block_addr + BLOCK_BYTES as u64 + ctx <= self.end_addr,
+            };
+            if !ready {
+                break;
+            }
+            // lint:allow(panic): front() returned Some above
+            let hit = self.pending.pop_front().expect("pending is non-empty");
+            if let Some(rec) = verify_and_recover(view, &self.candidates, &hit, &self.config) {
+                merge_recovery(&mut self.recovered, rec);
+            }
+        }
+    }
+
+    /// Drops the part of the retained tail no verification can reach: both
+    /// the oldest pending hit and any hit the *next* window produces need at
+    /// most [`SCHEDULE_CONTEXT_BLOCKS`] blocks behind them.
+    fn trim(&mut self) {
+        let ctx = (SCHEDULE_CONTEXT_BLOCKS * BLOCK_BYTES) as u64;
+        let tail_floor = self.end_addr.saturating_sub(ctx);
+        let keep_from = self
+            .pending
+            .front()
+            .map(|h| h.block_addr.saturating_sub(ctx))
+            .unwrap_or(tail_floor)
+            .min(tail_floor)
+            .max(self.buf_base);
+        let drop = (keep_from - self.buf_base) as usize;
+        if drop > 0 {
+            self.buf.drain(..drop);
+            self.buf_base = keep_from;
+        }
+    }
+
+    /// Verifies the remaining pending hits against the end of the image and
+    /// returns the outcome, sorted exactly as [`search_dump`] sorts it.
+    pub fn finish(mut self) -> SearchOutcome {
+        let view = MemoryDump::new(std::mem::take(&mut self.buf), self.buf_base);
+        self.verify_ready(&view, true);
+        let mut recovered = self.recovered;
+        recovered.sort_by_key(|r| r.schedule_addr);
+        SearchOutcome {
+            hits: self.hits,
+            recovered,
+            blocks_scanned: self.blocks_scanned,
+        }
+    }
+}
+
 /// Scans a dump for AES key schedules using a set of candidate scrambler
 /// keys, verifying and recovering master keys.
 ///
@@ -408,69 +596,17 @@ pub fn verify_and_recover(
 /// other hit-dense data cluster spatially, so fixed per-worker chunks left
 /// all but one worker idle on real dumps). Hits are merged in block order,
 /// so the outcome is byte-identical for any thread count.
+///
+/// This is the one-window form of [`StreamSearcher`]; dumps too large for
+/// memory go through the searcher window by window with identical results.
 pub fn search_dump(
     dump: &MemoryDump,
     candidates: &[CandidateKey],
     config: &SearchConfig,
 ) -> SearchOutcome {
-    let indices: Vec<usize> = (0..dump.block_count())
-        .filter(|&i| {
-            config
-                .region
-                .as_ref()
-                .is_none_or(|r| r.contains(&dump.block_addr(i)))
-        })
-        .collect();
-    let blocks_scanned = indices.len();
-
-    // Parse every candidate key to words once; per (block, key) pair the
-    // descramble is then 16 word XORs.
-    let key_words: Vec<[u32; BLOCK_BYTES / 4]> = candidates
-        .iter()
-        .map(|cand| {
-            let mut w = [0u32; BLOCK_BYTES / 4];
-            for (i, c) in cand.key.chunks_exact(4).enumerate() {
-                w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
-            }
-            w
-        })
-        .collect();
-
-    let opts = ScanOptions::with_threads(config.threads).batch_items(SEARCH_BATCH_BLOCKS);
-    let hits: Vec<ScheduleHit> = scan::scan_collect(indices.len(), &opts, |n, out| {
-        scan_block(dump, candidates, &key_words, config, indices[n], out);
-    });
-
-    // Verify hits and deduplicate. Two recoveries whose schedule ranges
-    // overlap are competing explanations of the same physical bytes (the
-    // position-degenerate hits reconstruct the true schedule shifted by a
-    // few round keys), so keep whichever explains the dump better: fewer
-    // unexplained blocks first, then less decay damage.
-    let mut recovered: Vec<RecoveredAesKey> = Vec::new();
-    for hit in &hits {
-        if let Some(rec) = verify_and_recover(dump, candidates, hit, config) {
-            let rec_end = rec.schedule_addr + rec.key_size.schedule_len() as u64;
-            let quality = (rec.unexplained_blocks, rec.total_error_bits);
-            match recovered.iter_mut().find(|r| {
-                let r_end = r.schedule_addr + r.key_size.schedule_len() as u64;
-                r.key_size == rec.key_size && rec.schedule_addr < r_end && r.schedule_addr < rec_end
-            }) {
-                Some(existing) => {
-                    if quality < (existing.unexplained_blocks, existing.total_error_bits) {
-                        *existing = rec;
-                    }
-                }
-                None => recovered.push(rec),
-            }
-        }
-    }
-    recovered.sort_by_key(|r| r.schedule_addr);
-
-    SearchOutcome {
-        hits,
-        recovered,
-        blocks_scanned,
-    }
+    let mut searcher = StreamSearcher::new(candidates, config);
+    searcher.push(dump);
+    searcher.finish()
 }
 
 /// Litmus-tests one block against every candidate key and key size,
@@ -843,6 +979,68 @@ mod tests {
         assert_eq!(deep.recovered[0].schedule_addr, 192);
         let dist = coldboot_crypto::hamming::distance(&deep.recovered[0].master_key, &master);
         assert!(dist <= 20, "recovered key too damaged: {dist} bits");
+    }
+
+    fn stream_in_windows(
+        dump: &MemoryDump,
+        candidates: &[CandidateKey],
+        config: &SearchConfig,
+        window_blocks: usize,
+    ) -> SearchOutcome {
+        let mut s = StreamSearcher::new(candidates, config);
+        let mut i = 0;
+        while i < dump.len_blocks() {
+            let take = window_blocks.min(dump.len_blocks() - i);
+            let w = MemoryDump::new(
+                dump.bytes()[i * 64..(i + take) * 64].to_vec(),
+                dump.block_addr(i),
+            );
+            s.push(&w);
+            i += take;
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn streamed_search_is_byte_identical_to_in_memory() {
+        let master: [u8; 32] =
+            core::array::from_fn(|i| (i as u8).wrapping_mul(29).wrapping_add(0xD2));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(320, &master, &keys);
+        let config = SearchConfig::default();
+        let whole = search_dump(&dump, &candidates, &config);
+        assert_eq!(whole.recovered.len(), 1);
+        // Window sizes below the schedule span force verification deferral
+        // across pushes; larger ones exercise the trivial path.
+        for wb in [1usize, 2, 3, 5, 16, 1000] {
+            let streamed = stream_in_windows(&dump, &candidates, &config, wb);
+            assert_eq!(whole.hits, streamed.hits, "window={wb}");
+            assert_eq!(whole.recovered, streamed.recovered, "window={wb}");
+            assert_eq!(whole.blocks_scanned, streamed.blocks_scanned, "window={wb}");
+        }
+    }
+
+    #[test]
+    fn streamed_search_respects_nonzero_base_and_region() {
+        let master: [u8; 32] =
+            core::array::from_fn(|i| (i as u8).wrapping_mul(53).wrapping_add(0x21));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(192, &master, &keys);
+        // Rebase the same image at a nonzero physical address.
+        let base = 0x4_0000u64;
+        let dump = MemoryDump::new(dump.bytes().to_vec(), base);
+        let config = SearchConfig {
+            region: Some(base..base + 1024),
+            ..SearchConfig::default()
+        };
+        let whole = search_dump(&dump, &candidates, &config);
+        assert_eq!(whole.recovered.len(), 1);
+        assert_eq!(whole.recovered[0].schedule_addr, base + 192);
+        for wb in [2usize, 7] {
+            let streamed = stream_in_windows(&dump, &candidates, &config, wb);
+            assert_eq!(whole.hits, streamed.hits, "window={wb}");
+            assert_eq!(whole.recovered, streamed.recovered, "window={wb}");
+        }
     }
 
     #[test]

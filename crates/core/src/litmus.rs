@@ -171,6 +171,147 @@ struct Observation {
 /// round sequentially; earlier rounds are probed in parallel).
 const CLUSTER_ROUND: usize = 256;
 
+/// Distinct litmus-passing block values → (observation count, first global
+/// block index). The merge is commutative, which is what makes both the
+/// parallel sweep and the windowed [`KeyMiner`] byte-identical to a
+/// sequential whole-dump pass.
+type ValueMap = HashMap<[u8; BLOCK_BYTES], (u32, usize)>;
+
+fn merge_value_maps(mut a: ValueMap, b: ValueMap) -> ValueMap {
+    for (value, (count, first_idx)) in b {
+        let entry = a.entry(value).or_insert((0, first_idx));
+        entry.0 += count;
+        entry.1 = entry.1.min(first_idx);
+    }
+    a
+}
+
+/// Incremental scrambler-key mining over a dump delivered in pieces.
+///
+/// The file-backed CBDF pipeline cannot hold a multi-GiB image in memory,
+/// so it feeds bounded windows here instead of calling
+/// [`mine_candidate_keys`] — which is itself just a one-window absorb.
+/// Stage 1 (sweep + exact dedup) runs per window on the scan engine with
+/// the window's global block offset keeping first-seen indices absolute;
+/// because the dedup merge is commutative and consolidation happens only
+/// in [`KeyMiner::finish`], the result is byte-identical to mining the
+/// whole image in memory, for any windowing and any thread count.
+pub struct KeyMiner {
+    config: MiningConfig,
+    observed: ValueMap,
+}
+
+impl KeyMiner {
+    /// Creates an empty miner.
+    pub fn new(config: &MiningConfig) -> Self {
+        Self {
+            config: config.clone(),
+            observed: ValueMap::new(),
+        }
+    }
+
+    /// Sweeps one contiguous window of the dump. `first_block_index` is the
+    /// index of the window's first block within the whole image; it anchors
+    /// first-seen ordering globally, so windows must be absorbed with the
+    /// offsets they actually occupy (any absorb *order* yields the same
+    /// result).
+    pub fn absorb(&mut self, window: &MemoryDump, first_block_index: usize) {
+        let config = &self.config;
+        let sweep_opts = ScanOptions::with_threads(config.threads);
+        let local: ValueMap = scan::scan_fold(
+            window.len_blocks(),
+            &sweep_opts,
+            ValueMap::new,
+            |acc, i| {
+                let block = window.block(i);
+                if config.prefilter && first_group_violations(block) > config.litmus_tolerance_bits
+                {
+                    return;
+                }
+                if !scrambler_key_litmus(block, config.litmus_tolerance_bits) {
+                    return;
+                }
+                if config.drop_null_key && ct::is_zero(block) {
+                    return;
+                }
+                let global = first_block_index + i;
+                let entry = acc.entry(*block).or_insert((0, global));
+                entry.0 += 1;
+                entry.1 = entry.1.min(global);
+            },
+            merge_value_maps,
+        );
+        self.observed = merge_value_maps(std::mem::take(&mut self.observed), local);
+    }
+
+    /// Consolidates everything absorbed so far into ranked candidate keys.
+    pub fn finish(self) -> Vec<CandidateKey> {
+        let config = self.config;
+        let mut distinct: Vec<Observation> = self
+            .observed
+            .into_iter()
+            .map(|(value, (count, first_idx))| Observation {
+                value,
+                count,
+                first_idx,
+            })
+            .collect();
+        distinct.sort_unstable_by_key(|o| o.first_idx);
+
+        // Stage 2: first-fit consolidation, parallel per round.
+        let match_opts = ScanOptions::with_threads(config.threads).batch_items(8);
+        let budget = config.consolidate_bits;
+        let mut clusters: Vec<Cluster> = Vec::new();
+        let mut reps: Vec<[u8; BLOCK_BYTES]> = Vec::new();
+        for round in distinct.chunks(CLUSTER_ROUND) {
+            let established = reps.len();
+            // First matching cluster among those established before this round,
+            // computed for the whole round in parallel (representatives are
+            // frozen at creation, so these probes commute).
+            let pre: Vec<Option<usize>> = if established == 0 {
+                vec![None; round.len()]
+            } else {
+                let reps = &reps[..established];
+                scan::scan_collect(round.len(), &match_opts, |j, out| {
+                    out.push(
+                        reps.iter()
+                            .position(|r| hamming::within(r, &round[j].value, budget)),
+                    )
+                })
+            };
+            for (obs, first_fit) in round.iter().zip(pre) {
+                // In-round seeds were created after every established cluster,
+                // so first-fit order is: established match, else earliest
+                // in-round seed match, else a new cluster.
+                let idx = first_fit.or_else(|| {
+                    (established..reps.len())
+                        .find(|&i| hamming::within(&reps[i], &obs.value, budget))
+                });
+                match idx {
+                    Some(i) => clusters[i].absorb(&obs.value, obs.count),
+                    None => {
+                        clusters.push(Cluster::new(&obs.value, obs.count));
+                        reps.push(obs.value);
+                    }
+                }
+            }
+        }
+
+        let mut candidates: Vec<CandidateKey> = clusters
+            .iter()
+            .map(|c| CandidateKey {
+                key: c.majority(),
+                observations: c.observations,
+            })
+            .collect();
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.observations));
+        if let Some(max) = config.max_candidates {
+            candidates.truncate(max);
+        }
+        candidates
+    }
+}
+
 /// Scans a dump for blocks passing the scrambler key litmus test and
 /// consolidates them into candidate keys, most frequently observed first.
 ///
@@ -193,100 +334,13 @@ const CLUSTER_ROUND: usize = 256;
 ///    against already-established clusters is fanned out across workers
 ///    round by round; the first-fit choice itself stays sequential, which
 ///    keeps the result identical to a fully sequential run.
+///
+/// This is the one-shot form of [`KeyMiner`]; dumps too large for memory go
+/// through the miner window by window with identical results.
 pub fn mine_candidate_keys(dump: &MemoryDump, config: &MiningConfig) -> Vec<CandidateKey> {
-    let sweep_opts = ScanOptions::with_threads(config.threads);
-
-    // Stage 1: parallel sweep + exact dedup.
-    type ValueMap = HashMap<[u8; BLOCK_BYTES], (u32, usize)>;
-    let observed: ValueMap = scan::scan_fold(
-        dump.block_count(),
-        &sweep_opts,
-        ValueMap::new,
-        |acc, i| {
-            let block = dump.block(i);
-            if config.prefilter && first_group_violations(block) > config.litmus_tolerance_bits {
-                return;
-            }
-            if !scrambler_key_litmus(block, config.litmus_tolerance_bits) {
-                return;
-            }
-            if config.drop_null_key && ct::is_zero(block) {
-                return;
-            }
-            let entry = acc.entry(*block).or_insert((0, i));
-            entry.0 += 1;
-            entry.1 = entry.1.min(i);
-        },
-        |mut a, b| {
-            for (value, (count, first_idx)) in b {
-                let entry = a.entry(value).or_insert((0, first_idx));
-                entry.0 += count;
-                entry.1 = entry.1.min(first_idx);
-            }
-            a
-        },
-    );
-    let mut distinct: Vec<Observation> = observed
-        .into_iter()
-        .map(|(value, (count, first_idx))| Observation {
-            value,
-            count,
-            first_idx,
-        })
-        .collect();
-    distinct.sort_unstable_by_key(|o| o.first_idx);
-
-    // Stage 2: first-fit consolidation, parallel per round.
-    let match_opts = ScanOptions::with_threads(config.threads).batch_items(8);
-    let budget = config.consolidate_bits;
-    let mut clusters: Vec<Cluster> = Vec::new();
-    let mut reps: Vec<[u8; BLOCK_BYTES]> = Vec::new();
-    for round in distinct.chunks(CLUSTER_ROUND) {
-        let established = reps.len();
-        // First matching cluster among those established before this round,
-        // computed for the whole round in parallel (representatives are
-        // frozen at creation, so these probes commute).
-        let pre: Vec<Option<usize>> = if established == 0 {
-            vec![None; round.len()]
-        } else {
-            let reps = &reps[..established];
-            scan::scan_collect(round.len(), &match_opts, |j, out| {
-                out.push(
-                    reps.iter()
-                        .position(|r| hamming::within(r, &round[j].value, budget)),
-                )
-            })
-        };
-        for (obs, first_fit) in round.iter().zip(pre) {
-            // In-round seeds were created after every established cluster,
-            // so first-fit order is: established match, else earliest
-            // in-round seed match, else a new cluster.
-            let idx = first_fit.or_else(|| {
-                (established..reps.len())
-                    .find(|&i| hamming::within(&reps[i], &obs.value, budget))
-            });
-            match idx {
-                Some(i) => clusters[i].absorb(&obs.value, obs.count),
-                None => {
-                    clusters.push(Cluster::new(&obs.value, obs.count));
-                    reps.push(obs.value);
-                }
-            }
-        }
-    }
-
-    let mut candidates: Vec<CandidateKey> = clusters
-        .iter()
-        .map(|c| CandidateKey {
-            key: c.majority(),
-            observations: c.observations,
-        })
-        .collect();
-    candidates.sort_by_key(|c| std::cmp::Reverse(c.observations));
-    if let Some(max) = config.max_candidates {
-        candidates.truncate(max);
-    }
-    candidates
+    let mut miner = KeyMiner::new(config);
+    miner.absorb(dump, 0);
+    miner.finish()
 }
 
 #[cfg(test)]
@@ -479,6 +533,27 @@ mod tests {
             };
             let par = mine_candidate_keys(&dump, &parallel);
             assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn windowed_mining_is_byte_identical_to_whole_dump() {
+        let dump = skewed_dump();
+        let config = MiningConfig::default();
+        let whole = mine_candidate_keys(&dump, &config);
+        for window_blocks in [64usize, 129, 1024] {
+            let mut miner = KeyMiner::new(&config);
+            let mut i = 0;
+            while i < dump.len_blocks() {
+                let take = window_blocks.min(dump.len_blocks() - i);
+                let window = MemoryDump::new(
+                    dump.bytes()[i * 64..(i + take) * 64].to_vec(),
+                    dump.block_addr(i),
+                );
+                miner.absorb(&window, i);
+                i += take;
+            }
+            assert_eq!(miner.finish(), whole, "window={window_blocks}");
         }
     }
 

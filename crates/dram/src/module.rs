@@ -197,6 +197,21 @@ impl DramModule {
         self.data.copy_from_slice(&self.ground);
     }
 
+    /// Reconstructs a module from externally persisted cell contents (a
+    /// CBDF dump import): same serial-derived ground state as a factory
+    /// module of that serial, but with the captured cells restored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents` is empty or not a multiple of
+    /// [`crate::BLOCK_BYTES`].
+    pub fn restore(serial: u64, contents: Vec<u8>, temperature_c: f64) -> Self {
+        let mut module = Self::new(contents.len(), serial);
+        module.data = contents;
+        module.temperature_c = temperature_c;
+        module
+    }
+
     /// A read-only view of the raw cell array.
     pub fn contents(&self) -> &[u8] {
         &self.data
@@ -306,6 +321,19 @@ mod tests {
     #[should_panic(expected = "positive multiple")]
     fn rejects_unaligned_size() {
         DramModule::new(100, 1);
+    }
+
+    #[test]
+    fn restore_round_trips_contents_and_ground_state() {
+        let mut m = DramModule::new(4096, 9);
+        m.fill(0x5C);
+        m.write(128, b"captured");
+        m.set_temperature(-25.0);
+        let restored = DramModule::restore(9, m.contents().to_vec(), m.temperature_c());
+        assert_eq!(restored.contents(), m.contents());
+        assert_eq!(restored.ground_state(), m.ground_state());
+        assert_eq!(restored.serial(), 9);
+        assert_eq!(restored.temperature_c(), -25.0);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! CBDF throughput: encode/decode MB/s and streamed-scan overhead vs the
+//! in-memory path.
+//!
+//! Criterion benches for interactive work, plus a `BENCH_dumpio.json`
+//! report (written next to the working directory, same idiom as
+//! `attack_perf`) so CI can track the numbers without scraping output.
+
+use std::io::Cursor;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::hint::black_box;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use coldboot::attack::ddr3::frequency_keys;
+use coldboot::dump::MemoryDump;
+use coldboot_dumpio::format::DumpMeta;
+use coldboot_dumpio::json::Json;
+use coldboot_dumpio::pipeline::{frequency_stream, ScanControl};
+use coldboot_dumpio::reader::DumpReader;
+use coldboot_dumpio::writer::write_image;
+
+const IMAGE_BYTES: usize = 4 << 20;
+
+/// A cold-boot-shaped image: mostly zero-filled pool, some high-entropy
+/// regions, sparse bit flips — the case the zero-run RLE is built for.
+fn realistic_image(len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let mut image = vec![0u8; len];
+    // A quarter of the image is high-entropy "in use" pages.
+    let mut offset = len / 8;
+    while offset + 4096 <= len / 2 {
+        rng.fill(&mut image[offset..offset + 2048]);
+        offset += 8192;
+    }
+    // Sparse decay flips everywhere.
+    for _ in 0..len / 2048 {
+        let at = rng.gen_range(0..len);
+        image[at] ^= 1 << rng.gen_range(0..8);
+    }
+    image
+}
+
+fn incompressible_image(len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut image = vec![0u8; len];
+    rng.fill(&mut image[..]);
+    image
+}
+
+fn cbdf_of(image: &[u8]) -> Vec<u8> {
+    write_image(
+        Vec::new(),
+        DumpMeta::for_image(0, image.len() as u64),
+        image,
+    )
+    .expect("encode")
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let zeroish = realistic_image(IMAGE_BYTES);
+    let dense = incompressible_image(IMAGE_BYTES);
+    let mut group = c.benchmark_group("cbdf_encode");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.sample_size(10);
+    group.bench_function("zero_dominated", |b| {
+        b.iter(|| black_box(cbdf_of(black_box(&zeroish))))
+    });
+    group.bench_function("incompressible", |b| {
+        b.iter(|| black_box(cbdf_of(black_box(&dense))))
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let zeroish = cbdf_of(&realistic_image(IMAGE_BYTES));
+    let dense = cbdf_of(&incompressible_image(IMAGE_BYTES));
+    let mut group = c.benchmark_group("cbdf_decode");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.sample_size(10);
+    group.bench_function("zero_dominated", |b| {
+        b.iter(|| {
+            let mut r = DumpReader::new(Cursor::new(black_box(&zeroish))).expect("header");
+            black_box(r.read_to_memory().expect("decode"))
+        })
+    });
+    group.bench_function("incompressible", |b| {
+        b.iter(|| {
+            let mut r = DumpReader::new(Cursor::new(black_box(&dense))).expect("header");
+            black_box(r.read_to_memory().expect("decode"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_streamed_scan(c: &mut Criterion) {
+    let image = realistic_image(IMAGE_BYTES);
+    let file = cbdf_of(&image);
+    let dump = MemoryDump::new(image, 0);
+    let mut group = c.benchmark_group("frequency_scan");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| black_box(frequency_keys(black_box(&dump), 8)))
+    });
+    group.bench_function("streamed", |b| {
+        b.iter(|| {
+            let mut r = DumpReader::new(Cursor::new(black_box(&file))).expect("header");
+            black_box(
+                frequency_stream(&mut r, 8, 16 * 1024, &ScanControl::new()).expect("stream"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// One timed pass per figure, emitted as `BENCH_dumpio.json`.
+fn emit_report() {
+    fn mib_per_s(bytes: usize, seconds: f64) -> f64 {
+        bytes as f64 / (1 << 20) as f64 / seconds
+    }
+
+    let image = realistic_image(IMAGE_BYTES);
+    let start = Instant::now();
+    let file = cbdf_of(&image);
+    let encode_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut r = DumpReader::new(Cursor::new(&file)).expect("header");
+    let decoded = r.read_to_memory().expect("decode");
+    let decode_s = start.elapsed().as_secs_f64();
+    assert_eq!(decoded.bytes().len(), IMAGE_BYTES);
+
+    let dump = MemoryDump::new(image, 0);
+    let start = Instant::now();
+    let in_memory = frequency_keys(&dump, 8);
+    let in_memory_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut r = DumpReader::new(Cursor::new(&file)).expect("header");
+    let streamed = frequency_stream(&mut r, 8, 16 * 1024, &ScanControl::new()).expect("stream");
+    let streamed_s = start.elapsed().as_secs_f64();
+    assert_eq!(in_memory, streamed, "streamed scan must be byte-identical");
+
+    let doc = Json::obj([
+        ("bench", Json::Str("dumpio_throughput".into())),
+        ("image_bytes", Json::Int(IMAGE_BYTES as i64)),
+        ("cbdf_bytes", Json::Int(file.len() as i64)),
+        (
+            "compression_ratio",
+            Json::Num(IMAGE_BYTES as f64 / file.len() as f64),
+        ),
+        ("encode_mib_per_s", Json::Num(mib_per_s(IMAGE_BYTES, encode_s))),
+        ("decode_mib_per_s", Json::Num(mib_per_s(IMAGE_BYTES, decode_s))),
+        (
+            "freq_scan_in_memory_mib_per_s",
+            Json::Num(mib_per_s(IMAGE_BYTES, in_memory_s)),
+        ),
+        (
+            "freq_scan_streamed_mib_per_s",
+            Json::Num(mib_per_s(IMAGE_BYTES, streamed_s)),
+        ),
+        (
+            "streamed_overhead_ratio",
+            Json::Num(streamed_s / in_memory_s.max(1e-9)),
+        ),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_dumpio.json", doc.render()) {
+        eprintln!("could not write BENCH_dumpio.json: {e}");
+    } else {
+        println!("wrote BENCH_dumpio.json");
+    }
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_streamed_scan);
+
+fn main() {
+    emit_report();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

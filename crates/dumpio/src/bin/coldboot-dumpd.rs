@@ -1,0 +1,98 @@
+//! `coldboot-dumpd` — the CBDF scan service daemon.
+//!
+//! Binds a TCP listener, serves the line-delimited JSON job protocol
+//! (see `coldboot_dumpio::service`), and exits cleanly when a client
+//! sends `{"verb":"shutdown"}` (queued jobs are drained first).
+//!
+//! ```text
+//! coldboot-dumpd [--listen ADDR] [--workers N] [--queue N]
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use coldboot_dumpio::service::{DumpService, ServiceConfig};
+
+const DEFAULT_LISTEN: &str = "127.0.0.1:7311";
+
+struct Args {
+    listen: String,
+    config: ServiceConfig,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: coldboot-dumpd [--listen ADDR] [--workers N] [--queue N]\n\
+         \n\
+         defaults: --listen {DEFAULT_LISTEN}, --workers {}, --queue {}",
+        ServiceConfig::default().workers,
+        ServiceConfig::default().queue_limit,
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        listen: DEFAULT_LISTEN.to_string(),
+        config: ServiceConfig::default(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            argv.next().ok_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--workers" => {
+                args.config.workers = value("--workers")?.parse().map_err(|_| usage())?;
+            }
+            "--queue" => {
+                args.config.queue_limit = value("--queue")?.parse().map_err(|_| usage())?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("unknown flag: {other}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("coldboot-dumpd: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match DumpService::start(listener, args.config) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("coldboot-dumpd: cannot start service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "coldboot-dumpd listening on {} ({} workers, queue {})",
+        service.local_addr(),
+        args.config.workers,
+        args.config.queue_limit,
+    );
+    while !service.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("coldboot-dumpd: shutdown requested, draining queue");
+    service.shutdown();
+    println!("coldboot-dumpd: bye");
+    ExitCode::SUCCESS
+}

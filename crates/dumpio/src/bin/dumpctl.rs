@@ -1,0 +1,162 @@
+//! `dumpctl` — command-line client for `coldboot-dumpd`.
+//!
+//! ```text
+//! dumpctl [--connect ADDR] ping
+//! dumpctl [--connect ADDR] submit <attack|mine|frequency> <DUMP.cbdf>
+//!         [--window-blocks N] [--timeout-secs N] [--threads N]
+//!         [--deep] [--max-bytes N] [--top-keys N]
+//! dumpctl [--connect ADDR] status <ID>
+//! dumpctl [--connect ADDR] result <ID>
+//! dumpctl [--connect ADDR] cancel <ID>
+//! dumpctl [--connect ADDR] shutdown
+//! ```
+//!
+//! Prints the server's JSON response (pretty-printed) and exits 0 when
+//! the response carries `"ok": true`, 1 otherwise.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use coldboot_dumpio::json::{self, Json};
+
+const DEFAULT_CONNECT: &str = "127.0.0.1:7311";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dumpctl [--connect ADDR] <command>\n\
+         \n\
+         commands:\n\
+         \x20 ping\n\
+         \x20 submit <attack|mine|frequency> <DUMP.cbdf> [--window-blocks N]\n\
+         \x20        [--timeout-secs N] [--threads N] [--deep] [--max-bytes N] [--top-keys N]\n\
+         \x20 status <ID>\n\
+         \x20 result <ID>\n\
+         \x20 cancel <ID>\n\
+         \x20 shutdown\n\
+         \n\
+         default --connect: {DEFAULT_CONNECT}"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_id(arg: Option<String>) -> Result<i64, ExitCode> {
+    match arg.and_then(|s| s.parse().ok()) {
+        Some(id) => Ok(id),
+        None => {
+            eprintln!("expected a numeric job id");
+            Err(usage())
+        }
+    }
+}
+
+fn build_request(mut argv: impl Iterator<Item = String>) -> Result<(String, Json), ExitCode> {
+    let mut connect = DEFAULT_CONNECT.to_string();
+    let command = loop {
+        match argv.next() {
+            Some(flag) if flag == "--connect" => match argv.next() {
+                Some(addr) => connect = addr,
+                None => {
+                    eprintln!("--connect needs a value");
+                    return Err(usage());
+                }
+            },
+            Some(other) => break other,
+            None => return Err(usage()),
+        }
+    };
+    let request = match command.as_str() {
+        "ping" => Json::obj([("verb", Json::Str("ping".into()))]),
+        "shutdown" => Json::obj([("verb", Json::Str("shutdown".into()))]),
+        "status" | "result" | "cancel" => {
+            let id = parse_id(argv.next())?;
+            Json::obj([
+                ("verb", Json::Str(command.clone())),
+                ("id", Json::Int(id)),
+            ])
+        }
+        "submit" => {
+            let Some(kind) = argv.next() else {
+                eprintln!("submit needs a job kind");
+                return Err(usage());
+            };
+            let Some(dump) = argv.next() else {
+                eprintln!("submit needs a dump path");
+                return Err(usage());
+            };
+            let mut pairs = vec![
+                ("verb".to_string(), Json::Str("submit".into())),
+                ("kind".to_string(), Json::Str(kind)),
+                ("dump".to_string(), Json::Str(dump)),
+            ];
+            while let Some(flag) = argv.next() {
+                if flag == "--deep" {
+                    pairs.push(("deep".to_string(), Json::Bool(true)));
+                    continue;
+                }
+                let field = match flag.as_str() {
+                    "--window-blocks" => "window_blocks",
+                    "--timeout-secs" => "timeout_secs",
+                    "--threads" => "threads",
+                    "--max-bytes" => "max_bytes",
+                    "--top-keys" => "top_keys",
+                    other => {
+                        eprintln!("unknown flag: {other}");
+                        return Err(usage());
+                    }
+                };
+                let value = parse_id(argv.next())?;
+                pairs.push((field.to_string(), Json::Int(value)));
+            }
+            Json::Obj(pairs)
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            return Err(usage());
+        }
+    };
+    Ok((connect, request))
+}
+
+fn main() -> ExitCode {
+    let (connect, request) = match build_request(std::env::args().skip(1)) {
+        Ok(built) => built,
+        Err(code) => return code,
+    };
+    let stream = match TcpStream::connect(&connect) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("dumpctl: cannot connect to {connect}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("dumpctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut line = request.render_compact();
+    line.push('\n');
+    if let Err(e) = writer.write_all(line.as_bytes()) {
+        eprintln!("dumpctl: send failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut response_line = String::new();
+    if let Err(e) = BufReader::new(stream).read_line(&mut response_line) {
+        eprintln!("dumpctl: receive failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let Some(response) = json::parse(response_line.trim()) else {
+        // Unparseable reply: show it raw so the operator sees something.
+        println!("{}", response_line.trim_end());
+        return ExitCode::FAILURE;
+    };
+    print!("{}", response.render());
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,62 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the per-chunk
+//! integrity check of the CBDF container.
+//!
+//! Table-driven, built at compile time. Not a cryptographic MAC: it guards
+//! against truncated transfers and bit rot on the capture media, not
+//! against an adversary editing the dump.
+
+/// The reflected CRC32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data`, as produced by zip, PNG, and Ethernet.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0xA5u8; 256];
+        let clean = crc32(&data);
+        for (byte, bit) in [(0usize, 0u8), (100, 3), (255, 7)] {
+            data[byte] ^= 1 << bit;
+            assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+            data[byte] ^= 1 << bit;
+        }
+        assert_eq!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,44 @@
+//! Streaming dump I/O: the CBDF container format and the `coldboot-dumpd`
+//! scan service.
+//!
+//! The in-memory pipelines in `coldboot` assume the whole captured image
+//! fits in RAM — true for the 16 MiB simulator geometries, false for the
+//! 8 GiB dumps the paper's GRUB module produces. This crate closes that
+//! gap in two layers:
+//!
+//! 1. **CBDF** (Cold Boot Dump Format): a chunked on-disk container
+//!    ([`format`], [`writer`], [`reader`]) carrying the capture metadata
+//!    the analysis needs (module serial, geometry, temperature, transfer
+//!    time), with per-chunk CRC32 integrity and a zero-run RLE encoding
+//!    that makes zero-filled pools — the dominant content of an idle
+//!    machine's RAM, and the very thing the attack mines — cost almost
+//!    nothing on disk. [`reader::DumpReader::windows`] feeds the
+//!    `coldboot` scan pipelines in bounded-memory windows with
+//!    byte-identical results to the in-memory path ([`pipeline`]).
+//! 2. **`coldboot-dumpd`** ([`service`]): a job-oriented TCP scan service
+//!    (line-delimited JSON, bounded queue, worker pool, per-job progress,
+//!    cancellation, wall-clock timeouts) plus the `dumpctl` client, so a
+//!    capture rig can hand dumps to an analysis box and poll for the
+//!    recovered keys.
+//!
+//! Everything is `std`-only: the workspace deliberately carries no
+//! serialization, compression, or async dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod error;
+pub mod format;
+pub mod json;
+pub mod module_io;
+pub mod pipeline;
+pub mod reader;
+pub mod rle;
+pub mod service;
+pub mod writer;
+
+pub use error::DumpError;
+pub use format::{DumpMeta, DEFAULT_CHUNK_BLOCKS};
+pub use reader::DumpReader;
+pub use writer::DumpWriter;

@@ -1,0 +1,359 @@
+//! File-backed scan pipelines: the `coldboot` analyses fed from a
+//! [`DumpReader`] in bounded-memory windows.
+//!
+//! Each function here is the streaming twin of an in-memory entry point
+//! (`mine_candidate_keys`, `search_dump`, `ddr3::frequency_keys`,
+//! `run_ddr4_attack`) and produces **byte-identical** results, because the
+//! core streaming types ([`coldboot::litmus::KeyMiner`],
+//! [`coldboot::keysearch::StreamSearcher`],
+//! [`coldboot::attack::ddr3::FrequencyCounter`]) are exactly what the
+//! in-memory paths delegate to. Peak memory is one scan window plus the
+//! searcher's small verification tail, independent of file size.
+//!
+//! A [`ScanControl`] threads cancellation, a wall-clock deadline, and a
+//! progress counter through a pass — the hooks `coldboot-dumpd` jobs need.
+
+use std::io::{Read, Seek};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use coldboot::attack::ddr3::FrequencyCounter;
+use coldboot::attack::{AttackConfig, AttackReport};
+use coldboot::keysearch::{SearchConfig, SearchOutcome, StreamSearcher};
+use coldboot::litmus::{CandidateKey, KeyMiner, MiningConfig};
+use coldboot_dram::BLOCK_BYTES;
+
+use crate::error::DumpError;
+use crate::reader::DumpReader;
+
+/// Default scan window: 16 Ki blocks = 1 MiB, small enough that a dozen
+/// concurrent jobs stay comfortably bounded, large enough to amortize the
+/// per-window scan setup.
+pub const DEFAULT_WINDOW_BLOCKS: usize = 16 * 1024;
+
+/// A streaming scan failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The underlying CBDF stream failed.
+    Dump(DumpError),
+    /// The pass was cancelled via its [`ScanControl`].
+    Cancelled,
+    /// The pass overran its [`ScanControl`] deadline.
+    TimedOut,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Dump(e) => write!(f, "{e}"),
+            PipelineError::Cancelled => write!(f, "scan cancelled"),
+            PipelineError::TimedOut => write!(f, "scan deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Dump(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DumpError> for PipelineError {
+    fn from(e: DumpError) -> Self {
+        PipelineError::Dump(e)
+    }
+}
+
+/// Cooperative control for a streaming pass: checked once per window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanControl<'a> {
+    cancel: Option<&'a AtomicBool>,
+    deadline: Option<Instant>,
+    progress: Option<&'a AtomicU64>,
+    /// Blocks already accounted for by earlier phases; added to the
+    /// progress counter so multi-phase pipelines report cumulatively.
+    base: u64,
+}
+
+impl<'a> ScanControl<'a> {
+    /// A control that never cancels, never times out, reports nowhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cancels the pass when `flag` becomes true.
+    pub fn with_cancel(mut self, flag: &'a AtomicBool) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Fails the pass with [`PipelineError::TimedOut`] past `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Publishes blocks-processed into `counter` as the pass advances.
+    pub fn with_progress(mut self, counter: &'a AtomicU64) -> Self {
+        self.progress = Some(counter);
+        self
+    }
+
+    /// A derived control whose progress starts from `base` blocks — for
+    /// the second phase of a multi-phase pipeline.
+    pub fn offset(&self, base: u64) -> Self {
+        Self { base, ..*self }
+    }
+
+    /// Checks cancellation and deadline, then publishes progress.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Cancelled`] or [`PipelineError::TimedOut`].
+    pub fn tick(&self, blocks_done: u64) -> Result<(), PipelineError> {
+        if let Some(flag) = self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(PipelineError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(PipelineError::TimedOut);
+            }
+        }
+        if let Some(counter) = self.progress {
+            counter.store(self.base + blocks_done, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+/// Normalizes a mining byte limit the way [`run_ddr4_attack`] does:
+/// clamped to the image, rounded up to a whole block, clamped again.
+fn mining_limit(max_bytes: Option<u64>, total_bytes: u64) -> u64 {
+    match max_bytes {
+        Some(m) => m
+            .min(total_bytes)
+            .next_multiple_of(BLOCK_BYTES as u64)
+            .min(total_bytes),
+        None => total_bytes,
+    }
+}
+
+/// Streams scrambler-key mining over at most `max_bytes` of the image.
+///
+/// Byte-identical to `mine_candidate_keys` over the same prefix.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn mine_stream<R: Read>(
+    reader: &mut DumpReader<R>,
+    config: &MiningConfig,
+    window_blocks: usize,
+    max_bytes: Option<u64>,
+    ctrl: &ScanControl<'_>,
+) -> Result<Vec<CandidateKey>, PipelineError> {
+    let image_base = reader.meta().base_addr;
+    let limit = mining_limit(max_bytes, reader.meta().total_bytes);
+    let mut miner = KeyMiner::new(config);
+    let mut bytes_done = 0u64;
+    ctrl.tick(0)?;
+    while bytes_done < limit {
+        let Some(window) = reader.next_window(window_blocks)? else {
+            break;
+        };
+        let first_block = ((window.base_addr() - image_base) / BLOCK_BYTES as u64) as usize;
+        let keep = (limit - bytes_done).min(window.len() as u64) as usize;
+        // `limit` and every window length are whole blocks, so the prefix
+        // is block-aligned.
+        let window = if keep < window.len() {
+            window.prefix(keep)
+        } else {
+            window
+        };
+        miner.absorb(&window, first_block);
+        bytes_done += window.len() as u64;
+        ctrl.tick(bytes_done / BLOCK_BYTES as u64)?;
+    }
+    Ok(miner.finish())
+}
+
+/// Streams the AES schedule search over the whole image.
+///
+/// Byte-identical to `search_dump` over the same image and candidates.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn search_stream<R: Read>(
+    reader: &mut DumpReader<R>,
+    candidates: &[CandidateKey],
+    config: &SearchConfig,
+    window_blocks: usize,
+    ctrl: &ScanControl<'_>,
+) -> Result<SearchOutcome, PipelineError> {
+    let mut searcher = StreamSearcher::new(candidates, config);
+    let mut blocks_done = 0u64;
+    ctrl.tick(0)?;
+    while let Some(window) = reader.next_window(window_blocks)? {
+        blocks_done += (window.len() / BLOCK_BYTES) as u64;
+        searcher.push(&window);
+        ctrl.tick(blocks_done)?;
+    }
+    Ok(searcher.finish())
+}
+
+/// Streams the DDR3 frequency-analysis pass over the whole image.
+///
+/// Byte-identical to `ddr3::frequency_keys` over the same image.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn frequency_stream<R: Read>(
+    reader: &mut DumpReader<R>,
+    top_n: usize,
+    window_blocks: usize,
+    ctrl: &ScanControl<'_>,
+) -> Result<Vec<CandidateKey>, PipelineError> {
+    let mut counter = FrequencyCounter::new();
+    let mut blocks_done = 0u64;
+    ctrl.tick(0)?;
+    while let Some(window) = reader.next_window(window_blocks)? {
+        blocks_done += (window.len() / BLOCK_BYTES) as u64;
+        counter.absorb(&window);
+        ctrl.tick(blocks_done)?;
+    }
+    Ok(counter.finish(top_n))
+}
+
+/// The file-backed twin of [`run_ddr4_attack`]: mines scrambler keys from
+/// a prefix of the file, rewinds, and searches the whole image, producing
+/// an identical [`AttackReport`].
+///
+/// Progress (when the control carries a counter) is cumulative across
+/// both phases: mined blocks, then mined blocks + searched blocks.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+///
+/// [`run_ddr4_attack`]: coldboot::attack::run_ddr4_attack
+pub fn attack_file<R: Read + Seek>(
+    reader: &mut DumpReader<R>,
+    config: &AttackConfig,
+    window_blocks: usize,
+    ctrl: &ScanControl<'_>,
+) -> Result<AttackReport, PipelineError> {
+    let total = reader.meta().total_bytes;
+    let mined_bytes = mining_limit(Some(config.mining_prefix_bytes as u64), total);
+    reader.rewind()?;
+    let candidates = mine_stream(
+        reader,
+        &config.mining,
+        window_blocks,
+        Some(mined_bytes),
+        ctrl,
+    )?;
+    reader.rewind()?;
+    let mined_blocks = mined_bytes / BLOCK_BYTES as u64;
+    let outcome = search_stream(
+        reader,
+        &candidates,
+        &config.search,
+        window_blocks,
+        &ctrl.offset(mined_blocks),
+    )?;
+    Ok(AttackReport {
+        candidates,
+        outcome,
+        mined_bytes: mined_bytes as usize,
+    })
+}
+
+/// Total blocks an [`attack_file`] pass processes across both phases —
+/// the denominator for its progress counter.
+pub fn attack_total_blocks(total_bytes: u64, config: &AttackConfig) -> u64 {
+    let mined = mining_limit(Some(config.mining_prefix_bytes as u64), total_bytes);
+    (mined + total_bytes) / BLOCK_BYTES as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::DumpMeta;
+    use crate::writer::write_image;
+    use std::io::Cursor;
+
+    fn cbdf_of(image: &[u8]) -> Vec<u8> {
+        write_image(
+            Vec::new(),
+            DumpMeta::for_image(0, image.len() as u64),
+            image,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cancel_flag_stops_a_pass() {
+        let file = cbdf_of(&vec![0u8; 64 * 64]);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let cancel = AtomicBool::new(true);
+        let ctrl = ScanControl::new().with_cancel(&cancel);
+        let err = frequency_stream(&mut r, 4, 8, &ctrl).unwrap_err();
+        assert!(matches!(err, PipelineError::Cancelled));
+    }
+
+    #[test]
+    fn elapsed_deadline_times_out() {
+        let file = cbdf_of(&vec![0u8; 64 * 64]);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let ctrl = ScanControl::new().with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        let err = frequency_stream(&mut r, 4, 8, &ctrl).unwrap_err();
+        assert!(matches!(err, PipelineError::TimedOut));
+    }
+
+    #[test]
+    fn progress_reaches_the_block_count() {
+        let blocks = 100u64;
+        let file = cbdf_of(&vec![0u8; 64 * blocks as usize]);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let progress = AtomicU64::new(0);
+        let ctrl = ScanControl::new().with_progress(&progress);
+        frequency_stream(&mut r, 4, 7, &ctrl).unwrap();
+        assert_eq!(progress.load(Ordering::Relaxed), blocks);
+        // A phase offset shifts the published counter.
+        r.rewind().unwrap();
+        frequency_stream(&mut r, 4, 7, &ctrl.offset(1000)).unwrap();
+        assert_eq!(progress.load(Ordering::Relaxed), 1000 + blocks);
+    }
+
+    #[test]
+    fn mining_limit_matches_attack_rounding() {
+        assert_eq!(mining_limit(None, 640), 640);
+        assert_eq!(mining_limit(Some(0), 640), 0);
+        assert_eq!(mining_limit(Some(100), 640), 128);
+        assert_eq!(mining_limit(Some(10_000), 640), 640);
+        assert_eq!(mining_limit(Some(640), 640), 640);
+    }
+}

@@ -1,0 +1,373 @@
+//! Streaming CBDF reader.
+
+use std::io::{Read, Seek, SeekFrom};
+
+use coldboot::dump::MemoryDump;
+use coldboot_dram::BLOCK_BYTES;
+
+use crate::crc32::crc32;
+use crate::error::DumpError;
+use crate::format::{
+    ChunkHeader, DumpMeta, CHUNK_HEADER_BYTES, ENCODING_RAW, ENCODING_ZERO_RLE, HEADER_BYTES,
+};
+use crate::rle;
+
+/// Reads a CBDF image incrementally from any [`Read`] source.
+///
+/// The reader verifies the header CRC up front and each chunk's CRC as it
+/// is decoded, and tracks position so chunks spliced out of order, with
+/// the wrong length, or truncated mid-stream all surface as typed errors
+/// rather than silently corrupt scans.
+pub struct DumpReader<R: Read> {
+    inner: R,
+    meta: DumpMeta,
+    next_chunk: u32,
+    /// Image bytes handed out (or buffered in `carry`) so far.
+    bytes_out: u64,
+    /// Decoded bytes not yet consumed by a window.
+    carry: Vec<u8>,
+    /// Physical address of the next window's first byte.
+    window_addr: u64,
+}
+
+impl<R: Read> DumpReader<R> {
+    /// Reads and validates the file header.
+    ///
+    /// # Errors
+    ///
+    /// [`DumpError::BadMagic`], [`DumpError::UnsupportedVersion`],
+    /// [`DumpError::HeaderCorrupt`], [`DumpError::Truncated`], or an
+    /// underlying I/O failure.
+    pub fn new(mut inner: R) -> Result<Self, DumpError> {
+        let mut header = [0u8; HEADER_BYTES];
+        inner.read_exact(&mut header)?;
+        let meta = DumpMeta::decode(&header)?;
+        let window_addr = meta.base_addr;
+        Ok(Self {
+            inner,
+            meta,
+            next_chunk: 0,
+            bytes_out: 0,
+            carry: Vec::new(),
+            window_addr,
+        })
+    }
+
+    /// The capture metadata from the header.
+    pub fn meta(&self) -> &DumpMeta {
+        &self.meta
+    }
+
+    /// Reads, validates, and decodes the next chunk. `Ok(None)` at end of
+    /// image.
+    ///
+    /// # Errors
+    ///
+    /// Any chunk-level corruption ([`DumpError::ChunkOrder`],
+    /// [`DumpError::ChunkLength`], [`DumpError::BadEncoding`],
+    /// [`DumpError::ChunkCrc`], [`DumpError::RleCorrupt`]),
+    /// [`DumpError::Truncated`], or an underlying I/O failure.
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, DumpError> {
+        let produced = self.bytes_out;
+        if produced == self.meta.total_bytes {
+            return Ok(None);
+        }
+        let mut header = [0u8; CHUNK_HEADER_BYTES];
+        self.inner.read_exact(&mut header)?;
+        let ch = ChunkHeader::decode(&header);
+        if ch.index != self.next_chunk {
+            return Err(DumpError::ChunkOrder {
+                expected: self.next_chunk,
+                found: ch.index,
+            });
+        }
+        let expected_raw = (self.meta.total_bytes - produced).min(self.meta.chunk_bytes() as u64);
+        if u64::from(ch.raw_len) != expected_raw {
+            return Err(DumpError::ChunkLength {
+                chunk: ch.index,
+                expected: expected_raw as u32,
+                found: ch.raw_len,
+            });
+        }
+        match ch.encoding {
+            ENCODING_RAW => {
+                if ch.encoded_len != ch.raw_len {
+                    return Err(DumpError::ChunkLength {
+                        chunk: ch.index,
+                        expected: ch.raw_len,
+                        found: ch.encoded_len,
+                    });
+                }
+            }
+            ENCODING_ZERO_RLE => {
+                // A valid RLE stream never beats raw by less than it costs;
+                // cap the read so a corrupt length cannot balloon memory.
+                if ch.encoded_len as usize > self.meta.chunk_bytes() + 64 {
+                    return Err(DumpError::RleCorrupt { chunk: ch.index });
+                }
+            }
+            other => {
+                return Err(DumpError::BadEncoding {
+                    chunk: ch.index,
+                    encoding: other,
+                });
+            }
+        }
+        let mut payload = vec![0u8; ch.encoded_len as usize];
+        self.inner.read_exact(&mut payload)?;
+        let raw = match ch.encoding {
+            ENCODING_RAW => payload,
+            _ => rle::decode(&payload, ch.raw_len as usize)
+                .ok_or(DumpError::RleCorrupt { chunk: ch.index })?,
+        };
+        if crc32(&raw) != ch.crc {
+            return Err(DumpError::ChunkCrc { chunk: ch.index });
+        }
+        self.next_chunk += 1;
+        self.bytes_out += raw.len() as u64;
+        Ok(Some(raw))
+    }
+
+    /// Assembles the next scan window of up to `window_blocks` blocks.
+    /// `Ok(None)` at end of image. Consecutive windows are contiguous:
+    /// each window's base address is the previous window's end.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DumpReader::next_chunk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_blocks` is zero.
+    pub fn next_window(&mut self, window_blocks: usize) -> Result<Option<MemoryDump>, DumpError> {
+        assert!(window_blocks > 0, "window must hold at least one block");
+        let want = window_blocks * BLOCK_BYTES;
+        while self.carry.len() < want {
+            match self.next_chunk()? {
+                Some(raw) => self.carry.extend_from_slice(&raw),
+                None => break,
+            }
+        }
+        if self.carry.is_empty() {
+            return Ok(None);
+        }
+        let take = want.min(self.carry.len());
+        // Chunk lengths are validated against the header geometry, whose
+        // sizes are all block multiples — so `take` is block-aligned.
+        let rest = self.carry.split_off(take);
+        let window_bytes = std::mem::replace(&mut self.carry, rest);
+        let window = MemoryDump::new(window_bytes, self.window_addr);
+        self.window_addr += take as u64;
+        Ok(Some(window))
+    }
+
+    /// Consumes the reader into an iterator of scan windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_blocks` is zero.
+    pub fn windows(self, window_blocks: usize) -> Windows<R> {
+        assert!(window_blocks > 0, "window must hold at least one block");
+        Windows {
+            reader: self,
+            window_blocks,
+            failed: false,
+        }
+    }
+
+    /// Reads the remaining image into one in-memory dump.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DumpReader::next_chunk`].
+    pub fn read_to_memory(&mut self) -> Result<MemoryDump, DumpError> {
+        let base = self.window_addr;
+        let mut image = std::mem::take(&mut self.carry);
+        while let Some(raw) = self.next_chunk()? {
+            image.extend_from_slice(&raw);
+        }
+        self.window_addr += image.len() as u64;
+        Ok(MemoryDump::new(image, base))
+    }
+}
+
+impl<R: Read + Seek> DumpReader<R> {
+    /// Rewinds to the first chunk, so the same file can feed several scan
+    /// passes (mining, then key search) without reopening it.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure from the underlying seek.
+    pub fn rewind(&mut self) -> Result<(), DumpError> {
+        self.inner.seek(SeekFrom::Start(HEADER_BYTES as u64))?;
+        self.next_chunk = 0;
+        self.bytes_out = 0;
+        self.carry.clear();
+        self.window_addr = self.meta.base_addr;
+        Ok(())
+    }
+}
+
+/// Iterator over bounded-memory scan windows; yielded by
+/// [`DumpReader::windows`].
+pub struct Windows<R: Read> {
+    reader: DumpReader<R>,
+    window_blocks: usize,
+    failed: bool,
+}
+
+impl<R: Read> Iterator for Windows<R> {
+    type Item = Result<MemoryDump, DumpError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.reader.next_window(self.window_blocks) {
+            Ok(Some(window)) => Some(Ok(window)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_image;
+    use std::io::Cursor;
+
+    fn sample_image(len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| if i % 7 == 0 { 0 } else { (i * 31 % 256) as u8 })
+            .collect()
+    }
+
+    fn encode(image: &[u8], chunk_blocks: u32, base_addr: u64) -> Vec<u8> {
+        let meta = DumpMeta {
+            chunk_blocks,
+            ..DumpMeta::for_image(base_addr, image.len() as u64)
+        };
+        write_image(Vec::new(), meta, image).unwrap()
+    }
+
+    #[test]
+    fn read_to_memory_roundtrips() {
+        let image = sample_image(64 * 100);
+        let file = encode(&image, 16, 0x8000);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        assert_eq!(r.meta().total_bytes, image.len() as u64);
+        let dump = r.read_to_memory().unwrap();
+        assert_eq!(dump.bytes(), &image[..]);
+        assert_eq!(dump.base_addr(), 0x8000);
+    }
+
+    #[test]
+    fn windows_tile_the_image_contiguously() {
+        let image = sample_image(64 * 100);
+        let file = encode(&image, 16, 0x8000);
+        for window_blocks in [1, 3, 16, 33, 1000] {
+            let r = DumpReader::new(Cursor::new(&file)).unwrap();
+            let mut reassembled = Vec::new();
+            let mut next_addr = 0x8000u64;
+            for window in r.windows(window_blocks) {
+                let window = window.unwrap();
+                assert_eq!(window.base_addr(), next_addr);
+                assert!(window.len() <= window_blocks * BLOCK_BYTES);
+                next_addr += window.len() as u64;
+                reassembled.extend_from_slice(window.bytes());
+            }
+            assert_eq!(reassembled, image, "window_blocks={window_blocks}");
+        }
+    }
+
+    #[test]
+    fn rewind_replays_the_stream() {
+        let image = sample_image(64 * 37);
+        let file = encode(&image, 8, 0);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let first = r.read_to_memory().unwrap();
+        r.rewind().unwrap();
+        let second = r.read_to_memory().unwrap();
+        assert_eq!(first.bytes(), second.bytes());
+        assert_eq!(first.base_addr(), second.base_addr());
+    }
+
+    #[test]
+    fn empty_image_yields_no_windows() {
+        let file = encode(&[], 16, 0);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        assert!(r.next_window(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_chunk_crc() {
+        let image = sample_image(64 * 20);
+        let mut file = encode(&image, 4, 0);
+        // Flip a bit inside the first chunk's payload.
+        let offset = HEADER_BYTES + CHUNK_HEADER_BYTES + 3;
+        file[offset] ^= 0x10;
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let err = r.read_to_memory().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DumpError::ChunkCrc { chunk: 0 } | DumpError::RleCorrupt { chunk: 0 }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let image = sample_image(64 * 20);
+        let file = encode(&image, 4, 0);
+        for cut in [
+            HEADER_BYTES - 1,              // inside the file header
+            HEADER_BYTES + 5,              // inside a chunk header
+            HEADER_BYTES + CHUNK_HEADER_BYTES + 10, // inside a payload
+            file.len() - 1,                // just short of complete
+        ] {
+            let result = DumpReader::new(Cursor::new(&file[..cut]))
+                .and_then(|mut r| r.read_to_memory());
+            assert!(
+                matches!(result, Err(DumpError::Truncated(_))),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn spliced_chunk_order_is_detected() {
+        let image = sample_image(64 * 20);
+        let mut file = encode(&image, 4, 0);
+        // Overwrite chunk 0's index field.
+        file[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&7u32.to_le_bytes());
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        assert!(matches!(
+            r.read_to_memory(),
+            Err(DumpError::ChunkOrder {
+                expected: 0,
+                found: 7
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_encoding_is_rejected() {
+        let image = sample_image(64 * 4);
+        let mut file = encode(&image, 4, 0);
+        file[HEADER_BYTES + 16] = 9;
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        assert!(matches!(
+            r.read_to_memory(),
+            Err(DumpError::BadEncoding {
+                chunk: 0,
+                encoding: 9
+            })
+        ));
+    }
+}

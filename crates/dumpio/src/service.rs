@@ -1,0 +1,664 @@
+//! `coldboot-dumpd`: a job-oriented scan service over CBDF dumps.
+//!
+//! A capture rig writes dumps to disk faster than one analysis pass
+//! consumes them; the service turns the analysis box into a queue. Jobs
+//! run the [`crate::pipeline`] passes against dump files, in bounded
+//! memory, on a fixed worker pool, with per-job progress, cooperative
+//! cancellation, and wall-clock timeouts.
+//!
+//! ## Wire protocol
+//!
+//! Line-delimited JSON over TCP; one request object per line, one
+//! response object per line, connections are persistent. Responses always
+//! carry `"ok"`; failures add `"error"`.
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"verb":"ping"}` | `{"ok":true,"pong":true}` |
+//! | `{"verb":"submit","kind":"attack"\|"mine"\|"frequency","dump":PATH,...}` | `{"ok":true,"id":N}` |
+//! | `{"verb":"status","id":N}` | `{"ok":true,"state":...,"blocks_done":N,"blocks_total":N}` |
+//! | `{"verb":"result","id":N}` | `{"ok":true,"state":...,"result":...}` |
+//! | `{"verb":"cancel","id":N}` | `{"ok":true,"state":...}` |
+//! | `{"verb":"shutdown"}` | `{"ok":true}` |
+//!
+//! `submit` options: `window_blocks` (default 16384), `timeout_secs`,
+//! `threads` (default 1 — the pool provides the parallelism), `deep`
+//! (attack/mine: thorough search preset), `max_bytes` (attack/mine:
+//! mining prefix), `top_keys` (frequency: how many keys to report).
+//! `"search"` is accepted as an alias for `"attack"`. Job states:
+//! `queued`, `running`, `done`, `failed`, `cancelled`, `timed_out`.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::{BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use coldboot::attack::AttackConfig;
+use coldboot::keysearch::SearchConfig;
+use coldboot::litmus::{CandidateKey, MiningConfig};
+use coldboot_dram::BLOCK_BYTES;
+
+use crate::error::DumpError;
+use crate::json::{self, Json};
+use crate::pipeline::{
+    attack_file, attack_total_blocks, frequency_stream, mine_stream, PipelineError, ScanControl,
+    DEFAULT_WINDOW_BLOCKS,
+};
+use crate::reader::DumpReader;
+
+/// Longest accepted request line; longer input drops the connection.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How long blocked threads sleep before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Sizing of the service: worker pool and queue bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Scan worker threads. Zero is allowed (jobs queue but never run) —
+    /// useful only for testing queue behaviour.
+    pub workers: usize,
+    /// Maximum queued (not yet claimed) jobs; `submit` beyond this is
+    /// rejected so a flood of dumps degrades loudly, not silently.
+    pub queue_limit: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_limit: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Attack,
+    Mine,
+    Frequency,
+}
+
+struct JobSpec {
+    kind: JobKind,
+    dump: String,
+    window_blocks: usize,
+    timeout_secs: Option<u64>,
+    threads: usize,
+    deep: bool,
+    max_bytes: Option<u64>,
+    top_keys: usize,
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+    Cancelled,
+    TimedOut,
+}
+
+fn state_name(state: &JobState) -> &'static str {
+    match state {
+        JobState::Queued => "queued",
+        JobState::Running => "running",
+        JobState::Done => "done",
+        JobState::Failed(_) => "failed",
+        JobState::Cancelled => "cancelled",
+        JobState::TimedOut => "timed_out",
+    }
+}
+
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    state: Mutex<JobState>,
+    cancel: AtomicBool,
+    blocks_done: AtomicU64,
+    blocks_total: AtomicU64,
+    result: Mutex<Option<Json>>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    queue_limit: usize,
+}
+
+/// A mutex poisoned by a panicking scan worker still guards coherent
+/// bookkeeping (states and counters are written atomically under it), so
+/// every lock here continues through poison.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The running scan service. Dropping the handle leaves the threads
+/// running; call [`DumpService::shutdown`] to stop them.
+pub struct DumpService {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: thread::JoinHandle<()>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl DumpService {
+    /// Starts the accept loop and worker pool on `listener`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot be made non-blocking or its local
+    /// address cannot be read.
+    pub fn start(listener: TcpListener, config: ServiceConfig) -> std::io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            queue_limit: config.queue_limit,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            addr,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The address the service is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a `shutdown` request has been received (or
+    /// [`DumpService::shutdown`] called). The daemon binary polls this.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting connections, lets the workers drain the queue, and
+    /// joins all service threads.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.available.notify_all();
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                // Connection handlers are detached: they notice shutdown
+                // through their read timeout and exit on their own.
+                thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        if let Some(newline) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=newline).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let mut response = dispatch(text, shared).render_compact();
+            response.push('\n');
+            if stream.write_all(response.as_bytes()).is_err() {
+                return;
+            }
+            continue;
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            return;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn error_response(message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.to_string())),
+    ])
+}
+
+fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
+    let Some(request) = json::parse(line) else {
+        return error_response("malformed JSON");
+    };
+    match request.get("verb").and_then(Json::as_str) {
+        Some("ping") => Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+        Some("submit") => submit(&request, shared),
+        Some("status") => match find_job(&request, shared) {
+            Ok(job) => job_status(&job),
+            Err(e) => e,
+        },
+        Some("result") => match find_job(&request, shared) {
+            Ok(job) => job_result(&job),
+            Err(e) => e,
+        },
+        Some("cancel") => match find_job(&request, shared) {
+            Ok(job) => cancel_job(&job),
+            Err(e) => e,
+        },
+        Some("shutdown") => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            shared.available.notify_all();
+            Json::obj([("ok", Json::Bool(true))])
+        }
+        _ => error_response("unknown verb"),
+    }
+}
+
+/// Reads an optional non-negative integer field.
+fn opt_u64(request: &Json, name: &str) -> Result<Option<u64>, Json> {
+    match request.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_i64() {
+            Some(i) if i >= 0 => Ok(Some(i as u64)),
+            _ => {
+                let mut message = String::from(name);
+                message.push_str(" must be a non-negative integer");
+                Err(error_response(&message))
+            }
+        },
+    }
+}
+
+fn parse_spec(request: &Json) -> Result<JobSpec, Json> {
+    let kind = match request.get("kind").and_then(Json::as_str) {
+        Some("attack" | "search") => JobKind::Attack,
+        Some("mine") => JobKind::Mine,
+        Some("frequency") => JobKind::Frequency,
+        _ => return Err(error_response("kind must be attack, mine, or frequency")),
+    };
+    let Some(dump) = request.get("dump").and_then(Json::as_str) else {
+        return Err(error_response("missing dump path"));
+    };
+    let window_blocks = match opt_u64(request, "window_blocks")? {
+        Some(0) => return Err(error_response("window_blocks must be positive")),
+        Some(n) => n as usize,
+        None => DEFAULT_WINDOW_BLOCKS,
+    };
+    Ok(JobSpec {
+        kind,
+        dump: dump.to_string(),
+        window_blocks,
+        timeout_secs: opt_u64(request, "timeout_secs")?,
+        threads: opt_u64(request, "threads")?.map_or(1, |t| (t as usize).max(1)),
+        deep: request.get("deep").and_then(Json::as_bool).unwrap_or(false),
+        max_bytes: opt_u64(request, "max_bytes")?,
+        top_keys: opt_u64(request, "top_keys")?.map_or(48, |n| n as usize),
+    })
+}
+
+fn submit(request: &Json, shared: &Arc<Shared>) -> Json {
+    if shared.shutdown.load(Ordering::Relaxed) {
+        return error_response("shutting down");
+    }
+    let spec = match parse_spec(request) {
+        Ok(spec) => spec,
+        Err(e) => return e,
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job {
+        id,
+        spec,
+        state: Mutex::new(JobState::Queued),
+        cancel: AtomicBool::new(false),
+        blocks_done: AtomicU64::new(0),
+        blocks_total: AtomicU64::new(0),
+        result: Mutex::new(None),
+    });
+    {
+        let mut queue = lock(&shared.queue);
+        if queue.len() >= shared.queue_limit {
+            return error_response("queue full");
+        }
+        lock(&shared.jobs).insert(id, Arc::clone(&job));
+        queue.push_back(job);
+    }
+    shared.available.notify_one();
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("id".to_string(), Json::Int(id as i64)),
+    ])
+}
+
+fn find_job(request: &Json, shared: &Arc<Shared>) -> Result<Arc<Job>, Json> {
+    let id = match opt_u64(request, "id")? {
+        Some(id) => id,
+        None => return Err(error_response("missing job id")),
+    };
+    lock(&shared.jobs)
+        .get(&id)
+        .cloned()
+        .ok_or_else(|| error_response("unknown job id"))
+}
+
+fn job_status(job: &Job) -> Json {
+    let state = lock(&job.state);
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("id".to_string(), Json::Int(job.id as i64)),
+        (
+            "state".to_string(),
+            Json::Str(state_name(&state).to_string()),
+        ),
+        (
+            "blocks_done".to_string(),
+            Json::Int(job.blocks_done.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "blocks_total".to_string(),
+            Json::Int(job.blocks_total.load(Ordering::Relaxed) as i64),
+        ),
+    ];
+    if let JobState::Failed(why) = &*state {
+        pairs.push(("error".to_string(), Json::Str(why.clone())));
+    }
+    Json::Obj(pairs)
+}
+
+fn job_result(job: &Job) -> Json {
+    let state = lock(&job.state);
+    let result = lock(&job.result).clone().unwrap_or(Json::Null);
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("id".to_string(), Json::Int(job.id as i64)),
+        (
+            "state".to_string(),
+            Json::Str(state_name(&state).to_string()),
+        ),
+        ("result".to_string(), result),
+    ];
+    if let JobState::Failed(why) = &*state {
+        pairs.push(("error".to_string(), Json::Str(why.clone())));
+    }
+    Json::Obj(pairs)
+}
+
+fn cancel_job(job: &Job) -> Json {
+    job.cancel.store(true, Ordering::Relaxed);
+    {
+        let mut state = lock(&job.state);
+        // A job still in the queue will be skipped by the workers; mark it
+        // terminal right away. A running job stops at its next window tick.
+        if matches!(*state, JobState::Queued) {
+            *state = JobState::Cancelled;
+        }
+    }
+    job_status(job)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                // Pop-before-shutdown-check: shutdown drains the queue.
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .0;
+            }
+        };
+        let Some(job) = job else { return };
+        {
+            let mut state = lock(&job.state);
+            if !matches!(*state, JobState::Queued) {
+                continue; // cancelled while queued
+            }
+            *state = JobState::Running;
+        }
+        let outcome = execute(&job);
+        let mut state = lock(&job.state);
+        match outcome {
+            Ok(result) => {
+                *lock(&job.result) = Some(result);
+                *state = JobState::Done;
+            }
+            Err(PipelineError::Cancelled) => *state = JobState::Cancelled,
+            Err(PipelineError::TimedOut) => *state = JobState::TimedOut,
+            Err(e) => *state = JobState::Failed(e.to_string()),
+        }
+    }
+}
+
+fn hex_lower(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0F) as usize] as char);
+    }
+    out
+}
+
+fn candidates_json(kind: &'static str, candidates: &[CandidateKey]) -> Json {
+    let rows = candidates
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("key_hex", Json::Str(hex_lower(&c.key))),
+                ("observations", Json::Int(i64::from(c.observations))),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("kind", Json::Str(kind.to_string())),
+        ("keys", Json::Arr(rows)),
+    ])
+}
+
+fn execute(job: &Job) -> Result<Json, PipelineError> {
+    let spec = &job.spec;
+    let file = File::open(&spec.dump).map_err(DumpError::from)?;
+    let mut reader = DumpReader::new(BufReader::new(file))?;
+    let total_bytes = reader.meta().total_bytes;
+    let total_blocks = total_bytes / BLOCK_BYTES as u64;
+    let deadline = spec
+        .timeout_secs
+        .map(|secs| Instant::now() + Duration::from_secs(secs));
+    let mut ctrl = ScanControl::new()
+        .with_cancel(&job.cancel)
+        .with_progress(&job.blocks_done);
+    if let Some(deadline) = deadline {
+        ctrl = ctrl.with_deadline(deadline);
+    }
+    let mining = MiningConfig {
+        threads: spec.threads,
+        ..MiningConfig::default()
+    };
+    match spec.kind {
+        JobKind::Attack => {
+            let search = if spec.deep {
+                SearchConfig::deep()
+            } else {
+                SearchConfig::default()
+            };
+            let config = AttackConfig {
+                mining,
+                search: SearchConfig {
+                    threads: spec.threads,
+                    ..search
+                },
+                mining_prefix_bytes: spec
+                    .max_bytes
+                    .map_or(AttackConfig::default().mining_prefix_bytes, |m| {
+                        m as usize
+                    }),
+            };
+            job.blocks_total.store(
+                attack_total_blocks(total_bytes, &config),
+                Ordering::Relaxed,
+            );
+            let report = attack_file(&mut reader, &config, spec.window_blocks, &ctrl)?;
+            let recovered = report
+                .outcome
+                .recovered
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("key_bits", Json::Int((r.master_key.len() * 8) as i64)),
+                        ("master_hex", Json::Str(hex_lower(&r.master_key))),
+                        ("schedule_addr", Json::Int(r.schedule_addr as i64)),
+                        ("total_error_bits", Json::Int(i64::from(r.total_error_bits))),
+                        (
+                            "unexplained_blocks",
+                            Json::Int(i64::from(r.unexplained_blocks)),
+                        ),
+                    ])
+                })
+                .collect();
+            Ok(Json::obj([
+                ("kind", Json::Str("attack".to_string())),
+                ("mined_bytes", Json::Int(report.mined_bytes as i64)),
+                ("candidates", Json::Int(report.candidates.len() as i64)),
+                ("hits", Json::Int(report.outcome.hits.len() as i64)),
+                (
+                    "blocks_scanned",
+                    Json::Int(report.outcome.blocks_scanned as i64),
+                ),
+                ("recovered", Json::Arr(recovered)),
+            ]))
+        }
+        JobKind::Mine => {
+            let limit_blocks = spec
+                .max_bytes
+                .map_or(total_blocks, |m| m.min(total_bytes).div_ceil(64));
+            job.blocks_total
+                .store(limit_blocks.min(total_blocks), Ordering::Relaxed);
+            let candidates = mine_stream(
+                &mut reader,
+                &mining,
+                spec.window_blocks,
+                spec.max_bytes,
+                &ctrl,
+            )?;
+            Ok(candidates_json("mine", &candidates))
+        }
+        JobKind::Frequency => {
+            job.blocks_total.store(total_blocks, Ordering::Relaxed);
+            let candidates =
+                frequency_stream(&mut reader, spec.top_keys, spec.window_blocks, &ctrl)?;
+            Ok(candidates_json("frequency", &candidates))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(hex_lower(&[]), "");
+        assert_eq!(hex_lower(&[0x00, 0xAB, 0xFF, 0x1e]), "00abff1e");
+    }
+
+    #[test]
+    fn spec_parsing_defaults_and_errors() {
+        let req = json::parse(r#"{"verb":"submit","kind":"attack","dump":"/tmp/x.cbdf"}"#)
+            .expect("valid json");
+        let spec = parse_spec(&req).map_err(|e| e.render_compact()).expect("spec");
+        assert_eq!(spec.kind, JobKind::Attack);
+        assert_eq!(spec.window_blocks, DEFAULT_WINDOW_BLOCKS);
+        assert_eq!(spec.threads, 1);
+        assert_eq!(spec.top_keys, 48);
+        assert!(!spec.deep);
+        assert_eq!(spec.timeout_secs, None);
+
+        let req = json::parse(r#"{"kind":"search","dump":"d","window_blocks":8,"deep":true,"timeout_secs":3}"#)
+            .expect("valid json");
+        let spec = parse_spec(&req).map_err(|e| e.render_compact()).expect("spec");
+        assert_eq!(spec.kind, JobKind::Attack);
+        assert_eq!(spec.window_blocks, 8);
+        assert!(spec.deep);
+        assert_eq!(spec.timeout_secs, Some(3));
+
+        for bad in [
+            r#"{"kind":"laundry","dump":"d"}"#,
+            r#"{"kind":"mine"}"#,
+            r#"{"kind":"mine","dump":"d","window_blocks":0}"#,
+            r#"{"kind":"mine","dump":"d","max_bytes":-4}"#,
+        ] {
+            let req = json::parse(bad).expect("valid json");
+            assert!(parse_spec(&req).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn state_names() {
+        assert_eq!(state_name(&JobState::Queued), "queued");
+        assert_eq!(state_name(&JobState::Failed("x".into())), "failed");
+        assert_eq!(state_name(&JobState::TimedOut), "timed_out");
+    }
+}

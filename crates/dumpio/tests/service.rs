@@ -1,0 +1,409 @@
+//! `coldboot-dumpd` end-to-end over localhost TCP: concurrent jobs,
+//! progress, results, cancellation, timeouts, queue bounds, shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use coldboot::attack::ddr3::frequency_keys;
+use coldboot::attack::{
+    capture_dump_via_transplant, run_ddr4_attack, AttackConfig, TransplantParams,
+};
+use coldboot::dump::MemoryDump;
+use coldboot::litmus::{mine_candidate_keys, MiningConfig};
+use coldboot_dram::geometry::DramGeometry;
+use coldboot_dram::mapping::Microarchitecture;
+use coldboot_dram::module::DramModule;
+use coldboot_dram::retention::DecayModel;
+use coldboot_dumpio::format::DumpMeta;
+use coldboot_dumpio::json::{self, Json};
+use coldboot_dumpio::service::{DumpService, ServiceConfig};
+use coldboot_dumpio::writer::write_image;
+use coldboot_scrambler::controller::{BiosConfig, Machine};
+use coldboot_veracrypt::{MountedVolume, Volume};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the example's scrambled-DDR4 capture and writes it to a CBDF
+/// file under the test target dir; returns the path and in-memory dump.
+fn dump_file(name: &str, seed: u64) -> (PathBuf, MemoryDump) {
+    let geometry = DramGeometry {
+        channels: 1,
+        ranks: 1,
+        bank_groups: 2,
+        banks_per_group: 2,
+        rows: 64,
+        blocks_per_row: 64,
+    };
+    let volume = Volume::create(b"pw", b"the secret payload", &mut StdRng::seed_from_u64(seed));
+    let mut victim = Machine::new(Microarchitecture::Skylake, geometry, BiosConfig::default(), 1);
+    let capacity = victim.capacity() as usize;
+    victim
+        .insert_module(DramModule::with_quality(capacity, seed, 0.35))
+        .expect("fresh socket");
+    victim.fill(0).expect("module present");
+    MountedVolume::mount(&mut victim, &volume, b"pw", 0x8_0070).expect("correct password");
+    let mut attacker = Machine::new(Microarchitecture::Skylake, geometry, BiosConfig::default(), 2);
+    let dump = capture_dump_via_transplant(
+        &mut victim,
+        &mut attacker,
+        TransplantParams::paper_demo(),
+        DecayModel::paper_calibrated(),
+    )
+    .expect("transplant");
+    let file = write_image(
+        Vec::new(),
+        DumpMeta::for_image(dump.base_addr(), dump.len() as u64),
+        dump.bytes(),
+    )
+    .expect("encode");
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::write(&path, file).expect("write dump file");
+    (path, dump)
+}
+
+/// One persistent line-protocol connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(service: &DumpService) -> Self {
+        let stream = TcpStream::connect(service.local_addr()).expect("connect");
+        let writer = stream.try_clone().expect("clone stream");
+        Self {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn raw(&mut self, line: &str) -> Json {
+        let mut out = line.to_string();
+        out.push('\n');
+        self.writer.write_all(out.as_bytes()).expect("send");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        json::parse(response.trim()).expect("well-formed response")
+    }
+
+    fn request(&mut self, doc: &Json) -> Json {
+        self.raw(&doc.render_compact())
+    }
+
+    fn submit(&mut self, pairs: Vec<(&str, Json)>) -> i64 {
+        let doc = Json::Obj(
+            std::iter::once(("verb".to_string(), Json::Str("submit".into())))
+                .chain(pairs.into_iter().map(|(k, v)| (k.to_string(), v)))
+                .collect(),
+        );
+        let response = self.request(&doc);
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "submit rejected: {}",
+            response.render_compact()
+        );
+        response.get("id").and_then(Json::as_i64).expect("job id")
+    }
+
+    fn status(&mut self, id: i64) -> Json {
+        self.request(&Json::obj_id("status", id))
+    }
+
+    /// Polls until the job reaches a terminal state; returns it.
+    fn wait_terminal(&mut self, id: i64) -> String {
+        let deadline = Instant::now() + Duration::from_secs(180);
+        loop {
+            let status = self.status(id);
+            let state = status
+                .get("state")
+                .and_then(Json::as_str)
+                .expect("state field")
+                .to_string();
+            if state != "queued" && state != "running" {
+                return state;
+            }
+            assert!(Instant::now() < deadline, "job {id} stuck in {state}");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    fn result(&mut self, id: i64) -> Json {
+        self.request(&Json::obj_id("result", id))
+    }
+}
+
+/// Tiny helper: `{"verb":VERB,"id":ID}`.
+trait ObjId {
+    fn obj_id(verb: &str, id: i64) -> Json;
+}
+
+impl ObjId for Json {
+    fn obj_id(verb: &str, id: i64) -> Json {
+        Json::Obj(vec![
+            ("verb".to_string(), Json::Str(verb.to_string())),
+            ("id".to_string(), Json::Int(id)),
+        ])
+    }
+}
+
+fn start_service(config: ServiceConfig) -> DumpService {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    DumpService::start(listener, config).expect("start service")
+}
+
+fn hex_lower(bytes: &[u8]) -> String {
+    bytes.iter().fold(String::new(), |mut s, b| {
+        s.push(char::from_digit(u32::from(b >> 4), 16).expect("hex digit"));
+        s.push(char::from_digit(u32::from(b & 0xF), 16).expect("hex digit"));
+        s
+    })
+}
+
+#[test]
+fn four_concurrent_jobs_return_correct_results() {
+    let (path_a, dump_a) = dump_file("svc_a.cbdf", 9);
+    let (path_b, dump_b) = dump_file("svc_b.cbdf", 21);
+    let service = start_service(ServiceConfig {
+        workers: 4,
+        queue_limit: 64,
+    });
+    let mut client = Client::connect(&service);
+    assert_eq!(
+        client.raw(r#"{"verb":"ping"}"#).get("pong").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // Four jobs in flight at once across both dumps and all three kinds.
+    let attack_a = client.submit(vec![
+        ("kind", Json::Str("attack".into())),
+        ("dump", Json::Str(path_a.to_string_lossy().into_owned())),
+    ]);
+    let attack_b = client.submit(vec![
+        ("kind", Json::Str("attack".into())),
+        ("dump", Json::Str(path_b.to_string_lossy().into_owned())),
+        ("window_blocks", Json::Int(512)),
+    ]);
+    let mine_a = client.submit(vec![
+        ("kind", Json::Str("mine".into())),
+        ("dump", Json::Str(path_a.to_string_lossy().into_owned())),
+    ]);
+    let freq_b = client.submit(vec![
+        ("kind", Json::Str("frequency".into())),
+        ("dump", Json::Str(path_b.to_string_lossy().into_owned())),
+        ("top_keys", Json::Int(8)),
+    ]);
+
+    for id in [attack_a, attack_b, mine_a, freq_b] {
+        assert_eq!(client.wait_terminal(id), "done", "job {id}");
+        let status = client.status(id);
+        let done = status.get("blocks_done").and_then(Json::as_i64).expect("done");
+        let total = status.get("blocks_total").and_then(Json::as_i64).expect("total");
+        assert!(total > 0, "job {id} never set blocks_total");
+        assert_eq!(done, total, "job {id} progress did not reach its total");
+    }
+
+    // Attack results must carry exactly the in-memory pipeline's keys.
+    for (id, dump) in [(attack_a, &dump_a), (attack_b, &dump_b)] {
+        let expected = run_ddr4_attack(dump, &AttackConfig::default());
+        assert!(!expected.outcome.recovered.is_empty(), "scenario recovers keys");
+        let result = client.result(id);
+        assert_eq!(result.get("state").and_then(Json::as_str), Some("done"));
+        let body = result.get("result").expect("result body");
+        assert_eq!(
+            body.get("mined_bytes").and_then(Json::as_i64),
+            Some(expected.mined_bytes as i64)
+        );
+        let recovered = body.get("recovered").and_then(Json::as_arr).expect("rows");
+        let mut served: Vec<String> = recovered
+            .iter()
+            .map(|r| {
+                r.get("master_hex")
+                    .and_then(Json::as_str)
+                    .expect("master_hex")
+                    .to_string()
+            })
+            .collect();
+        let mut expected_hex: Vec<String> = expected
+            .outcome
+            .recovered
+            .iter()
+            .map(|r| hex_lower(&r.master_key))
+            .collect();
+        served.sort();
+        expected_hex.sort();
+        assert_eq!(served, expected_hex, "job {id} master keys");
+    }
+
+    // Mine result: the same candidate keys the in-memory miner finds.
+    let expected_mine = mine_candidate_keys(&dump_a, &MiningConfig {
+        threads: 1,
+        ..MiningConfig::default()
+    });
+    let result = client.result(mine_a);
+    let keys = result
+        .get("result")
+        .and_then(|r| r.get("keys"))
+        .and_then(Json::as_arr)
+        .expect("keys");
+    assert_eq!(keys.len(), expected_mine.len());
+    for (row, expected) in keys.iter().zip(&expected_mine) {
+        assert_eq!(
+            row.get("key_hex").and_then(Json::as_str),
+            Some(hex_lower(&expected.key).as_str())
+        );
+        assert_eq!(
+            row.get("observations").and_then(Json::as_i64),
+            Some(i64::from(expected.observations))
+        );
+    }
+
+    // Frequency result likewise.
+    let expected_freq = frequency_keys(&dump_b, 8);
+    let result = client.result(freq_b);
+    let keys = result
+        .get("result")
+        .and_then(|r| r.get("keys"))
+        .and_then(Json::as_arr)
+        .expect("keys");
+    assert_eq!(keys.len(), expected_freq.len());
+    for (row, expected) in keys.iter().zip(&expected_freq) {
+        assert_eq!(
+            row.get("key_hex").and_then(Json::as_str),
+            Some(hex_lower(&expected.key).as_str())
+        );
+    }
+
+    service.shutdown();
+}
+
+#[test]
+fn zero_second_timeout_times_out() {
+    let (path, _dump) = dump_file("svc_timeout.cbdf", 33);
+    let service = start_service(ServiceConfig {
+        workers: 1,
+        queue_limit: 8,
+    });
+    let mut client = Client::connect(&service);
+    let id = client.submit(vec![
+        ("kind", Json::Str("attack".into())),
+        ("dump", Json::Str(path.to_string_lossy().into_owned())),
+        ("timeout_secs", Json::Int(0)),
+    ]);
+    assert_eq!(client.wait_terminal(id), "timed_out");
+    service.shutdown();
+}
+
+#[test]
+fn cancel_queue_bounds_and_errors_without_workers() {
+    let (path, _dump) = dump_file("svc_queue.cbdf", 41);
+    let dump_arg = path.to_string_lossy().into_owned();
+    // No workers: jobs stay queued, making cancel and overflow deterministic.
+    let service = start_service(ServiceConfig {
+        workers: 0,
+        queue_limit: 2,
+    });
+    let mut client = Client::connect(&service);
+
+    let first = client.submit(vec![
+        ("kind", Json::Str("mine".into())),
+        ("dump", Json::Str(dump_arg.clone())),
+    ]);
+    let second = client.submit(vec![
+        ("kind", Json::Str("frequency".into())),
+        ("dump", Json::Str(dump_arg.clone())),
+    ]);
+
+    // Queue is at its limit of 2: the next submit must be rejected loudly.
+    let overflow = client.raw(&format!(
+        r#"{{"verb":"submit","kind":"mine","dump":"{dump_arg}"}}"#
+    ));
+    assert_eq!(overflow.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(overflow.get("error").and_then(Json::as_str), Some("queue full"));
+
+    // Cancelling a queued job is immediate and terminal.
+    let cancelled = client.request(&Json::obj_id("cancel", first));
+    assert_eq!(cancelled.get("state").and_then(Json::as_str), Some("cancelled"));
+    assert_eq!(client.wait_terminal(first), "cancelled");
+    // The untouched job is still queued.
+    assert_eq!(
+        client.status(second).get("state").and_then(Json::as_str),
+        Some("queued")
+    );
+
+    // Protocol error paths.
+    let unknown = client.request(&Json::obj_id("status", 999));
+    assert_eq!(unknown.get("ok").and_then(Json::as_bool), Some(false));
+    let garbage = client.raw("this is not json");
+    assert_eq!(garbage.get("ok").and_then(Json::as_bool), Some(false));
+    let bad_verb = client.raw(r#"{"verb":"launder"}"#);
+    assert_eq!(bad_verb.get("ok").and_then(Json::as_bool), Some(false));
+    let missing_file = client.raw(r#"{"verb":"submit","kind":"mine"}"#);
+    assert_eq!(missing_file.get("ok").and_then(Json::as_bool), Some(false));
+
+    service.shutdown();
+}
+
+#[test]
+fn cancelling_a_running_job_stops_it() {
+    let (path, _dump) = dump_file("svc_cancel_running.cbdf", 55);
+    let service = start_service(ServiceConfig {
+        workers: 1,
+        queue_limit: 8,
+    });
+    let mut client = Client::connect(&service);
+    // Tiny windows: lots of cancellation points mid-scan.
+    let id = client.submit(vec![
+        ("kind", Json::Str("attack".into())),
+        ("dump", Json::Str(path.to_string_lossy().into_owned())),
+        ("window_blocks", Json::Int(64)),
+        ("deep", Json::Bool(true)),
+    ]);
+    client.request(&Json::obj_id("cancel", id));
+    let state = client.wait_terminal(id);
+    // Depending on scheduling the cancel lands while queued or running;
+    // either way it must not complete.
+    assert_eq!(state, "cancelled");
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_verb_drains_and_stops_the_service() {
+    let (path, _dump) = dump_file("svc_shutdown.cbdf", 77);
+    let service = start_service(ServiceConfig {
+        workers: 2,
+        queue_limit: 8,
+    });
+    let mut client = Client::connect(&service);
+    let id = client.submit(vec![
+        ("kind", Json::Str("frequency".into())),
+        ("dump", Json::Str(path.to_string_lossy().into_owned())),
+    ]);
+    let ack = client.raw(r#"{"verb":"shutdown"}"#);
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(service.is_shutting_down());
+    // New submissions are refused during drain.
+    let refused = client.raw(&format!(
+        r#"{{"verb":"submit","kind":"mine","dump":"{}"}}"#,
+        path.to_string_lossy()
+    ));
+    assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
+    // Joining the service drains the queue: the submitted job ran.
+    service.shutdown();
+    let mut late = String::new();
+    // The acceptor is gone; the existing connection may or may not still
+    // answer, so inspect the job through a fresh service-free check: the
+    // job must have left the queue (done), which we verify by reading the
+    // old connection if it is still alive, else by the drain guarantee.
+    let mut out = Json::obj_id("status", id).render_compact();
+    out.push('\n');
+    if client.writer.write_all(out.as_bytes()).is_ok()
+        && client.reader.read_line(&mut late).is_ok()
+        && !late.trim().is_empty()
+    {
+        let status = json::parse(late.trim()).expect("well-formed response");
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+    }
+}

@@ -1,0 +1,151 @@
+//! The acceptance criterion for the streaming layer: a scrambled DDR4
+//! image written to CBDF, re-opened through `DumpReader`, and scanned in
+//! bounded windows must yield **byte-identical** mined scrambler keys and
+//! recovered AES/XTS master keys to the in-memory pipeline.
+
+use std::io::Cursor;
+
+use coldboot::attack::ddr3::frequency_keys;
+use coldboot::attack::{
+    capture_dump_via_transplant, run_ddr4_attack, AttackConfig, TransplantParams,
+};
+use coldboot::dump::MemoryDump;
+use coldboot::litmus::mine_candidate_keys;
+use coldboot_dram::geometry::DramGeometry;
+use coldboot_dram::mapping::Microarchitecture;
+use coldboot_dram::module::DramModule;
+use coldboot_dram::retention::DecayModel;
+use coldboot_dumpio::format::DumpMeta;
+use coldboot_dumpio::pipeline::{attack_file, frequency_stream, mine_stream, ScanControl};
+use coldboot_dumpio::reader::DumpReader;
+use coldboot_dumpio::writer::write_image;
+use coldboot_scrambler::controller::{BiosConfig, Machine};
+use coldboot_veracrypt::volume::MasterKeys;
+use coldboot_veracrypt::{MountedVolume, Volume};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PASSWORD: &[u8] = b"a very strong password";
+const SECRET: &[u8] = b"medical records, client ledgers, signing keys";
+
+/// The example's scenario: a locked Skylake machine with a mounted
+/// XTS volume in scrambled DRAM, captured via cold transplant.
+fn captured_dump(seed: u64) -> (Volume, MemoryDump) {
+    let geometry = DramGeometry {
+        channels: 1,
+        ranks: 1,
+        bank_groups: 2,
+        banks_per_group: 2,
+        rows: 64,
+        blocks_per_row: 64,
+    };
+    let volume = Volume::create(PASSWORD, SECRET, &mut StdRng::seed_from_u64(seed));
+    let mut victim = Machine::new(Microarchitecture::Skylake, geometry, BiosConfig::default(), 1);
+    let capacity = victim.capacity() as usize;
+    victim
+        .insert_module(DramModule::with_quality(capacity, 7, 0.35))
+        .expect("fresh socket");
+    victim.fill(0).expect("module present");
+    MountedVolume::mount(&mut victim, &volume, PASSWORD, 0x8_0070).expect("correct password");
+    let mut attacker = Machine::new(Microarchitecture::Skylake, geometry, BiosConfig::default(), 2);
+    let dump = capture_dump_via_transplant(
+        &mut victim,
+        &mut attacker,
+        TransplantParams::paper_demo(),
+        DecayModel::paper_calibrated(),
+    )
+    .expect("transplant");
+    (volume, dump)
+}
+
+fn cbdf_of(dump: &MemoryDump) -> Vec<u8> {
+    write_image(
+        Vec::new(),
+        DumpMeta::for_image(dump.base_addr(), dump.len() as u64),
+        dump.bytes(),
+    )
+    .expect("encode")
+}
+
+#[test]
+fn file_backed_attack_is_byte_identical_and_recovers_the_volume() {
+    let (volume, dump) = captured_dump(9);
+    let file = cbdf_of(&dump);
+    let config = AttackConfig::default();
+    let expected = run_ddr4_attack(&dump, &config);
+    assert!(
+        !expected.outcome.recovered.is_empty(),
+        "scenario must recover keys for the identity check to mean anything"
+    );
+
+    // Window sizes chosen to hit: many windows per chunk, window == image,
+    // and a window size coprime to the chunk size.
+    for window_blocks in [96, 1024, 1_000_000] {
+        let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+        let streamed = attack_file(&mut reader, &config, window_blocks, &ScanControl::new())
+            .expect("streamed attack");
+        assert_eq!(
+            streamed.candidates, expected.candidates,
+            "mined keys diverged at window_blocks={window_blocks}"
+        );
+        assert_eq!(streamed.outcome.hits, expected.outcome.hits);
+        assert_eq!(streamed.outcome.recovered, expected.outcome.recovered);
+        assert_eq!(streamed.outcome.blocks_scanned, expected.outcome.blocks_scanned);
+        assert_eq!(streamed.mined_bytes, expected.mined_bytes);
+    }
+
+    // And the streamed report carries the real XTS master keys: decrypt
+    // the volume with them, no password involved.
+    let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+    let report = attack_file(&mut reader, &config, 512, &ScanControl::new()).expect("attack");
+    let mut recovered = report.outcome.recovered;
+    recovered.sort_by_key(|r| r.schedule_addr);
+    let pair = recovered
+        .windows(2)
+        .find(|w| w[1].schedule_addr == w[0].schedule_addr + 240)
+        .expect("adjacent AES-256 schedule pair (the XTS key table)");
+    let keys = MasterKeys {
+        data_key: pair[0].master_key.clone().try_into().expect("32 bytes"),
+        tweak_key: pair[1].master_key.clone().try_into().expect("32 bytes"),
+    };
+    let plaintext = volume.decrypt_all(&keys).expect("master keys decrypt");
+    assert_eq!(&plaintext[..SECRET.len()], SECRET);
+}
+
+#[test]
+fn prefix_limited_mining_matches_across_window_boundaries() {
+    let (_volume, dump) = captured_dump(11);
+    let file = cbdf_of(&dump);
+    let mining = coldboot::litmus::MiningConfig::default();
+    // Limits chosen to land mid-window, mid-block, exactly on a window
+    // edge, and past the end of the image.
+    for max_bytes in [64 * 300, 64 * 300 + 17, 64 * 512, 64 * 100_000] {
+        let rounded = (max_bytes.min(dump.len()))
+            .next_multiple_of(64)
+            .min(dump.len());
+        let expected = mine_candidate_keys(&dump.prefix(rounded), &mining);
+        let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+        let streamed = mine_stream(
+            &mut reader,
+            &mining,
+            512,
+            Some(max_bytes as u64),
+            &ScanControl::new(),
+        )
+        .expect("streamed mining");
+        assert_eq!(streamed, expected, "diverged at max_bytes={max_bytes}");
+    }
+}
+
+#[test]
+fn streamed_frequency_analysis_matches_in_memory() {
+    let (_volume, dump) = captured_dump(13);
+    let file = cbdf_of(&dump);
+    let expected = frequency_keys(&dump, 24);
+    for window_blocks in [33, 2048] {
+        let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+        let streamed = frequency_stream(&mut reader, 24, window_blocks, &ScanControl::new())
+            .expect("streamed frequency pass");
+        assert_eq!(streamed, expected, "diverged at window_blocks={window_blocks}");
+    }
+}

@@ -2,21 +2,78 @@
 //! VeraCrypt-style disk key from a locked, scrambled DDR4 machine.
 //!
 //! Run with: `cargo run --release --example cold_boot_attack`
+//!
+//! With `--dump-file PATH` the captured image is first written to a CBDF
+//! container on disk and the attack then runs from the file in bounded
+//! windows (`coldboot_dumpio`) instead of over the in-memory dump — the
+//! realistic workflow, where capture and analysis are separate steps and
+//! the image may be larger than RAM. The two paths recover identical keys.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 
 use coldboot::attack::{
-    capture_dump_via_transplant, run_ddr4_attack, AttackConfig, TransplantParams,
+    capture_dump_via_transplant, run_ddr4_attack, AttackConfig, AttackReport, TransplantParams,
 };
+use coldboot::dump::MemoryDump;
 use coldboot_dram::geometry::DramGeometry;
 use coldboot_dram::mapping::Microarchitecture;
 use coldboot_dram::module::DramModule;
 use coldboot_dram::retention::DecayModel;
+use coldboot_dumpio::format::DumpMeta;
+use coldboot_dumpio::pipeline::{attack_file, ScanControl, DEFAULT_WINDOW_BLOCKS};
+use coldboot_dumpio::reader::DumpReader;
+use coldboot_dumpio::writer::write_image;
 use coldboot_scrambler::controller::{BiosConfig, Machine};
 use coldboot_veracrypt::volume::MasterKeys;
 use coldboot_veracrypt::{MountedVolume, Volume};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Writes the dump to `path` as CBDF, then attacks it from the file in
+/// bounded windows. Byte-identical to `run_ddr4_attack` on the dump.
+fn attack_via_dump_file(dump: &MemoryDump, path: &str, config: &AttackConfig) -> AttackReport {
+    let meta = DumpMeta {
+        capture_temp_c: -25.0, // paper_demo transplant conditions
+        transfer_seconds: 5.0,
+        ..DumpMeta::for_image(dump.base_addr(), dump.len() as u64)
+    };
+    let out = File::create(path).expect("create dump file");
+    write_image(BufWriter::new(out), meta, dump.bytes()).expect("write CBDF");
+    let file = File::open(path).expect("reopen dump file");
+    let mut reader = DumpReader::new(BufReader::new(file)).expect("CBDF header");
+    println!(
+        "dump written to {path} ({} KiB CBDF); attacking from file",
+        std::fs::metadata(path).map(|m| m.len() >> 10).unwrap_or(0)
+    );
+    attack_file(
+        &mut reader,
+        config,
+        DEFAULT_WINDOW_BLOCKS,
+        &ScanControl::new(),
+    )
+    .expect("file-backed attack")
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dump_file = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--dump-file" => match args.next() {
+                Some(path) => dump_file = Some(path),
+                None => {
+                    eprintln!("--dump-file needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}\nusage: cold_boot_attack [--dump-file PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let geometry = DramGeometry {
         channels: 1,
         ranks: 1,
@@ -52,8 +109,13 @@ fn main() {
     .expect("transplant");
     println!("DIMM frozen, transplanted, dumped: {} KiB", dump.len() >> 10);
 
-    // Mine scrambler keys, search for AES schedules, recover master keys.
-    let report = run_ddr4_attack(&dump, &AttackConfig::default());
+    // Mine scrambler keys, search for AES schedules, recover master keys —
+    // from the CBDF file if asked, in memory otherwise.
+    let config = AttackConfig::default();
+    let report = match &dump_file {
+        Some(path) => attack_via_dump_file(&dump, path, &config),
+        None => run_ddr4_attack(&dump, &config),
+    };
     println!(
         "mined {} candidate scrambler keys; {} AES schedules recovered",
         report.candidates.len(),

@@ -8,19 +8,33 @@
 use std::path::Path;
 use std::process::Command;
 
-#[test]
-fn benches_compile() {
+fn bench_no_run(extra_args: &[&str]) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let output = Command::new(&cargo)
-        .args(["bench", "--no-run", "--workspace"])
+        .args(["bench", "--no-run"])
+        .args(extra_args)
         .current_dir(root)
         .output()
         .expect("failed to spawn cargo bench --no-run");
     assert!(
         output.status.success(),
-        "cargo bench --no-run failed ({}):\n{}",
+        "cargo bench --no-run {} failed ({}):\n{}",
+        extra_args.join(" "),
         output.status,
         String::from_utf8_lossy(&output.stderr)
     );
+}
+
+#[test]
+fn benches_compile() {
+    bench_no_run(&["--workspace"]);
+}
+
+#[test]
+fn dumpio_bench_compiles_standalone() {
+    // The dumpio bench has a custom `main` (it emits BENCH_dumpio.json
+    // before handing over to criterion); make sure the crate's bench
+    // target builds with only its own feature set resolved.
+    bench_no_run(&["-p", "coldboot-dumpio"]);
 }

@@ -1,0 +1,5 @@
+//! True negative: metric labels carry names and counts only.
+pub fn track(registry: &MetricsRegistry, key_count: usize) {
+    registry.counter("search_recoveries").add(key_count as u64);
+    registry.gauge(&format!("queue_depth_shard_{key_count}"));
+}

@@ -45,6 +45,31 @@ fn secret_print_true_negative() {
 }
 
 #[test]
+fn metric_label_with_key_bytes_is_caught() {
+    // The observability layer's hygiene rule (names, counts, durations
+    // only) is enforced here: a counter label that interpolates key
+    // material trips secret-print at the `format!` capture.
+    let findings = lint(
+        "crates/metrics/src/fix.rs",
+        include_str!("fixtures/metric_label_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["secret-print"], "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+    assert_eq!(findings[0].item.as_deref(), Some("master_key"));
+}
+
+#[test]
+fn metric_label_with_counts_only_is_clean() {
+    // Counts and shard indices in labels are fine — `_count` is a benign
+    // metadata tail even though `key` is a secret stem.
+    let findings = lint(
+        "crates/metrics/src/fix.rs",
+        include_str!("fixtures/metric_label_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn secret_debug_true_positive() {
     // Placed outside crypto/veracrypt so only the Debug rule fires.
     let findings = lint(

@@ -16,13 +16,15 @@
 
 use crate::dump::{xor_block, MemoryDump};
 use crate::litmus::CandidateKey;
-use crate::scan::{self, ScanOptions};
+use crate::scan::{self, EngineMetrics, ScanOptions};
 use coldboot_crypto::aes::key_schedule::{expansion_step, rcon, KeySchedule, KeySize};
 use coldboot_crypto::aes::sbox::{rot_word, sub_word};
 use coldboot_crypto::hamming;
 use coldboot_dram::BLOCK_BYTES;
+use coldboot_metrics::{Counter, MetricsRegistry};
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// How many bytes of a block a single litmus trial covers (three
 /// consecutive round keys).
@@ -100,6 +102,46 @@ impl SearchConfig {
             schedule_tolerance_bits: 200,
             ..Self::default()
         }
+    }
+}
+
+/// Search-stage observability handles: counts only, never key bytes.
+///
+/// Attached to a [`StreamSearcher`] via [`StreamSearcher::with_metrics`];
+/// `SearchConfig` stays a plain description of *what* to search. The
+/// per-block litmus loop ([`aes_block_litmus_words`]) gains no per-item
+/// work — tallies are derived from batch-level results the searcher
+/// already holds.
+#[derive(Debug, Default)]
+pub struct SearchMetrics {
+    /// Blocks scanned (`search_blocks`).
+    pub blocks: Arc<Counter>,
+    /// Single-block schedule hits (`search_hits`).
+    pub hits: Arc<Counter>,
+    /// Hits whose full-schedule verification failed
+    /// (`search_verify_rejects`).
+    pub verify_rejects: Arc<Counter>,
+    /// Verifications that produced a recovery, before overlap dedup
+    /// (`search_recoveries`).
+    pub recoveries: Arc<Counter>,
+    /// Decay bits absorbed across accepted recoveries
+    /// (`search_decayed_bits`).
+    pub decayed_bits: Arc<Counter>,
+    /// Scan-engine counters for the block sweep (`search_scan_*`).
+    pub engine: Arc<EngineMetrics>,
+}
+
+impl SearchMetrics {
+    /// Registers (or re-attaches to) the search counters in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Arc<Self> {
+        Arc::new(Self {
+            blocks: registry.counter("search_blocks"),
+            hits: registry.counter("search_hits"),
+            verify_rejects: registry.counter("search_verify_rejects"),
+            recoveries: registry.counter("search_recoveries"),
+            decayed_bits: registry.counter("search_decayed_bits"),
+            engine: EngineMetrics::register(registry, "search"),
+        })
     }
 }
 
@@ -450,6 +492,7 @@ pub struct StreamSearcher {
     hits: Vec<ScheduleHit>,
     recovered: Vec<RecoveredAesKey>,
     blocks_scanned: usize,
+    metrics: Option<Arc<SearchMetrics>>,
 }
 
 impl StreamSearcher {
@@ -479,7 +522,14 @@ impl StreamSearcher {
             hits: Vec::new(),
             recovered: Vec::new(),
             blocks_scanned: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches search counters; search results are unaffected.
+    pub fn with_metrics(mut self, metrics: Arc<SearchMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Scans the next window of the image.
@@ -518,13 +568,21 @@ impl StreamSearcher {
             .collect();
         self.blocks_scanned += indices.len();
 
-        let opts = ScanOptions::with_threads(self.config.threads).batch_items(SEARCH_BATCH_BLOCKS);
+        let mut opts =
+            ScanOptions::with_threads(self.config.threads).batch_items(SEARCH_BATCH_BLOCKS);
+        if let Some(metrics) = &self.metrics {
+            opts = opts.with_metrics(Arc::clone(&metrics.engine));
+        }
         let candidates = &self.candidates;
         let key_words = &self.key_words;
         let config = &self.config;
         let new_hits: Vec<ScheduleHit> = scan::scan_collect(indices.len(), &opts, |n, out| {
             scan_block(&view, candidates, key_words, config, indices[n], out);
         });
+        if let Some(metrics) = &self.metrics {
+            metrics.blocks.add(indices.len() as u64);
+            metrics.hits.add(new_hits.len() as u64);
+        }
         self.hits.extend(new_hits.iter().cloned());
         self.pending.extend(new_hits);
 
@@ -547,8 +605,19 @@ impl StreamSearcher {
             }
             // lint:allow(panic): front() returned Some above
             let hit = self.pending.pop_front().expect("pending is non-empty");
-            if let Some(rec) = verify_and_recover(view, &self.candidates, &hit, &self.config) {
-                merge_recovery(&mut self.recovered, rec);
+            match verify_and_recover(view, &self.candidates, &hit, &self.config) {
+                Some(rec) => {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.recoveries.inc();
+                        metrics.decayed_bits.add(u64::from(rec.total_error_bits));
+                    }
+                    merge_recovery(&mut self.recovered, rec);
+                }
+                None => {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.verify_rejects.inc();
+                    }
+                }
             }
         }
     }
@@ -1041,6 +1110,36 @@ mod tests {
             assert_eq!(whole.hits, streamed.hits, "window={wb}");
             assert_eq!(whole.recovered, streamed.recovered, "window={wb}");
         }
+    }
+
+    #[test]
+    fn observed_search_is_byte_identical_and_counts_add_up() {
+        let master: [u8; 32] =
+            core::array::from_fn(|i| (i as u8).wrapping_mul(59).wrapping_add(0xC4));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(192, &master, &keys);
+        let config = SearchConfig::default();
+        let plain = search_dump(&dump, &candidates, &config);
+
+        let registry = MetricsRegistry::new();
+        let metrics = SearchMetrics::register(&registry);
+        let mut searcher =
+            StreamSearcher::new(&candidates, &config).with_metrics(Arc::clone(&metrics));
+        searcher.push(&dump);
+        let observed = searcher.finish();
+        assert_eq!(plain.hits, observed.hits, "metrics must not perturb hits");
+        assert_eq!(plain.recovered, observed.recovered);
+        assert_eq!(plain.blocks_scanned, observed.blocks_scanned);
+
+        assert_eq!(metrics.blocks.get(), dump.len_blocks() as u64);
+        assert_eq!(metrics.hits.get(), observed.hits.len() as u64);
+        assert!(metrics.recoveries.get() >= observed.recovered.len() as u64);
+        assert_eq!(
+            metrics.hits.get(),
+            metrics.recoveries.get() + metrics.verify_rejects.get(),
+            "every hit is verified exactly once"
+        );
+        assert!(metrics.engine.items.get() >= dump.len_blocks() as u64);
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //! would have formed clusters in.
 
 use crate::dump::MemoryDump;
-use crate::scan::{self, ScanOptions};
+use crate::scan::{self, EngineMetrics, ScanOptions};
 use coldboot_crypto::{ct, hamming};
 use coldboot_dram::BLOCK_BYTES;
+use coldboot_metrics::{Counter, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Violated constraint bits of the four invariants within one 16-byte
 /// group starting at byte `g` (`g ∈ {0, 16, 32, 48}`).
@@ -107,6 +109,48 @@ impl Default for MiningConfig {
     }
 }
 
+/// Mining-stage observability handles: counts only, never block contents.
+///
+/// `MiningConfig` carries serde derives (job specs travel over the dumpd
+/// protocol), so the handles attach to the [`KeyMiner`] via
+/// [`KeyMiner::with_metrics`] instead of living in the config. Totals are
+/// tallied in the worker-local fold accumulators and published to the
+/// atomics once per absorbed window — the per-block hot path never touches
+/// a shared cache line.
+#[derive(Debug, Default)]
+pub struct MiningMetrics {
+    /// Blocks swept (`mine_blocks`).
+    pub blocks: Arc<Counter>,
+    /// Blocks short-circuited by the first-group prefilter
+    /// (`mine_prefilter_rejects`).
+    pub prefilter_rejects: Arc<Counter>,
+    /// Blocks that passed the full litmus test (`mine_litmus_hits`).
+    pub litmus_hits: Arc<Counter>,
+    /// Violated constraint bits absorbed across retained hits — the decay
+    /// the majority vote is repairing (`mine_decayed_bits`).
+    pub decayed_bits: Arc<Counter>,
+    /// Consolidated candidates produced by [`KeyMiner::finish`]
+    /// (`mine_candidates`).
+    pub candidates: Arc<Counter>,
+    /// Scan-engine counters for the sweep and consolidation passes
+    /// (`mine_scan_*`).
+    pub engine: Arc<EngineMetrics>,
+}
+
+impl MiningMetrics {
+    /// Registers (or re-attaches to) the mining counters in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Arc<Self> {
+        Arc::new(Self {
+            blocks: registry.counter("mine_blocks"),
+            prefilter_rejects: registry.counter("mine_prefilter_rejects"),
+            litmus_hits: registry.counter("mine_litmus_hits"),
+            decayed_bits: registry.counter("mine_decayed_bits"),
+            candidates: registry.counter("mine_candidates"),
+            engine: EngineMetrics::register(registry, "mine"),
+        })
+    }
+}
+
 /// A mined candidate scrambler key.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateKey {
@@ -186,6 +230,27 @@ fn merge_value_maps(mut a: ValueMap, b: ValueMap) -> ValueMap {
     a
 }
 
+/// Worker-local sweep state: the dedup map plus plain-integer tallies.
+/// Tallying is unconditional (three adds per retained block); the shared
+/// [`MiningMetrics`] atomics are only touched once per absorbed window.
+#[derive(Default)]
+struct SweepAcc {
+    map: ValueMap,
+    prefilter_rejects: u64,
+    litmus_hits: u64,
+    decayed_bits: u64,
+}
+
+impl SweepAcc {
+    fn merge(mut self, other: SweepAcc) -> SweepAcc {
+        self.map = merge_value_maps(self.map, other.map);
+        self.prefilter_rejects += other.prefilter_rejects;
+        self.litmus_hits += other.litmus_hits;
+        self.decayed_bits += other.decayed_bits;
+        self
+    }
+}
+
 /// Incremental scrambler-key mining over a dump delivered in pieces.
 ///
 /// The file-backed CBDF pipeline cannot hold a multi-GiB image in memory,
@@ -199,6 +264,7 @@ fn merge_value_maps(mut a: ValueMap, b: ValueMap) -> ValueMap {
 pub struct KeyMiner {
     config: MiningConfig,
     observed: ValueMap,
+    metrics: Option<Arc<MiningMetrics>>,
 }
 
 impl KeyMiner {
@@ -207,7 +273,14 @@ impl KeyMiner {
         Self {
             config: config.clone(),
             observed: ValueMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches mining counters; mining results are unaffected.
+    pub fn with_metrics(mut self, metrics: Arc<MiningMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Sweeps one contiguous window of the dump. `first_block_index` is the
@@ -217,36 +290,50 @@ impl KeyMiner {
     /// result).
     pub fn absorb(&mut self, window: &MemoryDump, first_block_index: usize) {
         let config = &self.config;
-        let sweep_opts = ScanOptions::with_threads(config.threads);
-        let local: ValueMap = scan::scan_fold(
+        let mut sweep_opts = ScanOptions::with_threads(config.threads);
+        if let Some(metrics) = &self.metrics {
+            sweep_opts = sweep_opts.with_metrics(Arc::clone(&metrics.engine));
+        }
+        let local: SweepAcc = scan::scan_fold(
             window.len_blocks(),
             &sweep_opts,
-            ValueMap::new,
+            SweepAcc::default,
             |acc, i| {
                 let block = window.block(i);
                 if config.prefilter && first_group_violations(block) > config.litmus_tolerance_bits
                 {
+                    acc.prefilter_rejects += 1;
                     return;
                 }
-                if !scrambler_key_litmus(block, config.litmus_tolerance_bits) {
+                let violations = invariant_violations(block);
+                if violations > config.litmus_tolerance_bits {
                     return;
                 }
+                acc.litmus_hits += 1;
+                acc.decayed_bits += u64::from(violations);
                 if config.drop_null_key && ct::is_zero(block) {
                     return;
                 }
                 let global = first_block_index + i;
-                let entry = acc.entry(*block).or_insert((0, global));
+                let entry = acc.map.entry(*block).or_insert((0, global));
                 entry.0 += 1;
                 entry.1 = entry.1.min(global);
             },
-            merge_value_maps,
+            SweepAcc::merge,
         );
-        self.observed = merge_value_maps(std::mem::take(&mut self.observed), local);
+        if let Some(metrics) = &self.metrics {
+            metrics.blocks.add(window.len_blocks() as u64);
+            metrics.prefilter_rejects.add(local.prefilter_rejects);
+            metrics.litmus_hits.add(local.litmus_hits);
+            metrics.decayed_bits.add(local.decayed_bits);
+        }
+        self.observed = merge_value_maps(std::mem::take(&mut self.observed), local.map);
     }
 
     /// Consolidates everything absorbed so far into ranked candidate keys.
     pub fn finish(self) -> Vec<CandidateKey> {
         let config = self.config;
+        let metrics = self.metrics;
         let mut distinct: Vec<Observation> = self
             .observed
             .into_iter()
@@ -259,7 +346,10 @@ impl KeyMiner {
         distinct.sort_unstable_by_key(|o| o.first_idx);
 
         // Stage 2: first-fit consolidation, parallel per round.
-        let match_opts = ScanOptions::with_threads(config.threads).batch_items(8);
+        let mut match_opts = ScanOptions::with_threads(config.threads).batch_items(8);
+        if let Some(metrics) = &metrics {
+            match_opts = match_opts.with_metrics(Arc::clone(&metrics.engine));
+        }
         let budget = config.consolidate_bits;
         let mut clusters: Vec<Cluster> = Vec::new();
         let mut reps: Vec<[u8; BLOCK_BYTES]> = Vec::new();
@@ -307,6 +397,9 @@ impl KeyMiner {
         candidates.sort_by_key(|c| std::cmp::Reverse(c.observations));
         if let Some(max) = config.max_candidates {
             candidates.truncate(max);
+        }
+        if let Some(metrics) = &metrics {
+            metrics.candidates.add(candidates.len() as u64);
         }
         candidates
     }
@@ -555,6 +648,37 @@ mod tests {
             }
             assert_eq!(miner.finish(), whole, "window={window_blocks}");
         }
+    }
+
+    #[test]
+    fn observed_mining_is_byte_identical_and_counts_add_up() {
+        use coldboot_metrics::MetricsRegistry;
+        let dump = skewed_dump();
+        let config = MiningConfig::default();
+        let plain = mine_candidate_keys(&dump, &config);
+
+        let registry = MetricsRegistry::new();
+        let metrics = MiningMetrics::register(&registry);
+        let mut miner = KeyMiner::new(&config).with_metrics(Arc::clone(&metrics));
+        miner.absorb(&dump, 0);
+        let observed = miner.finish();
+        assert_eq!(plain, observed, "metrics must not perturb mining");
+
+        assert_eq!(metrics.blocks.get(), dump.len_blocks() as u64);
+        assert_eq!(metrics.candidates.get(), observed.len() as u64);
+        // skewed_dump plants 64 keys × 6 decayed repetitions.
+        assert_eq!(metrics.litmus_hits.get(), 64 * 6);
+        assert!(
+            metrics.decayed_bits.get() > 0,
+            "planted single-bit decay must be visible"
+        );
+        assert!(metrics.prefilter_rejects.get() > 0);
+        assert!(
+            metrics.blocks.get()
+                >= metrics.prefilter_rejects.get() + metrics.litmus_hits.get(),
+            "every block is swept at most once"
+        );
+        assert!(metrics.engine.items.get() >= dump.len_blocks() as u64);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   per-item closures never observe concurrent mutation and need no locks.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coldboot_metrics::{Counter, MetricsRegistry};
 
 /// Default number of items a worker claims per cursor increment.
 ///
@@ -37,15 +41,92 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Engine-level observability handles, one bundle per pipeline stage.
+///
+/// Counter names are prefixed with the stage (`mine_scan_batches`,
+/// `search_scan_items`, …) so one registry can hold every stage of an
+/// attack side by side. `busy_us` is wall time workers spent inside batch
+/// bodies; `idle_us` is the remainder of `threads × scan wall time` — the
+/// skew the work-stealing cursor exists to minimise. Detached (the
+/// default), the engine takes no clock readings at all.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Batches claimed off the shared cursor.
+    pub batches: Arc<Counter>,
+    /// Items visited (one litmus block, one search position, …).
+    pub items: Arc<Counter>,
+    /// Microseconds of worker time spent executing batch bodies.
+    pub busy_us: Arc<Counter>,
+    /// Microseconds of worker wall-clock not covered by batch bodies.
+    pub idle_us: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    /// Registers (or re-attaches to) the four engine counters under
+    /// `{stage}_scan_*` in `registry`.
+    pub fn register(registry: &MetricsRegistry, stage: &str) -> Arc<Self> {
+        Arc::new(Self {
+            batches: registry.counter(&format!("{stage}_scan_batches")),
+            items: registry.counter(&format!("{stage}_scan_items")),
+            busy_us: registry.counter(&format!("{stage}_scan_busy_us")),
+            idle_us: registry.counter(&format!("{stage}_scan_idle_us")),
+        })
+    }
+
+    fn record(&self, stats: WorkerStats, idle: Duration) {
+        self.batches.add(stats.batches);
+        self.items.add(stats.items);
+        self.busy_us.add(duration_us(stats.busy));
+        self.idle_us.add(duration_us(idle));
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Per-worker tallies, summed after the join. Counting is unconditional
+/// (two integer adds per batch); *timing* only happens when a metrics
+/// bundle is attached.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    batches: u64,
+    items: u64,
+    busy: Duration,
+}
+
+impl WorkerStats {
+    fn merge(mut self, other: WorkerStats) -> WorkerStats {
+        self.batches += other.batches;
+        self.items += other.items;
+        self.busy += other.busy;
+        self
+    }
+}
+
 /// Scheduling knobs for one engine pass.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the metrics handle — two option sets that scan the
+/// same way compare equal whether or not one of them is observed.
+#[derive(Debug, Clone)]
 pub struct ScanOptions {
     /// Worker threads; `1` runs inline on the caller's thread (the
     /// determinism escape hatch — though output is identical either way).
     pub threads: usize,
     /// Items per stolen batch (see [`DEFAULT_BATCH_ITEMS`]).
     pub batch_items: usize,
+    /// Optional engine counters; `None` (the default) makes every
+    /// observation site a no-op.
+    pub metrics: Option<Arc<EngineMetrics>>,
 }
+
+impl PartialEq for ScanOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads && self.batch_items == other.batch_items
+    }
+}
+
+impl Eq for ScanOptions {}
 
 impl ScanOptions {
     /// Options with an explicit thread count and the default batch size.
@@ -53,6 +134,7 @@ impl ScanOptions {
         Self {
             threads: threads.max(1),
             batch_items: DEFAULT_BATCH_ITEMS,
+            metrics: None,
         }
     }
 
@@ -60,6 +142,12 @@ impl ScanOptions {
     /// heavy, e.g. a block × 4096-candidate AES litmus sweep).
     pub fn batch_items(mut self, batch_items: usize) -> Self {
         self.batch_items = batch_items.max(1);
+        self
+    }
+
+    /// Attaches engine counters; scan results are unaffected.
+    pub fn with_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -87,10 +175,20 @@ where
     let batch = opts.batch_items.max(1);
     let n_batches = items.div_ceil(batch);
     let threads = opts.threads.max(1).min(n_batches.max(1));
+    let metrics = opts.metrics.as_deref();
     if threads <= 1 {
+        let started = metrics.map(|_| Instant::now());
         let mut out = Vec::new();
         for i in 0..items {
             emit(i, &mut out);
+        }
+        if let Some((m, started)) = metrics.zip(started) {
+            let stats = WorkerStats {
+                batches: n_batches as u64,
+                items: items as u64,
+                busy: started.elapsed(),
+            };
+            m.record(stats, Duration::ZERO);
         }
         return out;
     }
@@ -98,6 +196,7 @@ where
     let cursor = AtomicUsize::new(0);
     let run_worker = || {
         let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+        let mut stats = WorkerStats::default();
         loop {
             let b = cursor.fetch_add(1, Ordering::Relaxed);
             if b >= n_batches {
@@ -105,28 +204,42 @@ where
             }
             let start = b * batch;
             let end = (start + batch).min(items);
+            let batch_started = metrics.map(|_| Instant::now());
             let mut buf = Vec::new();
             for i in start..end {
                 emit(i, &mut buf);
+            }
+            stats.batches += 1;
+            stats.items += (end - start) as u64;
+            if let Some(batch_started) = batch_started {
+                stats.busy += batch_started.elapsed();
             }
             if !buf.is_empty() {
                 local.push((b, buf));
             }
         }
-        local
+        (local, stats)
     };
 
-    let mut tagged: Vec<(usize, Vec<T>)> = crossbeam::scope(|scope| {
+    let wall_started = metrics.map(|_| Instant::now());
+    let (mut tagged, stats): (Vec<(usize, Vec<T>)>, WorkerStats) = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|_| run_worker())).collect();
         let mut tagged = Vec::new();
+        let mut stats = WorkerStats::default();
         for h in handles {
             // lint:allow(panic): join() errs only if a worker panicked; re-raise
-            tagged.extend(h.join().expect("scan worker panicked"));
+            let (local, worker_stats) = h.join().expect("scan worker panicked");
+            tagged.extend(local);
+            stats = stats.merge(worker_stats);
         }
-        tagged
+        (tagged, stats)
     })
     // lint:allow(panic): scope() errs only on a child panic; propagate it
     .expect("crossbeam scope failed");
+    if let Some((m, wall_started)) = metrics.zip(wall_started) {
+        let idle = (wall_started.elapsed() * threads as u32).saturating_sub(stats.busy);
+        m.record(stats, idle);
+    }
 
     // Deterministic merge: batch order == item order.
     tagged.sort_unstable_by_key(|(b, _)| *b);
@@ -155,10 +268,20 @@ where
     let batch = opts.batch_items.max(1);
     let n_batches = items.div_ceil(batch);
     let threads = opts.threads.max(1).min(n_batches.max(1));
+    let metrics = opts.metrics.as_deref();
     if threads <= 1 {
+        let started = metrics.map(|_| Instant::now());
         let mut acc = init();
         for i in 0..items {
             fold(&mut acc, i);
+        }
+        if let Some((m, started)) = metrics.zip(started) {
+            let stats = WorkerStats {
+                batches: n_batches as u64,
+                items: items as u64,
+                busy: started.elapsed(),
+            };
+            m.record(stats, Duration::ZERO);
         }
         return acc;
     }
@@ -166,6 +289,7 @@ where
     let cursor = AtomicUsize::new(0);
     let run_worker = || {
         let mut acc = init();
+        let mut stats = WorkerStats::default();
         loop {
             let b = cursor.fetch_add(1, Ordering::Relaxed);
             if b >= n_batches {
@@ -173,23 +297,38 @@ where
             }
             let start = b * batch;
             let end = (start + batch).min(items);
+            let batch_started = metrics.map(|_| Instant::now());
             for i in start..end {
                 fold(&mut acc, i);
             }
+            stats.batches += 1;
+            stats.items += (end - start) as u64;
+            if let Some(batch_started) = batch_started {
+                stats.busy += batch_started.elapsed();
+            }
         }
-        acc
+        (acc, stats)
     };
 
-    let accs: Vec<A> = crossbeam::scope(|scope| {
+    let wall_started = metrics.map(|_| Instant::now());
+    let (accs, stats): (Vec<A>, WorkerStats) = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|_| run_worker())).collect();
-        handles
-            .into_iter()
+        let mut accs = Vec::with_capacity(threads);
+        let mut stats = WorkerStats::default();
+        for h in handles {
             // lint:allow(panic): join() errs only if a worker panicked; re-raise
-            .map(|h| h.join().expect("scan worker panicked"))
-            .collect()
+            let (acc, worker_stats) = h.join().expect("scan worker panicked");
+            accs.push(acc);
+            stats = stats.merge(worker_stats);
+        }
+        (accs, stats)
     })
     // lint:allow(panic): scope() errs only on a child panic; propagate it
     .expect("crossbeam scope failed");
+    if let Some((m, wall_started)) = metrics.zip(wall_started) {
+        let idle = (wall_started.elapsed() * threads as u32).saturating_sub(stats.busy);
+        m.record(stats, idle);
+    }
 
     let mut accs = accs.into_iter();
     // lint:allow(panic): threads >= 1, so at least one accumulator exists
@@ -259,10 +398,59 @@ mod tests {
         let raw = ScanOptions {
             threads: 0,
             batch_items: 0,
+            metrics: None,
         };
         assert_eq!(
             scan_collect(4, &raw, |i, out: &mut Vec<usize>| out.push(i)),
             vec![0, 1, 2, 3]
         );
+    }
+
+    #[test]
+    fn options_equality_ignores_metrics() {
+        let registry = MetricsRegistry::new();
+        let observed = ScanOptions::with_threads(2)
+            .with_metrics(EngineMetrics::register(&registry, "test"));
+        assert_eq!(observed, ScanOptions::with_threads(2));
+        assert_ne!(observed, ScanOptions::with_threads(3));
+    }
+
+    #[test]
+    fn engine_counters_account_for_every_item() {
+        let registry = MetricsRegistry::new();
+        for (stage, threads) in [("inline", 1usize), ("stolen", 4)] {
+            let metrics = EngineMetrics::register(&registry, stage);
+            let opts = ScanOptions::with_threads(threads)
+                .batch_items(7)
+                .with_metrics(Arc::clone(&metrics));
+            let collected = scan_collect(100, &opts, |i, out: &mut Vec<usize>| out.push(i));
+            assert_eq!(collected.len(), 100);
+            assert_eq!(metrics.items.get(), 100, "stage={stage}");
+            assert_eq!(metrics.batches.get(), 100usize.div_ceil(7) as u64);
+            let folded = scan_fold(50, &opts, || 0u64, |a, _| *a += 1, |a, b| a + b);
+            assert_eq!(folded, 50);
+            assert_eq!(metrics.items.get(), 150, "fold adds to the same bundle");
+        }
+        // The registry saw both stages' counter sets.
+        assert_eq!(registry.snapshot().len(), 8);
+    }
+
+    #[test]
+    fn metrics_attached_output_is_identical() {
+        let registry = MetricsRegistry::new();
+        let emit = |i: usize, out: &mut Vec<(usize, usize)>| {
+            for k in 0..i % 3 {
+                out.push((i, k));
+            }
+        };
+        let plain = scan_collect(500, &ScanOptions::with_threads(4).batch_items(9), emit);
+        let observed = scan_collect(
+            500,
+            &ScanOptions::with_threads(4)
+                .batch_items(9)
+                .with_metrics(EngineMetrics::register(&registry, "ident")),
+            emit,
+        );
+        assert_eq!(plain, observed);
     }
 }

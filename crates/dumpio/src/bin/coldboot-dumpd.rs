@@ -2,7 +2,9 @@
 //!
 //! Binds a TCP listener, serves the line-delimited JSON job protocol
 //! (see `coldboot_dumpio::service`), and exits cleanly when a client
-//! sends `{"verb":"shutdown"}` (queued jobs are drained first).
+//! sends `{"verb":"shutdown"}` (queued jobs are drained first). The
+//! final metrics snapshot — the same object the `stats` verb serves —
+//! is printed at shutdown so every run leaves its counters in the log.
 //!
 //! ```text
 //! coldboot-dumpd [--listen ADDR] [--workers N] [--queue N]
@@ -92,7 +94,12 @@ fn main() -> ExitCode {
         std::thread::sleep(Duration::from_millis(100));
     }
     println!("coldboot-dumpd: shutdown requested, draining queue");
+    let registry = service.metrics_registry();
     service.shutdown();
+    println!(
+        "coldboot-dumpd: final stats {}",
+        coldboot_dumpio::stats::snapshot_json(&registry).render_compact()
+    );
     println!("coldboot-dumpd: bye");
     ExitCode::SUCCESS
 }

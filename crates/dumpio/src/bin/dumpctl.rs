@@ -8,6 +8,7 @@
 //! dumpctl [--connect ADDR] status <ID>
 //! dumpctl [--connect ADDR] result <ID>
 //! dumpctl [--connect ADDR] cancel <ID>
+//! dumpctl [--connect ADDR] stats
 //! dumpctl [--connect ADDR] shutdown
 //! ```
 //!
@@ -33,6 +34,7 @@ fn usage() -> ExitCode {
          \x20 status <ID>\n\
          \x20 result <ID>\n\
          \x20 cancel <ID>\n\
+         \x20 stats\n\
          \x20 shutdown\n\
          \n\
          default --connect: {DEFAULT_CONNECT}"
@@ -66,8 +68,7 @@ fn build_request(mut argv: impl Iterator<Item = String>) -> Result<(String, Json
         }
     };
     let request = match command.as_str() {
-        "ping" => Json::obj([("verb", Json::Str("ping".into()))]),
-        "shutdown" => Json::obj([("verb", Json::Str("shutdown".into()))]),
+        "ping" | "stats" | "shutdown" => Json::obj([("verb", Json::Str(command.clone()))]),
         "status" | "result" | "cancel" => {
             let id = parse_id(argv.next())?;
             Json::obj([

@@ -55,6 +55,15 @@ pub enum DumpError {
     /// The writer was driven incorrectly (too much or too little data for
     /// the declared image size).
     WriterMisuse(&'static str),
+    /// A length does not fit the container's 32-bit on-disk fields. The
+    /// old behaviour was a silent `as u32` truncation that corrupted chunk
+    /// headers on pathological geometries; now the write fails loudly.
+    Oversize {
+        /// What was being encoded when the limit was hit.
+        what: &'static str,
+        /// The length that overflowed the field.
+        len: u64,
+    },
 }
 
 impl fmt::Display for DumpError {
@@ -88,6 +97,9 @@ impl fmt::Display for DumpError {
                 write!(f, "chunk {chunk} carries a malformed zero-run RLE stream")
             }
             DumpError::WriterMisuse(why) => write!(f, "dump writer misuse: {why}"),
+            DumpError::Oversize { what, len } => {
+                write!(f, "{what} length {len} exceeds the container's 32-bit field")
+            }
         }
     }
 }
@@ -135,5 +147,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("chunk 3") && s.contains("65536") && s.contains("12"), "{s}");
         assert!(DumpError::BadMagic(*b"ELF\x7f").to_string().contains("not a CBDF"));
+        let oversize = DumpError::Oversize {
+            what: "chunk payload",
+            len: 1 << 33,
+        }
+        .to_string();
+        assert!(
+            oversize.contains("chunk payload") && oversize.contains("8589934592"),
+            "{oversize}"
+        );
     }
 }

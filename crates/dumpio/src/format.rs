@@ -94,7 +94,9 @@ impl DumpMeta {
     /// # Errors
     ///
     /// [`DumpError::HeaderCorrupt`] when the base address or length is not
-    /// block-aligned or the chunk size is zero.
+    /// block-aligned, the chunk size is zero, or the geometry overflows the
+    /// chunk headers' 32-bit length/index fields (the overflow used to slip
+    /// through as a silent `as u32` truncation in the writer).
     pub fn validate(&self) -> Result<(), DumpError> {
         if self.base_addr % BLOCK_BYTES as u64 != 0 {
             return Err(DumpError::HeaderCorrupt("base address not block-aligned"));
@@ -104,6 +106,16 @@ impl DumpMeta {
         }
         if self.chunk_blocks == 0 {
             return Err(DumpError::HeaderCorrupt("chunk size is zero"));
+        }
+        if self.chunk_bytes() as u64 > u32::MAX as u64 {
+            return Err(DumpError::HeaderCorrupt(
+                "chunk size exceeds the 32-bit chunk length field",
+            ));
+        }
+        if self.num_chunks() > u32::MAX as u64 {
+            return Err(DumpError::HeaderCorrupt(
+                "image needs more chunks than the 32-bit index field",
+            ));
         }
         Ok(())
     }
@@ -305,6 +317,36 @@ mod tests {
         let mut meta = sample_meta();
         meta.chunk_blocks = 0;
         assert!(meta.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_32bit_field_overflow() {
+        // chunk_blocks * 64 must fit the u32 raw_len field. 2^26 blocks is
+        // exactly 2^32 bytes — one past the largest encodable chunk.
+        let mut meta = sample_meta();
+        meta.chunk_blocks = 1 << 26;
+        assert!(matches!(
+            meta.validate(),
+            Err(DumpError::HeaderCorrupt(why)) if why.contains("chunk size")
+        ));
+        meta.chunk_blocks = (1 << 26) - 1;
+        assert!(meta.validate().is_ok(), "largest encodable chunk is fine");
+
+        // And the chunk *count* must fit the u32 index field: single-block
+        // chunks over a 2^38+ byte image need 2^32 chunks.
+        let mut meta = sample_meta();
+        meta.chunk_blocks = 1;
+        meta.total_bytes = (u32::MAX as u64 + 1) * BLOCK_BYTES as u64;
+        assert!(matches!(
+            meta.validate(),
+            Err(DumpError::HeaderCorrupt(why)) if why.contains("chunks")
+        ));
+        meta.total_bytes -= BLOCK_BYTES as u64;
+        assert!(meta.validate().is_ok());
+        // A header carrying the overflow is rejected on decode too (the
+        // *reader's* defense — it never trusts an unvalidated geometry).
+        meta.total_bytes += BLOCK_BYTES as u64;
+        assert!(DumpMeta::decode(&meta.encode()).is_err());
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!    (line-delimited JSON, bounded queue, worker pool, per-job progress,
 //!    cancellation, wall-clock timeouts) plus the `dumpctl` client, so a
 //!    capture rig can hand dumps to an analysis box and poll for the
-//!    recovered keys.
+//!    recovered keys. Every daemon carries a `coldboot-metrics` registry
+//!    ([`stats`]) that the `stats` verb — and `dumpctl stats` — snapshot
+//!    as JSON: job/queue counters, reader and pipeline histograms, and
+//!    the core scan-engine counters.
 //!
 //! Everything is `std`-only: the workspace deliberately carries no
 //! serialization, compression, or async dependencies.
@@ -36,6 +39,7 @@ pub mod pipeline;
 pub mod reader;
 pub mod rle;
 pub mod service;
+pub mod stats;
 pub mod writer;
 
 pub use error::DumpError;

@@ -10,12 +10,17 @@
 //! in-memory paths delegate to. Peak memory is one scan window plus the
 //! searcher's small verification tail, independent of file size.
 //!
-//! A [`ScanControl`] threads cancellation, a wall-clock deadline, and a
-//! progress counter through a pass — the hooks `coldboot-dumpd` jobs need.
+//! A [`ScanControl`] threads cancellation, a wall-clock deadline, a
+//! progress counter, and an optional [`PipelineMetrics`] bundle through a
+//! pass — the hooks `coldboot-dumpd` jobs need. The control is checked
+//! once per *read slice* ([`TICK_BLOCKS`] blocks per worker thread), not
+//! once per caller-sized window, so a deadline overshoots by at most one
+//! slice even when a job scans the whole file as a single window.
 
 use std::io::{Read, Seek};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use coldboot::attack::ddr3::FrequencyCounter;
 use coldboot::attack::{AttackConfig, AttackReport};
@@ -25,11 +30,33 @@ use coldboot_dram::BLOCK_BYTES;
 
 use crate::error::DumpError;
 use crate::reader::DumpReader;
+use crate::stats::PipelineMetrics;
 
 /// Default scan window: 16 Ki blocks = 1 MiB, small enough that a dozen
 /// concurrent jobs stay comfortably bounded, large enough to amortize the
 /// per-window scan setup.
 pub const DEFAULT_WINDOW_BLOCKS: usize = 16 * 1024;
+
+/// Blocks per worker thread between [`ScanControl::tick`] checks.
+///
+/// Streaming passes read the image in slices of at most
+/// `threads × TICK_BLOCKS` blocks regardless of the caller's window size.
+/// The old behaviour ticked once per *window*, so a job scanning a large
+/// file as one window could overshoot its wall-clock deadline by the
+/// whole scan; slicing bounds the overshoot to one slice while keeping
+/// enough blocks per slice that every worker stays busy. Results are
+/// unchanged: the streaming scanners are windowing-invariant (see the
+/// `streamed_identity` tests).
+pub const TICK_BLOCKS: usize = 256;
+
+/// The effective read-window for a pass with `threads` workers.
+fn slice_blocks(window_blocks: usize, threads: usize) -> usize {
+    window_blocks.min(threads.max(1) * TICK_BLOCKS).max(1)
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
 
 /// A streaming scan failure.
 #[derive(Debug)]
@@ -67,12 +94,14 @@ impl From<DumpError> for PipelineError {
     }
 }
 
-/// Cooperative control for a streaming pass: checked once per window.
+/// Cooperative control for a streaming pass: checked once per read slice
+/// (at most `threads ×` [`TICK_BLOCKS`] blocks).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScanControl<'a> {
     cancel: Option<&'a AtomicBool>,
     deadline: Option<Instant>,
     progress: Option<&'a AtomicU64>,
+    metrics: Option<&'a PipelineMetrics>,
     /// Blocks already accounted for by earlier phases; added to the
     /// progress counter so multi-phase pipelines report cumulatively.
     base: u64,
@@ -99,6 +128,14 @@ impl<'a> ScanControl<'a> {
     /// Publishes blocks-processed into `counter` as the pass advances.
     pub fn with_progress(mut self, counter: &'a AtomicU64) -> Self {
         self.progress = Some(counter);
+        self
+    }
+
+    /// Attaches observability: window timings land in `metrics` and the
+    /// pass wires the nested mining/search bundles into its scanners.
+    /// Detached passes skip all accounting, including the clock reads.
+    pub fn with_metrics(mut self, metrics: &'a PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -163,11 +200,20 @@ pub fn mine_stream<R: Read>(
 ) -> Result<Vec<CandidateKey>, PipelineError> {
     let image_base = reader.meta().base_addr;
     let limit = mining_limit(max_bytes, reader.meta().total_bytes);
+    let read_blocks = slice_blocks(window_blocks, config.threads);
     let mut miner = KeyMiner::new(config);
+    if let Some(pm) = ctrl.metrics {
+        miner = miner.with_metrics(Arc::clone(&pm.mining));
+    }
     let mut bytes_done = 0u64;
     ctrl.tick(0)?;
     while bytes_done < limit {
-        let Some(window) = reader.next_window(window_blocks)? else {
+        let read_started = ctrl.metrics.map(|_| Instant::now());
+        let window = reader.next_window(read_blocks)?;
+        if let Some((pm, t0)) = ctrl.metrics.zip(read_started) {
+            pm.window_read_us.observe(duration_us(t0.elapsed()));
+        }
+        let Some(window) = window else {
             break;
         };
         let first_block = ((window.base_addr() - image_base) / BLOCK_BYTES as u64) as usize;
@@ -179,7 +225,12 @@ pub fn mine_stream<R: Read>(
         } else {
             window
         };
+        let scan_started = ctrl.metrics.map(|_| Instant::now());
         miner.absorb(&window, first_block);
+        if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
+            pm.window_scan_us.observe(duration_us(t0.elapsed()));
+            pm.windows.inc();
+        }
         bytes_done += window.len() as u64;
         ctrl.tick(bytes_done / BLOCK_BYTES as u64)?;
     }
@@ -204,12 +255,29 @@ pub fn search_stream<R: Read>(
     window_blocks: usize,
     ctrl: &ScanControl<'_>,
 ) -> Result<SearchOutcome, PipelineError> {
+    let read_blocks = slice_blocks(window_blocks, config.threads);
     let mut searcher = StreamSearcher::new(candidates, config);
+    if let Some(pm) = ctrl.metrics {
+        searcher = searcher.with_metrics(Arc::clone(&pm.search));
+    }
     let mut blocks_done = 0u64;
     ctrl.tick(0)?;
-    while let Some(window) = reader.next_window(window_blocks)? {
+    loop {
+        let read_started = ctrl.metrics.map(|_| Instant::now());
+        let window = reader.next_window(read_blocks)?;
+        if let Some((pm, t0)) = ctrl.metrics.zip(read_started) {
+            pm.window_read_us.observe(duration_us(t0.elapsed()));
+        }
+        let Some(window) = window else {
+            break;
+        };
         blocks_done += (window.len() / BLOCK_BYTES) as u64;
+        let scan_started = ctrl.metrics.map(|_| Instant::now());
         searcher.push(&window);
+        if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
+            pm.window_scan_us.observe(duration_us(t0.elapsed()));
+            pm.windows.inc();
+        }
         ctrl.tick(blocks_done)?;
     }
     Ok(searcher.finish())
@@ -232,12 +300,27 @@ pub fn frequency_stream<R: Read>(
     window_blocks: usize,
     ctrl: &ScanControl<'_>,
 ) -> Result<Vec<CandidateKey>, PipelineError> {
+    // The frequency counter is a single-threaded byte histogram.
+    let read_blocks = slice_blocks(window_blocks, 1);
     let mut counter = FrequencyCounter::new();
     let mut blocks_done = 0u64;
     ctrl.tick(0)?;
-    while let Some(window) = reader.next_window(window_blocks)? {
+    loop {
+        let read_started = ctrl.metrics.map(|_| Instant::now());
+        let window = reader.next_window(read_blocks)?;
+        if let Some((pm, t0)) = ctrl.metrics.zip(read_started) {
+            pm.window_read_us.observe(duration_us(t0.elapsed()));
+        }
+        let Some(window) = window else {
+            break;
+        };
         blocks_done += (window.len() / BLOCK_BYTES) as u64;
+        let scan_started = ctrl.metrics.map(|_| Instant::now());
         counter.absorb(&window);
+        if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
+            pm.window_scan_us.observe(duration_us(t0.elapsed()));
+            pm.windows.inc();
+        }
         ctrl.tick(blocks_done)?;
     }
     Ok(counter.finish(top_n))
@@ -346,6 +429,50 @@ mod tests {
         r.rewind().unwrap();
         frequency_stream(&mut r, 4, 7, &ctrl.offset(1000)).unwrap();
         assert_eq!(progress.load(Ordering::Relaxed), 1000 + blocks);
+    }
+
+    #[test]
+    fn read_slices_bound_tick_granularity() {
+        // A whole-file window no longer means a single tick: the slice is
+        // capped at TICK_BLOCKS per worker.
+        assert_eq!(slice_blocks(1 << 20, 1), TICK_BLOCKS);
+        assert_eq!(slice_blocks(1 << 20, 4), 4 * TICK_BLOCKS);
+        // Small windows and degenerate thread counts stay as-is.
+        assert_eq!(slice_blocks(7, 4), 7);
+        assert_eq!(slice_blocks(1 << 20, 0), TICK_BLOCKS);
+        assert_eq!(slice_blocks(0, 4), 1);
+    }
+
+    #[test]
+    fn metrics_attached_pass_is_identical_and_counts_windows() {
+        use crate::stats::PipelineMetrics;
+        use coldboot_metrics::MetricsRegistry;
+
+        let blocks = 600usize;
+        let image: Vec<u8> = (0..64 * blocks).map(|i| (i * 13 % 256) as u8).collect();
+        let file = cbdf_of(&image);
+        let config = MiningConfig {
+            threads: 1,
+            ..MiningConfig::default()
+        };
+
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let plain = mine_stream(&mut r, &config, 1 << 20, None, &ScanControl::new()).unwrap();
+
+        let registry = MetricsRegistry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        let ctrl = ScanControl::new().with_metrics(&metrics);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let observed = mine_stream(&mut r, &config, 1 << 20, None, &ctrl).unwrap();
+
+        assert_eq!(plain, observed);
+        // 600 blocks at one 256-block slice per tick → 3 windows, and the
+        // nested mining bundle saw every block.
+        let expected_windows = blocks.div_ceil(TICK_BLOCKS) as u64;
+        assert_eq!(metrics.windows.get(), expected_windows);
+        assert_eq!(metrics.window_scan_us.count(), expected_windows);
+        assert!(metrics.window_read_us.count() >= expected_windows);
+        assert_eq!(metrics.mining.blocks.get(), blocks as u64);
     }
 
     #[test]

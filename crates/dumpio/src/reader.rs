@@ -1,6 +1,8 @@
 //! Streaming CBDF reader.
 
 use std::io::{Read, Seek, SeekFrom};
+use std::sync::Arc;
+use std::time::Instant;
 
 use coldboot::dump::MemoryDump;
 use coldboot_dram::BLOCK_BYTES;
@@ -11,6 +13,7 @@ use crate::format::{
     ChunkHeader, DumpMeta, CHUNK_HEADER_BYTES, ENCODING_RAW, ENCODING_ZERO_RLE, HEADER_BYTES,
 };
 use crate::rle;
+use crate::stats::ReaderMetrics;
 
 /// Reads a CBDF image incrementally from any [`Read`] source.
 ///
@@ -28,6 +31,8 @@ pub struct DumpReader<R: Read> {
     carry: Vec<u8>,
     /// Physical address of the next window's first byte.
     window_addr: u64,
+    /// Optional observability hook; `None` costs nothing per chunk.
+    metrics: Option<Arc<ReaderMetrics>>,
 }
 
 impl<R: Read> DumpReader<R> {
@@ -50,12 +55,19 @@ impl<R: Read> DumpReader<R> {
             bytes_out: 0,
             carry: Vec::new(),
             window_addr,
+            metrics: None,
         })
     }
 
     /// The capture metadata from the header.
     pub fn meta(&self) -> &DumpMeta {
         &self.meta
+    }
+
+    /// Attaches container-level counters ([`ReaderMetrics`]). Detached
+    /// readers skip all accounting, including the per-chunk clock reads.
+    pub fn set_metrics(&mut self, metrics: Arc<ReaderMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Reads, validates, and decodes the next chunk. `Ok(None)` at end of
@@ -68,6 +80,38 @@ impl<R: Read> DumpReader<R> {
     /// [`DumpError::ChunkCrc`], [`DumpError::RleCorrupt`]),
     /// [`DumpError::Truncated`], or an underlying I/O failure.
     pub fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, DumpError> {
+        let Some(metrics) = self.metrics.clone() else {
+            // Fast path: detached readers pay no clock read per chunk.
+            return self.read_chunk_inner().map(|c| c.map(|(raw, _)| raw));
+        };
+        let started = Instant::now();
+        let result = self.read_chunk_inner();
+        match &result {
+            Ok(Some((_, encoding))) => {
+                let elapsed = started.elapsed().as_micros();
+                metrics
+                    .chunk_decode_us
+                    .observe(u64::try_from(elapsed).unwrap_or(u64::MAX));
+                if *encoding == ENCODING_ZERO_RLE {
+                    metrics.chunks_rle.inc();
+                } else {
+                    metrics.chunks_raw.inc();
+                }
+            }
+            Ok(None) => {}
+            // CBDF has no retries: integrity failures are fatal to the
+            // read, so they are counted here and then propagated.
+            Err(DumpError::ChunkCrc { .. } | DumpError::RleCorrupt { .. }) => {
+                metrics.integrity_errors.inc();
+            }
+            Err(_) => {}
+        }
+        result.map(|c| c.map(|(raw, _)| raw))
+    }
+
+    /// The unobserved chunk read: validate → read → decode → CRC-check.
+    /// Returns the decoded bytes plus the on-disk encoding id.
+    fn read_chunk_inner(&mut self) -> Result<Option<(Vec<u8>, u8)>, DumpError> {
         let produced = self.bytes_out;
         if produced == self.meta.total_bytes {
             return Ok(None);
@@ -125,7 +169,7 @@ impl<R: Read> DumpReader<R> {
         }
         self.next_chunk += 1;
         self.bytes_out += raw.len() as u64;
-        Ok(Some(raw))
+        Ok(Some((raw, ch.encoding)))
     }
 
     /// Assembles the next scan window of up to `window_blocks` blocks.
@@ -354,6 +398,37 @@ mod tests {
                 found: 7
             })
         ));
+    }
+
+    #[test]
+    fn reader_metrics_classify_chunks_and_count_integrity_errors() {
+        use crate::stats::ReaderMetrics;
+        use coldboot_metrics::MetricsRegistry;
+
+        // 4 zero chunks (RLE) then 4 incompressible chunks (raw).
+        let mut image = vec![0u8; 64 * 64];
+        image.extend((0..64 * 64).map(|i| (i % 251 + 1) as u8));
+        let file = encode(&image, 16, 0);
+        let registry = MetricsRegistry::new();
+        let metrics = ReaderMetrics::register(&registry);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        r.set_metrics(Arc::clone(&metrics));
+        let observed = r.read_to_memory().unwrap();
+        assert_eq!(observed.bytes(), &image[..]);
+        assert_eq!(metrics.chunks_rle.get(), 4);
+        assert_eq!(metrics.chunks_raw.get(), 4);
+        assert_eq!(metrics.integrity_errors.get(), 0);
+        assert_eq!(metrics.chunk_decode_us.count(), 8);
+
+        // A flipped payload bit is fatal *and* counted. The file ends with
+        // the last raw chunk's payload, so the final byte is inside it.
+        let mut corrupt = file.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x10;
+        let mut r = DumpReader::new(Cursor::new(&corrupt)).unwrap();
+        r.set_metrics(Arc::clone(&metrics));
+        assert!(r.read_to_memory().is_err());
+        assert_eq!(metrics.integrity_errors.get(), 1);
     }
 
     #[test]

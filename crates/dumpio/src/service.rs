@@ -19,6 +19,7 @@
 //! | `{"verb":"status","id":N}` | `{"ok":true,"state":...,"blocks_done":N,"blocks_total":N}` |
 //! | `{"verb":"result","id":N}` | `{"ok":true,"state":...,"result":...}` |
 //! | `{"verb":"cancel","id":N}` | `{"ok":true,"state":...}` |
+//! | `{"verb":"stats"}` | `{"ok":true,"metrics":{...}}` |
 //! | `{"verb":"shutdown"}` | `{"ok":true}` |
 //!
 //! `submit` options: `window_blocks` (default 16384), `timeout_secs`,
@@ -27,6 +28,11 @@
 //! mining prefix), `top_keys` (frequency: how many keys to report).
 //! `"search"` is accepted as an alias for `"attack"`. Job states:
 //! `queued`, `running`, `done`, `failed`, `cancelled`, `timed_out`.
+//!
+//! `stats` snapshots the service's [`crate::stats::ServiceMetrics`]
+//! registry — job lifecycle counters, queue depth/wait, per-stage scan
+//! counters and latency histograms — as one JSON object keyed by metric
+//! name (`dumpctl stats` renders it).
 
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
@@ -49,6 +55,7 @@ use crate::pipeline::{
     DEFAULT_WINDOW_BLOCKS,
 };
 use crate::reader::DumpReader;
+use crate::stats::{snapshot_json, ServiceMetrics};
 
 /// Longest accepted request line; longer input drops the connection.
 const MAX_LINE_BYTES: usize = 1 << 20;
@@ -122,6 +129,8 @@ struct Job {
     blocks_done: AtomicU64,
     blocks_total: AtomicU64,
     result: Mutex<Option<Json>>,
+    /// When `submit` accepted the job; feeds the `queue_wait_us` histogram.
+    enqueued_at: Instant,
 }
 
 struct Shared {
@@ -131,6 +140,7 @@ struct Shared {
     next_id: AtomicU64,
     shutdown: AtomicBool,
     queue_limit: usize,
+    metrics: ServiceMetrics,
 }
 
 /// A mutex poisoned by a panicking scan worker still guards coherent
@@ -166,6 +176,7 @@ impl DumpService {
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             queue_limit: config.queue_limit,
+            metrics: ServiceMetrics::new(),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -194,6 +205,19 @@ impl DumpService {
     /// [`DumpService::shutdown`] called). The daemon binary polls this.
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the service's metric registry, rendered exactly as
+    /// the `stats` verb renders it.
+    pub fn stats_json(&self) -> Json {
+        snapshot_json(&self.shared.metrics.registry)
+    }
+
+    /// The service's metric registry. Handles stay valid after
+    /// [`DumpService::shutdown`], so the daemon binary can snapshot the
+    /// final counters once the queue has drained.
+    pub fn metrics_registry(&self) -> Arc<coldboot_metrics::MetricsRegistry> {
+        Arc::clone(&self.shared.metrics.registry)
     }
 
     /// Stops accepting connections, lets the workers drain the queue, and
@@ -266,10 +290,15 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // A slow writer just hasn't produced the rest of the line
+                // yet; `buf` keeps the partial line across wakeups.
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
             }
+            // A signal landing in the read is not a peer failure; dropping
+            // the connection here used to lose the buffered partial line.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return,
         }
     }
@@ -298,9 +327,13 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             Err(e) => e,
         },
         Some("cancel") => match find_job(&request, shared) {
-            Ok(job) => cancel_job(&job),
+            Ok(job) => cancel_job(&job, shared),
             Err(e) => e,
         },
+        Some("stats") => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("metrics", snapshot_json(&shared.metrics.registry)),
+        ]),
         Some("shutdown") => {
             shared.shutdown.store(true, Ordering::Relaxed);
             shared.available.notify_all();
@@ -369,14 +402,18 @@ fn submit(request: &Json, shared: &Arc<Shared>) -> Json {
         blocks_done: AtomicU64::new(0),
         blocks_total: AtomicU64::new(0),
         result: Mutex::new(None),
+        enqueued_at: Instant::now(),
     });
     {
         let mut queue = lock(&shared.queue);
         if queue.len() >= shared.queue_limit {
+            shared.metrics.queue_full_rejects.inc();
             return error_response("queue full");
         }
         lock(&shared.jobs).insert(id, Arc::clone(&job));
         queue.push_back(job);
+        shared.metrics.jobs_submitted.inc();
+        shared.metrics.queue_depth.add(1);
     }
     shared.available.notify_one();
     Json::Obj(vec![
@@ -438,14 +475,17 @@ fn job_result(job: &Job) -> Json {
     Json::Obj(pairs)
 }
 
-fn cancel_job(job: &Job) -> Json {
+fn cancel_job(job: &Job, shared: &Shared) -> Json {
     job.cancel.store(true, Ordering::Relaxed);
     {
         let mut state = lock(&job.state);
         // A job still in the queue will be skipped by the workers; mark it
-        // terminal right away. A running job stops at its next window tick.
+        // terminal right away. A running job stops at its next scan tick
+        // and is counted by the worker's outcome handling instead — so
+        // `jobs_cancelled` moves exactly once per cancelled job.
         if matches!(*state, JobState::Queued) {
             *state = JobState::Cancelled;
+            shared.metrics.jobs_cancelled.inc();
         }
     }
     job_status(job)
@@ -471,6 +511,8 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
+        let metrics = &shared.metrics;
+        metrics.queue_depth.sub(1);
         {
             let mut state = lock(&job.state);
             if !matches!(*state, JobState::Queued) {
@@ -478,18 +520,40 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             *state = JobState::Running;
         }
-        let outcome = execute(&job);
+        metrics
+            .queue_wait_us
+            .observe(duration_us(job.enqueued_at.elapsed()));
+        let run_started = Instant::now();
+        let outcome = execute(&job, shared);
+        metrics.job_run_us.observe(duration_us(run_started.elapsed()));
         let mut state = lock(&job.state);
+        // Each job reaches exactly one terminal arm, so each lifecycle
+        // counter moves exactly once per job — the `stats` tests rely on
+        // `jobs_timed_out` being 1 after one timed-out job.
         match outcome {
             Ok(result) => {
                 *lock(&job.result) = Some(result);
                 *state = JobState::Done;
+                metrics.jobs_done.inc();
             }
-            Err(PipelineError::Cancelled) => *state = JobState::Cancelled,
-            Err(PipelineError::TimedOut) => *state = JobState::TimedOut,
-            Err(e) => *state = JobState::Failed(e.to_string()),
+            Err(PipelineError::Cancelled) => {
+                *state = JobState::Cancelled;
+                metrics.jobs_cancelled.inc();
+            }
+            Err(PipelineError::TimedOut) => {
+                *state = JobState::TimedOut;
+                metrics.jobs_timed_out.inc();
+            }
+            Err(e) => {
+                *state = JobState::Failed(e.to_string());
+                metrics.jobs_failed.inc();
+            }
         }
     }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 fn hex_lower(bytes: &[u8]) -> String {
@@ -518,10 +582,11 @@ fn candidates_json(kind: &'static str, candidates: &[CandidateKey]) -> Json {
     ])
 }
 
-fn execute(job: &Job) -> Result<Json, PipelineError> {
+fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
     let spec = &job.spec;
     let file = File::open(&spec.dump).map_err(DumpError::from)?;
     let mut reader = DumpReader::new(BufReader::new(file))?;
+    reader.set_metrics(Arc::clone(&shared.metrics.reader));
     let total_bytes = reader.meta().total_bytes;
     let total_blocks = total_bytes / BLOCK_BYTES as u64;
     let deadline = spec
@@ -529,7 +594,8 @@ fn execute(job: &Job) -> Result<Json, PipelineError> {
         .map(|secs| Instant::now() + Duration::from_secs(secs));
     let mut ctrl = ScanControl::new()
         .with_cancel(&job.cancel)
-        .with_progress(&job.blocks_done);
+        .with_progress(&job.blocks_done)
+        .with_metrics(&shared.metrics.pipeline);
     if let Some(deadline) = deadline {
         ctrl = ctrl.with_deadline(deadline);
     }

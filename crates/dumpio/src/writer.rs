@@ -24,6 +24,20 @@ pub struct DumpWriter<W: Write> {
     finished: bool,
 }
 
+/// Converts a length into the container's 32-bit on-disk field.
+///
+/// `DumpMeta::validate` already bounds every geometry the writer accepts,
+/// so this is defense in depth: if a future code path assembles an
+/// oversized chunk anyway, the write fails with [`DumpError::Oversize`]
+/// instead of silently truncating the header field (the old `as u32`
+/// behaviour, which produced a structurally valid but unreadable file).
+fn chunk_field(what: &'static str, len: usize) -> Result<u32, DumpError> {
+    u32::try_from(len).map_err(|_| DumpError::Oversize {
+        what,
+        len: len as u64,
+    })
+}
+
 /// Encodes and writes one chunk. Free function so the borrow of
 /// `self.pending` need not outlive the call.
 fn write_chunk<W: Write>(w: &mut W, index: u32, raw: &[u8]) -> Result<(), DumpError> {
@@ -35,8 +49,8 @@ fn write_chunk<W: Write>(w: &mut W, index: u32, raw: &[u8]) -> Result<(), DumpEr
     };
     let header = ChunkHeader {
         index,
-        raw_len: raw.len() as u32,
-        encoded_len: payload.len() as u32,
+        raw_len: chunk_field("chunk raw", raw.len())?,
+        encoded_len: chunk_field("chunk payload", payload.len())?,
         crc: crc32(raw),
         encoding,
     };
@@ -191,6 +205,35 @@ mod tests {
             w.append(piece).unwrap();
         }
         assert_eq!(w.finish().unwrap(), one_shot);
+    }
+
+    #[test]
+    fn oversized_lengths_error_instead_of_truncating() {
+        // The old `as u32` cast mapped 2^32 to 0 and 2^32+12 to 12 — both
+        // would have been written as plausible-looking headers. (Checked via
+        // the length helper: allocating a real 4 GiB chunk in a test is not
+        // reasonable, and `write_chunk` feeds every length through it.)
+        assert_eq!(chunk_field("chunk raw", 65536).unwrap(), 65536);
+        assert_eq!(chunk_field("chunk raw", u32::MAX as usize).unwrap(), u32::MAX);
+        for pathological in [1usize << 32, (1 << 32) + 12] {
+            match chunk_field("chunk raw", pathological) {
+                Err(DumpError::Oversize { what, len }) => {
+                    assert_eq!(what, "chunk raw");
+                    assert_eq!(len, pathological as u64);
+                }
+                other => panic!("expected Oversize, got {other:?}"),
+            }
+        }
+        // And the geometry that would *produce* such a chunk is rejected at
+        // writer construction, before any bytes hit the sink.
+        let meta = DumpMeta {
+            chunk_blocks: 1 << 26,
+            ..DumpMeta::for_image(0, 1 << 32)
+        };
+        assert!(matches!(
+            DumpWriter::new(Vec::new(), meta),
+            Err(DumpError::HeaderCorrupt(_))
+        ));
     }
 
     #[test]

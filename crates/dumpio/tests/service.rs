@@ -28,12 +28,18 @@ use rand::SeedableRng;
 /// Builds the example's scrambled-DDR4 capture and writes it to a CBDF
 /// file under the test target dir; returns the path and in-memory dump.
 fn dump_file(name: &str, seed: u64) -> (PathBuf, MemoryDump) {
+    dump_file_with_rows(name, seed, 64)
+}
+
+/// [`dump_file`] with a configurable row count: 64 rows is the 1 MiB
+/// example geometry; more rows scale the image for slow-scan tests.
+fn dump_file_with_rows(name: &str, seed: u64, rows: u32) -> (PathBuf, MemoryDump) {
     let geometry = DramGeometry {
         channels: 1,
         ranks: 1,
         bank_groups: 2,
         banks_per_group: 2,
-        rows: 64,
+        rows,
         blocks_per_row: 64,
     };
     let volume = Volume::create(b"pw", b"the secret payload", &mut StdRng::seed_from_u64(seed));
@@ -133,6 +139,21 @@ impl Client {
     fn result(&mut self, id: i64) -> Json {
         self.request(&Json::obj_id("result", id))
     }
+
+    /// The `stats` verb's metrics object.
+    fn stats(&mut self) -> Json {
+        let response = self.raw(r#"{"verb":"stats"}"#);
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        response.get("metrics").expect("metrics object").clone()
+    }
+}
+
+/// Reads a plain counter out of a `stats` metrics object.
+fn counter(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .get(name)
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("counter {name} missing: {}", metrics.render_compact()))
 }
 
 /// Tiny helper: `{"verb":VERB,"id":ID}`.
@@ -406,4 +427,178 @@ fn shutdown_verb_drains_and_stops_the_service() {
         let status = json::parse(late.trim()).expect("well-formed response");
         assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
     }
+}
+
+#[test]
+fn stats_verb_reports_scan_counters_after_a_job() {
+    let (path, dump) = dump_file("svc_stats.cbdf", 101);
+    let service = start_service(ServiceConfig {
+        workers: 1,
+        queue_limit: 8,
+    });
+    let mut client = Client::connect(&service);
+
+    // A fresh service serves an all-zero (but complete) metric set.
+    let before = client.stats();
+    assert_eq!(counter(&before, "jobs_submitted"), 0);
+    assert_eq!(counter(&before, "mine_blocks"), 0);
+
+    let id = client.submit(vec![
+        ("kind", Json::Str("mine".into())),
+        ("dump", Json::Str(path.to_string_lossy().into_owned())),
+    ]);
+    assert_eq!(client.wait_terminal(id), "done");
+
+    let after = client.stats();
+    let total_blocks = (dump.len() / 64) as i64;
+    assert_eq!(counter(&after, "jobs_submitted"), 1);
+    assert_eq!(counter(&after, "jobs_done"), 1);
+    assert_eq!(counter(&after, "jobs_timed_out"), 0);
+    assert_eq!(counter(&after, "queue_depth"), 0);
+    // The mining bundle saw every block of the image, through real windows
+    // read from a real CBDF file.
+    assert_eq!(counter(&after, "mine_blocks"), total_blocks);
+    assert!(counter(&after, "pipeline_windows") > 0);
+    assert!(
+        counter(&after, "dump_chunks_raw") + counter(&after, "dump_chunks_rle") > 0,
+        "reader counters never moved"
+    );
+    // Histograms render with count/sum/buckets.
+    let run = after.get("job_run_us").expect("job_run_us histogram");
+    assert_eq!(run.get("count").and_then(Json::as_i64), Some(1));
+    assert!(run.get("buckets").and_then(Json::as_arr).is_some());
+
+    service.shutdown();
+}
+
+#[test]
+fn timeout_overshoot_is_bounded_and_counted_once() {
+    // 256 rows -> a 4 MiB capture: a single-threaded deep attack takes well
+    // over the 1 s deadline, so the timeout machinery genuinely fires
+    // mid-scan (timeout_secs=0 would trip before the first window).
+    let (path, _dump) = dump_file_with_rows("svc_overshoot.cbdf", 113, 256);
+    let service = start_service(ServiceConfig {
+        workers: 1,
+        queue_limit: 8,
+    });
+    let mut client = Client::connect(&service);
+    let submitted = Instant::now();
+    // One whole-file window: before deadline checks moved inside the scan
+    // (TICK_BLOCKS read slices), this job would overshoot its deadline by
+    // the entire remaining scan instead of one slice.
+    let id = client.submit(vec![
+        ("kind", Json::Str("attack".into())),
+        ("dump", Json::Str(path.to_string_lossy().into_owned())),
+        ("window_blocks", Json::Int(1 << 20)),
+        ("deep", Json::Bool(true)),
+        ("timeout_secs", Json::Int(1)),
+    ]);
+    let state = client.wait_terminal(id);
+    let elapsed = submitted.elapsed();
+    assert_eq!(state, "timed_out");
+    // The deadline itself is respected...
+    assert!(elapsed >= Duration::from_secs(1), "timed out early: {elapsed:?}");
+    // ...and the overshoot is one read slice plus polling slack, not the
+    // rest of a multi-MiB deep scan. The bound is generous for slow CI.
+    assert!(
+        elapsed < Duration::from_secs(1) + Duration::from_secs(8),
+        "deadline overshot by {:?}",
+        elapsed - Duration::from_secs(1)
+    );
+    // Exactly one timed-out job -> the counter moved exactly once.
+    let stats = client.stats();
+    assert_eq!(counter(&stats, "jobs_timed_out"), 1);
+    assert_eq!(counter(&stats, "jobs_done"), 0);
+    // The scan was cut short: progress stopped below the attack total.
+    let status = client.status(id);
+    let done = status.get("blocks_done").and_then(Json::as_i64).expect("done");
+    let total = status.get("blocks_total").and_then(Json::as_i64).expect("total");
+    assert!(done < total, "timed-out job reported a complete scan");
+    service.shutdown();
+}
+
+#[test]
+fn progress_is_monotonic_and_reaches_the_attack_total() {
+    let (path, dump) = dump_file("svc_progress.cbdf", 131);
+    let service = start_service(ServiceConfig {
+        workers: 1,
+        queue_limit: 8,
+    });
+    let mut client = Client::connect(&service);
+    let id = client.submit(vec![
+        ("kind", Json::Str("attack".into())),
+        ("dump", Json::Str(path.to_string_lossy().into_owned())),
+        ("window_blocks", Json::Int(64)),
+    ]);
+    // Sample progress while the job runs: it must never move backwards.
+    let mut last_done = 0i64;
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let status = client.status(id);
+        let done = status.get("blocks_done").and_then(Json::as_i64).expect("done");
+        assert!(done >= last_done, "progress went backwards: {last_done} -> {done}");
+        last_done = done;
+        let state = status.get("state").and_then(Json::as_str).expect("state");
+        if state != "queued" && state != "running" {
+            assert_eq!(state, "done");
+            break;
+        }
+        assert!(Instant::now() < deadline, "job stuck in {state}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // On completion the counter equals the pipeline's published total for
+    // this image and config — the denominator dashboards divide by.
+    let expected = coldboot_dumpio::pipeline::attack_total_blocks(
+        dump.len() as u64,
+        &AttackConfig::default(),
+    ) as i64;
+    let status = client.status(id);
+    assert_eq!(status.get("blocks_done").and_then(Json::as_i64), Some(expected));
+    assert_eq!(status.get("blocks_total").and_then(Json::as_i64), Some(expected));
+    service.shutdown();
+}
+
+#[test]
+fn slow_writers_are_buffered_across_read_timeouts() {
+    // The connection loop's read timeout is 100 ms; a client dribbling a
+    // request byte-wise with longer pauses exercises the partial-line
+    // buffering (and the old Interrupted-kills-connection path never had a
+    // test at all).
+    let service = start_service(ServiceConfig {
+        workers: 0,
+        queue_limit: 2,
+    });
+    let stream = TcpStream::connect(service.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+
+    let request = b"{\"verb\":\"ping\"}\n";
+    for piece in request.chunks(4) {
+        writer.write_all(piece).expect("send piece");
+        writer.flush().expect("flush piece");
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("receive");
+    let response = json::parse(response.trim()).expect("well-formed response");
+    assert_eq!(response.get("pong").and_then(Json::as_bool), Some(true));
+
+    // The same connection still works at full speed afterwards, and two
+    // requests in one segment are answered in order.
+    writer
+        .write_all(b"{\"verb\":\"stats\"}\n{\"verb\":\"ping\"}\n")
+        .expect("send pair");
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("receive stats");
+    assert!(json::parse(first.trim()).expect("stats json").get("metrics").is_some());
+    let mut second = String::new();
+    reader.read_line(&mut second).expect("receive pong");
+    assert_eq!(
+        json::parse(second.trim())
+            .expect("pong json")
+            .get("pong")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    service.shutdown();
 }

@@ -38,3 +38,11 @@ fn dumpio_bench_compiles_standalone() {
     // target builds with only its own feature set resolved.
     bench_no_run(&["-p", "coldboot-dumpio"]);
 }
+
+#[test]
+fn metrics_overhead_bench_compiles() {
+    // The observability acceptance bench (BENCH_metrics.json, the ≤2%
+    // attached-overhead bound) also has a custom `main`; gate it
+    // individually so a metrics API change can't silently orphan it.
+    bench_no_run(&["-p", "coldboot-bench", "--bench", "metrics_overhead"]);
+}

@@ -28,6 +28,18 @@ pub struct AllowEntry {
     pub item: Option<String>,
     /// Mandatory justification.
     pub reason: String,
+    /// 1-based line of the entry's `[[allow]]` header in `lint.toml`
+    /// (0 for entries built in code), used by stale-allow reporting.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// True when this entry matches (and would silence) the finding.
+    pub fn matches(&self, rule: &str, file: &str, item: Option<&str>) -> bool {
+        (self.rule == "*" || self.rule == rule)
+            && file.starts_with(self.path.as_str())
+            && self.item.as_deref().map_or(true, |want| item == Some(want))
+    }
 }
 
 /// Parsed allowlist configuration.
@@ -53,7 +65,10 @@ impl LintConfig {
                 if let Some(partial) = current.take() {
                     allows.push(partial.finish()?);
                 }
-                current = Some(PartialEntry::default());
+                current = Some(PartialEntry {
+                    line: lineno as u32,
+                    ..PartialEntry::default()
+                });
                 continue;
             }
             if line.starts_with('[') {
@@ -94,13 +109,7 @@ impl LintConfig {
     /// True when `entry`-style matching silences a finding with the given
     /// rule, file, and item.
     pub fn allows_finding(&self, rule: &str, file: &str, item: Option<&str>) -> bool {
-        self.allows.iter().any(|a| {
-            (a.rule == "*" || a.rule == rule)
-                && file.starts_with(a.path.as_str())
-                && a.item
-                    .as_deref()
-                    .map_or(true, |want| item == Some(want))
-        })
+        self.allows.iter().any(|a| a.matches(rule, file, item))
     }
 }
 
@@ -110,6 +119,7 @@ struct PartialEntry {
     path: Option<String>,
     item: Option<String>,
     reason: Option<String>,
+    line: u32,
 }
 
 impl PartialEntry {
@@ -127,6 +137,7 @@ impl PartialEntry {
             path,
             item: self.item,
             reason,
+            line: self.line,
         })
     }
 }

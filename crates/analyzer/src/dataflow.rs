@@ -1,0 +1,983 @@
+//! Intra-procedural dataflow rules over the [`crate::ast`] layer.
+//!
+//! Each rule here encodes a bug class this repository actually shipped and
+//! later fixed:
+//!
+//! * `lossy-len-cast` — PR 4's CBDF writer silently truncated a record
+//!   length with `as u32`; the fix was `u32::try_from`. The rule tracks
+//!   length-derived values (names like `len`/`offset`/`total_bytes`,
+//!   `.len()` results) through `let` bindings and arithmetic, and fires
+//!   when one reaches a narrowing `as` cast with no checked conversion or
+//!   mask in between.
+//! * `secret-taint` — the lexical `secret-print` rule only sees secret
+//!   *names*. This rule follows the value: a read of a secret-named field
+//!   (or a call to a secret-named constructor) taints the binding, and the
+//!   taint survives renames (`let material = self.master_key;`) all the
+//!   way to a format/log sink.
+//! * `unbounded-loop` — PR 3's scan loops honored cancel/deadline only
+//!   once per caller window. In scan/pipeline/service code paths, a `loop`
+//!   (or `while true`) with no `break`/`return`/`?` exit and no consult of
+//!   a cancel/deadline/shutdown control is reported.
+//! * `untimed-io` — PR 4's dumpd dropped blocking reads on
+//!   `ErrorKind::Interrupted` and originally configured no read timeout.
+//!   In service code, a socket read must live in a function that handles
+//!   `Interrupted`, in a file that calls `set_read_timeout`.
+
+use std::collections::HashMap;
+
+use crate::ast::{Block, Expr, ExprKind, FnDef, Stmt};
+use crate::diag::Finding;
+use crate::engine::{Analysis, FileKind, PRINT_MACROS};
+use crate::lexer::TokenKind;
+use crate::secrets;
+
+/// Segments that mark a value as a length/offset/size (after
+/// [`secrets::segments`] normalization, which lowercases and strips
+/// plurals via [`secrets`]' singular rule at the comparison site).
+const LEN_SEGS: &[&str] = &[
+    "len", "length", "size", "count", "offset", "total", "remaining", "capacity", "limit",
+];
+
+/// Identifier segments that count as consulting a cancellation /
+/// deadline / shutdown control inside a loop.
+const CONTROL_SEGS: &[&str] = &[
+    "tick",
+    "cancel",
+    "cancelled",
+    "canceled",
+    "deadline",
+    "timeout",
+    "shutdown",
+    "stop",
+    "stopped",
+    "control",
+    "ctrl",
+    "interrupt",
+    "interrupted",
+    "running",
+    "exit",
+];
+
+/// Path fragments that put a file in scope for `unbounded-loop`.
+const LOOP_SCOPED_PATHS: &[&str] = &["service", "pipeline", "dumpd", "daemon", "server", "scan"];
+
+/// Path fragments that put a file in scope for `untimed-io`.
+const IO_SCOPED_PATHS: &[&str] = &["service", "dumpd", "daemon", "server"];
+
+/// Socket-ish receiver segments for `untimed-io`.
+const SOCKET_SEGS: &[&str] = &[
+    "stream",
+    "socket",
+    "sock",
+    "conn",
+    "connection",
+    "tcp",
+    "peer",
+    "client",
+    "listener",
+];
+
+/// Blocking read methods audited by `untimed-io`.
+const READ_METHODS: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+];
+
+fn seg_matches(ident: &str, set: &[&str]) -> bool {
+    secrets::segments(ident)
+        .iter()
+        .any(|s| set.contains(&s.as_str()) || set.contains(&secrets::singular(s)))
+}
+
+fn fn_in_test(a: &Analysis, f: &FnDef) -> bool {
+    a.in_test.get(f.tok).copied().unwrap_or(false)
+}
+
+/// Runs every dataflow rule that applies to `a`, appending raw findings.
+pub(crate) fn run(a: &Analysis, findings: &mut Vec<Finding>) {
+    rule_lossy_len_cast(a, findings);
+    rule_secret_taint(a, findings);
+    rule_unbounded_loop(a, findings);
+    rule_untimed_io(a, findings);
+}
+
+// ---------------------------------------------------------------------------
+// lossy-len-cast
+// ---------------------------------------------------------------------------
+
+/// What the length analysis knows about one expression or binding.
+#[derive(Debug, Clone, Copy, Default)]
+struct LenTaint {
+    /// Derived from a length/offset/size.
+    length: bool,
+    /// Passed through a checked conversion, mask, or min-clamp.
+    checked: bool,
+    /// Known-wide integer (`u64`/`u128` declared type), so `as usize`
+    /// can truncate on 32-bit targets.
+    wide: bool,
+}
+
+impl LenTaint {
+    fn join(self, other: LenTaint) -> LenTaint {
+        LenTaint {
+            length: self.length || other.length,
+            checked: self.checked || other.checked,
+            wide: self.wide || other.wide,
+        }
+    }
+}
+
+fn ty_is_wide(ty: &str) -> bool {
+    ty.contains("u64") || ty.contains("u128") || ty.contains("i64") || ty.contains("i128")
+}
+
+fn rule_lossy_len_cast(a: &Analysis, findings: &mut Vec<Finding>) {
+    if !matches!(a.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    // The DRAM address-arithmetic files are `truncating-cast`'s territory;
+    // keeping the rules disjoint avoids double reports on one cast.
+    if a.path == "crates/dram/src/mapping.rs" || a.path == "crates/dram/src/geometry.rs" {
+        return;
+    }
+    for f in &a.ast.fns {
+        if fn_in_test(a, f) {
+            continue;
+        }
+        let mut env: HashMap<String, LenTaint> = HashMap::new();
+        for (name, ty) in &f.params {
+            let t = LenTaint {
+                length: seg_matches(name, LEN_SEGS),
+                checked: false,
+                wide: ty_is_wide(ty),
+            };
+            if t.length || t.wide {
+                env.insert(name.clone(), t);
+            }
+        }
+        len_scan_block(a, &f.body, &mut env, findings);
+    }
+}
+
+fn len_scan_block(
+    a: &Analysis,
+    b: &Block,
+    env: &mut HashMap<String, LenTaint>,
+    findings: &mut Vec<Finding>,
+) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                else_block,
+                ..
+            } => {
+                if let Some(e) = init {
+                    len_scan_expr(a, e, env, findings);
+                    if let Some(n) = name {
+                        let mut t = len_taint_of(e, env);
+                        if ty.as_deref().map_or(false, ty_is_wide) {
+                            t.wide = true;
+                        }
+                        if t.length || t.wide {
+                            env.insert(n.clone(), t);
+                        } else {
+                            env.remove(n);
+                        }
+                    }
+                } else if let (Some(n), Some(t)) = (name, ty.as_deref()) {
+                    if ty_is_wide(t) {
+                        env.insert(
+                            n.clone(),
+                            LenTaint {
+                                length: seg_matches(n, LEN_SEGS),
+                                checked: false,
+                                wide: true,
+                            },
+                        );
+                    }
+                }
+                if let Some(eb) = else_block {
+                    len_scan_block(a, eb, env, findings);
+                }
+            }
+            Stmt::Expr(e) => len_scan_expr(a, e, env, findings),
+        }
+    }
+}
+
+/// Walks an expression checking every narrowing cast site against the
+/// environment, recursing into nested blocks.
+fn len_scan_expr(
+    a: &Analysis,
+    e: &Expr,
+    env: &mut HashMap<String, LenTaint>,
+    findings: &mut Vec<Finding>,
+) {
+    if let ExprKind::Cast { expr, ty } = &e.kind {
+        let t = len_taint_of(expr, env);
+        let narrow = matches!(ty.as_str(), "u8" | "u16" | "u32" | "i8" | "i16" | "i32");
+        let platform = matches!(ty.as_str(), "usize" | "isize") && t.wide;
+        if t.length && !t.checked && (narrow || platform) {
+            let ident = first_ident_in(a, expr).unwrap_or_else(|| "<expr>".to_string());
+            findings.push(Finding {
+                file: a.path.clone(),
+                line: e.line,
+                rule: "lossy-len-cast",
+                message: format!(
+                    "`as {ty}` on length-derived value `{ident}` can silently truncate; \
+                     use `{ty}::try_from` (or mask/clamp first)"
+                ),
+                item: Some(ident),
+            });
+        }
+    }
+    for_each_child(e, env, &mut |a2, child, env2, f2| {
+        len_scan_expr(a2, child, env2, f2)
+    }, a, findings);
+}
+
+/// The length taint of an expression under `env`. Pure — does not report.
+fn len_taint_of(e: &Expr, env: &HashMap<String, LenTaint>) -> LenTaint {
+    match &e.kind {
+        ExprKind::Path(segs) => {
+            if let [only] = segs.as_slice() {
+                if let Some(t) = env.get(only) {
+                    return *t;
+                }
+            }
+            LenTaint {
+                length: segs.last().map_or(false, |s| seg_matches(s, LEN_SEGS)),
+                ..LenTaint::default()
+            }
+        }
+        ExprKind::Field { name, .. } => LenTaint {
+            length: seg_matches(name, LEN_SEGS),
+            ..LenTaint::default()
+        },
+        ExprKind::MethodCall { recv, method, .. } => match method.as_str() {
+            "len" | "capacity" => LenTaint {
+                length: true,
+                ..LenTaint::default()
+            },
+            "min" | "clamp" | "try_into" | "rem_euclid" => LenTaint {
+                checked: true,
+                ..len_taint_of(recv, env)
+            },
+            m if m.starts_with("checked_") || m.starts_with("saturating_") => LenTaint {
+                checked: true,
+                ..len_taint_of(recv, env)
+            },
+            _ => len_taint_of(recv, env),
+        },
+        ExprKind::Call { callee, args } => {
+            if let ExprKind::Path(segs) = &callee.kind {
+                match segs.last().map(String::as_str) {
+                    Some("try_from") => {
+                        return LenTaint {
+                            checked: true,
+                            ..args.first().map_or(LenTaint::default(), |a| {
+                                len_taint_of(a, env)
+                            })
+                        }
+                    }
+                    Some("min") => {
+                        let mut t = LenTaint::default();
+                        for arg in args {
+                            t = t.join(len_taint_of(arg, env));
+                        }
+                        return LenTaint { checked: true, ..t };
+                    }
+                    _ => {}
+                }
+            }
+            LenTaint::default()
+        }
+        ExprKind::Binary { op, lhs, rhs } => match op.as_str() {
+            "&" | "%" => LenTaint {
+                checked: true,
+                ..len_taint_of(lhs, env).join(len_taint_of(rhs, env))
+            },
+            "-" => {
+                let (l, r) = (len_taint_of(lhs, env), len_taint_of(rhs, env));
+                let mut t = l.join(r);
+                // The difference of two wide (u64) values is address/offset
+                // arithmetic producing a bounded span; the bug class this
+                // rule hunts is direct `len()`-to-narrow truncation, which
+                // lives in `usize` lengths, not u64 spans.
+                if l.wide && r.wide {
+                    t.checked = true;
+                }
+                t
+            }
+            "+" | "*" | "/" | "^" | "|" => {
+                len_taint_of(lhs, env).join(len_taint_of(rhs, env))
+            }
+            _ => LenTaint::default(), // comparisons yield bool
+        },
+        ExprKind::Unary { expr } | ExprKind::Try { expr } => len_taint_of(expr, env),
+        ExprKind::Cast { expr, ty } => {
+            let mut t = len_taint_of(expr, env);
+            if ty_is_wide(ty) {
+                t.wide = true;
+            }
+            t
+        }
+        ExprKind::Index { recv, .. } => len_taint_of(recv, env),
+        _ => LenTaint::default(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// secret-taint
+// ---------------------------------------------------------------------------
+
+fn rule_secret_taint(a: &Analysis, findings: &mut Vec<Finding>) {
+    if !matches!(a.kind, FileKind::Lib | FileKind::Bin | FileKind::Example) {
+        return;
+    }
+    for f in &a.ast.fns {
+        if fn_in_test(a, f) {
+            continue;
+        }
+        // var name -> originating secret identifier.
+        let mut tainted: HashMap<String, String> = HashMap::new();
+        for (name, _) in &f.params {
+            // A parameter that is itself secret-named is `secret-print`'s
+            // domain; taint tracking starts at renames and field reads.
+            let _ = name;
+        }
+        taint_scan_block(a, &f.body, &mut tainted, findings);
+    }
+}
+
+fn taint_scan_block(
+    a: &Analysis,
+    b: &Block,
+    tainted: &mut HashMap<String, String>,
+    findings: &mut Vec<Finding>,
+) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let {
+                name,
+                names,
+                init,
+                else_block,
+                ..
+            } => {
+                if let Some(e) = init {
+                    taint_scan_expr(a, e, tainted, findings);
+                    if let Some(src) = secret_source_of(e, tainted) {
+                        if let Some(n) = name {
+                            tainted.insert(n.clone(), src);
+                        } else {
+                            for n in names {
+                                tainted.insert(n.clone(), src.clone());
+                            }
+                        }
+                    } else if let Some(n) = name {
+                        tainted.remove(n);
+                    }
+                }
+                if let Some(eb) = else_block {
+                    taint_scan_block(a, eb, tainted, findings);
+                }
+            }
+            Stmt::Expr(e) => taint_scan_expr(a, e, tainted, findings),
+        }
+    }
+}
+
+fn taint_scan_expr(
+    a: &Analysis,
+    e: &Expr,
+    tainted: &mut HashMap<String, String>,
+    findings: &mut Vec<Finding>,
+) {
+    match &e.kind {
+        ExprKind::Macro { name, args } if PRINT_MACROS.contains(&name.as_str()) => {
+            check_taint_sink(a, e, name, args, tainted, findings);
+            for arg in args {
+                taint_scan_expr(a, arg, tainted, findings);
+            }
+            return;
+        }
+        ExprKind::If { cond, .. } => {
+            if let ExprKind::LetCond { names, scrut } = &cond.kind {
+                if let Some(src) = secret_source_of(scrut, tainted) {
+                    for n in names {
+                        tainted.insert(n.clone(), src.clone());
+                    }
+                }
+            }
+        }
+        ExprKind::While { cond, .. } => {
+            if let ExprKind::LetCond { names, scrut } = &cond.kind {
+                if let Some(src) = secret_source_of(scrut, tainted) {
+                    for n in names {
+                        tainted.insert(n.clone(), src.clone());
+                    }
+                }
+            }
+        }
+        ExprKind::For { names, iter, .. } => {
+            if let Some(src) = secret_source_of(iter, tainted) {
+                for n in names {
+                    tainted.insert(n.clone(), src.clone());
+                }
+            }
+        }
+        ExprKind::Match { scrut, arms } => {
+            if let Some(src) = secret_source_of(scrut, tainted) {
+                for arm in arms {
+                    for n in &arm.names {
+                        tainted.insert(n.clone(), src.clone());
+                    }
+                }
+            }
+        }
+        ExprKind::Assign { target, value } => {
+            if let Some(src) = secret_source_of(value, tainted) {
+                if let ExprKind::Path(segs) = &target.kind {
+                    if let [only] = segs.as_slice() {
+                        tainted.insert(only.clone(), src);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    for_each_child(e, tainted, &mut |a2, child, env2, f2| {
+        taint_scan_expr(a2, child, env2, f2)
+    }, a, findings);
+}
+
+/// Reports a print-macro sink whose arguments (or `{name}` captures)
+/// carry propagated secret taint. Macros that lexically mention a secret
+/// identifier are `secret-print`'s findings and are skipped here.
+fn check_taint_sink(
+    a: &Analysis,
+    mac: &Expr,
+    macro_name: &str,
+    args: &[Expr],
+    tainted: &HashMap<String, String>,
+    findings: &mut Vec<Finding>,
+) {
+    let (start, end) = mac.span;
+    let span_toks = &a.tokens[start.min(a.tokens.len())..(end + 1).min(a.tokens.len())];
+    let lexically_secret = span_toks.iter().any(|t| {
+        t.kind == TokenKind::Ident
+            && secrets::is_secret_ident(&t.text)
+            && !matches!(t.text.as_str(), "write" | "writeln")
+    });
+    if lexically_secret {
+        return;
+    }
+    let mut hit: Option<(String, String)> = None; // (var, source secret)
+    for arg in args {
+        if let Some((var, src)) = tainted_var_in(arg, tainted) {
+            hit = Some((var, src));
+            break;
+        }
+    }
+    if hit.is_none() {
+        for t in span_toks {
+            if t.kind != TokenKind::Literal || !t.text.contains('{') {
+                continue;
+            }
+            for cap in crate::engine::format_captures(&t.text) {
+                if let Some(src) = tainted.get(&cap) {
+                    hit = Some((cap, src.clone()));
+                    break;
+                }
+            }
+            if hit.is_some() {
+                break;
+            }
+        }
+    }
+    if let Some((var, src)) = hit {
+        findings.push(Finding {
+            file: a.path.clone(),
+            line: mac.line,
+            rule: "secret-taint",
+            message: format!(
+                "`{var}` carries key material from `{src}` and reaches `{macro_name}!`; \
+                 secrets must not be formatted, even renamed"
+            ),
+            item: Some(var),
+        });
+    }
+}
+
+/// A call is a secret *source* only when the secret noun is the *last*
+/// word of the callee name: `derive_master_key()` and `keystream()`
+/// return key material, while `seed_from_u64()` and
+/// `zero_fill_key_extraction()` return RNGs / result summaries that
+/// merely mention one.
+fn callee_returns_secret(name: &str) -> bool {
+    secrets::segments(name)
+        .last()
+        .map_or(false, |last| secrets::is_secret_ident(last))
+}
+
+/// The secret source an expression's value derives from, if any.
+fn secret_source_of(e: &Expr, tainted: &HashMap<String, String>) -> Option<String> {
+    match &e.kind {
+        ExprKind::Path(segs) => {
+            let last = segs.last()?;
+            tainted.get(last).cloned().or_else(|| {
+                // A multi-segment path read (`self::KEY`? rare) stays out;
+                // bare secret idents are secret-print's domain, but reads
+                // *through* them (handled by Field) do taint.
+                None
+            })
+        }
+        ExprKind::Field { name, recv } => {
+            if secrets::is_secret_ident(name) {
+                Some(name.clone())
+            } else {
+                secret_source_of(recv, tainted)
+            }
+        }
+        ExprKind::MethodCall { recv, method, args } => {
+            if matches!(method.as_str(), "len" | "is_empty" | "capacity" | "count") {
+                return None;
+            }
+            if callee_returns_secret(method) {
+                return Some(method.clone());
+            }
+            secret_source_of(recv, tainted)
+                .or_else(|| args.iter().find_map(|a| secret_source_of(a, tainted)))
+        }
+        ExprKind::Call { callee, args } => {
+            if let ExprKind::Path(segs) = &callee.kind {
+                if let Some(last) = segs.last() {
+                    if callee_returns_secret(last) {
+                        return Some(last.clone());
+                    }
+                }
+            }
+            args.iter().find_map(|a| secret_source_of(a, tainted))
+        }
+        ExprKind::Index { recv, .. } => secret_source_of(recv, tainted),
+        ExprKind::Unary { expr } | ExprKind::Try { expr } => secret_source_of(expr, tainted),
+        ExprKind::Cast { expr, .. } => secret_source_of(expr, tainted),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            secret_source_of(lhs, tainted).or_else(|| secret_source_of(rhs, tainted))
+        }
+        ExprKind::Tuple { items } => items.iter().find_map(|i| secret_source_of(i, tainted)),
+        ExprKind::StructLit { fields, .. } => {
+            fields.iter().find_map(|(_, v)| secret_source_of(v, tainted))
+        }
+        _ => None,
+    }
+}
+
+/// A tainted variable referenced by a macro argument, if any.
+fn tainted_var_in(e: &Expr, tainted: &HashMap<String, String>) -> Option<(String, String)> {
+    match &e.kind {
+        ExprKind::Path(segs) => {
+            let last = segs.last()?;
+            tainted.get(last).map(|src| (last.clone(), src.clone()))
+        }
+        ExprKind::Field { recv, .. } | ExprKind::Index { recv, .. } => {
+            tainted_var_in(recv, tainted)
+        }
+        ExprKind::MethodCall { recv, method, args } => {
+            if matches!(method.as_str(), "len" | "is_empty" | "capacity" | "count") {
+                return None;
+            }
+            tainted_var_in(recv, tainted)
+                .or_else(|| args.iter().find_map(|a| tainted_var_in(a, tainted)))
+        }
+        ExprKind::Unary { expr } | ExprKind::Try { expr } => tainted_var_in(expr, tainted),
+        ExprKind::Cast { expr, .. } => tainted_var_in(expr, tainted),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            tainted_var_in(lhs, tainted).or_else(|| tainted_var_in(rhs, tainted))
+        }
+        ExprKind::Call { args, .. } | ExprKind::Tuple { items: args } => {
+            args.iter().find_map(|a| tainted_var_in(a, tainted))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unbounded-loop
+// ---------------------------------------------------------------------------
+
+fn rule_unbounded_loop(a: &Analysis, findings: &mut Vec<Finding>) {
+    if !matches!(a.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    if !LOOP_SCOPED_PATHS.iter().any(|p| a.path.contains(p)) {
+        return;
+    }
+    for f in &a.ast.fns {
+        if fn_in_test(a, f) {
+            continue;
+        }
+        let mut exprs: Vec<&Expr> = Vec::new();
+        collect_exprs_in_block(&f.body, &mut exprs);
+        for e in exprs {
+            let body_span = match &e.kind {
+                ExprKind::Loop { .. } => e.span,
+                ExprKind::While { cond, .. } if cond_is_literal_true(a, cond) => e.span,
+                _ => continue,
+            };
+            let toks = &a.tokens[body_span.0..(body_span.1 + 1).min(a.tokens.len())];
+            let has_exit = toks.iter().any(|t| {
+                (t.kind == TokenKind::Ident && matches!(t.text.as_str(), "break" | "return"))
+                    || (t.kind == TokenKind::Punct && t.text == "?")
+            });
+            let consults_control = toks.iter().any(|t| {
+                t.kind == TokenKind::Ident && seg_matches(&t.text, CONTROL_SEGS)
+            });
+            if !has_exit && !consults_control {
+                findings.push(Finding {
+                    file: a.path.clone(),
+                    line: e.line,
+                    rule: "unbounded-loop",
+                    message: format!(
+                        "infinite loop in `{}` has no exit and never consults a \
+                         cancel/deadline/shutdown control",
+                        f.name
+                    ),
+                    item: Some(f.name.clone()),
+                });
+            }
+        }
+    }
+}
+
+fn cond_is_literal_true(a: &Analysis, cond: &Expr) -> bool {
+    matches!(cond.kind, ExprKind::Lit)
+        && a.tokens
+            .get(cond.span.0)
+            .map_or(false, |t| t.text == "true")
+}
+
+// ---------------------------------------------------------------------------
+// untimed-io
+// ---------------------------------------------------------------------------
+
+fn rule_untimed_io(a: &Analysis, findings: &mut Vec<Finding>) {
+    if !matches!(a.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    if !IO_SCOPED_PATHS.iter().any(|p| a.path.contains(p)) {
+        return;
+    }
+    let file_sets_timeout = a
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "set_read_timeout");
+    for f in &a.ast.fns {
+        if fn_in_test(a, f) {
+            continue;
+        }
+        let mut exprs: Vec<&Expr> = Vec::new();
+        collect_exprs_in_block(&f.body, &mut exprs);
+        let mut socket_read: Option<&Expr> = None;
+        for e in &exprs {
+            if let ExprKind::MethodCall { recv, method, .. } = &e.kind {
+                if READ_METHODS.contains(&method.as_str()) && receiver_is_socket(recv) {
+                    socket_read = Some(e);
+                    break;
+                }
+            }
+        }
+        let Some(read_expr) = socket_read else {
+            continue;
+        };
+        let body = &a.tokens[f.body.span.0..(f.body.span.1 + 1).min(a.tokens.len())];
+        let handles_interrupted = body
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "Interrupted");
+        if !handles_interrupted {
+            findings.push(Finding {
+                file: a.path.clone(),
+                line: read_expr.line,
+                rule: "untimed-io",
+                message: format!(
+                    "socket read in `{}` does not retry on `ErrorKind::Interrupted`; a \
+                     timer signal will drop the connection",
+                    f.name
+                ),
+                item: Some(f.name.clone()),
+            });
+        }
+        if !file_sets_timeout {
+            findings.push(Finding {
+                file: a.path.clone(),
+                line: read_expr.line,
+                rule: "untimed-io",
+                message: format!(
+                    "socket read in `{}` but this file never calls `set_read_timeout`; a \
+                     stalled peer blocks the service forever",
+                    f.name
+                ),
+                item: Some(f.name.clone()),
+            });
+        }
+    }
+}
+
+fn receiver_is_socket(recv: &Expr) -> bool {
+    match &recv.kind {
+        ExprKind::Path(segs) => segs.last().map_or(false, |s| seg_matches(s, SOCKET_SEGS)),
+        ExprKind::Field { name, .. } => seg_matches(name, SOCKET_SEGS),
+        ExprKind::Unary { expr } | ExprKind::Try { expr } => receiver_is_socket(expr),
+        ExprKind::MethodCall { recv, method, .. } => {
+            // `stream.by_ref()`, `conn.get_mut()`, `stream.lock()` ...
+            let _ = method;
+            receiver_is_socket(recv)
+        }
+        ExprKind::Call { args, .. } => args.first().map_or(false, receiver_is_socket),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared expression walking
+// ---------------------------------------------------------------------------
+
+/// Collects every expression in a block, recursing through nested blocks.
+pub(crate) fn collect_exprs_in_block<'a>(b: &'a Block, out: &mut Vec<&'a Expr>) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    collect_exprs(e, out);
+                }
+                if let Some(eb) = else_block {
+                    collect_exprs_in_block(eb, out);
+                }
+            }
+            Stmt::Expr(e) => collect_exprs(e, out),
+        }
+    }
+}
+
+pub(crate) fn collect_exprs<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    out.push(e);
+    match &e.kind {
+        ExprKind::Macro { args, .. } | ExprKind::Tuple { items: args } => {
+            for a in args {
+                collect_exprs(a, out);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            collect_exprs(callee, out);
+            for a in args {
+                collect_exprs(a, out);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            collect_exprs(recv, out);
+            for a in args {
+                collect_exprs(a, out);
+            }
+        }
+        ExprKind::Field { recv, .. } => collect_exprs(recv, out),
+        ExprKind::Index { recv, index } => {
+            collect_exprs(recv, out);
+            collect_exprs(index, out);
+        }
+        ExprKind::Cast { expr, .. }
+        | ExprKind::Unary { expr }
+        | ExprKind::Try { expr }
+        | ExprKind::Closure { body: expr } => collect_exprs(expr, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_exprs(lhs, out);
+            collect_exprs(rhs, out);
+        }
+        ExprKind::Assign { target, value } => {
+            collect_exprs(target, out);
+            collect_exprs(value, out);
+        }
+        ExprKind::Range { lo, hi } => {
+            if let Some(l) = lo {
+                collect_exprs(l, out);
+            }
+            if let Some(h) = hi {
+                collect_exprs(h, out);
+            }
+        }
+        ExprKind::If { cond, then, els } => {
+            collect_exprs(cond, out);
+            collect_exprs_in_block(then, out);
+            if let Some(e2) = els {
+                collect_exprs(e2, out);
+            }
+        }
+        ExprKind::LetCond { scrut, .. } => collect_exprs(scrut, out),
+        ExprKind::Match { scrut, arms } => {
+            collect_exprs(scrut, out);
+            for arm in arms {
+                collect_exprs(&arm.body, out);
+            }
+        }
+        ExprKind::Loop { body } => collect_exprs_in_block(body, out),
+        ExprKind::While { cond, body } => {
+            collect_exprs(cond, out);
+            collect_exprs_in_block(body, out);
+        }
+        ExprKind::For { iter, body, .. } => {
+            collect_exprs(iter, out);
+            collect_exprs_in_block(body, out);
+        }
+        ExprKind::BlockExpr(b) => collect_exprs_in_block(b, out),
+        ExprKind::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                collect_exprs(v, out);
+            }
+        }
+        ExprKind::Return { value } => {
+            if let Some(v) = value {
+                collect_exprs(v, out);
+            }
+        }
+        ExprKind::Path(_)
+        | ExprKind::Lit
+        | ExprKind::Break
+        | ExprKind::Continue
+        | ExprKind::Unknown => {}
+    }
+}
+
+/// Recurses one level into `e`'s children with an environment-threading
+/// callback, entering nested blocks statement-by-statement so `let`
+/// bindings inside them update the environment in source order.
+fn for_each_child<'a, Env>(
+    e: &'a Expr,
+    env: &mut Env,
+    f: &mut dyn FnMut(&Analysis, &'a Expr, &mut Env, &mut Vec<Finding>),
+    a: &Analysis,
+    findings: &mut Vec<Finding>,
+) where
+    Env: BlockScan<'a>,
+{
+    match &e.kind {
+        ExprKind::Macro { args, .. } | ExprKind::Tuple { items: args } => {
+            for arg in args {
+                f(a, arg, env, findings);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            f(a, callee, env, findings);
+            for arg in args {
+                f(a, arg, env, findings);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            f(a, recv, env, findings);
+            for arg in args {
+                f(a, arg, env, findings);
+            }
+        }
+        ExprKind::Field { recv, .. } => f(a, recv, env, findings),
+        ExprKind::Index { recv, index } => {
+            f(a, recv, env, findings);
+            f(a, index, env, findings);
+        }
+        ExprKind::Cast { expr, .. }
+        | ExprKind::Unary { expr }
+        | ExprKind::Try { expr }
+        | ExprKind::Closure { body: expr } => f(a, expr, env, findings),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            f(a, lhs, env, findings);
+            f(a, rhs, env, findings);
+        }
+        ExprKind::Assign { target, value } => {
+            f(a, target, env, findings);
+            f(a, value, env, findings);
+        }
+        ExprKind::Range { lo, hi } => {
+            if let Some(l) = lo {
+                f(a, l, env, findings);
+            }
+            if let Some(h) = hi {
+                f(a, h, env, findings);
+            }
+        }
+        ExprKind::If { cond, then, els } => {
+            f(a, cond, env, findings);
+            env.scan_block(a, then, findings);
+            if let Some(e2) = els {
+                f(a, e2, env, findings);
+            }
+        }
+        ExprKind::LetCond { scrut, .. } => f(a, scrut, env, findings),
+        ExprKind::Match { scrut, arms } => {
+            f(a, scrut, env, findings);
+            for arm in arms {
+                f(a, &arm.body, env, findings);
+            }
+        }
+        ExprKind::Loop { body } => env.scan_block(a, body, findings),
+        ExprKind::While { cond, body } => {
+            f(a, cond, env, findings);
+            env.scan_block(a, body, findings);
+        }
+        ExprKind::For { iter, body, .. } => {
+            f(a, iter, env, findings);
+            env.scan_block(a, body, findings);
+        }
+        ExprKind::BlockExpr(b) => env.scan_block(a, b, findings),
+        ExprKind::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                f(a, v, env, findings);
+            }
+        }
+        ExprKind::Return { value } => {
+            if let Some(v) = value {
+                f(a, v, env, findings);
+            }
+        }
+        ExprKind::Path(_)
+        | ExprKind::Lit
+        | ExprKind::Break
+        | ExprKind::Continue
+        | ExprKind::Unknown => {}
+    }
+}
+
+/// How an environment enters a nested block (so `let` statements inside
+/// it keep updating the environment).
+trait BlockScan<'a>: Sized {
+    fn scan_block(&mut self, a: &Analysis, b: &'a Block, findings: &mut Vec<Finding>);
+}
+
+impl<'a> BlockScan<'a> for HashMap<String, LenTaint> {
+    fn scan_block(&mut self, a: &Analysis, b: &'a Block, findings: &mut Vec<Finding>) {
+        len_scan_block(a, b, self, findings);
+    }
+}
+
+impl<'a> BlockScan<'a> for HashMap<String, String> {
+    fn scan_block(&mut self, a: &Analysis, b: &'a Block, findings: &mut Vec<Finding>) {
+        taint_scan_block(a, b, self, findings);
+    }
+}
+
+/// First identifier token inside an expression's span (for messages).
+fn first_ident_in(a: &Analysis, e: &Expr) -> Option<String> {
+    let (start, end) = e.span;
+    a.tokens[start.min(a.tokens.len())..(end + 1).min(a.tokens.len())]
+        .iter()
+        .find(|t| {
+            t.kind == TokenKind::Ident
+                && !matches!(t.text.as_str(), "as" | "self" | "mut" | "ref")
+        })
+        .map(|t| t.text.clone())
+}

@@ -1,4 +1,4 @@
-//! Findings and their text/JSON renderings.
+//! Findings, their text/JSON renderings, and baseline files.
 
 use std::fmt;
 
@@ -12,7 +12,47 @@ pub const RULE_IDS: &[&str] = &[
     "truncating-cast",
     "panic",
     "suppression",
+    "lossy-len-cast",
+    "unbounded-loop",
+    "untimed-io",
+    "lock-order",
+    "secret-taint",
+    "stale-allow",
 ];
+
+/// One-line description per rule id, used by `--list-rules` and the SARIF
+/// rule metadata. Kept in [`RULE_IDS`] order.
+pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("secret-print", "secret identifiers must not reach print/format macros"),
+    ("secret-debug", "secret-bearing structs must not derive Debug"),
+    ("zeroize-drop", "secret-bearing structs in victim crates need a zeroizing Drop"),
+    ("const-time", "no early-exit comparisons or branches on secret data"),
+    ("forbid-unsafe", "every crate root keeps #![forbid(unsafe_code)]"),
+    ("truncating-cast", "no narrowing casts on DRAM address arithmetic"),
+    ("panic", "no unwrap/expect/panic! in library code"),
+    ("suppression", "lint:allow annotations must name known rules and give a reason"),
+    ("lossy-len-cast", "length-derived values must not be narrowed with `as`; use try_from"),
+    ("unbounded-loop", "service/scan loops must have an exit or consult a cancel/deadline control"),
+    ("untimed-io", "service socket reads need a read timeout and an Interrupted retry"),
+    ("lock-order", "Mutex acquisition order must be acyclic and never reentrant"),
+    ("secret-taint", "values derived from secret fields must not reach format/log sinks"),
+    ("stale-allow", "lint.toml allow entries must match at least one raw finding"),
+];
+
+/// Looks up a rule description.
+pub fn rule_description(rule: &str) -> &'static str {
+    RULE_DESCRIPTIONS
+        .iter()
+        .find(|(id, _)| *id == rule)
+        .map(|(_, d)| *d)
+        .unwrap_or("")
+}
+
+/// Interns a rule name against [`RULE_IDS`] (the `&'static str` in
+/// [`Finding`] requires it); `None` for unknown rules.
+pub fn intern_rule(rule: &str) -> Option<&'static str> {
+    RULE_IDS.iter().find(|r| **r == rule).copied()
+}
 
 /// One diagnostic produced by the rule engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +147,89 @@ pub fn render_text(findings: &[Finding]) -> String {
     out
 }
 
+/// A baseline: known findings to suppress, keyed by `(rule, file, item)`.
+/// The line number is deliberately *not* part of the key — baselined debt
+/// should not resurface every time unrelated edits shift a file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: Vec<(String, String, Option<String>)>,
+}
+
+impl Baseline {
+    /// Parses the `rule<TAB>file<TAB>item` line format written by
+    /// [`Baseline::render`]. `-` means "no item"; `#` starts a comment.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (Some(rule), Some(file), Some(item)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline:{}: expected `rule<TAB>file<TAB>item`",
+                    idx + 1
+                ));
+            };
+            entries.push((
+                rule.to_string(),
+                file.to_string(),
+                if item == "-" {
+                    None
+                } else {
+                    Some(item.to_string())
+                },
+            ));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Renders findings as a baseline document.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# coldboot-lint baseline: one `rule<TAB>file<TAB>item` per line (`-` = no item)\n",
+        );
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}\t{}\t{}",
+                    f.rule,
+                    f.file,
+                    f.item.as_deref().unwrap_or("-")
+                )
+            })
+            .collect();
+        lines.sort();
+        lines.dedup();
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// True when the finding matches a baseline entry exactly.
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.entries
+            .iter()
+            .any(|(rule, file, item)| rule == f.rule && file == &f.file && item == &f.item)
+    }
+
+    /// Number of entries (for CLI reporting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +278,32 @@ mod tests {
     fn empty_render() {
         assert_eq!(render_json(&[]), "{\"findings\":[],\"count\":0}");
         assert!(render_text(&[]).contains("no findings"));
+    }
+
+    #[test]
+    fn every_rule_has_a_description() {
+        for rule in RULE_IDS {
+            assert!(!rule_description(rule).is_empty(), "missing description: {rule}");
+        }
+        assert_eq!(RULE_IDS.len(), RULE_DESCRIPTIONS.len());
+    }
+
+    #[test]
+    fn baseline_round_trip() {
+        let text = Baseline::render(&[sample()]);
+        let bl = Baseline::parse(&text).unwrap();
+        assert_eq!(bl.len(), 1);
+        assert!(bl.covers(&sample()));
+        let mut other = sample();
+        other.line = 999; // line changes do not break the baseline
+        assert!(bl.covers(&other));
+        other.item = None;
+        assert!(!bl.covers(&other));
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_lines() {
+        assert!(Baseline::parse("just-a-rule\n").is_err());
+        assert!(Baseline::parse("# comment only\n\n").unwrap().is_empty());
     }
 }

@@ -1,9 +1,26 @@
-//! The rule engine: classifies files, runs every rule over the lexed token
-//! streams, and applies inline suppressions plus the `lint.toml` allowlist.
+//! The rule engine: classifies files, runs the per-file rules (token-level
+//! and AST/dataflow) over each source, merges per-file facts into the
+//! workspace passes (zeroize-drop, lock-order cycles, stale-allow), and
+//! applies inline suppressions plus the `lint.toml` allowlist.
+//!
+//! Per-file work fans out over a work-stealing thread pool (an atomic
+//! cursor hands out batches; results merge back in deterministic file
+//! order — the same shape as `coldboot_core::scan`'s engine, hand-rolled
+//! here on `std::thread::scope` to keep this crate dependency-free) and
+//! is memoized in a content-hash cache so warm runs re-analyze only
+//! changed files.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::ast;
+use crate::cache::LintCache;
 use crate::config::LintConfig;
+use crate::dataflow;
 use crate::diag::Finding;
 use crate::lexer::{self, Comment, Token, TokenKind};
+use crate::locks::{self, LockEdge};
 use crate::secrets;
 
 /// An in-memory source file with its workspace-relative path
@@ -70,12 +87,12 @@ fn is_crate_root(path: &str) -> bool {
 }
 
 /// A parsed inline `// lint:allow(rule, ...): reason` suppression.
-#[derive(Debug, Clone)]
-struct Suppression {
-    rules: Vec<String>,
-    has_reason: bool,
-    line: u32,
-    end_line: u32,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Suppression {
+    pub(crate) rules: Vec<String>,
+    pub(crate) has_reason: bool,
+    pub(crate) line: u32,
+    pub(crate) end_line: u32,
 }
 
 impl Suppression {
@@ -85,19 +102,42 @@ impl Suppression {
 }
 
 /// Everything the rules need about one file.
-struct Analysis {
-    path: String,
-    kind: FileKind,
-    tokens: Vec<Token>,
-    in_test: Vec<bool>,
-    suppressions: Vec<Suppression>,
-    structs: Vec<StructInfo>,
-    drop_impls: Vec<String>,
+pub(crate) struct Analysis {
+    pub(crate) path: String,
+    pub(crate) kind: FileKind,
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) in_test: Vec<bool>,
+    pub(crate) suppressions: Vec<Suppression>,
+    pub(crate) structs: Vec<StructInfo>,
+    pub(crate) drop_impls: Vec<String>,
+    pub(crate) ast: ast::Ast,
+}
+
+/// The cacheable result of analyzing one file: raw (pre-suppression,
+/// pre-allowlist) per-file findings plus the facts the workspace passes
+/// consume. Deliberately independent of `lint.toml`, so allowlist edits
+/// never invalidate the cache.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FileRecord {
+    pub(crate) findings: Vec<Finding>,
+    pub(crate) structs: Vec<StructFact>,
+    pub(crate) drop_impls: Vec<String>,
+    pub(crate) lock_edges: Vec<LockEdge>,
+    pub(crate) suppressions: Vec<Suppression>,
+}
+
+/// The cross-file-relevant facts about one struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StructFact {
+    pub(crate) name: String,
+    pub(crate) line: u32,
+    pub(crate) secret_bearing: bool,
+    pub(crate) in_test: bool,
 }
 
 /// One struct definition with the facts the secret rules care about.
 #[derive(Debug)]
-struct StructInfo {
+pub(crate) struct StructInfo {
     name: String,
     line: u32,
     derives: Vec<String>,
@@ -159,7 +199,7 @@ fn field_is_metadata(name: &str) -> bool {
 }
 
 /// Macros whose arguments must never see secret identifiers.
-const PRINT_MACROS: &[&str] = &[
+pub(crate) const PRINT_MACROS: &[&str] = &[
     "println",
     "print",
     "eprintln",
@@ -174,42 +214,156 @@ const PRINT_MACROS: &[&str] = &[
 /// Panicking constructs audited in library code.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-/// Lints a set of in-memory sources as one workspace: runs every per-file
-/// rule, then the cross-file zeroize-on-drop rule, then filters through
-/// inline suppressions and the allowlist. Returned findings are sorted by
-/// `(file, line, rule)`.
-pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Vec<Finding> {
-    let analyses: Vec<Analysis> = files.iter().map(analyze).collect();
-    let mut findings = Vec::new();
-    for a in &analyses {
-        rule_secret_print(a, &mut findings);
-        rule_secret_debug(a, &mut findings);
-        rule_const_time(a, &mut findings);
-        rule_forbid_unsafe(a, &mut findings);
-        rule_truncating_cast(a, &mut findings);
-        rule_panic(a, &mut findings);
+/// Tuning knobs for a lint run.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Worker threads for the per-file fan-out; `0` picks the machine's
+    /// available parallelism.
+    pub threads: usize,
+    /// Analysis cache directory (usually `<root>/target/lint-cache`);
+    /// `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Report `lint.toml` allow entries that match no raw finding.
+    pub check_stale_allows: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            cache_dir: None,
+            check_stale_allows: true,
+        }
     }
-    rule_zeroize_drop(&analyses, &mut findings);
+}
+
+/// Bookkeeping from one run, for the CLI's `--stats` and the cache tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Files considered.
+    pub files: usize,
+    /// Files lexed/parsed/analyzed this run.
+    pub reanalyzed: usize,
+    /// Files served from the analysis cache.
+    pub cached: usize,
+}
+
+/// Findings plus run bookkeeping.
+#[derive(Debug)]
+pub struct LintRun {
+    pub findings: Vec<Finding>,
+    pub stats: RunStats,
+}
+
+/// Lints a set of in-memory sources as one workspace with default
+/// options (no cache, auto threads) and without stale-allow checking —
+/// partial file sets legitimately leave allow entries unmatched. Kept as
+/// the stable simple entry point; [`lint_sources_with`] exposes the full
+/// surface.
+pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Vec<Finding> {
+    let opts = LintOptions {
+        check_stale_allows: false,
+        ..LintOptions::default()
+    };
+    lint_sources_with(files, config, &opts).findings
+}
+
+/// Lints a set of in-memory sources as one workspace: runs every per-file
+/// rule (fanned out across threads, memoized in the cache), then the
+/// cross-file passes (zeroize-on-drop, lock-order cycles), then filters
+/// through inline suppressions and the allowlist, reporting stale allow
+/// entries when asked. Returned findings are sorted by `(file, line,
+/// rule)` and are deterministic for a given input regardless of thread
+/// count or cache state.
+pub fn lint_sources_with(
+    files: &[SourceFile],
+    config: &LintConfig,
+    opts: &LintOptions,
+) -> LintRun {
+    let cache = opts
+        .cache_dir
+        .as_deref()
+        .and_then(|dir| LintCache::open(dir).ok());
+    let cache = cache.as_ref();
+    let results: Vec<(FileRecord, bool)> = par_map(files, opts.threads, |file| {
+        if let Some(c) = cache {
+            if let Some(rec) = c.load(&file.path, &file.source) {
+                return (rec, false);
+            }
+        }
+        let rec = analyze_file(file);
+        if let Some(c) = cache {
+            c.store(&file.path, &file.source, &rec);
+        }
+        (rec, true)
+    });
+    let reanalyzed = results.iter().filter(|(_, fresh)| *fresh).count();
+    let records: Vec<(String, FileRecord)> = files
+        .iter()
+        .map(|f| f.path.clone())
+        .zip(results.into_iter().map(|(rec, _)| rec))
+        .collect();
+
+    let mut findings: Vec<Finding> = records
+        .iter()
+        .flat_map(|(_, rec)| rec.findings.iter().cloned())
+        .collect();
+    rule_zeroize_drop(&records, &mut findings);
+    let mut lock_edges: Vec<(String, LockEdge)> = Vec::new();
+    for (path, rec) in &records {
+        for e in &rec.lock_edges {
+            lock_edges.push((path.clone(), e.clone()));
+        }
+    }
+    findings.extend(locks::cycle_findings(&lock_edges));
+
+    // Stale-allow detection runs against the *raw* findings: an allow
+    // entry that would silence nothing is dead weight (or a typo'd path).
+    let stale: Vec<Finding> = if opts.check_stale_allows {
+        config
+            .allows
+            .iter()
+            .filter(|entry| {
+                !findings
+                    .iter()
+                    .any(|f| entry.matches(f.rule, &f.file, f.item.as_deref()))
+            })
+            .map(|entry| Finding {
+                file: "lint.toml".to_string(),
+                line: entry.line,
+                rule: "stale-allow",
+                message: format!(
+                    "allow entry (rule `{}`, path `{}`) matches no finding; delete it or \
+                     run with --allow-unused-allows",
+                    entry.rule, entry.path
+                ),
+                item: entry.item.clone(),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // Inline suppressions and the config allowlist silence ordinary
-    // findings; malformed suppressions are reported afterwards and are
-    // never themselves silenceable.
+    // findings; malformed suppressions and stale allows are reported
+    // afterwards and are never themselves silenceable.
     findings.retain(|f| {
-        let suppressed = analyses
+        let suppressed = records
             .iter()
-            .find(|a| a.path == f.file)
-            .map_or(false, |a| {
-                a.suppressions
+            .find(|(path, _)| path == &f.file)
+            .map_or(false, |(_, rec)| {
+                rec.suppressions
                     .iter()
                     .any(|s| s.has_reason && s.covers(f.rule, f.line))
             });
         !suppressed && !config.allows_finding(f.rule, &f.file, f.item.as_deref())
     });
-    for a in &analyses {
-        for s in &a.suppressions {
+    findings.extend(stale);
+    for (path, rec) in &records {
+        for s in &rec.suppressions {
             if !s.has_reason {
                 findings.push(Finding {
-                    file: a.path.clone(),
+                    file: path.clone(),
                     line: s.line,
                     rule: "suppression",
                     message: "lint:allow without a reason is ignored; append `: <why>`"
@@ -220,7 +374,7 @@ pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Vec<Finding> {
             for r in &s.rules {
                 if !crate::diag::RULE_IDS.contains(&r.as_str()) {
                     findings.push(Finding {
-                        file: a.path.clone(),
+                        file: path.clone(),
                         line: s.line,
                         rule: "suppression",
                         message: format!("lint:allow names unknown rule `{r}`"),
@@ -233,14 +387,116 @@ pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Vec<Finding> {
     findings.sort_by(|x, y| {
         (x.file.as_str(), x.line, x.rule).cmp(&(y.file.as_str(), y.line, y.rule))
     });
-    findings
+    LintRun {
+        findings,
+        stats: RunStats {
+            files: files.len(),
+            reanalyzed,
+            cached: files.len() - reanalyzed,
+        },
+    }
+}
+
+/// Runs the full per-file analysis: lex, parse, every per-file rule, and
+/// fact extraction for the workspace passes. This is the unit of work the
+/// cache memoizes and the thread pool fans out.
+pub(crate) fn analyze_file(file: &SourceFile) -> FileRecord {
+    let a = analyze(file);
+    let mut findings = Vec::new();
+    rule_secret_print(&a, &mut findings);
+    rule_secret_debug(&a, &mut findings);
+    rule_const_time(&a, &mut findings);
+    rule_forbid_unsafe(&a, &mut findings);
+    rule_truncating_cast(&a, &mut findings);
+    rule_panic(&a, &mut findings);
+    dataflow::run(&a, &mut findings);
+    let mut lock_edges = Vec::new();
+    locks::scan_file(&a, &mut lock_edges, &mut findings);
+    FileRecord {
+        findings,
+        structs: a
+            .structs
+            .iter()
+            .map(|s| StructFact {
+                name: s.name.clone(),
+                line: s.line,
+                secret_bearing: s.is_secret_bearing(),
+                in_test: s.in_test,
+            })
+            .collect(),
+        drop_impls: a.drop_impls,
+        lock_edges,
+        suppressions: a.suppressions,
+    }
+}
+
+/// Work-stealing parallel map preserving input order: an atomic cursor
+/// hands out fixed-size batches to scoped worker threads, and results are
+/// merged back sorted by index, so the output is identical to the
+/// sequential map.
+fn par_map<T, R>(items: &[T], threads: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    const BATCH: usize = 4;
+    let n = items.len();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+    .min(n.max(1))
+    .min(16);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for (i, item) in items.iter().enumerate().skip(start).take(BATCH) {
+                        local.push((i, f(item)));
+                    }
+                }
+                collected
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .extend(local);
+            });
+        }
+    });
+    let mut indexed = collected
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 fn analyze(file: &SourceFile) -> Analysis {
     let lexed = lexer::lex(&file.source);
     let in_test = mark_test_spans(&lexed.tokens);
     let suppressions = parse_suppressions(&lexed.comments);
-    let (structs, drop_impls) = parse_items(&lexed.tokens, &in_test);
+    let parsed = ast::parse(&lexed.tokens);
+    let structs = parsed
+        .structs
+        .iter()
+        .map(|s| StructInfo {
+            name: s.name.clone(),
+            line: s.line,
+            derives: s.derives.clone(),
+            fields: s.fields.clone(),
+            in_test: in_test.get(s.tok).copied().unwrap_or(false),
+        })
+        .collect();
+    let drop_impls = parsed.drop_impls.clone();
     Analysis {
         path: file.path.clone(),
         kind: classify(&file.path),
@@ -249,6 +505,7 @@ fn analyze(file: &SourceFile) -> Analysis {
         suppressions,
         structs,
         drop_impls,
+        ast: parsed,
     }
 }
 
@@ -395,182 +652,6 @@ fn normalize_rule(r: &str) -> String {
     }
 }
 
-/// One linear pass extracting struct definitions (with their derive
-/// attributes and fields) and `impl Drop for X` targets.
-fn parse_items(tokens: &[Token], in_test: &[bool]) -> (Vec<StructInfo>, Vec<String>) {
-    let mut structs = Vec::new();
-    let mut drops = Vec::new();
-    let mut pending_derives: Vec<String> = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        if t.text == "#" && tokens.get(i + 1).map_or(false, |n| n.text == "[") {
-            if let Some(end) = matching(tokens, i + 1, "[", "]") {
-                let body = &tokens[i + 2..end];
-                if body.first().map_or(false, |b| is_ident(b, "derive")) {
-                    pending_derives.extend(
-                        body.iter()
-                            .skip(1)
-                            .filter(|b| b.kind == TokenKind::Ident)
-                            .map(|b| b.text.clone()),
-                    );
-                }
-                i = end + 1;
-                continue;
-            }
-        }
-        if t.kind == TokenKind::Ident {
-            match t.text.as_str() {
-                "struct" => {
-                    if let Some(info) =
-                        parse_struct(tokens, i, std::mem::take(&mut pending_derives), in_test)
-                    {
-                        structs.push(info);
-                    }
-                }
-                "Drop" => {
-                    if tokens.get(i + 1).map_or(false, |n| is_ident(n, "for")) {
-                        if let Some(name) =
-                            tokens.get(i + 2).filter(|n| n.kind == TokenKind::Ident)
-                        {
-                            drops.push(name.text.clone());
-                        }
-                    }
-                }
-                "enum" | "fn" | "impl" | "trait" | "mod" | "union" | "const" | "static"
-                | "type" | "use" | "let" | "macro" => pending_derives.clear(),
-                _ => {}
-            }
-        }
-        i += 1;
-    }
-    (structs, drops)
-}
-
-fn parse_struct(
-    tokens: &[Token],
-    struct_idx: usize,
-    derives: Vec<String>,
-    in_test: &[bool],
-) -> Option<StructInfo> {
-    let name_tok = tokens.get(struct_idx + 1)?;
-    if name_tok.kind != TokenKind::Ident {
-        return None;
-    }
-    let mut i = struct_idx + 2;
-    // Skip generic parameters.
-    if tokens.get(i).map_or(false, |t| t.text == "<") {
-        let mut depth = 0i32;
-        while i < tokens.len() {
-            match tokens[i].text.as_str() {
-                "<" => depth += 1,
-                ">" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        i += 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-    }
-    // Skip a where-clause, if any, up to the body.
-    while i < tokens.len() && !matches!(tokens[i].text.as_str(), "{" | "(" | ";") {
-        i += 1;
-    }
-    let mut fields = Vec::new();
-    match tokens.get(i).map(|t| t.text.as_str()) {
-        Some("{") => {
-            let end = matching(tokens, i, "{", "}")?;
-            let mut j = i + 1;
-            while j < end {
-                // Skip field attributes and visibility.
-                while j < end && tokens[j].text == "#" {
-                    j = matching(tokens, j + 1, "[", "]")? + 1;
-                }
-                if tokens.get(j).map_or(false, |t| is_ident(t, "pub")) {
-                    j += 1;
-                    if tokens.get(j).map_or(false, |t| t.text == "(") {
-                        j = matching(tokens, j, "(", ")")? + 1;
-                    }
-                }
-                if j >= end || tokens[j].kind != TokenKind::Ident {
-                    break;
-                }
-                let fname = tokens[j].text.clone();
-                j += 1;
-                if !tokens.get(j).map_or(false, |t| t.text == ":") {
-                    break;
-                }
-                j += 1;
-                let (ty, next) = read_type(tokens, j, end);
-                fields.push((fname, ty));
-                j = next;
-                if tokens.get(j).map_or(false, |t| t.text == ",") {
-                    j += 1;
-                }
-            }
-        }
-        Some("(") => {
-            let end = matching(tokens, i, "(", ")")?;
-            let mut j = i + 1;
-            while j < end {
-                while j < end && tokens[j].text == "#" {
-                    j = matching(tokens, j + 1, "[", "]")? + 1;
-                }
-                if tokens.get(j).map_or(false, |t| is_ident(t, "pub")) {
-                    j += 1;
-                    if tokens.get(j).map_or(false, |t| t.text == "(") {
-                        j = matching(tokens, j, "(", ")")? + 1;
-                    }
-                }
-                let (ty, next) = read_type(tokens, j, end);
-                fields.push((String::new(), ty));
-                j = next;
-                if tokens.get(j).map_or(false, |t| t.text == ",") {
-                    j += 1;
-                }
-            }
-        }
-        _ => {}
-    }
-    Some(StructInfo {
-        name: name_tok.text.clone(),
-        line: tokens[struct_idx].line,
-        derives,
-        fields,
-        in_test: in_test.get(struct_idx).copied().unwrap_or(false),
-    })
-}
-
-/// Reads a type starting at `start`, stopping at a top-level `,` or at
-/// `end`. Returns the rendered type and the index of the stopping token.
-fn read_type(tokens: &[Token], start: usize, end: usize) -> (String, usize) {
-    let mut angle = 0i32;
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    let mut ty = String::new();
-    let mut j = start;
-    while j < end {
-        let text = tokens[j].text.as_str();
-        match text {
-            "<" => angle += 1,
-            ">" => angle -= 1,
-            "(" => paren += 1,
-            ")" => paren -= 1,
-            "[" => bracket += 1,
-            "]" => bracket -= 1,
-            "," if angle == 0 && paren == 0 && bracket == 0 => break,
-            _ => {}
-        }
-        ty.push_str(text);
-        j += 1;
-    }
-    (ty, j)
-}
-
 /// Idents that are "size observations" of a secret (`key.len()`,
 /// `keys.is_empty()`): branching or comparing on these is fine.
 fn is_len_observation(tokens: &[Token], ident_idx: usize) -> bool {
@@ -640,10 +721,11 @@ fn rule_secret_print(a: &Analysis, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Scans a format string body for `{ident}` / `{ident:spec}` captures that
-/// name secrets.
-fn format_capture_secret(body: &str) -> Option<String> {
+/// Extracts the `{ident}` / `{ident:spec}` inline captures from a format
+/// string body (escaped `{{` skipped, positional `{}` / `{0}` ignored).
+pub(crate) fn format_captures(body: &str) -> Vec<String> {
     let chars: Vec<char> = body.chars().collect();
+    let mut captures = Vec::new();
     let mut i = 0;
     while i < chars.len() {
         if chars[i] == '{' {
@@ -658,15 +740,23 @@ fn format_capture_secret(body: &str) -> Option<String> {
                 j += 1;
             }
             let terminated = matches!(chars.get(j), Some(':') | Some('}'));
-            if terminated && !name.is_empty() && secrets::is_secret_ident(&name) {
-                return Some(name);
+            if terminated && !name.is_empty() && !name.chars().all(|c| c.is_ascii_digit()) {
+                captures.push(name);
             }
             i = j + 1;
         } else {
             i += 1;
         }
     }
-    None
+    captures
+}
+
+/// Scans a format string body for `{ident}` / `{ident:spec}` captures that
+/// name secrets.
+fn format_capture_secret(body: &str) -> Option<String> {
+    format_captures(body)
+        .into_iter()
+        .find(|name| secrets::is_secret_ident(name))
 }
 
 /// Rule `secret-debug`: a secret-bearing struct must not derive `Debug`
@@ -698,18 +788,18 @@ fn rule_secret_debug(a: &Analysis, findings: &mut Vec<Finding>) {
 /// Rule `zeroize-drop`: secret-bearing structs in the victim-side crates
 /// (`crypto`, `veracrypt`) must implement `Drop` so key bytes do not
 /// linger in freed memory — the exact remanence the paper exploits.
-fn rule_zeroize_drop(analyses: &[Analysis], findings: &mut Vec<Finding>) {
+fn rule_zeroize_drop(records: &[(String, FileRecord)], findings: &mut Vec<Finding>) {
     let mut crate_drops: Vec<(&str, &Vec<String>)> = Vec::new();
-    for a in analyses {
-        crate_drops.push((crate_of(&a.path), &a.drop_impls));
+    for (path, rec) in records {
+        crate_drops.push((crate_of(path), &rec.drop_impls));
     }
-    for a in analyses {
-        let krate = crate_of(&a.path);
-        if a.kind != FileKind::Lib || !matches!(krate, "crypto" | "veracrypt") {
+    for (path, rec) in records {
+        let krate = crate_of(path);
+        if classify(path) != FileKind::Lib || !matches!(krate, "crypto" | "veracrypt") {
             continue;
         }
-        for s in &a.structs {
-            if s.in_test || !s.is_secret_bearing() {
+        for s in &rec.structs {
+            if s.in_test || !s.secret_bearing {
                 continue;
             }
             let has_drop = crate_drops
@@ -717,7 +807,7 @@ fn rule_zeroize_drop(analyses: &[Analysis], findings: &mut Vec<Finding>) {
                 .any(|(c, drops)| *c == krate && drops.iter().any(|d| d == &s.name));
             if !has_drop {
                 findings.push(Finding {
-                    file: a.path.clone(),
+                    file: path.clone(),
                     line: s.line,
                     rule: "zeroize-drop",
                     message: format!(

@@ -15,9 +15,11 @@
 pub enum TokenKind {
     /// Identifier or keyword (`fn`, `key_schedule`, `as`, ...).
     Ident,
-    /// Punctuation. Multi-character operators are only fused when a rule
-    /// needs to see them as one token (`==` and `!=`); everything else is
-    /// emitted one character at a time.
+    /// Punctuation. Multi-character operators are fused when the parser or
+    /// a rule needs to see them as one token (`==` `!=` `<=` `>=` `&&`
+    /// `||` `->` `=>` `::`); everything else is emitted one character at a
+    /// time (`<<`/`>>` deliberately stay split so generic argument lists
+    /// lex the same as shifts).
     Punct,
     /// String, char, byte-string, or numeric literal. String literals keep
     /// their raw text (the secret-print rule scans them for `{ident}`
@@ -176,10 +178,19 @@ impl Lexer {
         let c1 = self.peek(1);
         let c2 = self.peek(2);
         let is_raw = |c: Option<char>| c == Some('"') || c == Some('#');
-        if c0 == Some('r') && is_raw(c1) {
+        // `r#ident` is a *raw identifier*, not a raw string: only a `#`
+        // run ending in `"` introduces a string. Mistaking `r#fn` for a
+        // string used to swallow the rest of the file.
+        let raw_ident = c0 == Some('r')
+            && c1 == Some('#')
+            && c2.map_or(false, |c| c.is_alphabetic() || c == '_');
+        if c0 == Some('r') && is_raw(c1) && !raw_ident {
             self.pos += 1;
             self.raw_string_literal(line);
             return;
+        }
+        if raw_ident {
+            self.pos += 2; // the ident text is what rules match against
         }
         if c0 == Some('b') && c1 == Some('"') {
             self.pos += 1;
@@ -262,6 +273,9 @@ impl Lexer {
             if c == '"' {
                 for i in 0..hashes {
                     if self.peek(i) != Some('#') {
+                        // Not the terminator (`"#` inside `r##"..."##`):
+                        // the quote is literal body text.
+                        text.push('"');
                         continue 'outer;
                     }
                 }
@@ -314,18 +328,23 @@ impl Lexer {
             Some(c) => c,
             None => return,
         };
-        // Fuse only the operators a rule must see whole: `==` and `!=`.
-        if (c == '=' || c == '!') && self.peek(0) == Some('=') {
-            self.pos += 1;
-            self.push_token(TokenKind::Punct, format!("{c}="), line);
-            return;
-        }
-        // `<=` and `>=` are fused too, so a `<` `=` pair is never adjacent
-        // to a following `=` in a way that could read like `==`.
-        if (c == '<' || c == '>') && self.peek(0) == Some('=') {
-            self.pos += 1;
-            self.push_token(TokenKind::Punct, format!("{c}="), line);
-            return;
+        // Fuse the operators the parser and rules must see whole:
+        // `==` `!=` `<=` `>=` `&&` `||` `->` `=>` `::`. Everything else —
+        // notably `<<`/`>>`, which would collide with generics — stays one
+        // character per token.
+        let fused = match (c, self.peek(0)) {
+            ('=', Some('=')) | ('!', Some('=')) | ('<', Some('=')) | ('>', Some('=')) => true,
+            ('&', Some('&')) | ('|', Some('|')) => true,
+            ('-', Some('>')) | ('=', Some('>')) => true,
+            (':', Some(':')) => true,
+            _ => false,
+        };
+        if fused {
+            if let Some(second) = self.peek(0) {
+                self.pos += 1;
+                self.push_token(TokenKind::Punct, format!("{c}{second}"), line);
+                return;
+            }
         }
         self.push_token(TokenKind::Punct, c.to_string(), line);
     }
@@ -434,5 +453,50 @@ mod tests {
         let lexed = lex("/* outer /* inner */ still comment */ token");
         assert_eq!(lexed.tokens.len(), 1);
         assert_eq!(lexed.tokens[0].text, "token");
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        // `r#fn` once lexed as an unterminated raw string and swallowed
+        // the rest of the file.
+        assert_eq!(texts("let r#fn = 1; after"), vec!["let", "fn", "=", "1", ";", "after"]);
+    }
+
+    #[test]
+    fn fused_operators() {
+        assert_eq!(
+            texts("a && b || c -> d => e::f"),
+            vec!["a", "&&", "b", "||", "c", "->", "d", "=>", "e", "::", "f"]
+        );
+        // Shifts stay split so `Vec<Vec<u8>>` closes two generic lists.
+        assert_eq!(texts("x >> 2"), vec!["x", ">", ">", "2"]);
+    }
+
+    #[test]
+    fn raw_string_hashes_round_trip_with_lines() {
+        let lexed = lex("let a = r##\"one \"# two\nthree\"##;\nnext");
+        let lit = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .unwrap();
+        assert_eq!(lit.text, "one \"# two\nthree");
+        assert_eq!(lit.line, 1);
+        let next = lexed.tokens.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn lifetime_lines_round_trip() {
+        let lexed = lex("fn f<'a>(\n    x: &'a str,\n) {}");
+        let lt: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lt.len(), 2);
+        assert_eq!(lt[0].line, 1);
+        assert_eq!(lt[1].line, 2);
+        assert_eq!(lt[0].text, "'a");
     }
 }

@@ -11,36 +11,63 @@
 //! `tests/lint_gate.rs` at the workspace root turns the result into a CI
 //! gate.
 //!
-//! Rules: `secret-print`, `secret-debug`, `zeroize-drop`, `const-time`,
-//! `forbid-unsafe`, `truncating-cast`, `panic`, plus the `suppression`
-//! meta-rule policing `// lint:allow(rule): reason` annotations. See
-//! DESIGN.md ("Static analysis") for each rule's paper rationale.
+//! Token-level rules: `secret-print`, `secret-debug`, `zeroize-drop`,
+//! `const-time`, `forbid-unsafe`, `truncating-cast`, `panic`, plus the
+//! `suppression` meta-rule policing `// lint:allow(rule): reason`
+//! annotations. Syntax-aware dataflow rules (on the hand-rolled AST in
+//! [`ast`]): `lossy-len-cast`, `unbounded-loop`, `untimed-io`,
+//! `lock-order`, `secret-taint`, plus the `stale-allow` meta-rule over
+//! `lint.toml`. See DESIGN.md ("Static analysis") for each rule's paper
+//! rationale.
+//!
+//! The per-file analysis fans out over a work-stealing thread pool and is
+//! memoized in a content-hash cache (`target/lint-cache`), so warm runs
+//! re-analyze only changed files. Output renders as text, JSON, or SARIF
+//! 2.1.0 ([`sarif`]).
 //!
 //! The crate is deliberately std-only so the gate runs in offline build
 //! environments.
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
+pub mod cache;
 pub mod config;
+mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+mod locks;
+pub mod sarif;
 pub mod secrets;
 pub mod walk;
 
+pub use cache::LintCache;
 pub use config::LintConfig;
-pub use diag::{render_json, render_text, Finding, RULE_IDS};
-pub use engine::{lint_sources, SourceFile};
+pub use diag::{render_json, render_text, Baseline, Finding, RULE_DESCRIPTIONS, RULE_IDS};
+pub use engine::{lint_sources, lint_sources_with, LintOptions, LintRun, RunStats, SourceFile};
+pub use sarif::render_sarif;
 
 use std::io;
 use std::path::Path;
 
-/// Lints every `.rs` file under `root` against `config`. This is the
-/// entry point both the `coldboot-lint` binary and the workspace lint
-/// gate use.
+/// Lints every `.rs` file under `root` against `config` with default
+/// options. This is the stable simple entry point; [`lint_workspace_with`]
+/// exposes threads, caching, and stale-allow checking.
 pub fn lint_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Finding>> {
+    Ok(lint_workspace_with(root, config, &LintOptions::default())?.findings)
+}
+
+/// Lints every `.rs` file under `root` against `config` under `opts`.
+/// This is the entry point both the `coldboot-lint` binary and the
+/// workspace lint gate use.
+pub fn lint_workspace_with(
+    root: &Path,
+    config: &LintConfig,
+    opts: &LintOptions,
+) -> io::Result<LintRun> {
     let sources = walk::collect_sources(root)?;
-    Ok(engine::lint_sources(&sources, config))
+    Ok(engine::lint_sources_with(&sources, config, opts))
 }
 
 /// Loads `lint.toml` from `root` if present; a missing file is an empty

@@ -1,0 +1,100 @@
+//! Minimal SARIF 2.1.0 rendering for CI annotation.
+//!
+//! Emits one run with the full rule table (so viewers can show rule help
+//! text even for rules with no results this run) and one `result` per
+//! finding. Only the subset of the schema that GitHub-style SARIF
+//! ingestion actually reads is produced: `ruleId`, `level`, `message`,
+//! and a physical location with an absolute-free, workspace-relative
+//! URI.
+
+use crate::diag::{Finding, RULE_DESCRIPTIONS};
+
+const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a SARIF 2.1.0 document.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"$schema\":\"{SARIF_SCHEMA}\",\"version\":\"{SARIF_VERSION}\",\"runs\":[{{"
+    ));
+    out.push_str("\"tool\":{\"driver\":{\"name\":\"coldboot-lint\",");
+    out.push_str("\"informationUri\":\"https://example.invalid/coldboot-lint\",\"rules\":[");
+    for (i, (id, desc)) in RULE_DESCRIPTIONS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            esc(id),
+            esc(desc)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            esc(f.rule),
+            esc(&f.message),
+            esc(&f.file),
+            f.line.max(1)
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_shape() {
+        let doc = render_sarif(&[Finding {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 12,
+            rule: "lossy-len-cast",
+            message: "say \"why\"".to_string(),
+            item: None,
+        }]);
+        assert!(doc.contains("\"version\":\"2.1.0\""));
+        assert!(doc.contains("\"ruleId\":\"lossy-len-cast\""));
+        assert!(doc.contains("\"startLine\":12"));
+        assert!(doc.contains("say \\\"why\\\""));
+        // Every rule appears in the driver table.
+        for (id, _) in RULE_DESCRIPTIONS {
+            assert!(doc.contains(&format!("\"id\":\"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn empty_results_still_valid_shape() {
+        let doc = render_sarif(&[]);
+        assert!(doc.contains("\"results\":[]"));
+        assert!(doc.ends_with("]}]}"));
+    }
+}

@@ -59,7 +59,7 @@ pub fn segments(ident: &str) -> Vec<String> {
     segs
 }
 
-fn singular(seg: &str) -> &str {
+pub(crate) fn singular(seg: &str) -> &str {
     seg.strip_suffix('s').filter(|s| !s.is_empty()).unwrap_or(seg)
 }
 

@@ -1,0 +1,117 @@
+//! The analysis cache's contract: a warm run re-analyzes nothing, an
+//! edit re-analyzes exactly the touched file, and cached runs produce
+//! byte-identical findings to cold runs.
+
+use std::path::PathBuf;
+
+use coldboot_analyzer::{lint_sources_with, LintConfig, LintOptions, SourceFile};
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "coldboot-lint-warm-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sources() -> Vec<SourceFile> {
+    vec![
+        SourceFile {
+            path: "crates/a/src/lib.rs".to_string(),
+            source: "pub fn ok() -> usize { 1 }\n".to_string(),
+        },
+        SourceFile {
+            path: "crates/a/src/count.rs".to_string(),
+            source: "pub fn intern(v: &[u8]) -> u32 { let n = v.len(); n as u32 }\n".to_string(),
+        },
+        SourceFile {
+            path: "crates/b/src/lib.rs".to_string(),
+            source: "pub fn fine(x: u64) -> u64 { x + 1 }\n".to_string(),
+        },
+    ]
+}
+
+#[test]
+fn warm_run_reanalyzes_nothing_and_edit_reanalyzes_one_file() {
+    let dir = temp_cache_dir("basic");
+    let config = LintConfig::default();
+    let opts = LintOptions {
+        threads: 1,
+        cache_dir: Some(dir.clone()),
+        check_stale_allows: false,
+    };
+    let mut files = sources();
+
+    let cold = lint_sources_with(&files, &config, &opts);
+    assert_eq!(cold.stats.files, 3);
+    assert_eq!(cold.stats.reanalyzed, 3, "cold run analyzes everything");
+    assert_eq!(cold.stats.cached, 0);
+
+    let warm = lint_sources_with(&files, &config, &opts);
+    assert_eq!(warm.stats.reanalyzed, 0, "warm run must re-parse nothing");
+    assert_eq!(warm.stats.cached, 3);
+    assert_eq!(
+        warm.findings, cold.findings,
+        "cached findings must be byte-identical to cold findings"
+    );
+
+    // Touch exactly one file: only it is re-analyzed, and its finding is
+    // gone while everything else still comes from the cache.
+    files[1].source =
+        "pub fn intern(v: &[u8]) -> u32 { u32::try_from(v.len()).unwrap_or(u32::MAX) }\n"
+            .to_string();
+    let after_edit = lint_sources_with(&files, &config, &opts);
+    assert_eq!(after_edit.stats.reanalyzed, 1, "only the edited file re-parses");
+    assert_eq!(after_edit.stats.cached, 2);
+    assert!(
+        after_edit.findings.iter().all(|f| f.rule != "lossy-len-cast"),
+        "{:?}",
+        after_edit.findings
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_disabled_always_reanalyzes() {
+    let config = LintConfig::default();
+    let opts = LintOptions {
+        threads: 1,
+        cache_dir: None,
+        check_stale_allows: false,
+    };
+    let files = sources();
+    let first = lint_sources_with(&files, &config, &opts);
+    let second = lint_sources_with(&files, &config, &opts);
+    assert_eq!(first.stats.reanalyzed, 3);
+    assert_eq!(second.stats.reanalyzed, 3);
+    assert_eq!(second.stats.cached, 0);
+}
+
+#[test]
+fn parallel_and_sequential_runs_agree() {
+    // Determinism across thread counts: the work-stealing fan-out merges
+    // results back in file order, so findings are identical.
+    let config = LintConfig::default();
+    let files = sources();
+    let seq = lint_sources_with(
+        &files,
+        &config,
+        &LintOptions {
+            threads: 1,
+            cache_dir: None,
+            check_stale_allows: false,
+        },
+    );
+    let par = lint_sources_with(
+        &files,
+        &config,
+        &LintOptions {
+            threads: 8,
+            cache_dir: None,
+            check_stale_allows: false,
+        },
+    );
+    assert_eq!(seq.findings, par.findings);
+}

@@ -1,0 +1,20 @@
+pub fn enqueue(s: &Shared) {
+    let q = lock(&s.queue);
+    let j = lock(&s.jobs);
+    drop(j);
+    drop(q);
+}
+
+pub fn drain(s: &Shared) {
+    let q = lock(&s.queue);
+    let j = lock(&s.jobs);
+    drop(j);
+    drop(q);
+}
+
+pub fn handoff(s: &Shared) {
+    let j = lock(&s.jobs);
+    drop(j);
+    let q = lock(&s.queue);
+    drop(q);
+}

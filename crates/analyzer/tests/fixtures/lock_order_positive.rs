@@ -1,0 +1,20 @@
+pub fn enqueue(s: &Shared) {
+    let q = lock(&s.queue);
+    let j = lock(&s.jobs);
+    drop(j);
+    drop(q);
+}
+
+pub fn steal(s: &Shared) {
+    let j = lock(&s.jobs);
+    let q = lock(&s.queue);
+    drop(q);
+    drop(j);
+}
+
+pub fn reenter(s: &Shared) {
+    let q = lock(&s.queue);
+    let again = lock(&s.queue);
+    drop(again);
+    drop(q);
+}

@@ -1,0 +1,12 @@
+pub fn intern(items: &[u64]) -> u32 {
+    u32::try_from(items.len()).unwrap_or(u32::MAX)
+}
+
+pub fn span(start: u64, len: usize) -> usize {
+    let end = start + len as u64;
+    (end - start) as usize
+}
+
+pub fn masked(items: &[u64]) -> u8 {
+    (items.len() & 0xff) as u8
+}

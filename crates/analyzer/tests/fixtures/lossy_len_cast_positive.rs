@@ -1,0 +1,4 @@
+pub fn intern(items: &[u64]) -> u32 {
+    let count = items.len();
+    count as u32
+}

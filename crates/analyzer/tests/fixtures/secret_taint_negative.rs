@@ -1,0 +1,6 @@
+pub fn report(blocks: usize) {
+    let stats = blocks + 1;
+    println!("blocks: {stats}");
+    let rng = seed_from_u64(7);
+    println!("rng ready: {rng:?}");
+}

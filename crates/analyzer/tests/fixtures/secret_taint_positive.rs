@@ -1,0 +1,4 @@
+pub fn report(store: &Store) {
+    let material = store.master_key;
+    println!("debug: {material:?}");
+}

@@ -1,0 +1,8 @@
+pub fn poll(q: &Queue, shutdown: &AtomicBool) {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        q.poll();
+    }
+}

@@ -1,0 +1,5 @@
+pub fn poll_forever(q: &Queue) {
+    loop {
+        q.poll();
+    }
+}

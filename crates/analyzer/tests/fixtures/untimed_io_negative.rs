@@ -1,0 +1,14 @@
+pub fn handle(mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(TIMEOUT)).is_err() {
+        return;
+    }
+    let mut buf = [0u8; 64];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,10 @@
+pub fn handle(mut stream: TcpStream) {
+    let mut buf = [0u8; 64];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+}

@@ -248,3 +248,214 @@ fn config_allowlist_is_path_scoped() {
     );
     assert_eq!(rules(&findings), vec!["secret-debug"], "{findings:?}");
 }
+
+// ---------------------------------------------------------------------------
+// Dataflow rule families (coldboot-lint v2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lossy_len_cast_true_positive() {
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/lossy_len_cast_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["lossy-len-cast"], "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+    assert_eq!(findings[0].item.as_deref(), Some("count"));
+}
+
+#[test]
+fn lossy_len_cast_true_negative() {
+    // try_from, wide-minus-wide spans, and mask-then-cast are all checked.
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/lossy_len_cast_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn secret_taint_true_positive() {
+    // The secret is *renamed* before printing, so token-level secret-print
+    // cannot see it; only dataflow taint tracking can.
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/secret_taint_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["secret-taint"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("material"));
+}
+
+#[test]
+fn secret_taint_true_negative() {
+    // Length arithmetic and RNG construction (`seed_from_u64`) are not
+    // secret sources.
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/secret_taint_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unbounded_loop_true_positive() {
+    // Path carries a service marker, so the loop rules are in scope.
+    let findings = lint(
+        "crates/dumpio/src/service_fix.rs",
+        include_str!("fixtures/unbounded_loop_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["unbounded-loop"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("poll_forever"));
+}
+
+#[test]
+fn unbounded_loop_true_negative() {
+    let findings = lint(
+        "crates/dumpio/src/service_fix.rs",
+        include_str!("fixtures/unbounded_loop_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn untimed_io_true_positive() {
+    // A socket read with neither an Interrupted retry nor a read timeout
+    // anywhere in the file yields both untimed-io findings.
+    let findings = lint(
+        "crates/dumpio/src/service_fix.rs",
+        include_str!("fixtures/untimed_io_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["untimed-io", "untimed-io"], "{findings:?}");
+}
+
+#[test]
+fn untimed_io_true_negative() {
+    let findings = lint(
+        "crates/dumpio/src/service_fix.rs",
+        include_str!("fixtures/untimed_io_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lock_order_cycle_and_reacquisition_are_caught() {
+    let findings = lint(
+        "crates/dumpio/src/fix.rs",
+        include_str!("fixtures/lock_order_positive.rs"),
+    );
+    let got = rules(&findings);
+    assert_eq!(got, vec!["lock-order"; 3], "{findings:?}");
+    let items: Vec<&str> = findings.iter().filter_map(|f| f.item.as_deref()).collect();
+    assert!(items.contains(&"queue->jobs"), "{items:?}");
+    assert!(items.contains(&"jobs->queue"), "{items:?}");
+    assert!(items.contains(&"queue"), "reacquisition: {items:?}");
+}
+
+#[test]
+fn lock_order_consistent_order_is_clean() {
+    // Same order everywhere, plus a drop-before-acquire handoff.
+    let findings = lint(
+        "crates/dumpio/src/fix.rs",
+        include_str!("fixtures/lock_order_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lock_order_cycle_spans_files() {
+    // The acquisition-order graph is workspace-wide: each file alone is
+    // consistent, but together they deadlock.
+    let files = vec![
+        SourceFile {
+            path: "crates/a/src/lib.rs".to_string(),
+            source: "pub fn f(s: &S) { let q = lock(&s.queue); let j = lock(&s.jobs); drop(j); drop(q); }\n".to_string(),
+        },
+        SourceFile {
+            path: "crates/b/src/lib.rs".to_string(),
+            source: "pub fn g(s: &S) { let j = lock(&s.jobs); let q = lock(&s.queue); drop(q); drop(j); }\n".to_string(),
+        },
+    ];
+    let findings = lint_sources(&files, &LintConfig::default());
+    let lock_findings: Vec<_> = findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(lock_findings.len(), 2, "{findings:?}");
+    let files_seen: Vec<&str> = lock_findings.iter().map(|f| f.file.as_str()).collect();
+    assert!(files_seen.contains(&"crates/a/src/lib.rs"), "{files_seen:?}");
+    assert!(files_seen.contains(&"crates/b/src/lib.rs"), "{files_seen:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Stale-allow detection
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stale_allow_entry_is_reported() {
+    use coldboot_analyzer::{lint_sources_with, LintOptions};
+    let config = LintConfig::parse(concat!(
+        "[[allow]]\n",
+        "rule = \"secret-debug\"\n",
+        "path = \"crates/nowhere/\"\n",
+        "reason = \"left over from a deleted module\"\n",
+    ))
+    .expect("valid allowlist");
+    let files = vec![SourceFile {
+        path: "crates/core/src/fix.rs".to_string(),
+        source: "pub fn fine() {}\n".to_string(),
+    }];
+    let opts = LintOptions {
+        threads: 1,
+        check_stale_allows: true,
+        ..LintOptions::default()
+    };
+    let run = lint_sources_with(&files, &config, &opts);
+    assert_eq!(rules(&run.findings), vec!["stale-allow"], "{run:?}");
+    assert_eq!(run.findings[0].file, "lint.toml");
+    assert!(run.findings[0].line > 0, "allow entry line must be recorded");
+}
+
+#[test]
+fn matching_allow_entry_is_not_stale() {
+    use coldboot_analyzer::{lint_sources_with, LintOptions};
+    let config = LintConfig::parse(concat!(
+        "[[allow]]\n",
+        "rule = \"secret-debug\"\n",
+        "path = \"crates/core/src/fix.rs\"\n",
+        "item = \"Recovered\"\n",
+        "reason = \"attacker-side output struct\"\n",
+    ))
+    .expect("valid allowlist");
+    let files = vec![SourceFile {
+        path: "crates/core/src/fix.rs".to_string(),
+        source: include_str!("fixtures/secret_debug_positive.rs").to_string(),
+    }];
+    let opts = LintOptions {
+        threads: 1,
+        check_stale_allows: true,
+        ..LintOptions::default()
+    };
+    let run = lint_sources_with(&files, &config, &opts);
+    assert!(run.findings.is_empty(), "{run:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Baseline suppression
+// ---------------------------------------------------------------------------
+
+#[test]
+fn baseline_suppresses_by_rule_file_item_not_line() {
+    use coldboot_analyzer::Baseline;
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/lossy_len_cast_positive.rs"),
+    );
+    assert_eq!(findings.len(), 1);
+    let baseline = Baseline::parse(&Baseline::render(&findings)).expect("round-trip");
+    // Same finding at a *different* line (unrelated edit moved it): still
+    // covered, because baselines match on (rule, file, item).
+    let mut moved = findings[0].clone();
+    moved.line += 40;
+    assert!(baseline.covers(&moved));
+    // A different item in the same file is not covered.
+    let mut other = findings[0].clone();
+    other.item = Some("other_count".to_string());
+    assert!(!baseline.covers(&other));
+}

@@ -1,0 +1,148 @@
+//! Analyzer throughput: cold vs warm cache, sequential vs parallel.
+//!
+//! `coldboot-lint` gates tier-1 CI, so its latency is paid on every push;
+//! this bench keeps the two optimisations that make that affordable
+//! honest. The work-stealing file fan-out must beat a sequential sweep on
+//! the real workspace, and the content-hash cache must make a warm run of
+//! an unchanged tree nearly free (it re-analyzes nothing — the warm gate
+//! test asserts the zero, this bench tracks the wall-clock payoff).
+//! Emits `BENCH_lint.json` so CI can chart both ratios without scraping
+//! criterion output.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use coldboot_analyzer::{lint_workspace_with, load_config, LintConfig, LintOptions, RunStats};
+use coldboot_bench::report::Json;
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn options(threads: usize, cache_dir: Option<PathBuf>) -> LintOptions {
+    LintOptions {
+        threads,
+        cache_dir,
+        // The CI gate runs with stale-allow checking on; match it so the
+        // measured work is the gate's work.
+        check_stale_allows: true,
+    }
+}
+
+fn lint_once(root: &Path, config: &LintConfig, opts: &LintOptions) -> RunStats {
+    match lint_workspace_with(root, config, opts) {
+        Ok(run) => run.stats,
+        Err(e) => panic!("workspace sources are readable: {e}"),
+    }
+}
+
+fn scratch_cache_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("coldboot-lint-bench-{}", std::process::id()))
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let root = workspace_root();
+    let config = match load_config(&root) {
+        Ok(config) => config,
+        Err(e) => panic!("lint.toml parses: {e}"),
+    };
+    let cache_dir = scratch_cache_dir();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut group = c.benchmark_group("lint_throughput");
+    group.sample_size(10);
+    group.bench_function("workspace_cold_sequential", |b| {
+        let opts = options(1, None);
+        b.iter(|| black_box(lint_once(&root, &config, &opts)))
+    });
+    group.bench_function("workspace_cold_parallel", |b| {
+        let opts = options(0, None);
+        b.iter(|| black_box(lint_once(&root, &config, &opts)))
+    });
+    group.bench_function("workspace_warm_cache", |b| {
+        let opts = options(0, Some(cache_dir.clone()));
+        lint_once(&root, &config, &opts); // populate
+        b.iter(|| black_box(lint_once(&root, &config, &opts)))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Best-of-`samples` wall time: the analysis is a deterministic amount of
+/// work, so the minimum is the noise-robust estimator (same rationale as
+/// the metrics-overhead report).
+fn best_of(samples: usize, mut pass: impl FnMut() -> RunStats) -> (f64, RunStats) {
+    let mut best = f64::INFINITY;
+    let mut stats = RunStats::default();
+    for _ in 0..samples {
+        let start = Instant::now();
+        stats = black_box(pass());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, stats)
+}
+
+fn emit_report() {
+    const SAMPLES: usize = 5;
+    let root = workspace_root();
+    let config = match load_config(&root) {
+        Ok(config) => config,
+        Err(e) => panic!("lint.toml parses: {e}"),
+    };
+
+    let seq_opts = options(1, None);
+    let par_opts = options(0, None);
+    let (cold_seq_s, seq_stats) = best_of(SAMPLES, || lint_once(&root, &config, &seq_opts));
+    let (cold_par_s, par_stats) = best_of(SAMPLES, || lint_once(&root, &config, &par_opts));
+    assert_eq!(
+        seq_stats.files, par_stats.files,
+        "sequential and parallel sweeps must cover the same file set"
+    );
+
+    let cache_dir = scratch_cache_dir();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let warm_opts = options(0, Some(cache_dir.clone()));
+    lint_once(&root, &config, &warm_opts); // populate the cache
+    let (warm_s, warm_stats) = best_of(SAMPLES, || lint_once(&root, &config, &warm_opts));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    assert_eq!(
+        warm_stats.reanalyzed, 0,
+        "warm run over an unchanged workspace must re-analyze nothing"
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::Str("lint_throughput".into())),
+        ("files", Json::Int(seq_stats.files as i64)),
+        ("samples", Json::Int(SAMPLES as i64)),
+        ("cold_sequential_ms", Json::Num(cold_seq_s * 1e3)),
+        ("cold_parallel_ms", Json::Num(cold_par_s * 1e3)),
+        ("warm_cache_ms", Json::Num(warm_s * 1e3)),
+        (
+            "parallel_speedup",
+            Json::Num(cold_seq_s / cold_par_s.max(1e-9)),
+        ),
+        (
+            "warm_speedup",
+            Json::Num(cold_par_s / warm_s.max(1e-9)),
+        ),
+        ("warm_reanalyzed", Json::Int(warm_stats.reanalyzed as i64)),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_lint.json", doc.render()) {
+        eprintln!("could not write BENCH_lint.json: {e}");
+    } else {
+        println!("wrote BENCH_lint.json");
+    }
+}
+
+criterion_group!(benches, bench_lint);
+
+fn main() {
+    emit_report();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -49,7 +49,7 @@ pub fn infer_key_mapping(observations: &[(u64, [u8; BLOCK_BYTES])]) -> Option<Ke
     let mut key_ids: HashMap<[u8; BLOCK_BYTES], u32> = HashMap::new();
     let mut by_addr: HashMap<u64, u32> = HashMap::new();
     for (addr, key) in observations {
-        let next = key_ids.len() as u32;
+        let next = u32::try_from(key_ids.len()).ok()?;
         let id = *key_ids.entry(*key).or_insert(next);
         by_addr.insert(*addr, id);
     }

@@ -44,6 +44,7 @@ pub fn derive_key(password: &[u8], salt: &[u8; 16], iterations: u32, out_len: us
             state[i] ^= b;
         }
         // Domain-separate on chunk length so "ab" + "c" != "a" + "bc".
+        // lint:allow(lossy-len-cast): deliberately mixes only the low length byte
         state[31] ^= chunk.len() as u8;
         state = stir(state, nonce, counter);
         counter = counter.wrapping_add(1);

@@ -140,9 +140,9 @@ impl Volume {
             tweak_key: rng.gen(),
         };
 
-        let sector_count = plaintext.len().div_ceil(SECTOR_BYTES).max(1) as u64;
+        let sector_count = plaintext.len().div_ceil(SECTOR_BYTES).max(1);
         let mut payload = plaintext.to_vec();
-        payload.resize(sector_count as usize * SECTOR_BYTES, 0);
+        payload.resize(sector_count * SECTOR_BYTES, 0);
         let xts = keys.cipher();
         for (i, sector) in payload.chunks_mut(SECTOR_BYTES).enumerate() {
             xts.encrypt_data_unit(i as u64, sector)
@@ -154,7 +154,7 @@ impl Volume {
         header[..8].copy_from_slice(MAGIC);
         header[8..40].copy_from_slice(&keys.data_key);
         header[40..72].copy_from_slice(&keys.tweak_key);
-        header[72..80].copy_from_slice(&sector_count.to_le_bytes());
+        header[72..80].copy_from_slice(&(sector_count as u64).to_le_bytes());
         header_keys(password, &salt)
             .encrypt_data_unit(0, &mut header)
             // lint:allow(panic): HEADER_BYTES is a multiple of 16

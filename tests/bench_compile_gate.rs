@@ -46,3 +46,11 @@ fn metrics_overhead_bench_compiles() {
     // individually so a metrics API change can't silently orphan it.
     bench_no_run(&["-p", "coldboot-bench", "--bench", "metrics_overhead"]);
 }
+
+#[test]
+fn lint_throughput_bench_compiles() {
+    // The analyzer throughput bench (BENCH_lint.json: cold vs warm cache,
+    // sequential vs parallel) has a custom `main` too; gate it so an
+    // analyzer API change can't silently orphan the perf report.
+    bench_no_run(&["-p", "coldboot-bench", "--bench", "lint_throughput"]);
+}

@@ -1,23 +1,63 @@
 //! Tier-1 CI gate: the workspace must be clean under `coldboot-lint`.
 //!
-//! Runs the in-tree secret-hygiene analyzer (crates/analyzer) over every
-//! `.rs` file in the repository with the checked-in `lint.toml` allowlist
-//! and fails on any finding. Seeding a violation — e.g.
-//! `println!("{:?}", round_key)` inside crates/crypto — makes this test
-//! fail with the offending file, line, and rule in the message.
+//! Runs the in-tree analyzer (crates/analyzer) — token rules plus the
+//! AST/dataflow rules (`lossy-len-cast`, `unbounded-loop`, `untimed-io`,
+//! `lock-order`, `secret-taint`) — over every `.rs` file in the
+//! repository with the checked-in `lint.toml` allowlist, in the strict
+//! mode the CLI's `--deny` maps to: any finding fails, and stale
+//! `lint.toml` allow entries count as findings too. Seeding a violation —
+//! e.g. `println!("{:?}", round_key)` in crates/crypto, `data.len() as
+//! u32` in the dumpio writer, or deleting the dumpd `ErrorKind::Interrupted`
+//! retry arm — makes this test fail with the offending file, line, and
+//! rule in the message.
 
-use coldboot_analyzer::{lint_workspace, load_config, render_text};
+use coldboot_analyzer::{lint_workspace_with, load_config, render_text, LintOptions};
 use std::path::Path;
 
 #[test]
 fn workspace_has_no_lint_findings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let config = load_config(root).expect("lint.toml parses");
-    let findings = lint_workspace(root, &config).expect("workspace sources are readable");
+    let opts = LintOptions {
+        threads: 0,
+        cache_dir: None, // always exercise the full analysis in CI
+        check_stale_allows: true,
+    };
+    let run = lint_workspace_with(root, &config, &opts).expect("workspace sources are readable");
     assert!(
-        findings.is_empty(),
+        run.findings.is_empty(),
         "coldboot-lint found {} issue(s):\n{}",
-        findings.len(),
-        render_text(&findings)
+        run.findings.len(),
+        render_text(&run.findings)
     );
+}
+
+#[test]
+fn warm_cache_run_reanalyzes_nothing() {
+    // The incremental contract over the real workspace: after one run has
+    // populated a cache, an unchanged workspace re-parses zero files and
+    // reports the identical (empty) finding set.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let config = load_config(root).expect("lint.toml parses");
+    let cache_dir = std::env::temp_dir().join(format!(
+        "coldboot-lint-gate-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let opts = LintOptions {
+        threads: 0,
+        cache_dir: Some(cache_dir.clone()),
+        check_stale_allows: true,
+    };
+    let cold = lint_workspace_with(root, &config, &opts).expect("cold run");
+    let warm = lint_workspace_with(root, &config, &opts).expect("warm run");
+    assert_eq!(warm.stats.files, cold.stats.files);
+    assert_eq!(
+        warm.stats.reanalyzed, 0,
+        "warm run over an unchanged workspace must re-parse nothing \
+         ({} of {} files re-analyzed)",
+        warm.stats.reanalyzed, warm.stats.files
+    );
+    assert_eq!(warm.findings, cold.findings);
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }

@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use coldboot_analyzer::{
-    lint_workspace_with, render_json, render_sarif, render_text, Baseline, LintConfig,
-    LintOptions, RULE_DESCRIPTIONS,
+    lint_workspace_with, render_json, render_sarif, render_text, rule_explanation, Baseline,
+    LintConfig, LintOptions, RULE_DESCRIPTIONS, RULE_IDS,
 };
 
 const USAGE: &str = "usage: coldboot-lint [OPTIONS]";
@@ -46,8 +46,11 @@ options:
   --no-cache             disable the analysis cache for this run
   --allow-unused-allows  don't report lint.toml allow entries that match
                          no finding (`stale-allow`)
-  --stats                print files/reanalyzed/cached counts to stderr
+  --stats                print check-phase (files/reanalyzed/cached) and
+                         summary-phase (summarized/cached, call-graph
+                         fns/edges/sccs) counts to stderr
   --list-rules           print every rule id with its description
+  --explain RULE         print a rule's rationale and a fix example
   -h, --help             show this help
 
 exit codes: 0 clean or warn-mode findings; 1 findings with --deny;
@@ -66,6 +69,7 @@ struct Args {
     allow_unused_allows: bool,
     stats: bool,
     list_rules: bool,
+    explain: Option<String>,
     help: bool,
 }
 
@@ -90,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         allow_unused_allows: false,
         stats: false,
         list_rules: false,
+        explain: None,
         help: false,
     };
     let mut it = std::env::args().skip(1);
@@ -136,6 +141,9 @@ fn parse_args() -> Result<Args, String> {
             "--allow-unused-allows" => args.allow_unused_allows = true,
             "--stats" => args.stats = true,
             "--list-rules" => args.list_rules = true,
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain requires a rule id")?);
+            }
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -161,6 +169,25 @@ fn main() -> ExitCode {
             println!("{rule:16} {desc}");
         }
         return ExitCode::SUCCESS;
+    }
+    if let Some(rule) = &args.explain {
+        match rule_explanation(rule) {
+            Some((why, fix)) => {
+                let desc = RULE_DESCRIPTIONS
+                    .iter()
+                    .find(|(r, _)| r == rule)
+                    .map_or("", |(_, d)| *d);
+                println!("{rule}: {desc}\n\nwhy:\n  {why}\n\nfix:\n  {fix}");
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!(
+                    "coldboot-lint: unknown rule `{rule}`; known rules: {}",
+                    RULE_IDS.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
     }
     let config = match &args.config {
         Some(path) => std::fs::read_to_string(path)
@@ -222,6 +249,16 @@ fn main() -> ExitCode {
         eprintln!(
             "coldboot-lint: {} files, {} reanalyzed, {} cached",
             run.stats.files, run.stats.reanalyzed, run.stats.cached
+        );
+        eprintln!(
+            "coldboot-lint: summaries: {} extracted, {} cached; call graph: {} fns, \
+             {} edges, {} sccs (max {})",
+            run.stats.summarized,
+            run.stats.summary_cached,
+            run.stats.summary.fns,
+            run.stats.summary.edges,
+            run.stats.summary.sccs,
+            run.stats.summary.max_scc
         );
     }
     if let Some(path) = &args.write_baseline {

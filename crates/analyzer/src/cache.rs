@@ -1,14 +1,20 @@
-//! Content-hash analysis cache under `target/lint-cache`.
+//! Content-hash analysis cache under `target/lint-cache`, with
+//! dependency-aware check records.
 //!
-//! Each source file's per-file analysis result (raw findings, struct
-//! facts, drop impls, lock edges, suppressions — everything the
-//! workspace pass needs, and nothing allowlist-dependent) is persisted
-//! as one record file named by the FNV-1a hash of its workspace path.
-//! A record is valid only while the FNV of the file *contents* and the
-//! engine's rule fingerprint both match, so edits and rule changes
-//! invalidate exactly the right records. Warm runs then re-analyze only
-//! changed files; the whole-workspace passes (zeroize-drop, lock-order
-//! cycles, stale-allow) still run every time over the merged facts.
+//! Two record families per source file, both named by the FNV-1a hash of
+//! the workspace path:
+//!
+//! * `.sum` — the file's per-function summary facts (the phase-one
+//!   extraction). Valid while the FNV of the file *contents* and the
+//!   engine's rule fingerprint match: extraction depends on nothing else.
+//! * `.rec` — the file's check-phase result (raw findings, struct facts,
+//!   drop impls, lock edges, suppressions — everything the workspace
+//!   passes need, nothing allowlist-dependent). Its key additionally
+//!   folds in a *dependency hash*: the combined summary hashes of every
+//!   callee the file resolves to. Editing a callee changes its summary,
+//!   which changes dependent callers' keys — so exactly the dependent
+//!   callers re-check, while an unchanged tree still re-analyzes zero
+//!   files.
 //!
 //! The format is a versioned, tab-separated text file. Any anomaly —
 //! unknown version, hash mismatch, a rule id the current binary does not
@@ -23,10 +29,11 @@ use std::path::{Path, PathBuf};
 use crate::diag::{intern_rule, Finding, RULE_IDS};
 use crate::engine::{FileRecord, StructFact, Suppression};
 use crate::locks::LockEdge;
+use crate::summaries::{parse_facts, serialize_fact, FnFact};
 
 /// Bump when the record format or rule semantics change in a way the
 /// rule-id fingerprint does not capture.
-const CACHE_VERSION: u32 = 1;
+const CACHE_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a.
 pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
@@ -68,6 +75,10 @@ impl LintCache {
         self.dir.join(format!("{:016x}.rec", fnv64(path.as_bytes())))
     }
 
+    fn summary_path(&self, path: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.sum", fnv64(path.as_bytes())))
+    }
+
     fn content_hash(path: &str, source: &str) -> u64 {
         let mut h = fnv64(path.as_bytes());
         h ^= fnv64(source.as_bytes()).rotate_left(1);
@@ -75,9 +86,16 @@ impl LintCache {
         h
     }
 
-    /// Loads the record for `path` if one exists and is still valid for
-    /// `source` under the current rule set.
-    pub(crate) fn load(&self, path: &str, source: &str) -> Option<FileRecord> {
+    /// Check-record key: file contents plus the combined summary hash of
+    /// every callee the file's calls resolve to. A callee edit changes
+    /// `deps`, invalidating exactly the dependent callers.
+    fn check_hash(path: &str, source: &str, deps: u64) -> u64 {
+        Self::content_hash(path, source) ^ deps.rotate_left(3)
+    }
+
+    /// Loads the check record for `path` if one exists and is still
+    /// valid for `source` + callee summaries under the current rule set.
+    pub(crate) fn load(&self, path: &str, source: &str, deps: u64) -> Option<FileRecord> {
         let text = fs::read_to_string(self.record_path(path)).ok()?;
         let mut lines = text.lines();
         let header = lines.next()?;
@@ -86,18 +104,48 @@ impl LintCache {
             return None;
         }
         let key: u64 = u64::from_str_radix(parts.next()?, 16).ok()?;
-        if key != Self::content_hash(path, source) {
+        if key != Self::check_hash(path, source, deps) {
             return None;
         }
         parse_record(path, lines)
     }
 
+    /// Loads the summary facts for `path` if still valid for `source`.
+    /// Summary records depend only on the file's own contents.
+    pub(crate) fn load_summary(&self, path: &str, source: &str) -> Option<Vec<FnFact>> {
+        let text = fs::read_to_string(self.summary_path(path)).ok()?;
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let mut parts = header.split('\t');
+        if parts.next() != Some("coldboot-lint-summaries") {
+            return None;
+        }
+        let key: u64 = u64::from_str_radix(parts.next()?, 16).ok()?;
+        if key != Self::content_hash(path, source) {
+            return None;
+        }
+        parse_facts(lines, unesc)
+    }
+
+    /// Persists the extraction facts for `path`. Best-effort, like
+    /// [`LintCache::store`].
+    pub(crate) fn store_summary(&self, path: &str, source: &str, facts: &[FnFact]) {
+        let mut out = format!(
+            "coldboot-lint-summaries\t{:016x}\n",
+            Self::content_hash(path, source)
+        );
+        for fact in facts {
+            serialize_fact(fact, &mut out, esc);
+        }
+        let _ = fs::write(self.summary_path(path), out);
+    }
+
     /// Persists `record` for `path`. Best-effort: IO errors leave the
     /// cache cold but never fail the lint run.
-    pub(crate) fn store(&self, path: &str, source: &str, record: &FileRecord) {
+    pub(crate) fn store(&self, path: &str, source: &str, deps: u64, record: &FileRecord) {
         let mut out = format!(
             "coldboot-lint-cache\t{:016x}\n",
-            Self::content_hash(path, source)
+            Self::check_hash(path, source, deps)
         );
         for f in &record.findings {
             out.push_str(&format!(
@@ -110,16 +158,20 @@ impl LintCache {
         }
         for s in &record.structs {
             out.push_str(&format!(
-                "S\t{}\t{}\t{}\t{}\n",
+                "S\t{}\t{}\t{}\t{}\t{}\n",
                 s.line,
                 // lint:allow(secret-print): serializes the struct-fact *flag*, not key material
                 u8::from(s.secret_bearing),
                 u8::from(s.in_test),
+                esc(&s.container_fields.join(",")),
                 esc(&s.name)
             ));
         }
         for d in &record.drop_impls {
             out.push_str(&format!("D\t{}\n", esc(d)));
+        }
+        for (target, zeroizes) in &record.drop_zeroizes {
+            out.push_str(&format!("Z\t{}\t{}\n", u8::from(*zeroizes), esc(target)));
         }
         for e in &record.lock_edges {
             out.push_str(&format!(
@@ -165,15 +217,25 @@ fn parse_record<'a>(path: &str, lines: impl Iterator<Item = &'a str>) -> Option<
                 let line_no: u32 = parts.next()?.parse().ok()?;
                 let secret_bearing = parts.next()? == "1";
                 let in_test = parts.next()? == "1";
+                let fields = unesc(parts.next()?);
                 let name = unesc(parts.next()?);
                 rec.structs.push(StructFact {
                     name,
                     line: line_no,
                     secret_bearing,
                     in_test,
+                    container_fields: if fields.is_empty() {
+                        Vec::new()
+                    } else {
+                        fields.split(',').map(str::to_string).collect()
+                    },
                 });
             }
             "D" => rec.drop_impls.push(unesc(parts.next()?)),
+            "Z" => {
+                let zeroizes = parts.next()? == "1";
+                rec.drop_zeroizes.push((unesc(parts.next()?), zeroizes));
+            }
             "L" => {
                 let line_no: u32 = parts.next()?.parse().ok()?;
                 rec.lock_edges.push(LockEdge {
@@ -278,8 +340,10 @@ mod tests {
                 line: 3,
                 secret_bearing: true,
                 in_test: false,
+                container_fields: vec!["buf".to_string(), "spare".to_string()],
             }],
             drop_impls: vec!["Keys".to_string()],
+            drop_zeroizes: vec![("Keys".to_string(), true)],
             lock_edges: vec![LockEdge {
                 held: "state".to_string(),
                 acquired: "result".to_string(),
@@ -293,17 +357,43 @@ mod tests {
                 end_line: 6,
             }],
         };
-        cache.store("crates/x/src/a.rs", "fn main() {}", &rec);
-        let loaded = cache.load("crates/x/src/a.rs", "fn main() {}").unwrap();
+        cache.store("crates/x/src/a.rs", "fn main() {}", 7, &rec);
+        let loaded = cache.load("crates/x/src/a.rs", "fn main() {}", 7).unwrap();
         assert_eq!(loaded.findings, rec.findings);
         assert_eq!(loaded.structs.len(), 1);
         assert!(loaded.structs[0].secret_bearing);
+        assert_eq!(loaded.structs[0].container_fields, rec.structs[0].container_fields);
+        assert_eq!(loaded.drop_zeroizes, rec.drop_zeroizes);
         assert_eq!(loaded.lock_edges, rec.lock_edges);
         assert_eq!(loaded.suppressions.len(), 1);
         // Different contents: miss.
-        assert!(cache.load("crates/x/src/a.rs", "fn other() {}").is_none());
+        assert!(cache.load("crates/x/src/a.rs", "fn other() {}", 7).is_none());
+        // Different callee summaries: miss — a callee edit re-checks the caller.
+        assert!(cache.load("crates/x/src/a.rs", "fn main() {}", 8).is_none());
         // Unknown path: miss.
-        assert!(cache.load("crates/x/src/b.rs", "fn main() {}").is_none());
+        assert!(cache.load("crates/x/src/b.rs", "fn main() {}", 7).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_records_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "coldboot-lint-sumcache-test-{}",
+            std::process::id()
+        ));
+        let cache = LintCache::open(&dir).unwrap();
+        let facts = vec![FnFact {
+            name: "Keys::expand".to_string(),
+            line: 4,
+            local_panic: Some(9),
+            ..FnFact::default()
+        }];
+        cache.store_summary("crates/x/src/a.rs", "fn x() {}", &facts);
+        let loaded = cache.load_summary("crates/x/src/a.rs", "fn x() {}").unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].name, "Keys::expand");
+        assert_eq!(loaded[0].local_panic, Some(9));
+        assert!(cache.load_summary("crates/x/src/a.rs", "fn y() {}").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,4 +1,9 @@
-//! Intra-procedural dataflow rules over the [`crate::ast`] layer.
+//! Dataflow rules over the [`crate::ast`] layer. The per-function
+//! tracking is intra-procedural; call sites consult the workspace
+//! function summaries ([`crate::summaries`]) through [`InterCtx`], so
+//! taint follows values across function boundaries when the callee
+//! resolves in-workspace and falls back to the v2 lexical heuristics
+//! when it does not.
 //!
 //! Each rule here encodes a bug class this repository actually shipped and
 //! later fixed:
@@ -26,15 +31,17 @@
 use std::collections::HashMap;
 
 use crate::ast::{Block, Expr, ExprKind, FnDef, Stmt};
+use crate::callgraph::CallKey;
 use crate::diag::Finding;
 use crate::engine::{Analysis, FileKind, PRINT_MACROS};
 use crate::lexer::TokenKind;
 use crate::secrets;
+use crate::summaries::{FnSummary, SummaryCtx};
 
 /// Segments that mark a value as a length/offset/size (after
 /// [`secrets::segments`] normalization, which lowercases and strips
 /// plurals via [`secrets`]' singular rule at the comparison site).
-const LEN_SEGS: &[&str] = &[
+pub(crate) const LEN_SEGS: &[&str] = &[
     "len", "length", "size", "count", "offset", "total", "remaining", "capacity", "limit",
 ];
 
@@ -61,11 +68,12 @@ const CONTROL_SEGS: &[&str] = &[
 /// Path fragments that put a file in scope for `unbounded-loop`.
 const LOOP_SCOPED_PATHS: &[&str] = &["service", "pipeline", "dumpd", "daemon", "server", "scan"];
 
-/// Path fragments that put a file in scope for `untimed-io`.
-const IO_SCOPED_PATHS: &[&str] = &["service", "dumpd", "daemon", "server"];
+/// Path fragments that put a file in scope for `untimed-io` (and for the
+/// interprocedural `panic-reachability` / `blocking-in-worker` rules).
+pub(crate) const IO_SCOPED_PATHS: &[&str] = &["service", "dumpd", "daemon", "server"];
 
 /// Socket-ish receiver segments for `untimed-io`.
-const SOCKET_SEGS: &[&str] = &[
+pub(crate) const SOCKET_SEGS: &[&str] = &[
     "stream",
     "socket",
     "sock",
@@ -78,7 +86,7 @@ const SOCKET_SEGS: &[&str] = &[
 ];
 
 /// Blocking read methods audited by `untimed-io`.
-const READ_METHODS: &[&str] = &[
+pub(crate) const READ_METHODS: &[&str] = &[
     "read",
     "read_exact",
     "read_line",
@@ -86,7 +94,14 @@ const READ_METHODS: &[&str] = &[
     "read_to_string",
 ];
 
-fn seg_matches(ident: &str, set: &[&str]) -> bool {
+/// Files whose narrowing casts belong to `truncating-cast`, not
+/// `lossy-len-cast` — the rules stay disjoint so one cast is never
+/// reported twice. Shared with the summary extraction's `param_narrowed`
+/// generation.
+pub(crate) const LEN_CAST_EXEMPT: &[&str] =
+    &["crates/dram/src/mapping.rs", "crates/dram/src/geometry.rs"];
+
+pub(crate) fn seg_matches(ident: &str, set: &[&str]) -> bool {
     secrets::segments(ident)
         .iter()
         .any(|s| set.contains(&s.as_str()) || set.contains(&secrets::singular(s)))
@@ -96,10 +111,39 @@ fn fn_in_test(a: &Analysis, f: &FnDef) -> bool {
     a.in_test.get(f.tok).copied().unwrap_or(false)
 }
 
+/// Interprocedural context for one file's check pass: the workspace
+/// summary table, plus which file the rules are looking at (call
+/// resolution is caller-relative). `None` means summaries are
+/// unavailable — single-file unit tests — and every rule degrades to its
+/// v2 intra-procedural behavior.
+pub(crate) struct InterCtx<'c> {
+    pub(crate) ctx: &'c SummaryCtx,
+    pub(crate) file: usize,
+}
+
+impl InterCtx<'_> {
+    /// Summary of a `path(..)` call target, if it resolves in-workspace.
+    fn path_summary(&self, segs: &[String]) -> Option<FnSummary> {
+        self.ctx
+            .call_summary(&CallKey::Path(segs.to_vec()), self.file)
+    }
+
+    /// Summary of a `recv.method(..)` call target, if it resolves.
+    fn method_summary(&self, method: &str) -> Option<FnSummary> {
+        self.ctx
+            .call_summary(&CallKey::Method(method.to_string()), self.file)
+    }
+}
+
+/// Iterates the set bit positions of a summary parameter mask.
+fn mask_bits(mask: u16) -> impl Iterator<Item = usize> {
+    (0..16).filter(move |i| mask & (1 << i) != 0)
+}
+
 /// Runs every dataflow rule that applies to `a`, appending raw findings.
-pub(crate) fn run(a: &Analysis, findings: &mut Vec<Finding>) {
-    rule_lossy_len_cast(a, findings);
-    rule_secret_taint(a, findings);
+pub(crate) fn run(a: &Analysis, ic: Option<&InterCtx>, findings: &mut Vec<Finding>) {
+    rule_lossy_len_cast(a, ic, findings);
+    rule_secret_taint(a, ic, findings);
     rule_unbounded_loop(a, findings);
     rule_untimed_io(a, findings);
 }
@@ -134,20 +178,30 @@ fn ty_is_wide(ty: &str) -> bool {
     ty.contains("u64") || ty.contains("u128") || ty.contains("i64") || ty.contains("i128")
 }
 
-fn rule_lossy_len_cast(a: &Analysis, findings: &mut Vec<Finding>) {
+/// Length environment: per-variable taints plus the interprocedural
+/// context for summary lookups at call sites.
+struct LenEnv<'i> {
+    vars: HashMap<String, LenTaint>,
+    ic: Option<&'i InterCtx<'i>>,
+}
+
+fn rule_lossy_len_cast(a: &Analysis, ic: Option<&InterCtx>, findings: &mut Vec<Finding>) {
     if !matches!(a.kind, FileKind::Lib | FileKind::Bin) {
         return;
     }
     // The DRAM address-arithmetic files are `truncating-cast`'s territory;
     // keeping the rules disjoint avoids double reports on one cast.
-    if a.path == "crates/dram/src/mapping.rs" || a.path == "crates/dram/src/geometry.rs" {
+    if LEN_CAST_EXEMPT.contains(&a.path.as_str()) {
         return;
     }
     for f in &a.ast.fns {
         if fn_in_test(a, f) {
             continue;
         }
-        let mut env: HashMap<String, LenTaint> = HashMap::new();
+        let mut env = LenEnv {
+            vars: HashMap::new(),
+            ic,
+        };
         for (name, ty) in &f.params {
             let t = LenTaint {
                 length: seg_matches(name, LEN_SEGS),
@@ -155,7 +209,7 @@ fn rule_lossy_len_cast(a: &Analysis, findings: &mut Vec<Finding>) {
                 wide: ty_is_wide(ty),
             };
             if t.length || t.wide {
-                env.insert(name.clone(), t);
+                env.vars.insert(name.clone(), t);
             }
         }
         len_scan_block(a, &f.body, &mut env, findings);
@@ -165,7 +219,7 @@ fn rule_lossy_len_cast(a: &Analysis, findings: &mut Vec<Finding>) {
 fn len_scan_block(
     a: &Analysis,
     b: &Block,
-    env: &mut HashMap<String, LenTaint>,
+    env: &mut LenEnv,
     findings: &mut Vec<Finding>,
 ) {
     for stmt in &b.stmts {
@@ -185,14 +239,14 @@ fn len_scan_block(
                             t.wide = true;
                         }
                         if t.length || t.wide {
-                            env.insert(n.clone(), t);
+                            env.vars.insert(n.clone(), t);
                         } else {
-                            env.remove(n);
+                            env.vars.remove(n);
                         }
                     }
                 } else if let (Some(n), Some(t)) = (name, ty.as_deref()) {
                     if ty_is_wide(t) {
-                        env.insert(
+                        env.vars.insert(
                             n.clone(),
                             LenTaint {
                                 length: seg_matches(n, LEN_SEGS),
@@ -216,7 +270,7 @@ fn len_scan_block(
 fn len_scan_expr(
     a: &Analysis,
     e: &Expr,
-    env: &mut HashMap<String, LenTaint>,
+    env: &mut LenEnv,
     findings: &mut Vec<Finding>,
 ) {
     if let ExprKind::Cast { expr, ty } = &e.kind {
@@ -237,17 +291,53 @@ fn len_scan_expr(
             });
         }
     }
+    // Helper-mediated truncation: the callee's summary says it narrows
+    // this parameter with an unchecked `as` cast, so passing a raw length
+    // is the same bug as casting it here.
+    let summary_site = match &e.kind {
+        ExprKind::Call { callee, args } => match &callee.kind {
+            ExprKind::Path(segs) => env
+                .ic
+                .and_then(|ic| ic.path_summary(segs))
+                .map(|s| (s, args, segs.join("::"))),
+            _ => None,
+        },
+        ExprKind::MethodCall { method, args, .. } => env
+            .ic
+            .and_then(|ic| ic.method_summary(method))
+            .map(|s| (s, args, method.clone())),
+        _ => None,
+    };
+    if let Some((sum, args, callee)) = summary_site {
+        for i in mask_bits(sum.param_narrowed) {
+            let Some(arg) = args.get(i) else { continue };
+            let t = len_taint_of(arg, env);
+            if t.length && !t.checked {
+                let ident = first_ident_in(a, arg).unwrap_or_else(|| "<expr>".to_string());
+                findings.push(Finding {
+                    file: a.path.clone(),
+                    line: e.line,
+                    rule: "lossy-len-cast",
+                    message: format!(
+                        "length-derived value `{ident}` is narrowed by an unchecked `as` \
+                         cast inside `{callee}`; convert with `try_from` before the call"
+                    ),
+                    item: Some(ident),
+                });
+            }
+        }
+    }
     for_each_child(e, env, &mut |a2, child, env2, f2| {
         len_scan_expr(a2, child, env2, f2)
     }, a, findings);
 }
 
 /// The length taint of an expression under `env`. Pure — does not report.
-fn len_taint_of(e: &Expr, env: &HashMap<String, LenTaint>) -> LenTaint {
+fn len_taint_of(e: &Expr, env: &LenEnv) -> LenTaint {
     match &e.kind {
         ExprKind::Path(segs) => {
             if let [only] = segs.as_slice() {
-                if let Some(t) = env.get(only) {
+                if let Some(t) = env.vars.get(only) {
                     return *t;
                 }
             }
@@ -260,7 +350,7 @@ fn len_taint_of(e: &Expr, env: &HashMap<String, LenTaint>) -> LenTaint {
             length: seg_matches(name, LEN_SEGS),
             ..LenTaint::default()
         },
-        ExprKind::MethodCall { recv, method, .. } => match method.as_str() {
+        ExprKind::MethodCall { recv, method, args } => match method.as_str() {
             "len" | "capacity" => LenTaint {
                 length: true,
                 ..LenTaint::default()
@@ -273,7 +363,24 @@ fn len_taint_of(e: &Expr, env: &HashMap<String, LenTaint>) -> LenTaint {
                 checked: true,
                 ..len_taint_of(recv, env)
             },
-            _ => len_taint_of(recv, env),
+            _ => {
+                if let Some(sum) = env.ic.and_then(|ic| ic.method_summary(method)) {
+                    // Resolved in-workspace: the summary says whether the
+                    // return value is length-derived.
+                    let mut t = LenTaint {
+                        length: sum.returns_len,
+                        ..LenTaint::default()
+                    };
+                    for i in mask_bits(sum.param_to_ret_len) {
+                        if let Some(arg) = args.get(i) {
+                            t = t.join(len_taint_of(arg, env));
+                        }
+                    }
+                    t
+                } else {
+                    len_taint_of(recv, env)
+                }
+            }
         },
         ExprKind::Call { callee, args } => {
             if let ExprKind::Path(segs) = &callee.kind {
@@ -294,6 +401,18 @@ fn len_taint_of(e: &Expr, env: &HashMap<String, LenTaint>) -> LenTaint {
                         return LenTaint { checked: true, ..t };
                     }
                     _ => {}
+                }
+                if let Some(sum) = env.ic.and_then(|ic| ic.path_summary(segs)) {
+                    let mut t = LenTaint {
+                        length: sum.returns_len,
+                        ..LenTaint::default()
+                    };
+                    for i in mask_bits(sum.param_to_ret_len) {
+                        if let Some(arg) = args.get(i) {
+                            t = t.join(len_taint_of(arg, env));
+                        }
+                    }
+                    return t;
                 }
             }
             LenTaint::default()
@@ -337,7 +456,14 @@ fn len_taint_of(e: &Expr, env: &HashMap<String, LenTaint>) -> LenTaint {
 // secret-taint
 // ---------------------------------------------------------------------------
 
-fn rule_secret_taint(a: &Analysis, findings: &mut Vec<Finding>) {
+/// Taint environment: var name -> originating secret identifier, plus
+/// the interprocedural context for summary lookups at call sites.
+struct TaintEnv<'i> {
+    vars: HashMap<String, String>,
+    ic: Option<&'i InterCtx<'i>>,
+}
+
+fn rule_secret_taint(a: &Analysis, ic: Option<&InterCtx>, findings: &mut Vec<Finding>) {
     if !matches!(a.kind, FileKind::Lib | FileKind::Bin | FileKind::Example) {
         return;
     }
@@ -345,8 +471,10 @@ fn rule_secret_taint(a: &Analysis, findings: &mut Vec<Finding>) {
         if fn_in_test(a, f) {
             continue;
         }
-        // var name -> originating secret identifier.
-        let mut tainted: HashMap<String, String> = HashMap::new();
+        let mut tainted = TaintEnv {
+            vars: HashMap::new(),
+            ic,
+        };
         for (name, _) in &f.params {
             // A parameter that is itself secret-named is `secret-print`'s
             // domain; taint tracking starts at renames and field reads.
@@ -359,7 +487,7 @@ fn rule_secret_taint(a: &Analysis, findings: &mut Vec<Finding>) {
 fn taint_scan_block(
     a: &Analysis,
     b: &Block,
-    tainted: &mut HashMap<String, String>,
+    tainted: &mut TaintEnv,
     findings: &mut Vec<Finding>,
 ) {
     for stmt in &b.stmts {
@@ -375,14 +503,14 @@ fn taint_scan_block(
                     taint_scan_expr(a, e, tainted, findings);
                     if let Some(src) = secret_source_of(e, tainted) {
                         if let Some(n) = name {
-                            tainted.insert(n.clone(), src);
+                            tainted.vars.insert(n.clone(), src);
                         } else {
                             for n in names {
-                                tainted.insert(n.clone(), src.clone());
+                                tainted.vars.insert(n.clone(), src.clone());
                             }
                         }
                     } else if let Some(n) = name {
-                        tainted.remove(n);
+                        tainted.vars.remove(n);
                     }
                 }
                 if let Some(eb) = else_block {
@@ -397,7 +525,7 @@ fn taint_scan_block(
 fn taint_scan_expr(
     a: &Analysis,
     e: &Expr,
-    tainted: &mut HashMap<String, String>,
+    tainted: &mut TaintEnv,
     findings: &mut Vec<Finding>,
 ) {
     match &e.kind {
@@ -412,7 +540,7 @@ fn taint_scan_expr(
             if let ExprKind::LetCond { names, scrut } = &cond.kind {
                 if let Some(src) = secret_source_of(scrut, tainted) {
                     for n in names {
-                        tainted.insert(n.clone(), src.clone());
+                        tainted.vars.insert(n.clone(), src.clone());
                     }
                 }
             }
@@ -421,7 +549,7 @@ fn taint_scan_expr(
             if let ExprKind::LetCond { names, scrut } = &cond.kind {
                 if let Some(src) = secret_source_of(scrut, tainted) {
                     for n in names {
-                        tainted.insert(n.clone(), src.clone());
+                        tainted.vars.insert(n.clone(), src.clone());
                     }
                 }
             }
@@ -429,7 +557,7 @@ fn taint_scan_expr(
         ExprKind::For { names, iter, .. } => {
             if let Some(src) = secret_source_of(iter, tainted) {
                 for n in names {
-                    tainted.insert(n.clone(), src.clone());
+                    tainted.vars.insert(n.clone(), src.clone());
                 }
             }
         }
@@ -437,7 +565,7 @@ fn taint_scan_expr(
             if let Some(src) = secret_source_of(scrut, tainted) {
                 for arm in arms {
                     for n in &arm.names {
-                        tainted.insert(n.clone(), src.clone());
+                        tainted.vars.insert(n.clone(), src.clone());
                     }
                 }
             }
@@ -446,9 +574,23 @@ fn taint_scan_expr(
             if let Some(src) = secret_source_of(value, tainted) {
                 if let ExprKind::Path(segs) = &target.kind {
                     if let [only] = segs.as_slice() {
-                        tainted.insert(only.clone(), src);
+                        tainted.vars.insert(only.clone(), src);
                     }
                 }
+            }
+        }
+        // A call whose callee summary says "this parameter reaches a
+        // print/format sink" is itself a sink for tainted arguments.
+        ExprKind::Call { callee, args } => {
+            if let ExprKind::Path(segs) = &callee.kind {
+                if let Some(sum) = tainted.ic.and_then(|ic| ic.path_summary(segs)) {
+                    check_summary_sink(a, e, &segs.join("::"), sum, args, tainted, findings);
+                }
+            }
+        }
+        ExprKind::MethodCall { method, args, .. } => {
+            if let Some(sum) = tainted.ic.and_then(|ic| ic.method_summary(method)) {
+                check_summary_sink(a, e, method, sum, args, tainted, findings);
             }
         }
         _ => {}
@@ -456,6 +598,36 @@ fn taint_scan_expr(
     for_each_child(e, tainted, &mut |a2, child, env2, f2| {
         taint_scan_expr(a2, child, env2, f2)
     }, a, findings);
+}
+
+/// Reports key material flowing into a workspace callee whose summary
+/// marks the receiving parameter as sink-reaching.
+fn check_summary_sink(
+    a: &Analysis,
+    call: &Expr,
+    callee: &str,
+    sum: FnSummary,
+    args: &[Expr],
+    env: &TaintEnv,
+    findings: &mut Vec<Finding>,
+) {
+    for i in mask_bits(sum.param_to_sink) {
+        let Some(arg) = args.get(i) else { continue };
+        let Some(src) = secret_source_of(arg, env) else {
+            continue;
+        };
+        findings.push(Finding {
+            file: a.path.clone(),
+            line: call.line,
+            rule: "secret-taint",
+            message: format!(
+                "key material from `{src}` flows into `{callee}`, which formats or \
+                 logs that argument; secrets must not cross into print sinks"
+            ),
+            item: Some(src),
+        });
+        return; // one finding per call site is enough
+    }
 }
 
 /// Reports a print-macro sink whose arguments (or `{name}` captures)
@@ -466,7 +638,7 @@ fn check_taint_sink(
     mac: &Expr,
     macro_name: &str,
     args: &[Expr],
-    tainted: &HashMap<String, String>,
+    tainted: &TaintEnv,
     findings: &mut Vec<Finding>,
 ) {
     let (start, end) = mac.span;
@@ -481,7 +653,7 @@ fn check_taint_sink(
     }
     let mut hit: Option<(String, String)> = None; // (var, source secret)
     for arg in args {
-        if let Some((var, src)) = tainted_var_in(arg, tainted) {
+        if let Some((var, src)) = tainted_var_in(arg, &tainted.vars) {
             hit = Some((var, src));
             break;
         }
@@ -492,7 +664,7 @@ fn check_taint_sink(
                 continue;
             }
             for cap in crate::engine::format_captures(&t.text) {
-                if let Some(src) = tainted.get(&cap) {
+                if let Some(src) = tainted.vars.get(&cap) {
                     hit = Some((cap, src.clone()));
                     break;
                 }
@@ -521,18 +693,21 @@ fn check_taint_sink(
 /// return key material, while `seed_from_u64()` and
 /// `zero_fill_key_extraction()` return RNGs / result summaries that
 /// merely mention one.
-fn callee_returns_secret(name: &str) -> bool {
+pub(crate) fn callee_returns_secret(name: &str) -> bool {
     secrets::segments(name)
         .last()
         .map_or(false, |last| secrets::is_secret_ident(last))
 }
 
-/// The secret source an expression's value derives from, if any.
-fn secret_source_of(e: &Expr, tainted: &HashMap<String, String>) -> Option<String> {
+/// The secret source an expression's value derives from, if any. When a
+/// call resolves to a workspace function, its computed summary replaces
+/// the v2 lexical callee-name guess; unresolved externs keep the
+/// heuristic.
+fn secret_source_of(e: &Expr, tainted: &TaintEnv) -> Option<String> {
     match &e.kind {
         ExprKind::Path(segs) => {
             let last = segs.last()?;
-            tainted.get(last).cloned().or_else(|| {
+            tainted.vars.get(last).cloned().or_else(|| {
                 // A multi-segment path read (`self::KEY`? rare) stays out;
                 // bare secret idents are secret-print's domain, but reads
                 // *through* them (handled by Field) do taint.
@@ -550,6 +725,19 @@ fn secret_source_of(e: &Expr, tainted: &HashMap<String, String>) -> Option<Strin
             if matches!(method.as_str(), "len" | "is_empty" | "capacity" | "count") {
                 return None;
             }
+            if let Some(sum) = tainted.ic.and_then(|ic| ic.method_summary(method)) {
+                if sum.returns_secret {
+                    return Some(method.clone());
+                }
+                if let Some(src) = mask_bits(sum.param_to_ret)
+                    .find_map(|i| args.get(i).and_then(|a| secret_source_of(a, tainted)))
+                {
+                    return Some(src);
+                }
+                // `self -> return` flow is not in the parameter mask; keep
+                // the receiver fallback for resolved methods too.
+                return secret_source_of(recv, tainted);
+            }
             if callee_returns_secret(method) {
                 return Some(method.clone());
             }
@@ -558,6 +746,14 @@ fn secret_source_of(e: &Expr, tainted: &HashMap<String, String>) -> Option<Strin
         }
         ExprKind::Call { callee, args } => {
             if let ExprKind::Path(segs) = &callee.kind {
+                if let Some(sum) = tainted.ic.and_then(|ic| ic.path_summary(segs)) {
+                    // Resolved in-workspace: the summary is authoritative.
+                    if sum.returns_secret {
+                        return segs.last().cloned();
+                    }
+                    return mask_bits(sum.param_to_ret)
+                        .find_map(|i| args.get(i).and_then(|a| secret_source_of(a, tainted)));
+                }
                 if let Some(last) = segs.last() {
                     if callee_returns_secret(last) {
                         return Some(last.clone());
@@ -569,7 +765,12 @@ fn secret_source_of(e: &Expr, tainted: &HashMap<String, String>) -> Option<Strin
         ExprKind::Index { recv, .. } => secret_source_of(recv, tainted),
         ExprKind::Unary { expr } | ExprKind::Try { expr } => secret_source_of(expr, tainted),
         ExprKind::Cast { expr, .. } => secret_source_of(expr, tainted),
-        ExprKind::Binary { lhs, rhs, .. } => {
+        ExprKind::Binary { op, lhs, rhs } => {
+            // A comparison yields a one-bit bool, not key material; secret
+            // comparisons themselves are `const-time`'s territory.
+            if matches!(op.as_str(), "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||") {
+                return None;
+            }
             secret_source_of(lhs, tainted).or_else(|| secret_source_of(rhs, tainted))
         }
         ExprKind::Tuple { items } => items.iter().find_map(|i| secret_source_of(i, tainted)),
@@ -730,7 +931,7 @@ fn rule_untimed_io(a: &Analysis, findings: &mut Vec<Finding>) {
     }
 }
 
-fn receiver_is_socket(recv: &Expr) -> bool {
+pub(crate) fn receiver_is_socket(recv: &Expr) -> bool {
     match &recv.kind {
         ExprKind::Path(segs) => segs.last().map_or(false, |s| seg_matches(s, SOCKET_SEGS)),
         ExprKind::Field { name, .. } => seg_matches(name, SOCKET_SEGS),
@@ -958,13 +1159,13 @@ trait BlockScan<'a>: Sized {
     fn scan_block(&mut self, a: &Analysis, b: &'a Block, findings: &mut Vec<Finding>);
 }
 
-impl<'a> BlockScan<'a> for HashMap<String, LenTaint> {
+impl<'a, 'i> BlockScan<'a> for LenEnv<'i> {
     fn scan_block(&mut self, a: &Analysis, b: &'a Block, findings: &mut Vec<Finding>) {
         len_scan_block(a, b, self, findings);
     }
 }
 
-impl<'a> BlockScan<'a> for HashMap<String, String> {
+impl<'a, 'i> BlockScan<'a> for TaintEnv<'i> {
     fn scan_block(&mut self, a: &Analysis, b: &'a Block, findings: &mut Vec<Finding>) {
         taint_scan_block(a, b, self, findings);
     }

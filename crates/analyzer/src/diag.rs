@@ -17,6 +17,9 @@ pub const RULE_IDS: &[&str] = &[
     "untimed-io",
     "lock-order",
     "secret-taint",
+    "zeroize-coverage",
+    "panic-reachability",
+    "blocking-in-worker",
     "stale-allow",
 ];
 
@@ -36,8 +39,139 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("untimed-io", "service socket reads need a read timeout and an Interrupted retry"),
     ("lock-order", "Mutex acquisition order must be acyclic and never reentrant"),
     ("secret-taint", "values derived from secret fields must not reach format/log sinks"),
+    ("zeroize-coverage", "structs holding secret-tainted data need a zeroizing Drop"),
+    ("panic-reachability", "service worker/connection paths must not reach a panic"),
+    ("blocking-in-worker", "queue workers must not perform blocking socket IO"),
     ("stale-allow", "lint.toml allow entries must match at least one raw finding"),
 ];
+
+/// Per-rule rationale and fix example for the CLI's `--explain`. Kept in
+/// [`RULE_IDS`] order; the doc test pins one entry per rule.
+pub const RULE_EXPLANATIONS: &[(&str, &str, &str)] = &[
+    (
+        "secret-print",
+        "The paper recovers keys precisely because they were observable; formatting a \
+         secret writes it to logs, terminals, and core dumps where it outlives the process.",
+        "println!(\"key = {master_key:02x?}\")  ->  log only derived facts: \
+         println!(\"key loaded, {} bytes\", master_key.len())",
+    ),
+    (
+        "secret-debug",
+        "A derived Debug impl walks every field, so any {:?} of a containing value \
+         dumps the key bytes. Secret-bearing structs need a redacting manual impl.",
+        "#[derive(Debug)] struct Keys { words: Vec<u32> }  ->  impl fmt::Debug for Keys \
+         { /* print \"Keys(<redacted>)\" */ }",
+    ),
+    (
+        "zeroize-drop",
+        "Cold-boot attacks read memory after software stops running; key bytes left in \
+         freed allocations are exactly the remanence the paper exploits (sections 5-6).",
+        "struct Keys { words: Vec<u32> }  ->  impl Drop for Keys { fn drop(&mut self) \
+         { for w in self.words.iter_mut() { *w = 0; } } }",
+    ),
+    (
+        "const-time",
+        "Early-exit comparisons and secret-dependent branches leak how many bytes \
+         matched through timing, turning a key check into an oracle.",
+        "if guess == master_key { ... }  ->  use coldboot_crypto::ct::eq(guess, \
+         &master_key) and branch on the bool",
+    ),
+    (
+        "forbid-unsafe",
+        "The workspace proves its claims with safe Rust; one unsafe block invalidates \
+         the memory-safety argument the analysis depends on.",
+        "crate root missing the attribute  ->  add #![forbid(unsafe_code)] at the top \
+         of src/lib.rs",
+    ),
+    (
+        "truncating-cast",
+        "DRAM physical addresses exceed 32 bits; `as u32` on address arithmetic \
+         silently wraps and scans the wrong row (the bug class behind mapping.rs).",
+        "let row = addr as u32;  ->  let row = u32::try_from(addr)?;",
+    ),
+    (
+        "panic",
+        "A panic in library code aborts the scan/service path that called it; errors \
+         must flow to the caller who can retry or report.",
+        "header.parse().unwrap()  ->  header.parse().map_err(|e| ScanError::Header(e))?",
+    ),
+    (
+        "suppression",
+        "lint:allow without a reason (or naming an unknown rule) silences nothing and \
+         rots; every suppression must say why it is sound.",
+        "// lint:allow(panic)  ->  // lint:allow(panic): length checked two lines above",
+    ),
+    (
+        "lossy-len-cast",
+        "Record and buffer lengths exceed u32 on large dumps; `as u32` truncates \
+         silently and corrupts the CBDF framing (the PR 4 writer bug).",
+        "data.len() as u32  ->  u32::try_from(data.len())?",
+    ),
+    (
+        "unbounded-loop",
+        "Service and scan loops that never consult cancel/deadline/shutdown keep a \
+         worker pinned after the operator asked it to stop.",
+        "loop { step(); }  ->  loop { if ctrl.cancelled() { break; } step(); }",
+    ),
+    (
+        "untimed-io",
+        "A blocking socket read with no timeout lets one stalled peer wedge the dump \
+         service; an EINTR drop loses the connection on any timer signal.",
+        "stream.read(&mut buf)?  ->  stream.set_read_timeout(Some(t))? at accept, and \
+         retry the read on ErrorKind::Interrupted",
+    ),
+    (
+        "lock-order",
+        "Two threads acquiring the same Mutexes in opposite orders deadlock the \
+         service under load; acquisition order must be a DAG.",
+        "lock(a) then lock(b) in one path, lock(b) then lock(a) in another  ->  pick \
+         one global order and take both locks in it",
+    ),
+    (
+        "secret-taint",
+        "Renaming a key does not launder it: a value copied out of a secret field (or \
+         returned by a key-deriving helper, across function and file boundaries) is \
+         still key material when it reaches a format/log sink.",
+        "let material = self.master_key.clone(); println!(\"{material:02x?}\");  ->  \
+         drop the print, or log material.len() only",
+    ),
+    (
+        "zeroize-coverage",
+        "Secret taint flows into ordinary-looking structs (staging buffers, session \
+         state); if their Drop does not zeroize, key bytes survive free() and remain \
+         recoverable by the paper's attack.",
+        "struct Stash { buf: Vec<u8> } filled from a key  ->  impl Drop for Stash \
+         { fn drop(&mut self) { self.buf.fill(0); } }",
+    ),
+    (
+        "panic-reachability",
+        "dumpd workers and connection handlers run detached; a panic anywhere in \
+         their call graph kills the worker silently and the queue stalls.",
+        "worker calls parse_header() which calls .unwrap()  ->  return Result from \
+         the helper and have the worker log-and-continue",
+    ),
+    (
+        "blocking-in-worker",
+        "Queue workers own CPU-bound jobs; blocking socket IO inside one stalls every \
+         queued job behind a slow peer. IO belongs in the connection path.",
+        "worker_loop reads from a TcpStream  ->  have the accept/connection path do \
+         the read and enqueue parsed jobs only",
+    ),
+    (
+        "stale-allow",
+        "An allow entry matching no finding is dead config: either the debt was fixed \
+         (delete it) or the path/rule is a typo (fix it).",
+        "remove the stale [[allow]] entry from lint.toml, or correct its path",
+    ),
+];
+
+/// Looks up a rule's rationale and fix example for `--explain`.
+pub fn rule_explanation(rule: &str) -> Option<(&'static str, &'static str)> {
+    RULE_EXPLANATIONS
+        .iter()
+        .find(|(id, _, _)| *id == rule)
+        .map(|(_, why, fix)| (*why, *fix))
+}
 
 /// Looks up a rule description.
 pub fn rule_description(rule: &str) -> &'static str {
@@ -286,6 +420,18 @@ mod tests {
             assert!(!rule_description(rule).is_empty(), "missing description: {rule}");
         }
         assert_eq!(RULE_IDS.len(), RULE_DESCRIPTIONS.len());
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        assert_eq!(RULE_IDS.len(), RULE_EXPLANATIONS.len());
+        for (i, rule) in RULE_IDS.iter().enumerate() {
+            let (id, why, fix) = RULE_EXPLANATIONS[i];
+            assert_eq!(id, *rule, "RULE_EXPLANATIONS out of order at {rule}");
+            assert!(!why.is_empty() && !fix.is_empty(), "empty explanation: {rule}");
+            assert!(rule_explanation(rule).is_some());
+        }
+        assert!(rule_explanation("no-such-rule").is_none());
     }
 
     #[test]

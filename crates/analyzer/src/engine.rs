@@ -16,12 +16,14 @@ use std::sync::Mutex;
 
 use crate::ast;
 use crate::cache::LintCache;
+use crate::callgraph::CallGraph;
 use crate::config::LintConfig;
-use crate::dataflow;
+use crate::dataflow::{self, InterCtx};
 use crate::diag::Finding;
 use crate::lexer::{self, Comment, Token, TokenKind};
 use crate::locks::{self, LockEdge};
 use crate::secrets;
+use crate::summaries::{self, FnFact, SummaryCtx, SummaryStats};
 
 /// An in-memory source file with its workspace-relative path
 /// (`/`-separated), the unit the engine operates on. [`crate::lint_workspace`]
@@ -96,7 +98,7 @@ pub(crate) struct Suppression {
 }
 
 impl Suppression {
-    fn covers(&self, rule: &str, line: u32) -> bool {
+    pub(crate) fn covers(&self, rule: &str, line: u32) -> bool {
         self.rules.iter().any(|r| r == rule) && line >= self.line && line <= self.end_line + 1
     }
 }
@@ -122,6 +124,8 @@ pub(crate) struct FileRecord {
     pub(crate) findings: Vec<Finding>,
     pub(crate) structs: Vec<StructFact>,
     pub(crate) drop_impls: Vec<String>,
+    /// Per `Drop` impl in this file: `(target, body zeroizes)`.
+    pub(crate) drop_zeroizes: Vec<(String, bool)>,
     pub(crate) lock_edges: Vec<LockEdge>,
     pub(crate) suppressions: Vec<Suppression>,
 }
@@ -133,6 +137,9 @@ pub(crate) struct StructFact {
     pub(crate) line: u32,
     pub(crate) secret_bearing: bool,
     pub(crate) in_test: bool,
+    /// Names of container-typed fields (the ones that can hold key
+    /// bytes), for matching secret-tainted struct-literal inits.
+    pub(crate) container_fields: Vec<String>,
 }
 
 /// One struct definition with the facts the secret rules care about.
@@ -147,6 +154,16 @@ pub(crate) struct StructInfo {
 }
 
 impl StructInfo {
+    /// Container-typed field names — the fields that can physically hold
+    /// key bytes.
+    fn container_fields(&self) -> Vec<String> {
+        self.fields
+            .iter()
+            .filter(|(name, ty)| !name.is_empty() && secrets::is_container_type(ty))
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
     /// A struct is secret-bearing when its own name is in the secret
     /// lexicon and it has a container-typed payload field, or when one of
     /// its fields both names a secret and is a container. Metadata fields
@@ -242,10 +259,19 @@ impl Default for LintOptions {
 pub struct RunStats {
     /// Files considered.
     pub files: usize,
-    /// Files lexed/parsed/analyzed this run.
+    /// Files whose *check phase* re-ran this run (lex/parse/rules). This
+    /// is the dependency-aware count: a file re-checks when its own text
+    /// changed or a callee's summary did.
     pub reanalyzed: usize,
-    /// Files served from the analysis cache.
+    /// Files whose check phase was served from the cache.
     pub cached: usize,
+    /// Files whose summary facts were re-extracted this run (summary
+    /// records key on file content alone).
+    pub summarized: usize,
+    /// Files whose summary facts came from the cache.
+    pub summary_cached: usize,
+    /// Interprocedural bookkeeping from the fixpoint.
+    pub summary: SummaryStats,
 }
 
 /// Findings plus run bookkeeping.
@@ -268,13 +294,53 @@ pub fn lint_sources(files: &[SourceFile], config: &LintConfig) -> Vec<Finding> {
     lint_sources_with(files, config, &opts).findings
 }
 
-/// Lints a set of in-memory sources as one workspace: runs every per-file
-/// rule (fanned out across threads, memoized in the cache), then the
-/// cross-file passes (zeroize-on-drop, lock-order cycles), then filters
-/// through inline suppressions and the allowlist, reporting stale allow
-/// entries when asked. Returned findings are sorted by `(file, line,
-/// rule)` and are deterministic for a given input regardless of thread
-/// count or cache state.
+/// The summary phase: per-file fact extraction (cached on content alone)
+/// followed by the global fixpoint. Returns the resolved workspace view,
+/// the analyses of files that had to be parsed (reused by the check
+/// phase), and the fresh-extraction count.
+fn summary_phase(
+    files: &[SourceFile],
+    cache: Option<&LintCache>,
+    threads: usize,
+) -> (SummaryCtx, Vec<Option<Analysis>>, usize) {
+    let extracted: Vec<(Vec<FnFact>, Option<Analysis>, bool)> =
+        par_map(files, threads, |file| {
+            if let Some(c) = cache {
+                if let Some(facts) = c.load_summary(&file.path, &file.source) {
+                    return (facts, None, false);
+                }
+            }
+            let a = analyze(file);
+            let facts = summaries::extract(&a);
+            if let Some(c) = cache {
+                c.store_summary(&file.path, &file.source, &facts);
+            }
+            (facts, Some(a), true)
+        });
+    let summarized = extracted.iter().filter(|(_, _, fresh)| *fresh).count();
+    let mut facts = Vec::with_capacity(extracted.len());
+    let mut analyses = Vec::with_capacity(extracted.len());
+    for (f, a, _) in extracted {
+        facts.push(f);
+        analyses.push(a);
+    }
+    let graph = CallGraph::build(files.iter().map(|f| f.path.clone()).collect(), facts);
+    let (sums, stats) = summaries::fixpoint(&graph);
+    (SummaryCtx::new(graph, sums, stats), analyses, summarized)
+}
+
+/// Lints a set of in-memory sources as one workspace, in two phases.
+/// Phase one extracts per-function summary facts from every file (cached
+/// on file content) and iterates the interprocedural fixpoint over the
+/// workspace call graph. Phase two runs every per-file rule with the
+/// resolved summaries in scope (cached on file content *plus* the summary
+/// hashes of the file's callees, so editing a callee re-checks dependent
+/// callers and only them), then the cross-file passes (zeroize-on-drop,
+/// zeroize-coverage, panic-reachability, blocking-in-worker, lock-order
+/// cycles), then filters through inline suppressions and the allowlist,
+/// reporting stale allow entries when asked. Returned findings are sorted
+/// by `(file, line, rule)` and are deterministic for a given input
+/// regardless of thread count or cache state.
 pub fn lint_sources_with(
     files: &[SourceFile],
     config: &LintConfig,
@@ -285,15 +351,34 @@ pub fn lint_sources_with(
         .as_deref()
         .and_then(|dir| LintCache::open(dir).ok());
     let cache = cache.as_ref();
-    let results: Vec<(FileRecord, bool)> = par_map(files, opts.threads, |file| {
+
+    let (sctx, analyses, summarized) = summary_phase(files, cache, opts.threads);
+    let dep_hashes: Vec<u64> = (0..files.len()).map(|i| sctx.file_dep_hash(i)).collect();
+
+    let items: Vec<(usize, Option<Analysis>)> = analyses.into_iter().enumerate().collect();
+    let results: Vec<(FileRecord, bool)> = par_map(&items, opts.threads, |(i, a_opt)| {
+        let file = &files[*i];
+        let deps = dep_hashes[*i];
         if let Some(c) = cache {
-            if let Some(rec) = c.load(&file.path, &file.source) {
+            if let Some(rec) = c.load(&file.path, &file.source, deps) {
                 return (rec, false);
             }
         }
-        let rec = analyze_file(file);
+        let owned;
+        let a = match a_opt {
+            Some(a) => a,
+            None => {
+                owned = analyze(file);
+                &owned
+            }
+        };
+        let ic = InterCtx {
+            ctx: &sctx,
+            file: *i,
+        };
+        let rec = analyze_file(a, Some(&ic));
         if let Some(c) = cache {
-            c.store(&file.path, &file.source, &rec);
+            c.store(&file.path, &file.source, deps, &rec);
         }
         (rec, true)
     });
@@ -309,6 +394,9 @@ pub fn lint_sources_with(
         .flat_map(|(_, rec)| rec.findings.iter().cloned())
         .collect();
     rule_zeroize_drop(&records, &mut findings);
+    rule_zeroize_coverage(&records, &sctx, &mut findings);
+    findings.extend(sctx.panic_reachability_findings());
+    findings.extend(sctx.blocking_in_worker_findings());
     let mut lock_edges: Vec<(String, LockEdge)> = Vec::new();
     for (path, rec) in &records {
         for e in &rec.lock_edges {
@@ -393,25 +481,56 @@ pub fn lint_sources_with(
             files: files.len(),
             reanalyzed,
             cached: files.len() - reanalyzed,
+            summarized,
+            summary_cached: files.len() - summarized,
+            summary: sctx.stats,
         },
     }
 }
 
-/// Runs the full per-file analysis: lex, parse, every per-file rule, and
-/// fact extraction for the workspace passes. This is the unit of work the
-/// cache memoizes and the thread pool fans out.
-pub(crate) fn analyze_file(file: &SourceFile) -> FileRecord {
-    let a = analyze(file);
+/// Bookkeeping from a summary-only run ([`summarize_sources`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummaryRun {
+    /// Files whose facts were re-extracted.
+    pub summarized: usize,
+    /// Files served from the summary cache.
+    pub summary_cached: usize,
+    /// Fixpoint bookkeeping.
+    pub stats: SummaryStats,
+}
+
+/// Runs only the summary phase — fact extraction plus the interprocedural
+/// fixpoint — without the check phase. This isolates the interprocedural
+/// overhead for benchmarks and tooling.
+pub fn summarize_sources(files: &[SourceFile], opts: &LintOptions) -> SummaryRun {
+    let cache = opts
+        .cache_dir
+        .as_deref()
+        .and_then(|dir| LintCache::open(dir).ok());
+    let (sctx, _, summarized) = summary_phase(files, cache.as_ref(), opts.threads);
+    SummaryRun {
+        summarized,
+        summary_cached: files.len() - summarized,
+        stats: sctx.stats,
+    }
+}
+
+/// Runs the full per-file check pass: every per-file rule over an already
+/// parsed [`Analysis`], with the interprocedural context in scope. This
+/// is the unit of work the check cache memoizes and the thread pool fans
+/// out. `ic` is `None` only in narrow unit tests; the engine always
+/// passes the resolved workspace view.
+pub(crate) fn analyze_file(a: &Analysis, ic: Option<&InterCtx>) -> FileRecord {
     let mut findings = Vec::new();
-    rule_secret_print(&a, &mut findings);
-    rule_secret_debug(&a, &mut findings);
-    rule_const_time(&a, &mut findings);
-    rule_forbid_unsafe(&a, &mut findings);
-    rule_truncating_cast(&a, &mut findings);
-    rule_panic(&a, &mut findings);
-    dataflow::run(&a, &mut findings);
+    rule_secret_print(a, &mut findings);
+    rule_secret_debug(a, &mut findings);
+    rule_const_time(a, &mut findings);
+    rule_forbid_unsafe(a, &mut findings);
+    rule_truncating_cast(a, &mut findings);
+    rule_panic(a, &mut findings);
+    dataflow::run(a, ic, &mut findings);
     let mut lock_edges = Vec::new();
-    locks::scan_file(&a, &mut lock_edges, &mut findings);
+    locks::scan_file(a, &mut lock_edges, &mut findings);
     FileRecord {
         findings,
         structs: a
@@ -422,12 +541,49 @@ pub(crate) fn analyze_file(file: &SourceFile) -> FileRecord {
                 line: s.line,
                 secret_bearing: s.is_secret_bearing(),
                 in_test: s.in_test,
+                container_fields: s.container_fields(),
             })
             .collect(),
-        drop_impls: a.drop_impls,
+        drop_impls: a.drop_impls.clone(),
+        drop_zeroizes: a
+            .drop_impls
+            .iter()
+            .map(|t| (t.clone(), drop_body_zeroizes(a, t)))
+            .collect(),
         lock_edges,
-        suppressions: a.suppressions,
+        suppressions: a.suppressions.clone(),
     }
+}
+
+/// True when `impl Drop for target`'s `drop` body plausibly zeroizes:
+/// it calls `zeroize`/`fill`/`write_volatile` or assigns a zero literal
+/// (`*w = 0`, `self.key = [0u8; 32]`).
+fn drop_body_zeroizes(a: &Analysis, target: &str) -> bool {
+    let name = format!("{target}::drop");
+    let Some(f) = a.ast.fns.iter().find(|f| f.name == name) else {
+        return false;
+    };
+    let (start, end) = f.body.span;
+    let toks = &a.tokens[start.min(a.tokens.len())..(end + 1).min(a.tokens.len())];
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "zeroize" | "fill" | "write_volatile")
+        {
+            return true;
+        }
+        if t.text == "=" {
+            let mut j = i + 1;
+            if toks.get(j).map_or(false, |n| n.text == "[") {
+                j += 1;
+            }
+            if toks.get(j).map_or(false, |n| {
+                n.kind == TokenKind::Literal && n.text.starts_with('0')
+            }) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Work-stealing parallel map preserving input order: an atomic cursor
@@ -478,6 +634,16 @@ where
         .unwrap_or_else(|poisoned| poisoned.into_inner());
     indexed.sort_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Analyzes an in-memory `(path, source)` pair — a convenience for unit
+/// tests in this crate.
+#[cfg(test)]
+pub(crate) fn analyze_source(path: &str, source: &str) -> Analysis {
+    analyze(&SourceFile {
+        path: path.to_string(),
+        source: source.to_string(),
+    })
 }
 
 fn analyze(file: &SourceFile) -> Analysis {
@@ -817,6 +983,89 @@ fn rule_zeroize_drop(records: &[(String, FileRecord)], findings: &mut Vec<Findin
                     ),
                     item: Some(s.name.clone()),
                 });
+            }
+        }
+    }
+}
+
+/// Crates in scope for `zeroize-coverage`: everywhere recovered key
+/// material flows in this workspace.
+const COVERAGE_CRATES: &[&str] = &["crypto", "veracrypt", "memenc", "dumpio"];
+
+/// Rule `zeroize-coverage`: a struct that holds secret-tainted data — by
+/// its own field names, or because the interprocedural analysis saw a
+/// struct literal initialize a container field from key material — must
+/// carry a *zeroizing* `Drop`. This widens `zeroize-drop` two ways: it
+/// covers the `memenc`/`dumpio` crates and taint-discovered structs, and
+/// it inspects the Drop body instead of accepting any impl. The two rules
+/// stay disjoint: a secret-bearing crypto/veracrypt struct with no Drop
+/// at all is `zeroize-drop`'s finding, not this one's.
+fn rule_zeroize_coverage(
+    records: &[(String, FileRecord)],
+    sctx: &SummaryCtx,
+    findings: &mut Vec<Finding>,
+) {
+    let mut crate_drops: Vec<(&str, &str, bool)> = Vec::new();
+    for (path, rec) in records {
+        for (target, zeroizes) in &rec.drop_zeroizes {
+            crate_drops.push((crate_of(path), target.as_str(), *zeroizes));
+        }
+    }
+    let inits = sctx.secret_struct_inits();
+    for (path, rec) in records {
+        let krate = crate_of(path);
+        if classify(path) != FileKind::Lib || !COVERAGE_CRATES.contains(&krate) {
+            continue;
+        }
+        for s in &rec.structs {
+            if s.in_test {
+                continue;
+            }
+            let tainted_field = inits
+                .iter()
+                .find(|(_, sn, field)| sn == &s.name && s.container_fields.contains(field))
+                .map(|(_, _, field)| field.clone());
+            if !s.secret_bearing && tainted_field.is_none() {
+                continue;
+            }
+            let drop_impl = crate_drops
+                .iter()
+                .find(|(c, target, _)| *c == krate && *target == s.name.as_str());
+            let why = match tainted_field {
+                Some(field) => format!("field `{field}` is initialized from key material"),
+                None => "its fields name key material".to_string(),
+            };
+            match drop_impl {
+                Some((_, _, true)) => {}
+                Some((_, _, false)) => findings.push(Finding {
+                    file: path.clone(),
+                    line: s.line,
+                    rule: "zeroize-coverage",
+                    message: format!(
+                        "struct `{}` holds secret-tainted data ({why}) but its `Drop` does \
+                         not zeroize; overwrite the bytes before they are freed",
+                        s.name
+                    ),
+                    item: Some(s.name.clone()),
+                }),
+                None => {
+                    // `zeroize-drop` already demands *a* Drop for
+                    // secret-bearing structs in crypto/veracrypt.
+                    let other_rules = s.secret_bearing && matches!(krate, "crypto" | "veracrypt");
+                    if !other_rules {
+                        findings.push(Finding {
+                            file: path.clone(),
+                            line: s.line,
+                            rule: "zeroize-coverage",
+                            message: format!(
+                                "struct `{}` holds secret-tainted data ({why}) but has no \
+                                 zeroizing `Drop`; key bytes will linger in freed memory",
+                                s.name
+                            ),
+                            item: Some(s.name.clone()),
+                        });
+                    }
+                }
             }
         }
     }

@@ -32,6 +32,7 @@
 
 pub mod ast;
 pub mod cache;
+mod callgraph;
 pub mod config;
 mod dataflow;
 pub mod diag;
@@ -40,13 +41,20 @@ pub mod lexer;
 mod locks;
 pub mod sarif;
 pub mod secrets;
+mod summaries;
 pub mod walk;
 
 pub use cache::LintCache;
 pub use config::LintConfig;
-pub use diag::{render_json, render_text, Baseline, Finding, RULE_DESCRIPTIONS, RULE_IDS};
-pub use engine::{lint_sources, lint_sources_with, LintOptions, LintRun, RunStats, SourceFile};
+pub use diag::{
+    render_json, render_text, rule_explanation, Baseline, Finding, RULE_DESCRIPTIONS, RULE_IDS,
+};
+pub use engine::{
+    lint_sources, lint_sources_with, summarize_sources, LintOptions, LintRun, RunStats,
+    SourceFile, SummaryRun,
+};
 pub use sarif::render_sarif;
+pub use summaries::SummaryStats;
 
 use std::io;
 use std::path::Path;

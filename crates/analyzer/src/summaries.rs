@@ -1,0 +1,1388 @@
+//! Per-function summaries and the interprocedural fixpoint.
+//!
+//! Phase one of the v3 engine: every file is reduced to a list of
+//! [`FnFact`]s — a serializable flow IR recording, per function, which
+//! *symbolic sources* (intrinsic secrets, parameters, results of earlier
+//! call sites) reach its return value, its print sinks, and its narrowing
+//! casts, plus local panic/blocking-IO sites and the calls it makes. The
+//! facts depend only on the file's own text, so they cache under a plain
+//! content hash.
+//!
+//! [`fixpoint`] then iterates [`FnSummary`]s over the
+//! [`crate::callgraph`]'s SCCs in reverse topological order. The summary
+//! domain is a finite monotone lattice (two bools and four 16-bit
+//! parameter masks per flavor), so each SCC stabilizes; an explicit
+//! iteration bound (`8 * |scc| + 8`) backstops the argument. Call-result
+//! references inside a fact always point at earlier call sites of the
+//! same function (arguments are extracted before the enclosing call is
+//! registered), so resolving a fact is a single left-to-right pass.
+//!
+//! The same summaries drive two workspace rules directly:
+//! `panic-reachability` (a dumpd worker/connection entry calls something
+//! that can transitively panic) and `blocking-in-worker` (a queue worker
+//! reaches blocking socket IO).
+
+use std::collections::HashMap;
+
+use crate::ast::{Block, Expr, ExprKind, Stmt};
+use crate::callgraph::{CallGraph, CallKey};
+use crate::cache::fnv64;
+use crate::dataflow::{
+    callee_returns_secret, receiver_is_socket, seg_matches, IO_SCOPED_PATHS, LEN_CAST_EXEMPT,
+    LEN_SEGS, READ_METHODS,
+};
+use crate::diag::Finding;
+use crate::engine::{classify, format_captures, Analysis, FileKind, PRINT_MACROS};
+use crate::lexer::TokenKind;
+use crate::secrets;
+
+/// Function-name segments that mark a service entry point for
+/// `panic-reachability`.
+const PANIC_ENTRY_SEGS: &[&str] = &[
+    "worker", "connection", "conn", "handle", "serve", "dispatch", "accept",
+];
+
+/// Function-name segments that mark a queue worker for
+/// `blocking-in-worker`. Narrower than the panic set: connection handlers
+/// legitimately block on their own socket (that is `untimed-io`'s beat).
+const WORKER_ENTRY_SEGS: &[&str] = &["worker", "job"];
+
+/// A symbolic source set in one flow domain: an intrinsic base source
+/// (a secret-named field read, a `.len()` result), parameter bits, and
+/// references to the results of earlier call sites in the same function.
+/// `checked` is only meaningful in the length domain: the value passed
+/// through a mask/clamp/try_from and can no longer truncate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Set {
+    pub(crate) base: bool,
+    pub(crate) checked: bool,
+    pub(crate) params: u16,
+    pub(crate) calls: Vec<u16>,
+}
+
+impl Set {
+    fn base() -> Set {
+        Set {
+            base: true,
+            ..Set::default()
+        }
+    }
+
+    fn param(i: usize) -> Set {
+        Set {
+            params: if i < 16 { 1 << i } else { 0 },
+            ..Set::default()
+        }
+    }
+
+    fn call(j: usize) -> Set {
+        Set {
+            calls: vec![j.min(u16::MAX as usize) as u16],
+            ..Set::default()
+        }
+    }
+
+    fn join(mut self, other: &Set) -> Set {
+        self.base |= other.base;
+        self.checked |= other.checked;
+        self.params |= other.params;
+        for &c in &other.calls {
+            if !self.calls.contains(&c) {
+                self.calls.push(c);
+            }
+        }
+        self
+    }
+
+    fn with_checked(mut self) -> Set {
+        self.checked = true;
+        self
+    }
+
+    /// Carries any taint at all (checked alone is not taint).
+    pub(crate) fn is_taint(&self) -> bool {
+        self.base || self.params != 0 || !self.calls.is_empty()
+    }
+
+    fn serialize(&self) -> String {
+        let refs: Vec<String> = self.calls.iter().map(u16::to_string).collect();
+        format!(
+            "{}{}:{:04x}:{}",
+            u8::from(self.base),
+            u8::from(self.checked),
+            self.params,
+            refs.join(";")
+        )
+    }
+
+    fn deserialize(s: &str) -> Option<Set> {
+        let mut parts = s.split(':');
+        let flags = parts.next()?;
+        if flags.len() != 2 {
+            return None;
+        }
+        let params = u16::from_str_radix(parts.next()?, 16).ok()?;
+        let refs = parts.next()?;
+        let calls = if refs.is_empty() {
+            Vec::new()
+        } else {
+            refs.split(';')
+                .map(str::parse)
+                .collect::<Result<Vec<u16>, _>>()
+                .ok()?
+        };
+        Some(Set {
+            base: flags.as_bytes()[0] == b'1',
+            checked: flags.as_bytes()[1] == b'1',
+            params,
+            calls,
+        })
+    }
+}
+
+/// A value's taint in both domains.
+#[derive(Debug, Clone, Default)]
+struct Val {
+    t: Set,
+    l: Set,
+}
+
+impl Val {
+    fn join(self, other: &Val) -> Val {
+        Val {
+            t: self.t.join(&other.t),
+            l: self.l.join(&other.l),
+        }
+    }
+
+    fn is_taint(&self) -> bool {
+        self.t.is_taint() || self.l.is_taint()
+    }
+}
+
+/// One call site inside a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CallFact {
+    pub(crate) callee: CallKey,
+    pub(crate) line: u32,
+    /// Secret-domain taint of each argument (self omitted for methods,
+    /// matching [`crate::ast::FnDef::params`]).
+    pub(crate) args_t: Vec<Set>,
+    /// Length-domain taint of each argument.
+    pub(crate) args_l: Vec<Set>,
+}
+
+impl Default for CallFact {
+    fn default() -> Self {
+        CallFact {
+            callee: CallKey::Path(Vec::new()),
+            line: 0,
+            args_t: Vec::new(),
+            args_l: Vec::new(),
+        }
+    }
+}
+
+/// A struct-literal field initialized from a tainted value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StructInit {
+    pub(crate) struct_name: String,
+    pub(crate) field: String,
+    pub(crate) set: Set,
+}
+
+/// Everything the fixpoint needs to know about one function, extracted
+/// from its own file alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct FnFact {
+    /// `name` or `Type::method`, as in [`crate::ast::FnDef`].
+    pub(crate) name: String,
+    pub(crate) line: u32,
+    /// Line of the first unsuppressed panic construct, if any.
+    pub(crate) local_panic: Option<u32>,
+    /// Line of the first blocking socket operation, if any.
+    pub(crate) local_block: Option<u32>,
+    pub(crate) calls: Vec<CallFact>,
+    /// Taint reaching the return value.
+    pub(crate) ret_t: Set,
+    pub(crate) ret_l: Set,
+    /// Taint reaching a print/format sink.
+    pub(crate) sink_t: Set,
+    /// Length taint reaching an unchecked narrowing cast.
+    pub(crate) narrow_l: Set,
+    pub(crate) struct_inits: Vec<StructInit>,
+}
+
+/// The fixpoint's verdict about one function, as seen by its callers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// The return value carries intrinsic key material.
+    pub returns_secret: bool,
+    /// Param bits whose secret taint flows to the return value.
+    pub param_to_ret: u16,
+    /// Param bits that (transitively) reach a print/format sink.
+    pub param_to_sink: u16,
+    /// The return value is a length/size.
+    pub returns_len: bool,
+    /// Param bits whose length taint flows to the return value.
+    pub param_to_ret_len: u16,
+    /// Param bits that (transitively) reach an unchecked narrowing cast.
+    pub param_narrowed: u16,
+    /// A panic is reachable from this function.
+    pub may_panic: bool,
+    /// Blocking socket IO is reachable from this function.
+    pub may_block: bool,
+}
+
+impl FnSummary {
+    fn join(mut self, o: &FnSummary) -> FnSummary {
+        self.returns_secret |= o.returns_secret;
+        self.param_to_ret |= o.param_to_ret;
+        self.param_to_sink |= o.param_to_sink;
+        self.returns_len |= o.returns_len;
+        self.param_to_ret_len |= o.param_to_ret_len;
+        self.param_narrowed |= o.param_narrowed;
+        self.may_panic |= o.may_panic;
+        self.may_block |= o.may_block;
+        self
+    }
+
+    /// Stable hash for dependency-aware cache keys.
+    pub(crate) fn hash(&self) -> u64 {
+        let bytes = [
+            u8::from(self.returns_secret),
+            u8::from(self.returns_len),
+            u8::from(self.may_panic),
+            u8::from(self.may_block),
+            (self.param_to_ret & 0xff) as u8,
+            (self.param_to_ret >> 8) as u8,
+            (self.param_to_sink & 0xff) as u8,
+            (self.param_to_sink >> 8) as u8,
+            (self.param_to_ret_len & 0xff) as u8,
+            (self.param_to_ret_len >> 8) as u8,
+            (self.param_narrowed & 0xff) as u8,
+            (self.param_narrowed >> 8) as u8,
+        ];
+        fnv64(&bytes)
+    }
+}
+
+/// Bookkeeping about the summary phase, surfaced through `--stats` and
+/// the lint bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummaryStats {
+    /// Functions in the workspace call graph.
+    pub fns: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Strongly connected components.
+    pub sccs: usize,
+    /// Largest SCC (1 unless something is recursive).
+    pub max_scc: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------------
+
+/// Extracts per-function facts from one analyzed file. Test functions and
+/// test/bench files produce nothing: they are never legitimate callees of
+/// shipped code paths.
+pub(crate) fn extract(a: &Analysis) -> Vec<FnFact> {
+    if !matches!(a.kind, FileKind::Lib | FileKind::Bin | FileKind::Example) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &a.ast.fns {
+        if a.in_test.get(f.tok).copied().unwrap_or(false) {
+            continue;
+        }
+        let self_ty = f.name.rsplit_once("::").map(|(t, _)| t.to_string());
+        let mut ex = Extractor {
+            a,
+            self_ty,
+            env: HashMap::new(),
+            fact: FnFact {
+                name: f.name.clone(),
+                line: f.line,
+                ..FnFact::default()
+            },
+            len_scoped: !LEN_CAST_EXEMPT.contains(&a.path.as_str()),
+        };
+        for (i, (name, _ty)) in f.params.iter().enumerate() {
+            ex.env.insert(
+                name.clone(),
+                Val {
+                    t: Set::param(i),
+                    l: Set::param(i),
+                },
+            );
+        }
+        let tail = ex.scan_block(&f.body);
+        ex.fact.ret_t = std::mem::take(&mut ex.fact.ret_t).join(&tail.t);
+        ex.fact.ret_l = std::mem::take(&mut ex.fact.ret_l).join(&tail.l);
+        ex.fact.local_panic = local_panic_line(a, f.tok, f.body.span.1);
+        out.push(ex.fact);
+    }
+    out
+}
+
+/// First unsuppressed panic construct in `[start, end]` (the same
+/// patterns as the `panic` rule; a `lint:allow(panic): reason` that
+/// covers the line excludes it — justified panics are not reachability
+/// hazards).
+fn local_panic_line(a: &Analysis, start: usize, end: usize) -> Option<u32> {
+    const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let toks = &a.tokens;
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = toks[i].text.as_str();
+        let is_method_panic = (text == "unwrap" || text == "expect")
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map_or(false, |t| t.text == "(");
+        let is_macro_panic =
+            PANIC_MACROS.contains(&text) && toks.get(i + 1).map_or(false, |t| t.text == "!");
+        if !is_method_panic && !is_macro_panic {
+            continue;
+        }
+        let line = toks[i].line;
+        let suppressed = a
+            .suppressions
+            .iter()
+            .any(|s| s.has_reason && s.covers("panic", line));
+        if !suppressed {
+            return Some(line);
+        }
+    }
+    None
+}
+
+struct Extractor<'a> {
+    a: &'a Analysis,
+    self_ty: Option<String>,
+    env: HashMap<String, Val>,
+    fact: FnFact,
+    len_scoped: bool,
+}
+
+impl<'a> Extractor<'a> {
+    /// Walks a block in source order; the block's value is its trailing
+    /// expression's value.
+    fn scan_block(&mut self, b: &Block) -> Val {
+        let mut last = Val::default();
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let {
+                    name,
+                    names,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    last = Val::default();
+                    if let Some(e) = init {
+                        let v = self.eval(e);
+                        if let Some(n) = name {
+                            if v.is_taint() {
+                                self.env.insert(n.clone(), v);
+                            } else {
+                                self.env.remove(n);
+                            }
+                        } else if v.is_taint() {
+                            for n in names {
+                                self.env.insert(n.clone(), v.clone());
+                            }
+                        }
+                    }
+                    if let Some(eb) = else_block {
+                        self.scan_block(eb);
+                    }
+                }
+                Stmt::Expr(e) => last = self.eval(e),
+            }
+        }
+        last
+    }
+
+    fn bind(&mut self, names: &[String], v: &Val) {
+        if !v.is_taint() {
+            return;
+        }
+        for n in names {
+            self.env.insert(n.clone(), v.clone());
+        }
+    }
+
+    /// Evaluates one expression: registers the calls it contains (each
+    /// exactly once, arguments before the enclosing call, so call-result
+    /// references always point backwards) and returns its taint.
+    fn eval(&mut self, e: &Expr) -> Val {
+        match &e.kind {
+            ExprKind::Path(segs) => {
+                if let [only] = segs.as_slice() {
+                    if let Some(v) = self.env.get(only) {
+                        return v.clone();
+                    }
+                }
+                let len = segs.last().map_or(false, |s| seg_matches(s, LEN_SEGS));
+                Val {
+                    t: Set::default(),
+                    l: if len { Set::base() } else { Set::default() },
+                }
+            }
+            ExprKind::Lit | ExprKind::Break | ExprKind::Continue | ExprKind::Unknown => {
+                Val::default()
+            }
+            ExprKind::Macro { name, args } => {
+                let argvals: Vec<Val> = args.iter().map(|a| self.eval(a)).collect();
+                if PRINT_MACROS.contains(&name.as_str()) && !self.macro_lexically_secret(e) {
+                    let mut sink = Set::default();
+                    for v in &argvals {
+                        sink = sink.join(&v.t);
+                    }
+                    sink = sink.join(&self.capture_taint(e));
+                    self.fact.sink_t = std::mem::take(&mut self.fact.sink_t).join(&sink);
+                }
+                Val::default()
+            }
+            ExprKind::Call { callee, args } => {
+                let argvals: Vec<Val> = args.iter().map(|a| self.eval(a)).collect();
+                let mut t = Set::default();
+                for v in &argvals {
+                    t = t.join(&v.t);
+                }
+                if let ExprKind::Path(segs) = &callee.kind {
+                    match segs.last().map(String::as_str) {
+                        // Checked conversions, exactly as the v2 length rule
+                        // treats them; std targets, never registered.
+                        Some("try_from") => {
+                            let l = argvals
+                                .first()
+                                .map_or(Set::default(), |v| v.l.clone())
+                                .with_checked();
+                            return Val { t, l };
+                        }
+                        Some("min") => {
+                            let mut l = Set::default();
+                            for v in &argvals {
+                                l = l.join(&v.l);
+                            }
+                            return Val {
+                                t,
+                                l: l.with_checked(),
+                            };
+                        }
+                        _ => {}
+                    }
+                    let mut segs = segs.clone();
+                    if let (Some(first), Some(ty)) = (segs.first_mut(), &self.self_ty) {
+                        if first == "Self" {
+                            *first = ty.clone();
+                        }
+                    }
+                    let j = self.register(CallKey::Path(segs), e.line, &argvals);
+                    return Val {
+                        t: t.join(&Set::call(j)),
+                        l: Set::call(j),
+                    };
+                }
+                self.eval(callee);
+                Val {
+                    t,
+                    l: Set::default(),
+                }
+            }
+            ExprKind::MethodCall { recv, method, args } => {
+                let rv = self.eval(recv);
+                let argvals: Vec<Val> = args.iter().map(|a| self.eval(a)).collect();
+                if READ_METHODS.contains(&method.as_str()) || method == "accept" {
+                    if receiver_is_socket(recv) && self.fact.local_block.is_none() {
+                        self.fact.local_block = Some(e.line);
+                    }
+                }
+                match method.as_str() {
+                    "len" | "capacity" => {
+                        return Val {
+                            t: Set::default(),
+                            l: Set::base(),
+                        }
+                    }
+                    "is_empty" | "count" => return Val::default(),
+                    "min" | "clamp" | "try_into" | "rem_euclid" => {
+                        return Val {
+                            t: rv.t,
+                            l: rv.l.with_checked(),
+                        }
+                    }
+                    m if m.starts_with("checked_") || m.starts_with("saturating_") => {
+                        return Val {
+                            t: rv.t,
+                            l: rv.l.with_checked(),
+                        }
+                    }
+                    _ => {}
+                }
+                let j = self.register(CallKey::Method(method.clone()), e.line, &argvals);
+                let mut t = rv.t.join(&Set::call(j));
+                for v in &argvals {
+                    t = t.join(&v.t);
+                }
+                Val {
+                    t,
+                    l: rv.l.join(&Set::call(j)),
+                }
+            }
+            ExprKind::Field { recv, name } => {
+                let rv = self.eval(recv);
+                Val {
+                    t: if secrets::is_secret_ident(name) {
+                        Set::base()
+                    } else {
+                        rv.t
+                    },
+                    l: if seg_matches(name, LEN_SEGS) {
+                        Set::base()
+                    } else {
+                        Set::default()
+                    },
+                }
+            }
+            ExprKind::Index { recv, index } => {
+                let rv = self.eval(recv);
+                self.eval(index);
+                rv
+            }
+            ExprKind::Cast { expr, ty } => {
+                let v = self.eval(expr);
+                let narrow = matches!(ty.as_str(), "u8" | "u16" | "u32" | "i8" | "i16" | "i32");
+                if narrow && self.len_scoped && v.l.is_taint() && !v.l.checked {
+                    self.fact.narrow_l = std::mem::take(&mut self.fact.narrow_l).join(&v.l);
+                }
+                v
+            }
+            ExprKind::Unary { expr } | ExprKind::Try { expr } => self.eval(expr),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lv = self.eval(lhs);
+                let rv = self.eval(rhs);
+                // Comparisons yield a one-bit bool, not key material —
+                // `recovered == expected` is `const-time`'s territory, and
+                // letting the bool carry taint would mark every verdict
+                // struct (pass/fail summaries) as secret-bearing.
+                let t = match op.as_str() {
+                    "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||" => Set::default(),
+                    _ => lv.t.join(&rv.t),
+                };
+                let l = match op.as_str() {
+                    "&" | "%" => lv.l.join(&rv.l).with_checked(),
+                    "+" | "*" | "/" | "^" | "|" | "-" => lv.l.join(&rv.l),
+                    _ => Set::default(),
+                };
+                Val { t, l }
+            }
+            ExprKind::Assign { target, value } => {
+                let v = self.eval(value);
+                if let ExprKind::Path(segs) = &target.kind {
+                    if let [only] = segs.as_slice() {
+                        if v.is_taint() {
+                            self.env.insert(only.clone(), v);
+                        } else {
+                            self.env.remove(only);
+                        }
+                        return Val::default();
+                    }
+                }
+                self.eval(target);
+                Val::default()
+            }
+            ExprKind::Range { lo, hi } => {
+                if let Some(l) = lo {
+                    self.eval(l);
+                }
+                if let Some(h) = hi {
+                    self.eval(h);
+                }
+                Val::default()
+            }
+            ExprKind::If { cond, then, els } => {
+                if let ExprKind::LetCond { names, scrut } = &cond.kind {
+                    let sv = self.eval(scrut);
+                    self.bind(names, &sv);
+                } else {
+                    self.eval(cond);
+                }
+                let tv = self.scan_block(then);
+                let ev = els.as_ref().map_or(Val::default(), |e2| self.eval(e2));
+                tv.join(&ev)
+            }
+            ExprKind::LetCond { names, scrut } => {
+                let sv = self.eval(scrut);
+                self.bind(names, &sv);
+                Val::default()
+            }
+            ExprKind::Match { scrut, arms } => {
+                let sv = self.eval(scrut);
+                let mut out = Val::default();
+                for arm in arms {
+                    self.bind(&arm.names, &sv);
+                    let av = self.eval(&arm.body);
+                    out = out.join(&av);
+                }
+                out
+            }
+            ExprKind::Loop { body } => {
+                self.scan_block(body);
+                Val::default()
+            }
+            ExprKind::While { cond, body } => {
+                if let ExprKind::LetCond { names, scrut } = &cond.kind {
+                    let sv = self.eval(scrut);
+                    self.bind(names, &sv);
+                } else {
+                    self.eval(cond);
+                }
+                self.scan_block(body);
+                Val::default()
+            }
+            ExprKind::For { names, iter, body } => {
+                let iv = self.eval(iter);
+                self.bind(names, &iv);
+                self.scan_block(body);
+                Val::default()
+            }
+            ExprKind::BlockExpr(b) => self.scan_block(b),
+            ExprKind::Closure { body } => {
+                self.eval(body);
+                Val::default()
+            }
+            ExprKind::Tuple { items } => {
+                let mut t = Set::default();
+                for item in items {
+                    let v = self.eval(item);
+                    t = t.join(&v.t);
+                }
+                Val {
+                    t,
+                    l: Set::default(),
+                }
+            }
+            ExprKind::StructLit { path, fields } => {
+                let mut t = Set::default();
+                let struct_name = path.rsplit("::").next().unwrap_or(path);
+                let struct_name = if struct_name == "Self" {
+                    self.self_ty.clone().unwrap_or_else(|| path.clone())
+                } else {
+                    struct_name.to_string()
+                };
+                for (fname, v) in fields {
+                    let fv = self.eval(v);
+                    if fv.t.is_taint() && !fname.is_empty() {
+                        self.fact.struct_inits.push(StructInit {
+                            struct_name: struct_name.clone(),
+                            field: fname.clone(),
+                            set: fv.t.clone(),
+                        });
+                    }
+                    t = t.join(&fv.t);
+                }
+                Val {
+                    t,
+                    l: Set::default(),
+                }
+            }
+            ExprKind::Return { value } => {
+                if let Some(v) = value {
+                    let rv = self.eval(v);
+                    self.fact.ret_t = std::mem::take(&mut self.fact.ret_t).join(&rv.t);
+                    self.fact.ret_l = std::mem::take(&mut self.fact.ret_l).join(&rv.l);
+                }
+                Val::default()
+            }
+        }
+    }
+
+    fn register(&mut self, callee: CallKey, line: u32, argvals: &[Val]) -> usize {
+        let j = self.fact.calls.len();
+        self.fact.calls.push(CallFact {
+            callee,
+            line,
+            args_t: argvals.iter().map(|v| v.t.clone()).collect(),
+            args_l: argvals.iter().map(|v| v.l.clone()).collect(),
+        });
+        j
+    }
+
+    /// Mirrors `check_taint_sink`'s skip: macros that lexically mention a
+    /// secret identifier are `secret-print`'s findings.
+    fn macro_lexically_secret(&self, mac: &Expr) -> bool {
+        let (start, end) = mac.span;
+        let toks = &self.a.tokens;
+        toks[start.min(toks.len())..(end + 1).min(toks.len())]
+            .iter()
+            .any(|t| {
+                t.kind == TokenKind::Ident
+                    && secrets::is_secret_ident(&t.text)
+                    && !matches!(t.text.as_str(), "write" | "writeln")
+            })
+    }
+
+    /// Secret taint of `{name}` format-string captures inside a macro.
+    fn capture_taint(&self, mac: &Expr) -> Set {
+        let (start, end) = mac.span;
+        let toks = &self.a.tokens;
+        let mut out = Set::default();
+        for t in &toks[start.min(toks.len())..(end + 1).min(toks.len())] {
+            if t.kind != TokenKind::Literal || !t.text.contains('{') {
+                continue;
+            }
+            for cap in format_captures(&t.text) {
+                if let Some(v) = self.env.get(&cap) {
+                    out = out.join(&v.t);
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint
+// ---------------------------------------------------------------------------
+
+/// Resolves a symbolic set against the per-call results computed so far.
+fn resolve(s: &Set, call_res: &[(bool, u16)]) -> (bool, u16) {
+    let mut base = s.base;
+    let mut params = s.params;
+    for &r in &s.calls {
+        if let Some(&(rb, rp)) = call_res.get(r as usize) {
+            base |= rb;
+            params |= rp;
+        }
+    }
+    (base, params)
+}
+
+fn bits(mask: u16) -> impl Iterator<Item = usize> {
+    (0..16).filter(move |i| mask & (1 << i) != 0)
+}
+
+/// Per-call resolved results for one function under the current
+/// summaries: `(secret-domain, length-domain, joined callee summary)`.
+type CallResolution = (Vec<(bool, u16)>, Vec<(bool, u16)>, Vec<Option<FnSummary>>);
+
+fn resolve_calls(g: &CallGraph, id: usize, sums: &[FnSummary]) -> CallResolution {
+    let node = &g.nodes[id];
+    let mut ct: Vec<(bool, u16)> = Vec::with_capacity(node.fact.calls.len());
+    let mut cl: Vec<(bool, u16)> = Vec::with_capacity(node.fact.calls.len());
+    let mut callee: Vec<Option<FnSummary>> = Vec::with_capacity(node.fact.calls.len());
+    for call in &node.fact.calls {
+        let cands = g.resolve(&call.callee, node.file);
+        if cands.is_empty() {
+            // Unresolved extern: fall back to v2 semantics. The secret
+            // domain uses the lexical callee-name heuristic plus the
+            // "any tainted argument taints the result" rule (wrapping a
+            // key in `Ok(..)`/`Some(..)`/an enum variant keeps it a key);
+            // the length domain deliberately drops through.
+            let mut sec = callee_returns_secret(call.callee.last_segment());
+            let mut pm = 0u16;
+            for s in &call.args_t {
+                let r = resolve(s, &ct);
+                sec |= r.0;
+                pm |= r.1;
+            }
+            ct.push((sec, pm));
+            cl.push((false, 0));
+            callee.push(None);
+            continue;
+        }
+        let cs = cands
+            .iter()
+            .fold(FnSummary::default(), |acc, &c| acc.join(&sums[c]));
+        let mut sec = cs.returns_secret;
+        let mut pm = 0u16;
+        for i in bits(cs.param_to_ret) {
+            if let Some(s) = call.args_t.get(i) {
+                let r = resolve(s, &ct);
+                sec |= r.0;
+                pm |= r.1;
+            }
+        }
+        ct.push((sec, pm));
+        let mut len = cs.returns_len;
+        let mut lpm = 0u16;
+        for i in bits(cs.param_to_ret_len) {
+            if let Some(s) = call.args_l.get(i) {
+                if !s.checked {
+                    let r = resolve(s, &cl);
+                    len |= r.0;
+                    lpm |= r.1;
+                }
+            }
+        }
+        cl.push((len, lpm));
+        callee.push(Some(cs));
+    }
+    (ct, cl, callee)
+}
+
+fn summarize_one(g: &CallGraph, id: usize, sums: &[FnSummary]) -> FnSummary {
+    let fact = &g.nodes[id].fact;
+    let (ct, cl, callees) = resolve_calls(g, id, sums);
+    let mut may_panic = fact.local_panic.is_some();
+    let mut may_block = fact.local_block.is_some();
+    let mut sink_params = 0u16;
+    let mut narrow_params = 0u16;
+    for (call, cs) in fact.calls.iter().zip(&callees) {
+        let Some(cs) = cs else { continue };
+        may_panic |= cs.may_panic;
+        may_block |= cs.may_block;
+        for i in bits(cs.param_to_sink) {
+            if let Some(s) = call.args_t.get(i) {
+                sink_params |= resolve(s, &ct).1;
+            }
+        }
+        for i in bits(cs.param_narrowed) {
+            if let Some(s) = call.args_l.get(i) {
+                if !s.checked {
+                    narrow_params |= resolve(s, &cl).1;
+                }
+            }
+        }
+    }
+    let rt = resolve(&fact.ret_t, &ct);
+    let st = resolve(&fact.sink_t, &ct);
+    let (rl, nl) = (
+        if fact.ret_l.checked {
+            (false, 0)
+        } else {
+            resolve(&fact.ret_l, &cl)
+        },
+        if fact.narrow_l.checked {
+            (false, 0)
+        } else {
+            resolve(&fact.narrow_l, &cl)
+        },
+    );
+    FnSummary {
+        returns_secret: rt.0,
+        param_to_ret: rt.1,
+        param_to_sink: st.1 | sink_params,
+        returns_len: rl.0,
+        param_to_ret_len: rl.1,
+        param_narrowed: nl.1 | narrow_params,
+        may_panic,
+        may_block,
+    }
+}
+
+/// Iterates summaries to fixpoint over the graph's SCCs, callees first.
+/// Every summary field only ever grows (the join is a union over a finite
+/// domain), so each SCC stabilizes; the `8 * |scc| + 8` bound terminates
+/// the loop regardless.
+pub(crate) fn fixpoint(g: &CallGraph) -> (Vec<FnSummary>, SummaryStats) {
+    let n = g.nodes.len();
+    let mut sums = vec![FnSummary::default(); n];
+    let sccs = g.sccs();
+    let mut max_scc = 0;
+    for scc in &sccs {
+        max_scc = max_scc.max(scc.len());
+        let bound = scc.len() * 8 + 8;
+        for _ in 0..bound {
+            let mut changed = false;
+            for &id in scc {
+                let new = summarize_one(g, id, &sums);
+                if new != sums[id] {
+                    sums[id] = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    let stats = SummaryStats {
+        fns: n,
+        edges: g.edges,
+        sccs: sccs.len(),
+        max_scc,
+    };
+    (sums, stats)
+}
+
+// ---------------------------------------------------------------------------
+// The resolved workspace view
+// ---------------------------------------------------------------------------
+
+/// The phase-one product: the call graph, the stabilized summaries, and
+/// the indices phase two queries.
+pub(crate) struct SummaryCtx {
+    pub(crate) graph: CallGraph,
+    pub(crate) summaries: Vec<FnSummary>,
+    pub(crate) stats: SummaryStats,
+    /// Node ids per file index.
+    by_file: Vec<Vec<usize>>,
+}
+
+impl SummaryCtx {
+    pub(crate) fn new(graph: CallGraph, summaries: Vec<FnSummary>, stats: SummaryStats) -> Self {
+        let mut by_file = vec![Vec::new(); graph.file_paths.len()];
+        for (id, node) in graph.nodes.iter().enumerate() {
+            by_file[node.file].push(id);
+        }
+        SummaryCtx {
+            graph,
+            summaries,
+            stats,
+            by_file,
+        }
+    }
+
+    /// The joined summary of a call's workspace candidates, from the
+    /// perspective of `file`; `None` for unresolved externs.
+    pub(crate) fn call_summary(&self, key: &CallKey, file: usize) -> Option<FnSummary> {
+        let cands = self.graph.resolve(key, file);
+        if cands.is_empty() {
+            return None;
+        }
+        Some(
+            cands
+                .iter()
+                .fold(FnSummary::default(), |acc, &c| acc.join(&self.summaries[c])),
+        )
+    }
+
+    /// Hash over the (name, summary) pairs of every callee a file
+    /// resolves to — the dependency half of the phase-two cache key.
+    /// Editing a callee changes its summary hash, which changes this
+    /// value for every dependent caller file and only them.
+    pub(crate) fn file_dep_hash(&self, file: usize) -> u64 {
+        let mut parts: Vec<u64> = Vec::new();
+        for &id in &self.by_file[file] {
+            for call in &self.graph.nodes[id].fact.calls {
+                for cand in self.graph.resolve(&call.callee, file) {
+                    let name = &self.graph.nodes[cand].fact.name;
+                    parts.push(
+                        fnv64(name.as_bytes()) ^ self.summaries[cand].hash().rotate_left(1),
+                    );
+                }
+            }
+        }
+        parts.sort_unstable();
+        parts.dedup();
+        let mut bytes = Vec::with_capacity(parts.len() * 8);
+        for p in parts {
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        fnv64(&bytes)
+    }
+
+    /// Struct-literal fields initialized from *intrinsically* secret
+    /// values anywhere in the workspace, fully resolved:
+    /// `(file, struct_name, field)`. Parameter-only taint does not count —
+    /// whether a caller passes key material is the caller's story, and
+    /// counting it would demand Drop impls on wrappers whose fields
+    /// already zeroize themselves.
+    pub(crate) fn secret_struct_inits(&self) -> Vec<(usize, String, String)> {
+        let mut out = Vec::new();
+        for (id, node) in self.graph.nodes.iter().enumerate() {
+            if node.fact.struct_inits.is_empty() {
+                continue;
+            }
+            let (ct, _, _) = resolve_calls(&self.graph, id, &self.summaries);
+            for init in &node.fact.struct_inits {
+                if resolve(&init.set, &ct).0 {
+                    out.push((node.file, init.struct_name.clone(), init.field.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// `panic-reachability`: service worker/connection entry points whose
+    /// resolved callees can transitively panic.
+    pub(crate) fn panic_reachability_findings(&self) -> Vec<Finding> {
+        self.entry_findings(PANIC_ENTRY_SEGS, |s| s.may_panic, |entry, callee| {
+            (
+                "panic-reachability",
+                format!(
+                    "service path `{entry}` calls `{callee}`, which can panic; a panic \
+                     here kills the worker/connection silently — return an error instead"
+                ),
+            )
+        })
+    }
+
+    /// `blocking-in-worker`: queue workers whose resolved callees reach
+    /// blocking socket IO.
+    pub(crate) fn blocking_in_worker_findings(&self) -> Vec<Finding> {
+        let mut out = self.entry_findings(WORKER_ENTRY_SEGS, |s| s.may_block, |entry, callee| {
+            (
+                "blocking-in-worker",
+                format!(
+                    "queue worker `{entry}` calls `{callee}`, which performs blocking \
+                     socket IO; a slow peer stalls every queued job — move the IO to \
+                     the connection path"
+                ),
+            )
+        });
+        // A worker doing the blocking read itself.
+        for node in &self.graph.nodes {
+            let path = &self.graph.file_paths[node.file];
+            if !Self::entry_file(path) || !Self::entry_name(&node.fact.name, WORKER_ENTRY_SEGS) {
+                continue;
+            }
+            if let Some(line) = node.fact.local_block {
+                out.push(Finding {
+                    file: path.clone(),
+                    line,
+                    rule: "blocking-in-worker",
+                    message: format!(
+                        "queue worker `{}` performs blocking socket IO; a slow peer \
+                         stalls every queued job — move the IO to the connection path",
+                        node.fact.name
+                    ),
+                    item: Some(node.fact.name.clone()),
+                });
+            }
+        }
+        out
+    }
+
+    fn entry_file(path: &str) -> bool {
+        matches!(classify(path), FileKind::Lib | FileKind::Bin)
+            && IO_SCOPED_PATHS.iter().any(|p| path.contains(p))
+    }
+
+    fn entry_name(name: &str, segs: &[&str]) -> bool {
+        let local = name.rsplit("::").next().unwrap_or(name);
+        seg_matches(local, segs)
+    }
+
+    fn entry_findings(
+        &self,
+        entry_segs: &[&str],
+        flag: impl Fn(&FnSummary) -> bool,
+        describe: impl Fn(&str, &str) -> (&'static str, String),
+    ) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for node in &self.graph.nodes {
+            let path = &self.graph.file_paths[node.file];
+            if !Self::entry_file(path) || !Self::entry_name(&node.fact.name, entry_segs) {
+                continue;
+            }
+            for call in &node.fact.calls {
+                let Some(cs) = self.call_summary(&call.callee, node.file) else {
+                    continue;
+                };
+                if !flag(&cs) {
+                    continue;
+                }
+                let callee = call.callee.display();
+                let (rule, message) = describe(&node.fact.name, &callee);
+                out.push(Finding {
+                    file: path.clone(),
+                    line: call.line,
+                    rule,
+                    message,
+                    item: Some(callee),
+                });
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache serialization
+// ---------------------------------------------------------------------------
+
+/// Serializes one function's facts as cache body lines (`N` for the
+/// function, `C` per call, `I` per tainted struct init).
+pub(crate) fn serialize_fact(fact: &FnFact, out: &mut String, esc: impl Fn(&str) -> String) {
+    out.push_str(&format!(
+        "N\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        fact.line,
+        fact.local_panic.map_or("-".to_string(), |l| l.to_string()),
+        fact.local_block.map_or("-".to_string(), |l| l.to_string()),
+        fact.ret_t.serialize(),
+        fact.ret_l.serialize(),
+        fact.sink_t.serialize(),
+        fact.narrow_l.serialize(),
+        esc(&fact.name),
+    ));
+    for c in &fact.calls {
+        let join = |sets: &[Set]| -> String {
+            if sets.is_empty() {
+                "-".to_string()
+            } else {
+                sets.iter()
+                    .map(Set::serialize)
+                    .collect::<Vec<_>>()
+                    .join("|")
+            }
+        };
+        out.push_str(&format!(
+            "C\t{}\t{}\t{}\t{}\n",
+            c.line,
+            esc(&c.callee.serialize()),
+            join(&c.args_t),
+            join(&c.args_l),
+        ));
+    }
+    for i in &fact.struct_inits {
+        out.push_str(&format!(
+            "I\t{}\t{}\t{}\n",
+            i.set.serialize(),
+            esc(&i.struct_name),
+            esc(&i.field),
+        ));
+    }
+}
+
+fn parse_opt_line(s: &str) -> Option<Option<u32>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        s.parse().ok().map(Some)
+    }
+}
+
+fn parse_sets(s: &str) -> Option<Vec<Set>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split('|').map(Set::deserialize).collect()
+}
+
+/// Parses the body lines written by [`serialize_fact`] back into facts.
+/// `None` on any anomaly, making the whole record invalid.
+pub(crate) fn parse_facts<'a>(
+    lines: impl Iterator<Item = &'a str>,
+    unesc: impl Fn(&str) -> String,
+) -> Option<Vec<FnFact>> {
+    let mut out: Vec<FnFact> = Vec::new();
+    for line in lines {
+        let mut parts = line.split('\t');
+        match parts.next()? {
+            "N" => {
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let local_panic = parse_opt_line(parts.next()?)?;
+                let local_block = parse_opt_line(parts.next()?)?;
+                let ret_t = Set::deserialize(parts.next()?)?;
+                let ret_l = Set::deserialize(parts.next()?)?;
+                let sink_t = Set::deserialize(parts.next()?)?;
+                let narrow_l = Set::deserialize(parts.next()?)?;
+                let name = unesc(parts.next()?);
+                out.push(FnFact {
+                    name,
+                    line: line_no,
+                    local_panic,
+                    local_block,
+                    calls: Vec::new(),
+                    ret_t,
+                    ret_l,
+                    sink_t,
+                    narrow_l,
+                    struct_inits: Vec::new(),
+                });
+            }
+            "C" => {
+                let fact = out.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let callee = CallKey::deserialize(&unesc(parts.next()?))?;
+                let args_t = parse_sets(parts.next()?)?;
+                let args_l = parse_sets(parts.next()?)?;
+                fact.calls.push(CallFact {
+                    callee,
+                    line: line_no,
+                    args_t,
+                    args_l,
+                });
+            }
+            "I" => {
+                let fact = out.last_mut()?;
+                let set = Set::deserialize(parts.next()?)?;
+                let struct_name = unesc(parts.next()?);
+                let field = unesc(parts.next()?);
+                fact.struct_inits.push(StructInit {
+                    struct_name,
+                    field,
+                    set,
+                });
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_source;
+
+    fn facts(path: &str, src: &str) -> Vec<FnFact> {
+        extract(&analyze_source(path, src))
+    }
+
+    fn graph_of(sources: &[(&str, &str)]) -> CallGraph {
+        let paths: Vec<String> = sources.iter().map(|(p, _)| p.to_string()).collect();
+        let all: Vec<Vec<FnFact>> = sources.iter().map(|(p, s)| facts(p, s)).collect();
+        CallGraph::build(paths, all)
+    }
+
+    #[test]
+    fn set_serialization_round_trips() {
+        let s = Set {
+            base: true,
+            checked: false,
+            params: 0b101,
+            calls: vec![0, 7],
+        };
+        assert_eq!(Set::deserialize(&s.serialize()), Some(s));
+        assert_eq!(Set::deserialize(&Set::default().serialize()), Some(Set::default()));
+        assert_eq!(Set::deserialize("garbage"), None);
+    }
+
+    #[test]
+    fn fact_serialization_round_trips() {
+        let src = "pub fn export(s: &State) -> Vec<u8> { let k = s.master_key.clone(); k }\n\
+                   pub fn show(v: &[u8]) { println!(\"{:?}\", v); }";
+        let original = facts("crates/x/src/a.rs", src);
+        assert_eq!(original.len(), 2);
+        let mut body = String::new();
+        for f in &original {
+            serialize_fact(f, &mut body, |s| s.to_string());
+        }
+        let parsed = parse_facts(body.lines(), |s| s.to_string()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn returns_secret_flows_through_field_read() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "pub fn export(s: &State) -> Vec<u8> { s.master_key.clone() }",
+        );
+        let g = CallGraph::build(vec!["crates/x/src/a.rs".into()], vec![f]);
+        let (sums, _) = fixpoint(&g);
+        assert!(sums[0].returns_secret);
+    }
+
+    #[test]
+    fn param_flows_to_return_and_sink() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "pub fn id(v: u64) -> u64 { v }\n\
+             pub fn show(label: &str, v: u64) { println!(\"{}: {}\", label, v); }",
+        );
+        let g = CallGraph::build(vec!["crates/x/src/a.rs".into()], vec![f]);
+        let (sums, _) = fixpoint(&g);
+        assert_eq!(sums[0].param_to_ret, 0b1);
+        assert!(!sums[0].returns_secret);
+        assert_eq!(sums[1].param_to_sink, 0b11);
+    }
+
+    #[test]
+    fn summaries_cross_function_boundaries() {
+        let g = graph_of(&[(
+            "crates/x/src/a.rs",
+            "fn inner(s: &State) -> Vec<u8> { s.round_keys.to_vec() }\n\
+             fn middle(s: &State) -> Vec<u8> { inner(s) }\n\
+             pub fn outer(s: &State) -> Vec<u8> { middle(s) }",
+        )]);
+        let (sums, stats) = fixpoint(&g);
+        assert!(sums.iter().all(|s| s.returns_secret), "{sums:?}");
+        assert_eq!(stats.fns, 3);
+        assert_eq!(stats.sccs, 3);
+        assert_eq!(stats.max_scc, 1);
+    }
+
+    #[test]
+    fn mutual_recursion_reaches_fixpoint() {
+        // ping/pong call each other; the secret enters through `fetch`.
+        let g = graph_of(&[(
+            "crates/x/src/a.rs",
+            "fn fetch(s: &S) -> u64 { s.boot_seed }\n\
+             fn ping(s: &S, n: u32) -> u64 { if n == 0 { fetch(s) } else { pong(s, n) } }\n\
+             fn pong(s: &S, n: u32) -> u64 { ping(s, n) }",
+        )]);
+        let (sums, stats) = fixpoint(&g);
+        assert!(sums[1].returns_secret, "ping: {sums:?}");
+        assert!(sums[2].returns_secret, "pong: {sums:?}");
+        assert_eq!(stats.max_scc, 2, "ping/pong form one SCC");
+    }
+
+    #[test]
+    fn self_recursive_panic_propagates_and_terminates() {
+        let g = graph_of(&[(
+            "crates/x/src/bin/tool.rs",
+            "fn descend(n: u32) -> u32 { if n == 0 { head().unwrap() } else { descend(n) } }\n\
+             fn head() -> Option<u32> { None }\n\
+             fn top(n: u32) -> u32 { descend(n) }",
+        )]);
+        let (sums, _) = fixpoint(&g);
+        assert!(sums[0].may_panic);
+        assert!(sums[2].may_panic, "panic propagates through recursion");
+        assert!(!sums[1].may_panic);
+    }
+
+    #[test]
+    fn length_taint_propagates_through_helpers() {
+        let g = graph_of(&[(
+            "crates/x/src/a.rs",
+            "fn span(buf: &[u8]) -> usize { buf.len() }\n\
+             fn narrow(n: usize) -> u32 { n as u32 }\n\
+             fn narrow_checked(n: usize) -> u32 { (n & 0xffff) as u32 }",
+        )]);
+        let (sums, _) = fixpoint(&g);
+        assert!(sums[0].returns_len);
+        assert_eq!(sums[1].param_narrowed, 0b1);
+        assert_eq!(sums[2].param_narrowed, 0, "masked cast is checked");
+    }
+
+    #[test]
+    fn suppressed_panic_is_not_reachability_gen() {
+        let f = facts(
+            "crates/x/src/a.rs",
+            "pub fn a() {\n    // lint:allow(panic): checked above\n    x.unwrap();\n}\n\
+             pub fn b() { y.unwrap(); }",
+        );
+        assert_eq!(f[0].local_panic, None);
+        assert_eq!(f[1].local_panic, Some(5));
+    }
+
+    #[test]
+    fn extraction_skips_tests_and_test_files() {
+        assert!(facts("crates/x/tests/t.rs", "fn helper() { x.unwrap(); }").is_empty());
+        let f = facts(
+            "crates/x/src/a.rs",
+            "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\npub fn real() {}",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "real");
+    }
+
+    #[test]
+    fn worker_reaching_socket_read_is_flagged() {
+        let g = graph_of(&[(
+            "crates/x/src/service.rs",
+            "fn drain(stream: &mut TcpStream) -> usize {\n\
+                 let mut b = [0u8; 64];\n\
+                 stream.read(&mut b).unwrap_or(0)\n\
+             }\n\
+             pub fn worker_loop(stream: &mut TcpStream) { let _n = drain(stream); }",
+        )]);
+        let (sums, stats) = fixpoint(&g);
+        let ctx = SummaryCtx::new(g, sums, stats);
+        let found = ctx.blocking_in_worker_findings();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "blocking-in-worker");
+        assert!(found[0].message.contains("worker_loop"));
+        // The same graph, entered from a connection handler, is fine.
+        assert!(ctx.panic_reachability_findings().is_empty());
+    }
+}

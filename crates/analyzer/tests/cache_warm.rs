@@ -74,6 +74,69 @@ fn warm_run_reanalyzes_nothing_and_edit_reanalyzes_one_file() {
 }
 
 #[test]
+fn callee_edit_invalidates_transitive_callers_only() {
+    // Call chain A -> B -> C plus an unrelated sibling D. Editing C must
+    // re-check C and its transitive callers (B, A) — the edit changes C's
+    // summary, which is part of their dependency hash — while D stays
+    // cached. The summary phase itself re-extracts only C: summary records
+    // key on file content alone.
+    let dir = temp_cache_dir("chain");
+    let config = LintConfig::default();
+    let opts = LintOptions {
+        threads: 1,
+        cache_dir: Some(dir.clone()),
+        check_stale_allows: false,
+    };
+    let mut files = vec![
+        SourceFile {
+            path: "crates/x/src/a.rs".to_string(),
+            source: "pub fn top() -> u32 { let n = crate::b::mid(); n as u32 }\n".to_string(),
+        },
+        SourceFile {
+            path: "crates/x/src/b.rs".to_string(),
+            source: "pub fn mid() -> usize { crate::c::base_val(&[]) }\n".to_string(),
+        },
+        SourceFile {
+            path: "crates/x/src/c.rs".to_string(),
+            source: "pub fn base_val(_buf: &[u8]) -> usize { 4 }\n".to_string(),
+        },
+        SourceFile {
+            path: "crates/x/src/d.rs".to_string(),
+            source: "pub fn other() -> usize { 7 }\n".to_string(),
+        },
+    ];
+
+    let cold = lint_sources_with(&files, &config, &opts);
+    assert_eq!(cold.stats.reanalyzed, 4);
+    assert!(cold.findings.is_empty(), "{:?}", cold.findings);
+
+    let warm = lint_sources_with(&files, &config, &opts);
+    assert_eq!(warm.stats.reanalyzed, 0, "unchanged tree re-analyzes nothing");
+    assert_eq!(warm.stats.cached, 4);
+    assert_eq!(warm.stats.summarized, 0);
+    assert_eq!(warm.stats.summary_cached, 4);
+
+    // Edit only C so it now returns a length. The new summary ripples
+    // through B (`mid` now returns a length) into A, whose `as u32`
+    // becomes a helper-mediated lossy cast.
+    files[2].source = "pub fn base_val(buf: &[u8]) -> usize { buf.len() }\n".to_string();
+    let after = lint_sources_with(&files, &config, &opts);
+    assert_eq!(after.stats.summarized, 1, "only C re-extracts facts");
+    assert_eq!(after.stats.summary_cached, 3);
+    assert_eq!(
+        after.stats.reanalyzed, 3,
+        "C plus transitive callers B and A re-check: {:?}",
+        after.stats
+    );
+    assert_eq!(after.stats.cached, 1, "sibling D stays cached");
+    assert_eq!(after.findings.len(), 1, "{:?}", after.findings);
+    assert_eq!(after.findings[0].rule, "lossy-len-cast");
+    assert_eq!(after.findings[0].file, "crates/x/src/a.rs");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cache_disabled_always_reanalyzes() {
     let config = LintConfig::default();
     let opts = LintOptions {

@@ -1,0 +1,10 @@
+//! Blocking-in-worker fixture (negative): the worker only touches
+//! in-memory data; no socket IO is reachable from it, so nothing fires.
+
+pub fn sum_frame(buf: &[u8]) -> usize {
+    buf.iter().map(|b| *b as usize).sum()
+}
+
+pub fn drain_worker(buf: &[u8]) -> usize {
+    sum_frame(buf)
+}

@@ -1,0 +1,20 @@
+//! Blocking-in-worker fixture (positive): the queue worker drains frames
+//! straight off the socket via a helper, so a slow peer stalls every
+//! queued job. The helper itself is `untimed-io`-clean (timeout set,
+//! Interrupted handled) — the finding is about *where* the IO runs.
+
+use std::io::Read;
+
+pub fn read_frame(stream: &mut std::net::TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(50)))?;
+    loop {
+        match stream.read(buf) {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            r => return r,
+        }
+    }
+}
+
+pub fn drain_worker(stream: &mut std::net::TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    read_frame(stream, buf)
+}

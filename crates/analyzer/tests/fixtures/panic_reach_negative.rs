@@ -1,0 +1,13 @@
+//! Panic-reachability fixture (negative): the same shape, but the panic
+//! is suppressed with a justification, so it is not treated as reachable
+//! service-path state.
+
+fn parse_len(header: &[u8]) -> usize {
+    // lint:allow(panic): caller validates the 4-byte header before dispatch
+    let bytes: [u8; 4] = header[..4].try_into().unwrap();
+    u32::from_le_bytes(bytes) as usize
+}
+
+pub fn handle_connection(header: &[u8]) -> usize {
+    parse_len(header)
+}

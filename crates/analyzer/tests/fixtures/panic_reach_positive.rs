@@ -1,0 +1,12 @@
+//! Panic-reachability fixture (positive): the connection path calls a
+//! parsing helper that unwraps on malformed input, so one bad header
+//! kills the connection silently.
+
+fn parse_len(header: &[u8]) -> usize {
+    let bytes: [u8; 4] = header[..4].try_into().unwrap();
+    u32::from_le_bytes(bytes) as usize
+}
+
+pub fn handle_connection(header: &[u8]) -> usize {
+    parse_len(header)
+}

@@ -1,0 +1,8 @@
+//! Helper-mediated truncation fixture, caller half (negative): the
+//! checked helper converts with `try_from`, so the same call shape is
+//! clean.
+
+pub fn record_header(buf: &[u8]) -> u32 {
+    let total_len = buf.len();
+    crate::words::to_word_checked(total_len)
+}

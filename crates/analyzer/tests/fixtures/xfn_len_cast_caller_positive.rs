@@ -1,0 +1,7 @@
+//! Helper-mediated truncation fixture, caller half (positive): a raw
+//! record length crosses into a helper that narrows it.
+
+pub fn record_header(buf: &[u8]) -> u32 {
+    let total_len = buf.len();
+    crate::words::to_word(total_len)
+}

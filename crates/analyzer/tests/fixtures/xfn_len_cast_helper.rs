@@ -1,0 +1,12 @@
+//! Helper-mediated truncation fixture, callee half. `to_word` narrows
+//! its argument with an unchecked `as` cast — harmless for small inputs,
+//! silent corruption for a 4 GiB record. `to_word_checked` is the fixed
+//! form.
+
+pub fn to_word(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn to_word_checked(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}

@@ -1,0 +1,8 @@
+//! Cross-function leak fixture, caller half: the key bytes arrive
+//! through an innocently named helper and a renamed binding, then reach
+//! a print sink.
+
+pub fn report(state: &crate::export::State) {
+    let material = crate::export::export_material(state);
+    println!("recovered: {material:02x?}");
+}

@@ -1,0 +1,13 @@
+//! Cross-function leak fixture, callee half. The function name carries
+//! no secret stem ("material" is not in the lexicon), so the v2
+//! callee-name heuristic sees nothing to taint at call sites; only the
+//! computed summary knows the return value is the master key.
+
+pub struct State {
+    pub master_key: [u8; 32],
+    pub rounds: usize,
+}
+
+pub fn export_material(state: &State) -> Vec<u8> {
+    state.master_key.to_vec()
+}

@@ -1,0 +1,13 @@
+//! Zeroize-coverage fixture (positive): a struct whose byte buffer is
+//! initialised from key-derived data but which has no Drop impl, so the
+//! keystream lingers after the stash goes out of scope.
+
+pub struct Stash {
+    pub buf: Vec<u8>,
+}
+
+pub fn capture(addr: u64) -> Stash {
+    Stash {
+        buf: crate::scramble::keystream(addr),
+    }
+}

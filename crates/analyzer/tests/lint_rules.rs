@@ -20,6 +20,17 @@ fn lint_with(virtual_path: &str, source: &str, config: &LintConfig) -> Vec<Findi
     lint_sources(&files, config)
 }
 
+fn lint_files(files: &[(&str, &str)]) -> Vec<Finding> {
+    let files: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, source)| SourceFile {
+            path: path.to_string(),
+            source: source.to_string(),
+        })
+        .collect();
+    lint_sources(&files, &LintConfig::default())
+}
+
 fn rules(findings: &[Finding]) -> Vec<&str> {
     findings.iter().map(|f| f.rule).collect()
 }
@@ -381,6 +392,175 @@ fn lock_order_cycle_spans_files() {
     let files_seen: Vec<&str> = lock_findings.iter().map(|f| f.file.as_str()).collect();
     assert!(files_seen.contains(&"crates/a/src/lib.rs"), "{files_seen:?}");
     assert!(files_seen.contains(&"crates/b/src/lib.rs"), "{files_seen:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural rule families (coldboot-lint v3)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cross_function_secret_leak_is_caught() {
+    // Key bytes flow out of a helper in one file and into a `println!` in
+    // another; the binding is renamed (`material`), so neither the lexical
+    // rules nor intra-procedural taint can see it.
+    let findings = lint_files(&[
+        (
+            "crates/core/src/export.rs",
+            include_str!("fixtures/xfn_secret_leak_helper.rs"),
+        ),
+        (
+            "crates/core/src/report.rs",
+            include_str!("fixtures/xfn_secret_leak_caller.rs"),
+        ),
+    ]);
+    assert_eq!(rules(&findings), vec!["secret-taint"], "{findings:?}");
+    assert_eq!(findings[0].file, "crates/core/src/report.rs");
+    assert_eq!(findings[0].item.as_deref(), Some("material"));
+}
+
+#[test]
+fn v2_lexical_heuristic_misses_the_cross_function_leak() {
+    // Pin the v2 gap: the caller alone (helper unresolved) produces no
+    // finding, because `export_material` is not lexically secret-named
+    // and the argument carries no taint. Only the v3 summary of the
+    // helper's body makes the leak visible.
+    let findings = lint(
+        "crates/core/src/report.rs",
+        include_str!("fixtures/xfn_secret_leak_caller.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn helper_mediated_len_cast_true_positive() {
+    // The narrowing `as u32` lives inside the helper; the length-derived
+    // value is in the caller. Only the param-narrowed summary connects them.
+    let findings = lint_files(&[
+        (
+            "crates/dumpio/src/words.rs",
+            include_str!("fixtures/xfn_len_cast_helper.rs"),
+        ),
+        (
+            "crates/dumpio/src/len_caller.rs",
+            include_str!("fixtures/xfn_len_cast_caller_positive.rs"),
+        ),
+    ]);
+    assert_eq!(rules(&findings), vec!["lossy-len-cast"], "{findings:?}");
+    assert_eq!(findings[0].file, "crates/dumpio/src/len_caller.rs");
+}
+
+#[test]
+fn helper_mediated_len_cast_true_negative() {
+    // Same shape through the `try_from` helper: clean.
+    let findings = lint_files(&[
+        (
+            "crates/dumpio/src/words.rs",
+            include_str!("fixtures/xfn_len_cast_helper.rs"),
+        ),
+        (
+            "crates/dumpio/src/len_caller.rs",
+            include_str!("fixtures/xfn_len_cast_caller_negative.rs"),
+        ),
+    ]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_reachability_true_positive() {
+    // Bin path: the plain `panic` rule is lib-only, so the only finding is
+    // the interprocedural one at the entry's call site.
+    let findings = lint(
+        "crates/dumpio/src/bin/dumpd_fix.rs",
+        include_str!("fixtures/panic_reach_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["panic-reachability"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("parse_len"));
+}
+
+#[test]
+fn panic_reachability_true_negative() {
+    // A justified allow annotation on the helper's unwrap keeps it out of
+    // the reachable-panic set.
+    let findings = lint(
+        "crates/dumpio/src/bin/dumpd_fix.rs",
+        include_str!("fixtures/panic_reach_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_reachability_through_mutual_recursion_terminates() {
+    // Mutually recursive helpers form an SCC; the fixpoint must terminate
+    // and still propagate the panic bit into the entry point.
+    let findings = lint_files(&[
+        (
+            "crates/dumpio/src/bin/dumpd_fix.rs",
+            concat!(
+                "pub fn handle_connection(header: &[u8]) -> usize {\n",
+                "    crate::walk::descend(header, 0)\n",
+                "}\n",
+            ),
+        ),
+        (
+            "crates/dumpio/src/walk.rs",
+            concat!(
+                "pub fn descend(header: &[u8], depth: usize) -> usize {\n",
+                "    if depth > 8 { return depth; }\n",
+                "    ascend(header, depth + 1)\n",
+                "}\n",
+                "\n",
+                "pub fn ascend(header: &[u8], depth: usize) -> usize {\n",
+                "    let first = *header.first().unwrap() as usize;\n",
+                "    first + descend(header, depth + 1)\n",
+                "}\n",
+            ),
+        ),
+    ]);
+    let reach: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "panic-reachability")
+        .collect();
+    assert_eq!(reach.len(), 1, "{findings:?}");
+    assert_eq!(reach[0].file, "crates/dumpio/src/bin/dumpd_fix.rs");
+    assert_eq!(reach[0].item.as_deref(), Some("crate::walk::descend"));
+}
+
+#[test]
+fn blocking_in_worker_true_positive() {
+    let findings = lint(
+        "crates/dumpio/src/service_fix.rs",
+        include_str!("fixtures/blocking_worker_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["blocking-in-worker"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("read_frame"));
+}
+
+#[test]
+fn blocking_in_worker_true_negative() {
+    let findings = lint(
+        "crates/dumpio/src/service_fix.rs",
+        include_str!("fixtures/blocking_worker_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn zeroize_coverage_true_positive() {
+    let findings = lint(
+        "crates/memenc/src/fix.rs",
+        include_str!("fixtures/zeroize_coverage_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["zeroize-coverage"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("Stash"));
+}
+
+#[test]
+fn zeroize_coverage_true_negative() {
+    let findings = lint(
+        "crates/memenc/src/fix.rs",
+        include_str!("fixtures/zeroize_coverage_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 // ---------------------------------------------------------------------------

@@ -5,15 +5,21 @@
 //! honest. The work-stealing file fan-out must beat a sequential sweep on
 //! the real workspace, and the content-hash cache must make a warm run of
 //! an unchanged tree nearly free (it re-analyzes nothing — the warm gate
-//! test asserts the zero, this bench tracks the wall-clock payoff).
-//! Emits `BENCH_lint.json` so CI can chart both ratios without scraping
-//! criterion output.
+//! test asserts the zero, this bench tracks the wall-clock payoff). The
+//! v3 interprocedural pass adds a summary phase (fact extraction plus the
+//! call-graph fixpoint) ahead of the checks; its cold and warm cost is
+//! measured separately so the overhead of going cross-function stays
+//! visible. Emits `BENCH_lint.json` (and appends to `BENCH_history.jsonl`)
+//! so CI can chart the ratios without scraping criterion output.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use coldboot_analyzer::{lint_workspace_with, load_config, LintConfig, LintOptions, RunStats};
-use coldboot_bench::report::Json;
+use coldboot_analyzer::{
+    lint_workspace_with, load_config, summarize_sources, walk::collect_sources, LintConfig,
+    LintOptions, RunStats,
+};
+use coldboot_bench::{history, report::Json};
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
@@ -67,6 +73,11 @@ fn bench_lint(c: &mut Criterion) {
         lint_once(&root, &config, &opts); // populate
         b.iter(|| black_box(lint_once(&root, &config, &opts)))
     });
+    group.bench_function("summary_phase_cold", |b| {
+        let files = collect_sources(&root).expect("workspace sources are readable");
+        let opts = options(0, None);
+        b.iter(|| black_box(summarize_sources(&files, &opts)))
+    });
     group.finish();
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
@@ -107,11 +118,30 @@ fn emit_report() {
     let warm_opts = options(0, Some(cache_dir.clone()));
     lint_once(&root, &config, &warm_opts); // populate the cache
     let (warm_s, warm_stats) = best_of(SAMPLES, || lint_once(&root, &config, &warm_opts));
-    let _ = std::fs::remove_dir_all(&cache_dir);
     assert_eq!(
         warm_stats.reanalyzed, 0,
         "warm run over an unchanged workspace must re-analyze nothing"
     );
+
+    // The interprocedural summary phase in isolation: cold (extract every
+    // file's facts, then fixpoint) and warm (facts from the cache, the
+    // fixpoint always re-runs — it is global and cheap).
+    let files = match collect_sources(&root) {
+        Ok(files) => files,
+        Err(e) => panic!("workspace sources are readable: {e}"),
+    };
+    let mut summary_fns = 0usize;
+    let (summary_cold_s, _) = best_of(SAMPLES, || {
+        let run = summarize_sources(&files, &options(0, None));
+        summary_fns = run.stats.fns;
+        RunStats::default()
+    });
+    let (summary_warm_s, _) = best_of(SAMPLES, || {
+        let run = summarize_sources(&files, &warm_opts);
+        assert_eq!(run.summarized, 0, "summary cache must be warm here");
+        RunStats::default()
+    });
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     let doc = Json::obj([
         ("bench", Json::Str("lint_throughput".into())),
@@ -129,11 +159,14 @@ fn emit_report() {
             Json::Num(cold_par_s / warm_s.max(1e-9)),
         ),
         ("warm_reanalyzed", Json::Int(warm_stats.reanalyzed as i64)),
+        ("summary_fns", Json::Int(summary_fns as i64)),
+        ("summary_cold_ms", Json::Num(summary_cold_s * 1e3)),
+        ("summary_warm_ms", Json::Num(summary_warm_s * 1e3)),
     ]);
-    if let Err(e) = std::fs::write("BENCH_lint.json", doc.render()) {
+    if let Err(e) = history::record("lint", &doc) {
         eprintln!("could not write BENCH_lint.json: {e}");
     } else {
-        println!("wrote BENCH_lint.json");
+        println!("wrote BENCH_lint.json (+ BENCH_history.jsonl)");
     }
 }
 

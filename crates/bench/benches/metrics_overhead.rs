@@ -153,10 +153,10 @@ fn emit_report() {
         ("bound_pct", Json::Num(BOUND_PCT)),
         ("within_bound", Json::Bool(overhead_pct <= BOUND_PCT)),
     ]);
-    if let Err(e) = std::fs::write("BENCH_metrics.json", doc.render()) {
+    if let Err(e) = coldboot_bench::history::record("metrics", &doc) {
         eprintln!("could not write BENCH_metrics.json: {e}");
     } else {
-        println!("wrote BENCH_metrics.json");
+        println!("wrote BENCH_metrics.json (+ BENCH_history.jsonl)");
     }
     assert!(
         overhead_pct <= BOUND_PCT,

@@ -61,7 +61,7 @@ fn main() {
         "   {} MiB DDR4, scrambler: {}, volume mounted, key table at {:#x}",
         size >> 20,
         victim.transform_name(),
-        mounted.key_table_addr()
+        KEY_TABLE_ADDR
     );
 
     println!("== Stage 1: freeze to -25C, pull, carry 5s, re-socket ==");

@@ -232,7 +232,14 @@ fn main() {
             ]),
         ),
     ]);
-    match std::fs::write(&json_path, doc.render()) {
+    // The default emission lands in the shared trajectory; a custom --json
+    // path is experiment scratch and stays out of the history.
+    let written = if json_path == "BENCH_scan.json" {
+        coldboot_bench::history::record("scan", &doc)
+    } else {
+        std::fs::write(&json_path, doc.render())
+    };
+    match written {
         Ok(()) => println!("\nwrote {json_path}"),
         Err(e) => {
             eprintln!("failed to write {json_path}: {e}");

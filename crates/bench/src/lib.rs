@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
 pub mod machines;
 pub mod report;
 pub mod table;

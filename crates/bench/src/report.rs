@@ -13,4 +13,4 @@
 //! other image-derived bytes. The secret-hygiene lint treats any
 //! `key`-named value reaching a serializer as a finding.
 
-pub use coldboot_dumpio::json::Json;
+pub use coldboot_dumpio::json::{parse, Json};

@@ -50,7 +50,29 @@ fn metrics_overhead_bench_compiles() {
 #[test]
 fn lint_throughput_bench_compiles() {
     // The analyzer throughput bench (BENCH_lint.json: cold vs warm cache,
-    // sequential vs parallel) has a custom `main` too; gate it so an
-    // analyzer API change can't silently orphan the perf report.
+    // sequential vs parallel, plus the v3 interprocedural summary phase)
+    // has a custom `main` too; gate it so an analyzer API change can't
+    // silently orphan the perf report.
     bench_no_run(&["-p", "coldboot-bench", "--bench", "lint_throughput"]);
+}
+
+#[test]
+fn bench_diff_compiles_and_handles_empty_history() {
+    // `bench-diff` gates perf regressions off BENCH_history.jsonl; build
+    // it and confirm the no-history case is a clean exit, so a rename in
+    // the history schema can't silently orphan the regression gate.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(&cargo)
+        .args(["run", "-p", "coldboot-bench", "--bin", "bench-diff", "--"])
+        .arg(root.join("target").join("no-such-history.jsonl"))
+        .current_dir(root)
+        .output()
+        .expect("failed to spawn cargo run bench-diff");
+    assert!(
+        output.status.success(),
+        "bench-diff on a missing history must exit 0 ({}):\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
 }

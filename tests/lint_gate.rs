@@ -11,7 +11,7 @@
 //! retry arm — makes this test fail with the offending file, line, and
 //! rule in the message.
 
-use coldboot_analyzer::{lint_workspace_with, load_config, render_text, LintOptions};
+use coldboot_analyzer::{lint_workspace_with, load_config, render_sarif, render_text, LintOptions};
 use std::path::Path;
 
 #[test]
@@ -24,6 +24,13 @@ fn workspace_has_no_lint_findings() {
         check_stale_allows: true,
     };
     let run = lint_workspace_with(root, &config, &opts).expect("workspace sources are readable");
+    // Publish the machine-readable report for CI annotation regardless of
+    // outcome; a clean run writes a SARIF log with zero results.
+    let sarif_path = root.join("target").join("lint.sarif");
+    if let Some(dir) = sarif_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&sarif_path, render_sarif(&run.findings)).expect("write target/lint.sarif");
     assert!(
         run.findings.is_empty(),
         "coldboot-lint found {} issue(s):\n{}",

@@ -1,0 +1,351 @@
+//! CBDF throughput: encode/decode MiB/s, streamed-scan overhead vs the
+//! in-memory path, and the end-to-end capture-file → recovered-key attack
+//! measured serial vs pipelined (decode/scan overlap).
+//!
+//! Criterion benches for interactive work, plus a `BENCH_dumpio.json`
+//! report recorded through `coldboot_bench::history` (same trajectory as
+//! `attack_perf`) so `bench-diff` can gate the numbers without scraping
+//! output. The attack stage always asserts the pipelined report is
+//! byte-identical to the serial one before timing either — the overlap is
+//! a wall-clock optimisation, never a result change.
+
+use std::io::{BufReader, Cursor};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+use coldboot::attack::ddr3::frequency_keys;
+use coldboot::attack::{AttackConfig, AttackReport};
+use coldboot::dump::MemoryDump;
+use coldboot_bench::report::Json;
+use coldboot_bench::workload::{generate_image, WorkloadMix};
+use coldboot_crypto::aes::KeySchedule;
+use coldboot_dumpio::format::DumpMeta;
+use coldboot_dumpio::pipeline::{
+    attack_file, attack_file_pipelined, frequency_stream, ScanControl, DEFAULT_WINDOW_BLOCKS,
+};
+use coldboot_dumpio::reader::DumpReader;
+use coldboot_dumpio::writer::write_image;
+
+const IMAGE_BYTES: usize = 4 << 20;
+
+/// Scrambler keys in the attack fixture's pool, striped every
+/// [`STRIPE_BLOCKS`] blocks like a key pool addressed by block-index bits.
+const KEY_POOL: usize = 16;
+
+/// Blocks per key stripe. The planted AES schedule (240 bytes) sits well
+/// inside one 1024-byte stripe so its whole verification window
+/// descrambles with a single pool key.
+const STRIPE_BLOCKS: usize = 16;
+
+/// A cold-boot-shaped image: mostly zero-filled pool, some high-entropy
+/// regions, sparse bit flips — the case the zero-run RLE is built for.
+fn realistic_image(len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let mut image = vec![0u8; len];
+    // A quarter of the image is high-entropy "in use" pages.
+    let mut offset = len / 8;
+    while offset + 4096 <= len / 2 {
+        rng.fill(&mut image[offset..offset + 2048]);
+        offset += 8192;
+    }
+    // Sparse decay flips everywhere.
+    for _ in 0..len / 2048 {
+        let at = rng.gen_range(0..len);
+        image[at] ^= 1u8 << rng.gen_range(0..8);
+    }
+    image
+}
+
+fn incompressible_image(len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut image = vec![0u8; len];
+    rng.fill(&mut image[..]);
+    image
+}
+
+fn cbdf_of(image: &[u8]) -> Vec<u8> {
+    write_image(
+        Vec::new(),
+        DumpMeta::for_image(0, image.len() as u64),
+        image,
+    )
+    .expect("encode")
+}
+
+/// A structured (Skylake-shaped) scrambler key: in each 16-byte group the
+/// second 8 bytes are the first 8 XOR a repeating 2-byte mask.
+fn structured_key(tag: u8) -> [u8; 64] {
+    let mut key = [0u8; 64];
+    for g in 0..4 {
+        for i in 0..8 {
+            let base = tag
+                .wrapping_mul(31)
+                .wrapping_add((g * 8 + i) as u8)
+                .wrapping_mul(113);
+            key[g * 16 + i] = base;
+            key[g * 16 + 8 + i] = base ^ [0x3C ^ tag, 0xC3][i % 2];
+        }
+    }
+    key
+}
+
+/// The attack fixture: a default-mix (zero-dominated) image with a planted
+/// AES-256 key schedule, scrambled block-wise with a striped key pool, and
+/// encoded as a CBDF capture file. Returns the encoded file and the master
+/// key the attack must recover.
+fn attack_fixture() -> (Vec<u8>, Vec<u8>) {
+    let mut image = generate_image(IMAGE_BYTES, WorkloadMix::default(), 3);
+    let master: Vec<u8> = (0..32).map(|i| (i * 11 + 5) as u8).collect();
+    let schedule = KeySchedule::expand(&master).expect("AES-256").to_bytes();
+    // Plant mid-stripe in the back half (past the mining prefix) with a
+    // whole-stripe margin so the verification window stays in one stripe.
+    let stripe_bytes = STRIPE_BLOCKS * 64;
+    let plant = (3 << 20) + stripe_bytes + 256;
+    image[plant..plant + schedule.len()].copy_from_slice(&schedule);
+    for (i, block) in image.chunks_mut(64).enumerate() {
+        let key = structured_key(((i / STRIPE_BLOCKS) % KEY_POOL) as u8);
+        for (b, k) in block.iter_mut().zip(key.iter()) {
+            *b ^= k;
+        }
+    }
+    (cbdf_of(&image), master)
+}
+
+fn attack_config() -> AttackConfig {
+    AttackConfig {
+        // The pool repeats every MiB many times over; one MiB of prefix is
+        // plenty to mine all 16 keys, as in the paper's 16 MB bound.
+        mining_prefix_bytes: 1 << 20,
+        ..AttackConfig::default()
+    }
+}
+
+/// Writes the fixture capture file under the system temp dir; the caller
+/// removes it when done.
+fn write_fixture_file(file: &[u8], tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "coldboot-dumpio-bench-{}-{tag}.cbdf",
+        std::process::id()
+    ));
+    std::fs::write(&path, file).expect("temp capture file");
+    path
+}
+
+fn run_attack(path: &PathBuf, pipelined: bool) -> AttackReport {
+    let file = std::fs::File::open(path).expect("open capture file");
+    let mut reader = DumpReader::new(BufReader::new(file)).expect("header");
+    let config = attack_config();
+    let ctrl = ScanControl::new();
+    let run = if pipelined {
+        attack_file_pipelined(&mut reader, &config, DEFAULT_WINDOW_BLOCKS, &ctrl)
+    } else {
+        attack_file(&mut reader, &config, DEFAULT_WINDOW_BLOCKS, &ctrl)
+    };
+    run.expect("attack pass")
+}
+
+fn assert_reports_identical(serial: &AttackReport, pipelined: &AttackReport) {
+    assert_eq!(serial.candidates, pipelined.candidates, "mined candidates");
+    assert_eq!(serial.outcome.hits, pipelined.outcome.hits, "litmus hits");
+    assert_eq!(
+        serial.outcome.recovered, pipelined.outcome.recovered,
+        "recovered keys"
+    );
+    assert_eq!(
+        serial.outcome.blocks_scanned, pipelined.outcome.blocks_scanned,
+        "blocks scanned"
+    );
+    assert_eq!(serial.mined_bytes, pipelined.mined_bytes, "mined bytes");
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let zeroish = realistic_image(IMAGE_BYTES);
+    let dense = incompressible_image(IMAGE_BYTES);
+    let mut group = c.benchmark_group("cbdf_encode");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.sample_size(10);
+    group.bench_function("zero_dominated", |b| {
+        b.iter(|| black_box(cbdf_of(black_box(&zeroish))))
+    });
+    group.bench_function("incompressible", |b| {
+        b.iter(|| black_box(cbdf_of(black_box(&dense))))
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let zeroish = cbdf_of(&realistic_image(IMAGE_BYTES));
+    let dense = cbdf_of(&incompressible_image(IMAGE_BYTES));
+    let mut group = c.benchmark_group("cbdf_decode");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.sample_size(10);
+    group.bench_function("zero_dominated", |b| {
+        b.iter(|| {
+            let mut r = DumpReader::new(Cursor::new(black_box(&zeroish))).expect("header");
+            black_box(r.read_to_memory().expect("decode"))
+        })
+    });
+    group.bench_function("incompressible", |b| {
+        b.iter(|| {
+            let mut r = DumpReader::new(Cursor::new(black_box(&dense))).expect("header");
+            black_box(r.read_to_memory().expect("decode"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_streamed_scan(c: &mut Criterion) {
+    let image = realistic_image(IMAGE_BYTES);
+    let file = cbdf_of(&image);
+    let dump = MemoryDump::new(image, 0);
+    let mut group = c.benchmark_group("frequency_scan");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| black_box(frequency_keys(black_box(&dump), 8)))
+    });
+    group.bench_function("streamed", |b| {
+        b.iter(|| {
+            let mut r = DumpReader::new(Cursor::new(black_box(&file))).expect("header");
+            black_box(
+                frequency_stream(&mut r, 8, 16 * 1024, &ScanControl::new()).expect("stream"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_attack_file(c: &mut Criterion) {
+    let (file, _master) = attack_fixture();
+    let path = write_fixture_file(&file, "criterion");
+    let mut group = c.benchmark_group("attack_file");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(run_attack(&path, false)))
+    });
+    group.bench_function("pipelined", |b| {
+        b.iter(|| black_box(run_attack(&path, true)))
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// One timed pass per figure, recorded as `BENCH_dumpio.json` plus a
+/// `BENCH_history.jsonl` entry so `bench-diff` gates the rates.
+fn emit_report() {
+    fn mib_per_s(bytes: usize, seconds: f64) -> f64 {
+        bytes as f64 / (1 << 20) as f64 / seconds
+    }
+
+    let image = realistic_image(IMAGE_BYTES);
+    let start = Instant::now();
+    let file = cbdf_of(&image);
+    let encode_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut r = DumpReader::new(Cursor::new(&file)).expect("header");
+    let decoded = r.read_to_memory().expect("decode");
+    let decode_s = start.elapsed().as_secs_f64();
+    assert_eq!(decoded.bytes().len(), IMAGE_BYTES);
+
+    let dump = MemoryDump::new(image, 0);
+    let start = Instant::now();
+    let in_memory = frequency_keys(&dump, 8);
+    let in_memory_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut r = DumpReader::new(Cursor::new(&file)).expect("header");
+    let streamed = frequency_stream(&mut r, 8, 16 * 1024, &ScanControl::new()).expect("stream");
+    let streamed_s = start.elapsed().as_secs_f64();
+    assert_eq!(in_memory, streamed, "streamed scan must be byte-identical");
+
+    // End-to-end capture-file → recovered-key, serial vs pipelined. One
+    // warm/identity pass each, then the timed pass.
+    let (attack_cbdf, master) = attack_fixture();
+    let attack_path = write_fixture_file(&attack_cbdf, "report");
+    let warm_serial = run_attack(&attack_path, false);
+    let warm_pipelined = run_attack(&attack_path, true);
+    assert_reports_identical(&warm_serial, &warm_pipelined);
+    assert!(
+        warm_serial
+            .outcome
+            .recovered
+            .iter()
+            .any(|r| r.master_key == master),
+        "attack must recover the planted AES-256 master key"
+    );
+    let start = Instant::now();
+    let serial = run_attack(&attack_path, false);
+    let attack_serial_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let pipelined = run_attack(&attack_path, true);
+    let attack_pipelined_s = start.elapsed().as_secs_f64();
+    assert_reports_identical(&serial, &pipelined);
+    let _ = std::fs::remove_file(&attack_path);
+
+    let doc = Json::obj([
+        ("bench", Json::Str("dumpio_throughput".into())),
+        ("image_bytes", Json::Int(IMAGE_BYTES as i64)),
+        ("cbdf_bytes", Json::Int(file.len() as i64)),
+        (
+            "compression_ratio",
+            Json::Num(IMAGE_BYTES as f64 / file.len() as f64),
+        ),
+        ("encode_mib_per_s", Json::Num(mib_per_s(IMAGE_BYTES, encode_s))),
+        ("decode_mib_per_s", Json::Num(mib_per_s(IMAGE_BYTES, decode_s))),
+        (
+            "freq_scan_in_memory_mib_per_s",
+            Json::Num(mib_per_s(IMAGE_BYTES, in_memory_s)),
+        ),
+        (
+            "freq_scan_streamed_mib_per_s",
+            Json::Num(mib_per_s(IMAGE_BYTES, streamed_s)),
+        ),
+        (
+            "streamed_overhead_ratio",
+            Json::Num(streamed_s / in_memory_s.max(1e-9)),
+        ),
+        (
+            "attack_serial_mib_per_s",
+            Json::Num(mib_per_s(IMAGE_BYTES, attack_serial_s)),
+        ),
+        (
+            "attack_pipelined_mib_per_s",
+            Json::Num(mib_per_s(IMAGE_BYTES, attack_pipelined_s)),
+        ),
+        (
+            "attack_pipeline_speedup",
+            Json::Num(attack_serial_s / attack_pipelined_s.max(1e-9)),
+        ),
+        (
+            "attack_recovered_keys",
+            Json::Int(serial.outcome.recovered.len() as i64),
+        ),
+    ]);
+    match coldboot_bench::history::record("dumpio", &doc) {
+        Ok(()) => println!("wrote BENCH_dumpio.json"),
+        Err(e) => eprintln!("could not write BENCH_dumpio.json: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_streamed_scan,
+    bench_attack_file
+);
+
+fn main() {
+    emit_report();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

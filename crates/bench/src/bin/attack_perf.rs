@@ -19,12 +19,21 @@
 //! (defaults: 2 MiB, 4096 candidates, JSON to `BENCH_scan.json`).
 //! The JSON report carries counts and rates only — never key bytes.
 
+use coldboot::attack::{AttackConfig, AttackReport};
 use coldboot::dump::MemoryDump;
 use coldboot::keysearch::{search_dump, SearchConfig};
 use coldboot::litmus::{mine_candidate_keys, CandidateKey, MiningConfig};
 use coldboot_bench::report::Json;
 use coldboot_bench::table;
 use coldboot_bench::workload::{generate_image, WorkloadMix};
+use coldboot_crypto::aes::KeySchedule;
+use coldboot_dumpio::format::DumpMeta;
+use coldboot_dumpio::pipeline::{
+    attack_file, attack_file_pipelined, ScanControl, DEFAULT_WINDOW_BLOCKS,
+};
+use coldboot_dumpio::reader::DumpReader;
+use coldboot_dumpio::writer::write_image;
+use std::io::BufReader;
 use std::time::Instant;
 
 /// Distinct scrambler keys planted in the mining image (one per 64-block
@@ -53,6 +62,78 @@ struct StageRow {
     seconds: f64,
     mib_per_s: f64,
     count: usize,
+}
+
+/// Blocks per scrambler-key stripe in the end-to-end image: wide enough
+/// that a planted 240-byte AES schedule (plus its verification window)
+/// descrambles with a single pool key.
+const E2E_STRIPE_BLOCKS: usize = 16;
+
+/// The end-to-end stage: a CBDF capture file on disk, attacked serially
+/// (decode, then scan) and pipelined (decode/scan overlap), asserting the
+/// two reports are identical before trusting either time.
+fn e2e_attack_stage(e2e_mib: usize) -> (f64, f64, AttackReport) {
+    let mut image = generate_image(e2e_mib << 20, WorkloadMix::default(), 7);
+    let master: Vec<u8> = (0..32).map(|i| (i * 11 + 5) as u8).collect();
+    let schedule = KeySchedule::expand(&master).expect("AES-256").to_bytes();
+    // Plant mid-stripe in the back half with whole-stripe margins.
+    let plant = (image.len() / 2) + E2E_STRIPE_BLOCKS * 64 + 256;
+    image[plant..plant + schedule.len()].copy_from_slice(&schedule);
+    for (i, block) in image.chunks_mut(64).enumerate() {
+        let key = structured_key(((i / E2E_STRIPE_BLOCKS) % MINING_KEY_POOL) as u8);
+        for (b, k) in block.iter_mut().zip(key.iter()) {
+            *b ^= k;
+        }
+    }
+    let path = std::env::temp_dir().join(format!(
+        "coldboot-attack-perf-{}.cbdf",
+        std::process::id()
+    ));
+    let cbdf = write_image(
+        Vec::new(),
+        DumpMeta::for_image(0, image.len() as u64),
+        &image,
+    )
+    .expect("encode capture file");
+    std::fs::write(&path, cbdf).expect("write capture file");
+
+    let config = AttackConfig {
+        mining_prefix_bytes: (2 << 20).min(image.len()),
+        ..AttackConfig::default()
+    };
+    let run = |pipelined: bool| -> AttackReport {
+        let file = std::fs::File::open(&path).expect("open capture file");
+        let mut reader = DumpReader::new(BufReader::new(file)).expect("header");
+        let ctrl = ScanControl::new();
+        if pipelined {
+            attack_file_pipelined(&mut reader, &config, DEFAULT_WINDOW_BLOCKS, &ctrl)
+        } else {
+            attack_file(&mut reader, &config, DEFAULT_WINDOW_BLOCKS, &ctrl)
+        }
+        .expect("attack pass")
+    };
+    // Warm/identity pass: the overlap must never change the result.
+    let warm_serial = run(false);
+    let warm_pipelined = run(true);
+    assert_eq!(warm_serial.candidates, warm_pipelined.candidates);
+    assert_eq!(warm_serial.outcome.hits, warm_pipelined.outcome.hits);
+    assert_eq!(warm_serial.outcome.recovered, warm_pipelined.outcome.recovered);
+    assert!(
+        warm_serial
+            .outcome
+            .recovered
+            .iter()
+            .any(|r| r.master_key == master),
+        "end-to-end attack must recover the planted AES-256 key"
+    );
+    let t = Instant::now();
+    let report = run(false);
+    let serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _ = run(true);
+    let pipelined_s = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    (serial_s, pipelined_s, report)
 }
 
 fn thread_counts(max_threads: usize) -> Vec<usize> {
@@ -203,6 +284,37 @@ fn main() {
         &search_rows,
     );
 
+    // Stage 3: the full capture-file → recovered-key pipeline on disk,
+    // serial decode-then-scan vs the pipelined decode/scan overlap.
+    let e2e_mib = (scan_mib * 4).max(1);
+    let (serial_s, pipelined_s, e2e_report) = e2e_attack_stage(e2e_mib);
+    let serial_mib_s = e2e_mib as f64 / serial_s;
+    let pipelined_mib_s = e2e_mib as f64 / pipelined_s;
+    table::print(
+        &format!("End-to-end capture-file attack ({e2e_mib} MiB CBDF, serial vs pipelined)"),
+        &["mode", "seconds", "MiB/s", "GB/s", "recovered"],
+        &[
+            vec![
+                "serial".into(),
+                format!("{serial_s:.2}"),
+                format!("{serial_mib_s:.3}"),
+                format!("{:.4}", serial_mib_s / 1024.0),
+                e2e_report.outcome.recovered.len().to_string(),
+            ],
+            vec![
+                "pipelined".into(),
+                format!("{pipelined_s:.2}"),
+                format!("{pipelined_mib_s:.3}"),
+                format!("{:.4}", pipelined_mib_s / 1024.0),
+                e2e_report.outcome.recovered.len().to_string(),
+            ],
+        ],
+    );
+    println!(
+        "  decode/scan overlap speedup: {:.2}x (byte-identical reports)",
+        serial_s / pipelined_s.max(1e-9)
+    );
+
     let single_core_mib_s = search_rows.first().map_or(1.0, |r| r.mib_per_s);
     let hours_100mb = 100.0 / (single_core_mib_s * 3600.0);
     let hours_8gb_8core = (8.0 * 1024.0) / (single_core_mib_s * 8.0 * 3600.0);
@@ -224,6 +336,19 @@ fn main() {
         ),
         ("mining", stage_json(&mining_rows, "keys_mined")),
         ("keysearch", stage_json(&search_rows, "false_hits")),
+        // The end-to-end rates sit at the top level so bench-diff gates
+        // them (nested stage arrays are informational only).
+        ("attack_e2e_mib", Json::Int(e2e_mib as i64)),
+        ("attack_e2e_serial_mib_per_s", Json::Num(serial_mib_s)),
+        ("attack_e2e_pipelined_mib_per_s", Json::Num(pipelined_mib_s)),
+        (
+            "attack_e2e_pipeline_speedup",
+            Json::Num(serial_s / pipelined_s.max(1e-9)),
+        ),
+        (
+            "attack_e2e_recovered_keys",
+            Json::Int(e2e_report.outcome.recovered.len() as i64),
+        ),
         (
             "extrapolations",
             Json::obj([

@@ -121,6 +121,16 @@ impl MemoryDump {
         &self.data
     }
 
+    /// Reclaims the image's backing storage as a `Vec<u8>`.
+    ///
+    /// Zero-copy when this dump holds the sole reference to its storage
+    /// (the common case for windows built from a freshly read buffer);
+    /// shared storage is copied. The pipelined dump reader uses this to
+    /// cycle a consumed window's buffer back to the producer thread.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data.into()
+    }
+
     /// A sub-dump covering the first `len` bytes (cheap; shares storage).
     ///
     /// # Panics
@@ -202,6 +212,18 @@ mod tests {
         let a: Vec<u64> = d.iter_blocks().map(|(addr, _)| addr).collect();
         let b: Vec<u64> = d.blocks().map(|(addr, _)| addr).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_vec_round_trips_the_image() {
+        let data: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        let d = MemoryDump::new(data.clone(), 0x40);
+        assert_eq!(d.into_vec(), data);
+        // Shared storage still yields the right bytes (by copy).
+        let d = MemoryDump::new(data.clone(), 0x40);
+        let clone = d.clone();
+        assert_eq!(d.into_vec(), data);
+        assert_eq!(clone.bytes(), &data[..]);
     }
 
     #[test]

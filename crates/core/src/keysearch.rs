@@ -250,85 +250,141 @@ pub fn aes_block_litmus_words(
     exhaustive: bool,
 ) -> Vec<LitmusMatch> {
     let nk = key_size.nk();
-    let extend_words = TEST_SPAN / 4 - nk;
-    let total_words = key_size.schedule_words();
-    let step = if exhaustive { 1 } else { 4 };
     let mut matches = Vec::new();
-    for offset in (0..=BLOCK_BYTES - TEST_SPAN).step_by(4) {
-        let span = &block_words[offset / 4..offset / 4 + TEST_SPAN / 4];
-        let observed = &span[nk..];
-        // First-word filter precomputation. The first extension word is
-        // span[0] ^ f(i, span[nk-1]) where f depends on the guessed
-        // absolute index i only through its phase:
-        //   i % nk == 0          -> sub_word(rot_word(prev)) ^ rcon(i/nk)
-        //   i % nk == 4 (nk > 6) -> sub_word(prev)
-        //   otherwise            -> prev
-        let prev = span[nk - 1];
-        let target = span[0] ^ observed[0];
-        let t_rcon = target ^ sub_word(rot_word(prev));
-        let d_rcon_low = (t_rcon & 0x00FF_FFFF).count_ones();
-        let t_rcon_hi = (t_rcon >> 24) as u8;
-        let d_sub = (target ^ sub_word(prev)).count_ones();
-        let d_id = (target ^ prev).count_ones();
-
+    for oi in 0..LITMUS_OFFSETS {
+        let span = &block_words[oi..oi + TEST_SPAN / 4];
+        let filter = PhaseFilter::new(span[0] ^ span[nk], span[nk - 1]);
         // If every phase already exceeds the budget on the first word, no
         // position at this offset can match: skip the position loop. This
         // bail fires on ~99% of non-schedule offsets.
-        if d_rcon_low > tolerance && d_sub > tolerance && d_id > tolerance {
+        if !filter.viable(tolerance) {
             continue;
         }
+        litmus_offset(span, key_size, tolerance, exhaustive, oi * 4, filter, &mut matches);
+    }
+    matches
+}
 
-        let mut start_word = 0usize;
-        while start_word + TEST_SPAN / 4 <= total_words {
-            let i = start_word + nk;
-            let d0 = if i.is_multiple_of(nk) {
-                if d_rcon_low > tolerance {
-                    start_word += step;
-                    continue;
-                }
-                d_rcon_low + (t_rcon_hi ^ (rcon(i / nk) >> 24) as u8).count_ones()
-            } else if nk > 6 && i % nk == 4 {
-                d_sub
-            } else {
-                d_id
-            };
-            if d0 > tolerance {
+/// Number of window offsets the litmus tries per block
+/// (`o ∈ {0,4,8,12,16}` bytes — word index `0..=4`).
+const LITMUS_OFFSETS: usize = (BLOCK_BYTES - TEST_SPAN) / 4 + 1;
+
+/// First-word phase distances for one (descrambled block, window offset).
+///
+/// The first extension word is `span[0] ^ f(i, span[nk-1])` where `f`
+/// depends on the guessed absolute index `i` only through its phase:
+///
+/// ```text
+/// i % nk == 0          -> sub_word(rot_word(prev)) ^ rcon(i/nk)
+/// i % nk == 4 (nk > 6) -> sub_word(prev)
+/// otherwise            -> prev
+/// ```
+///
+/// so these four numbers cover every position guess at an offset. Because
+/// XOR is linear, `target` and `prev` can also be assembled from separate
+/// block and candidate-key terms without materialising the descrambled
+/// block — the batched sweep in [`scan_block_batched`] does exactly that.
+#[derive(Debug, Clone, Copy)]
+struct PhaseFilter {
+    d_rcon_low: u32,
+    t_rcon_hi: u8,
+    d_sub: u32,
+    d_id: u32,
+}
+
+impl PhaseFilter {
+    /// Builds the filter from `target = span[0] ^ span[nk]` and
+    /// `prev = span[nk - 1]`.
+    #[inline]
+    fn new(target: u32, prev: u32) -> Self {
+        let t_rcon = target ^ sub_word(rot_word(prev));
+        Self {
+            d_rcon_low: (t_rcon & 0x00FF_FFFF).count_ones(),
+            t_rcon_hi: (t_rcon >> 24) as u8,
+            d_sub: (target ^ sub_word(prev)).count_ones(),
+            d_id: (target ^ prev).count_ones(),
+        }
+    }
+
+    /// Whether any phase could still meet the budget on the first word.
+    #[inline]
+    fn viable(&self, tolerance: u32) -> bool {
+        self.d_rcon_low <= tolerance || self.d_sub <= tolerance || self.d_id <= tolerance
+    }
+}
+
+/// Runs the litmus position loop for one window offset of a descrambled
+/// block, appending matches in `start_word` order.
+///
+/// `span` is the `TEST_SPAN` window starting at byte `offset`; `filter`
+/// must be `PhaseFilter::new(span[0] ^ span[nk], span[nk - 1])`. Shared by
+/// [`aes_block_litmus_words`] and the batched candidate sweep so both
+/// produce identical matches by construction.
+#[allow(clippy::too_many_arguments)]
+fn litmus_offset(
+    span: &[u32],
+    key_size: KeySize,
+    tolerance: u32,
+    exhaustive: bool,
+    offset: usize,
+    filter: PhaseFilter,
+    matches: &mut Vec<LitmusMatch>,
+) {
+    let nk = key_size.nk();
+    let extend_words = TEST_SPAN / 4 - nk;
+    let total_words = key_size.schedule_words();
+    let step = if exhaustive { 1 } else { 4 };
+    let observed = &span[nk..];
+    let prev = span[nk - 1];
+    let mut start_word = 0usize;
+    while start_word + TEST_SPAN / 4 <= total_words {
+        let i = start_word + nk;
+        let d0 = if i.is_multiple_of(nk) {
+            if filter.d_rcon_low > tolerance {
                 start_word += step;
                 continue;
             }
-            // Survived the cheap filter; run the remaining extension with a
-            // rolling window (slot e mod nk holds w[start+e] until it is
-            // overwritten by the predicted w[start+nk+e]).
-            let first = span[0] ^ expansion_step(key_size, i, prev);
-            let mut dist = d0;
-            debug_assert_eq!(dist, (first ^ observed[0]).count_ones());
-            let mut rolling = [0u32; 8];
-            rolling[..nk].copy_from_slice(&span[..nk]);
-            rolling[0] = first;
-            let mut prev_word = first;
-            let mut ok = true;
-            for e in 1..extend_words {
-                let temp = expansion_step(key_size, start_word + nk + e, prev_word);
-                let predicted = rolling[e % nk] ^ temp;
-                dist += (predicted ^ observed[e]).count_ones();
-                if dist > tolerance {
-                    ok = false;
-                    break;
-                }
-                rolling[e % nk] = predicted;
-                prev_word = predicted;
-            }
-            if ok {
-                matches.push(LitmusMatch {
-                    window_offset: offset,
-                    start_word,
-                    distance: dist,
-                });
-            }
+            filter.d_rcon_low + (filter.t_rcon_hi ^ (rcon(i / nk) >> 24) as u8).count_ones()
+        } else if nk > 6 && i % nk == 4 {
+            filter.d_sub
+        } else {
+            filter.d_id
+        };
+        if d0 > tolerance {
             start_word += step;
+            continue;
         }
+        // Survived the cheap filter; run the remaining extension with a
+        // rolling window (slot e mod nk holds w[start+e] until it is
+        // overwritten by the predicted w[start+nk+e]).
+        let first = span[0] ^ expansion_step(key_size, i, prev);
+        let mut dist = d0;
+        debug_assert_eq!(dist, (first ^ observed[0]).count_ones());
+        let mut rolling = [0u32; 8];
+        rolling[..nk].copy_from_slice(&span[..nk]);
+        rolling[0] = first;
+        let mut prev_word = first;
+        let mut ok = true;
+        for e in 1..extend_words {
+            let temp = expansion_step(key_size, start_word + nk + e, prev_word);
+            let predicted = rolling[e % nk] ^ temp;
+            dist += (predicted ^ observed[e]).count_ones();
+            if dist > tolerance {
+                ok = false;
+                break;
+            }
+            rolling[e % nk] = predicted;
+            prev_word = predicted;
+        }
+        if ok {
+            matches.push(LitmusMatch {
+                window_offset: offset,
+                start_word,
+                distance: dist,
+            });
+        }
+        start_word += step;
     }
-    matches
 }
 
 /// Verifies a hit against the rest of its schedule and recovers the master
@@ -479,6 +535,8 @@ const SCHEDULE_CONTEXT_BLOCKS: usize = 4;
 pub struct StreamSearcher {
     candidates: Vec<CandidateKey>,
     key_words: Vec<[u32; BLOCK_BYTES / 4]>,
+    /// First-word filter tables for the batched sweep, built once.
+    batch: LitmusBatch,
     config: SearchConfig,
     /// Retained contiguous tail of the image.
     buf: Vec<u8>,
@@ -499,8 +557,9 @@ impl StreamSearcher {
     /// Creates a searcher over the given candidate scrambler keys.
     pub fn new(candidates: &[CandidateKey], config: &SearchConfig) -> Self {
         // Parse every candidate key to words once; per (block, key) pair the
-        // descramble is then 16 word XORs.
-        let key_words = candidates
+        // descramble is then 16 word XORs, and the batched first-word filter
+        // needs no descramble at all (see `LitmusBatch`).
+        let key_words: Vec<[u32; BLOCK_BYTES / 4]> = candidates
             .iter()
             .map(|cand| {
                 let mut w = [0u32; BLOCK_BYTES / 4];
@@ -510,9 +569,11 @@ impl StreamSearcher {
                 w
             })
             .collect();
+        let batch = LitmusBatch::new(&key_words, &config.key_sizes);
         Self {
             candidates: candidates.to_vec(),
             key_words,
+            batch,
             config: config.clone(),
             buf: Vec::new(),
             buf_base: 0,
@@ -575,10 +636,25 @@ impl StreamSearcher {
         }
         let candidates = &self.candidates;
         let key_words = &self.key_words;
+        let batch = &self.batch;
         let config = &self.config;
-        let new_hits: Vec<ScheduleHit> = scan::scan_collect(indices.len(), &opts, |n, out| {
-            scan_block(&view, candidates, key_words, config, indices[n], out);
-        });
+        // The batched sweep folds into per-worker accumulators (so scratch
+        // and the descramble memo live across a whole batch); the merge
+        // concatenates, which is not order-preserving on its own — the
+        // stable sort by item position below restores the serial hit order
+        // (positions are unique per block, blocks never split workers).
+        let folded = scan::scan_fold(
+            indices.len(),
+            &opts,
+            SweepAcc::default,
+            |acc, n| {
+                scan_block_batched(&view, candidates, key_words, batch, config, n, indices[n], acc);
+            },
+            SweepAcc::merge,
+        );
+        let mut tagged = folded.hits;
+        tagged.sort_by_key(|&(pos, _)| pos);
+        let new_hits: Vec<ScheduleHit> = tagged.into_iter().map(|(_, hit)| hit).collect();
         if let Some(metrics) = &self.metrics {
             metrics.blocks.add(indices.len() as u64);
             metrics.hits.add(new_hits.len() as u64);
@@ -678,9 +754,204 @@ pub fn search_dump(
     searcher.finish()
 }
 
+/// Per-candidate first-word filter tables for the batched litmus sweep.
+///
+/// The first-word filter for candidate `c` at window offset `o` needs only
+/// `target = D[o] ^ D[o + nk]` and `prev = D[o + nk - 1]` (word indices)
+/// where `D = B ^ Kc` is the descrambled block. XOR linearity splits both
+/// into a block term and a candidate term:
+///
+/// ```text
+/// target = (B[o] ^ B[o+nk]) ^ (Kc[o] ^ Kc[o+nk]) = t_blk ^ kt
+/// prev   =  B[o+nk-1]       ^  Kc[o+nk-1]        = p_blk ^ kp
+/// ```
+///
+/// so the sweep computes `t_blk`/`p_blk` once per (block, size, offset)
+/// and streams these tables — built once per search, one contiguous run
+/// per offset — through the filter *without descrambling anything*. Only
+/// the rare survivors (the ~1% of triples the all-phase bail does not
+/// kill) descramble the block and run the position loop.
+struct LitmusBatch {
+    sizes: Vec<SizeBatch>,
+}
+
+/// Candidate tables for one key size; entry `oi * n_candidates + ci`
+/// belongs to candidate `ci` at window-offset word index `oi`.
+struct SizeBatch {
+    size: KeySize,
+    /// `Kc[oi] ^ Kc[oi + nk]` — the candidate term of `target`.
+    kt: Vec<u32>,
+    /// `Kc[oi + nk - 1]` — the candidate term of `prev`.
+    kp: Vec<u32>,
+    /// `kt ^ kp`: lets the identity-phase distance
+    /// `popcount(target ^ prev)` run as one SWAR batch, since
+    /// `target ^ prev = (t_blk ^ p_blk) ^ (kt ^ kp)`.
+    kid: Vec<u32>,
+}
+
+impl LitmusBatch {
+    fn new(key_words: &[[u32; BLOCK_BYTES / 4]], key_sizes: &[KeySize]) -> Self {
+        let n = key_words.len();
+        let sizes = key_sizes
+            .iter()
+            .map(|&size| {
+                let nk = size.nk();
+                let mut kt = Vec::with_capacity(LITMUS_OFFSETS * n);
+                let mut kp = Vec::with_capacity(LITMUS_OFFSETS * n);
+                let mut kid = Vec::with_capacity(LITMUS_OFFSETS * n);
+                for oi in 0..LITMUS_OFFSETS {
+                    for kw in key_words {
+                        let t = kw[oi] ^ kw[oi + nk];
+                        let p = kw[oi + nk - 1];
+                        kt.push(t);
+                        kp.push(p);
+                        kid.push(t ^ p);
+                    }
+                }
+                SizeBatch { size, kt, kp, kid }
+            })
+            .collect();
+        Self { sizes }
+    }
+}
+
+/// Worker-local accumulator for the batched block sweep: position-tagged
+/// hits plus reusable scratch, so steady-state scanning allocates nothing.
+#[derive(Default)]
+struct SweepAcc {
+    /// `(item position, hit)` pairs. Hits of one block are appended in the
+    /// serial (candidate → key size → litmus position) order and positions
+    /// are unique per block, so a stable sort by position after the merge
+    /// reproduces the serial hit order exactly, whatever worker each batch
+    /// landed on.
+    hits: Vec<(usize, ScheduleHit)>,
+    /// Scratch: identity-phase distances for one candidate run.
+    d_id: Vec<u32>,
+    /// Scratch: surviving `(candidate, size index, offset index)` triples.
+    survivors: Vec<(usize, usize, usize)>,
+    /// Scratch: litmus matches of one surviving triple.
+    matches: Vec<LitmusMatch>,
+}
+
+impl SweepAcc {
+    /// Concatenating merge for [`scan::scan_fold`]; order is restored by
+    /// the position sort in [`StreamSearcher::push`].
+    fn merge(mut self, other: SweepAcc) -> SweepAcc {
+        self.hits.extend(other.hits);
+        self
+    }
+}
+
 /// Litmus-tests one block against every candidate key and key size,
-/// appending hits in (candidate, key size, litmus position) order.
-fn scan_block(
+/// appending hits (tagged with `pos`) in (candidate, key size, litmus
+/// position) order — the same order [`scan_block_reference`] produces.
+///
+/// The sweep inverts the reference loop: instead of descrambling the block
+/// per candidate and filtering inside the litmus, it runs the first-word
+/// filter over the whole candidate table per (size, offset) using the
+/// precomputed [`LitmusBatch`] terms, then descrambles only for the rare
+/// surviving candidates (memoized across a candidate's surviving offsets).
+#[allow(clippy::too_many_arguments)]
+fn scan_block_batched(
+    dump: &MemoryDump,
+    candidates: &[CandidateKey],
+    key_words: &[[u32; BLOCK_BYTES / 4]],
+    batch: &LitmusBatch,
+    config: &SearchConfig,
+    pos: usize,
+    i: usize,
+    acc: &mut SweepAcc,
+) {
+    let raw = dump.block(i);
+    let mut block_w = [0u32; BLOCK_BYTES / 4];
+    for (j, c) in raw.chunks_exact(4).enumerate() {
+        block_w[j] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+    }
+    let n = candidates.len();
+    let tol = config.block_tolerance_bits;
+    acc.survivors.clear();
+    for (si, sb) in batch.sizes.iter().enumerate() {
+        let nk = sb.size.nk();
+        for oi in 0..LITMUS_OFFSETS {
+            let t_blk = block_w[oi] ^ block_w[oi + nk];
+            let p_blk = block_w[oi + nk - 1];
+            let kt = &sb.kt[oi * n..(oi + 1) * n];
+            let kp = &sb.kp[oi * n..(oi + 1) * n];
+            let kid = &sb.kid[oi * n..(oi + 1) * n];
+            // Identity-phase distances for the whole candidate run in one
+            // SWAR pass; the nonlinear (sub_word) phases go scalar, and
+            // only for candidates the identity phase did not already pass.
+            acc.d_id.resize(n, 0);
+            hamming::weight32_xor_batch(kid, t_blk ^ p_blk, &mut acc.d_id);
+            for ci in 0..n {
+                if acc.d_id[ci] > tol {
+                    let target = t_blk ^ kt[ci];
+                    let prev = p_blk ^ kp[ci];
+                    let t_rcon = target ^ sub_word(rot_word(prev));
+                    if (t_rcon & 0x00FF_FFFF).count_ones() > tol
+                        && (target ^ sub_word(prev)).count_ones() > tol
+                    {
+                        continue;
+                    }
+                }
+                acc.survivors.push((ci, si, oi));
+            }
+        }
+    }
+    if acc.survivors.is_empty() {
+        return;
+    }
+    // Survivors were collected size-major; the serial hit order is
+    // candidate → key size → (offset, start_word). Triples are unique, so
+    // an unstable sort is exact.
+    acc.survivors.sort_unstable();
+    let mut desc = [0u32; BLOCK_BYTES / 4];
+    let mut desc_for = usize::MAX;
+    for s in 0..acc.survivors.len() {
+        let (ci, si, oi) = acc.survivors[s];
+        if desc_for != ci {
+            for (d, (b, k)) in desc.iter_mut().zip(block_w.iter().zip(&key_words[ci])) {
+                *d = b ^ k;
+            }
+            desc_for = ci;
+        }
+        let size = batch.sizes[si].size;
+        let nk = size.nk();
+        let span = &desc[oi..oi + TEST_SPAN / 4];
+        let filter = PhaseFilter::new(span[0] ^ span[nk], span[nk - 1]);
+        debug_assert!(filter.viable(tol), "survivor failed the recomputed filter");
+        acc.matches.clear();
+        litmus_offset(
+            span,
+            size,
+            tol,
+            config.exhaustive_word_offsets,
+            oi * 4,
+            filter,
+            &mut acc.matches,
+        );
+        for m in &acc.matches {
+            acc.hits.push((
+                pos,
+                ScheduleHit {
+                    block_addr: dump.block_addr(i),
+                    scrambler_key: candidates[ci].key,
+                    key_size: size,
+                    window_offset: m.window_offset,
+                    start_word: m.start_word,
+                    prediction_distance: m.distance,
+                },
+            ));
+        }
+    }
+}
+
+/// The per-candidate form the batched sweep replaced: descramble the block
+/// for every candidate, run the full litmus per key size. Retained as the
+/// reference implementation the batched-sweep equivalence tests compare
+/// against.
+#[cfg(test)]
+fn scan_block_reference(
     dump: &MemoryDump,
     candidates: &[CandidateKey],
     key_words: &[[u32; BLOCK_BYTES / 4]],
@@ -1155,5 +1426,97 @@ mod tests {
             .collect();
         let outcome = search_dump(&dump, &wrong, &SearchConfig::default());
         assert!(outcome.recovered.is_empty());
+    }
+
+    /// Runs the retained per-candidate reference over every block in order
+    /// — the exact hit list the batched sweep must reproduce.
+    fn reference_hits(
+        dump: &MemoryDump,
+        candidates: &[CandidateKey],
+        config: &SearchConfig,
+    ) -> Vec<ScheduleHit> {
+        let key_words: Vec<[u32; BLOCK_BYTES / 4]> = candidates
+            .iter()
+            .map(|cand| {
+                let mut w = [0u32; BLOCK_BYTES / 4];
+                for (i, c) in cand.key.chunks_exact(4).enumerate() {
+                    w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+                }
+                w
+            })
+            .collect();
+        let mut hits = Vec::new();
+        for i in 0..dump.len_blocks() {
+            scan_block_reference(dump, candidates, &key_words, config, i, &mut hits);
+        }
+        hits
+    }
+
+    #[test]
+    fn batched_sweep_matches_reference_on_schedule_dump() {
+        let master: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(11).wrapping_add(5));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(256, &master, &keys);
+        for threads in [1usize, 2, 8] {
+            let config = SearchConfig {
+                threads,
+                ..SearchConfig::default()
+            };
+            let got = search_dump(&dump, &candidates, &config).hits;
+            assert_eq!(got, reference_hits(&dump, &candidates, &config), "threads={threads}");
+            assert!(!got.is_empty(), "schedule dump must produce hits");
+        }
+    }
+
+    mod batched_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The batched candidate sweep is hit-for-hit identical to the
+            /// per-candidate litmus on arbitrary images, candidate sets,
+            /// tolerances, and thread counts — including images with a
+            /// planted schedule so the survivor path is exercised, not
+            /// just the all-phase bail.
+            #[test]
+            fn batched_litmus_matches_per_candidate_litmus(
+                mut image in proptest::collection::vec(any::<u8>(), 64 * 10),
+                raw_keys in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 64), 1..5),
+                tolerance in 0u32..12,
+                threads in 1usize..4,
+                exhaustive in any::<bool>(),
+            ) {
+                let master: [u8; 32] =
+                    core::array::from_fn(|i| (i as u8).wrapping_mul(7).wrapping_add(3));
+                let sched = schedule_bytes(&master);
+                image[64..64 + sched.len()].copy_from_slice(&sched);
+                let scrambler_keys: Vec<[u8; 64]> = raw_keys
+                    .iter()
+                    .map(|k| k.as_slice().try_into().unwrap())
+                    .collect();
+                for (i, chunk) in image.chunks_mut(64).enumerate() {
+                    let k = &scrambler_keys[i % scrambler_keys.len()];
+                    for (b, kb) in chunk.iter_mut().zip(k.iter()) {
+                        *b ^= kb;
+                    }
+                }
+                let candidates: Vec<CandidateKey> = scrambler_keys
+                    .iter()
+                    .map(|k| CandidateKey { key: *k, observations: 1 })
+                    .collect();
+                let dump = MemoryDump::new(image, 0);
+                let config = SearchConfig {
+                    block_tolerance_bits: tolerance,
+                    threads,
+                    exhaustive_word_offsets: exhaustive,
+                    ..SearchConfig::default()
+                };
+                let got = search_dump(&dump, &candidates, &config).hits;
+                prop_assert_eq!(got, reference_hits(&dump, &candidates, &config));
+            }
+        }
     }
 }

@@ -94,6 +94,25 @@ pub struct MiningConfig {
     /// the full test ([`first_group_violations`]). Never changes the
     /// result; exposed as a knob so benchmarks can measure it.
     pub prefilter: bool,
+    /// Blocks per cache tile within one absorbed window
+    /// ([`DEFAULT_TILE_BLOCKS`]). The sweep processes a window one tile at
+    /// a time so the bytes under scan stay resident in a core's private
+    /// cache instead of streaming the whole window through; tile size
+    /// never changes the result (the dedup merge is commutative). Values
+    /// `>= ` the window size disable tiling.
+    #[serde(default = "default_tile_blocks")]
+    pub tile_blocks: usize,
+}
+
+/// Default [`MiningConfig::tile_blocks`]: 256 KiB of blocks — a quarter of
+/// the streaming pipeline's default 1 MiB window, sized to fit a per-core
+/// L2 alongside the scan's candidate tables.
+pub const DEFAULT_TILE_BLOCKS: usize = 4 * 1024;
+
+/// `serde(default)` shim for [`MiningConfig::tile_blocks`], so job specs
+/// serialized before the field existed still deserialize.
+fn default_tile_blocks() -> usize {
+    DEFAULT_TILE_BLOCKS
 }
 
 impl Default for MiningConfig {
@@ -105,6 +124,7 @@ impl Default for MiningConfig {
             max_candidates: None,
             threads: scan::default_threads(),
             prefilter: true,
+            tile_blocks: DEFAULT_TILE_BLOCKS,
         }
     }
 }
@@ -294,33 +314,47 @@ impl KeyMiner {
         if let Some(metrics) = &self.metrics {
             sweep_opts = sweep_opts.with_metrics(Arc::clone(&metrics.engine));
         }
-        let local: SweepAcc = scan::scan_fold(
-            window.len_blocks(),
-            &sweep_opts,
-            SweepAcc::default,
-            |acc, i| {
-                let block = window.block(i);
-                if config.prefilter && first_group_violations(block) > config.litmus_tolerance_bits
-                {
-                    acc.prefilter_rejects += 1;
-                    return;
-                }
-                let violations = invariant_violations(block);
-                if violations > config.litmus_tolerance_bits {
-                    return;
-                }
-                acc.litmus_hits += 1;
-                acc.decayed_bits += u64::from(violations);
-                if config.drop_null_key && ct::is_zero(block) {
-                    return;
-                }
-                let global = first_block_index + i;
-                let entry = acc.map.entry(*block).or_insert((0, global));
-                entry.0 += 1;
-                entry.1 = entry.1.min(global);
-            },
-            SweepAcc::merge,
-        );
+        // Sweep the window one cache tile at a time; the dedup merge is
+        // commutative, so tiling never changes the result (covered by
+        // `tile_size_never_changes_mining_results`).
+        let tile = config.tile_blocks.max(1);
+        let total = window.len_blocks();
+        let mut local = SweepAcc::default();
+        let mut tile_start = 0usize;
+        while tile_start < total {
+            let tile_len = tile.min(total - tile_start);
+            let tile_acc: SweepAcc = scan::scan_fold(
+                tile_len,
+                &sweep_opts,
+                SweepAcc::default,
+                |acc, i| {
+                    let i = tile_start + i;
+                    let block = window.block(i);
+                    if config.prefilter
+                        && first_group_violations(block) > config.litmus_tolerance_bits
+                    {
+                        acc.prefilter_rejects += 1;
+                        return;
+                    }
+                    let violations = invariant_violations(block);
+                    if violations > config.litmus_tolerance_bits {
+                        return;
+                    }
+                    acc.litmus_hits += 1;
+                    acc.decayed_bits += u64::from(violations);
+                    if config.drop_null_key && ct::is_zero(block) {
+                        return;
+                    }
+                    let global = first_block_index + i;
+                    let entry = acc.map.entry(*block).or_insert((0, global));
+                    entry.0 += 1;
+                    entry.1 = entry.1.min(global);
+                },
+                SweepAcc::merge,
+            );
+            local = local.merge(tile_acc);
+            tile_start += tile_len;
+        }
         if let Some(metrics) = &self.metrics {
             metrics.blocks.add(window.len_blocks() as u64);
             metrics.prefilter_rejects.add(local.prefilter_rejects);
@@ -679,6 +713,31 @@ mod tests {
             "every block is swept at most once"
         );
         assert!(metrics.engine.items.get() >= dump.len_blocks() as u64);
+    }
+
+    #[test]
+    fn tile_size_never_changes_mining_results() {
+        let dump = skewed_dump();
+        let base = mine_candidate_keys(&dump, &MiningConfig::default());
+        // From degenerate single-block tiles through exact divisors, ragged
+        // tails, and one tile spanning the whole window.
+        for tile_blocks in [1usize, 7, 100, 1024, 1 << 20] {
+            let config = MiningConfig {
+                tile_blocks,
+                ..MiningConfig::default()
+            };
+            assert_eq!(
+                mine_candidate_keys(&dump, &config),
+                base,
+                "tile={tile_blocks}"
+            );
+        }
+        // A zero tile is clamped, not an infinite loop.
+        let config = MiningConfig {
+            tile_blocks: 0,
+            ..MiningConfig::default()
+        };
+        assert_eq!(mine_candidate_keys(&dump, &config), base);
     }
 
     #[test]

@@ -77,6 +77,49 @@ pub fn within(a: &[u8], b: &[u8], max_bits: u32) -> bool {
     total <= max_bits
 }
 
+/// Per-lane popcounts of a `u64` packing two `u32` lanes (`lo`, `hi`).
+///
+/// The SWAR popcount is stopped at the per-byte stage so the two 32-bit
+/// halves can be summed independently with one multiply-shift each — two
+/// lane counts for the price of one reduction chain.
+#[inline(always)]
+fn lane_weights32(x: u64) -> (u32, u32) {
+    let x = x - ((x >> 1) & 0x5555_5555_5555_5555);
+    let x = (x & 0x3333_3333_3333_3333) + ((x >> 2) & 0x3333_3333_3333_3333);
+    let x = (x + (x >> 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    let lo = (x as u32).wrapping_mul(0x0101_0101) >> 24;
+    let hi = ((x >> 32) as u32).wrapping_mul(0x0101_0101) >> 24;
+    (lo, hi)
+}
+
+/// Writes `(words[i] ^ mask).count_ones()` into `out[i]` for every word.
+///
+/// The batched AES-litmus sweep calls this once per (block, window offset)
+/// with a whole candidate table as `words`, so the popcount reduction is
+/// amortised across pairs of candidates ([`lane_weights32`] folds two
+/// lanes per pass). Fixed-work like [`distance`]: every word is always
+/// inspected and no branch depends on the data.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn weight32_xor_batch(words: &[u32], mask: u32, out: &mut [u32]) {
+    assert_eq!(words.len(), out.len(), "batch weight requires equal lengths");
+    let mask2 = (u64::from(mask) << 32) | u64::from(mask);
+    let mut pairs = words.chunks_exact(2);
+    let mut outs = out.chunks_exact_mut(2);
+    for (w, o) in pairs.by_ref().zip(outs.by_ref()) {
+        let packed = ((u64::from(w[1]) << 32) | u64::from(w[0])) ^ mask2;
+        let (lo, hi) = lane_weights32(packed);
+        o[0] = lo;
+        o[1] = hi;
+    }
+    for (w, o) in pairs.remainder().iter().zip(outs.into_remainder()) {
+        *o = (w ^ mask).count_ones();
+    }
+}
+
 /// Counts the set bits in a slice (distance from all-zeros).
 ///
 /// Fixed-work, like [`distance`] ([`crate::ct::is_zero`] relies on this).
@@ -180,6 +223,29 @@ mod tests {
             assert!(within(&base, &flipped, 1));
             assert!(!within(&base, &flipped, 0));
         }
+    }
+
+    #[test]
+    fn batch_weight_matches_scalar_for_all_lengths() {
+        // Lengths 0..=33 cover the empty batch, the odd tail, and several
+        // pair boundaries; masks exercise both halves of the packed lane.
+        for len in 0usize..=33 {
+            let words: Vec<u32> = (0..len as u32)
+                .map(|i| i.wrapping_mul(0x9E37_79B9) ^ (i << 13))
+                .collect();
+            for mask in [0u32, 0xFFFF_FFFF, 0xDEAD_BEEF, 1 << 31] {
+                let mut got = vec![0u32; len];
+                weight32_xor_batch(&words, mask, &mut got);
+                let want: Vec<u32> = words.iter().map(|w| (w ^ mask).count_ones()).collect();
+                assert_eq!(got, want, "len {len} mask {mask:#x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn batch_weight_panics_on_mismatch() {
+        weight32_xor_batch(&[0, 1], 0, &mut [0]);
     }
 
     #[test]

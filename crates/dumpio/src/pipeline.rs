@@ -16,14 +16,23 @@
 //! once per *read slice* ([`TICK_BLOCKS`] blocks per worker thread), not
 //! once per caller-sized window, so a deadline overshoots by at most one
 //! slice even when a job scans the whole file as a single window.
+//!
+//! Every pass comes in two forms that produce byte-identical results: the
+//! serial `*_stream` functions decode each window inline before scanning
+//! it, and the `*_pipelined` twins overlap the two — a producer thread
+//! reads, RLE-decodes, and CRC-checks window N+1 into a recycled double
+//! buffer while the scan engine consumes window N. Both forms run the
+//! same consumer closure over the same window sequence, so the overlap
+//! changes wall-clock time and nothing else.
 
 use std::io::{Read, Seek};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use coldboot::attack::ddr3::FrequencyCounter;
 use coldboot::attack::{AttackConfig, AttackReport};
+use coldboot::dump::MemoryDump;
 use coldboot::keysearch::{SearchConfig, SearchOutcome, StreamSearcher};
 use coldboot::litmus::{CandidateKey, KeyMiner, MiningConfig};
 use coldboot_dram::BLOCK_BYTES;
@@ -180,6 +189,177 @@ fn mining_limit(max_bytes: Option<u64>, total_bytes: u64) -> u64 {
     }
 }
 
+/// The window consumer a pass hands to a driver: scans one window and
+/// returns whether the pass wants more (`false` stops a byte-limited
+/// mining pass once its prefix is absorbed).
+type Consume<'a> = &'a mut dyn FnMut(&MemoryDump) -> Result<bool, PipelineError>;
+
+/// The driver a pass runs under: either [`drive_serial`] or
+/// [`drive_pipelined`], partially applied by the public entry points.
+type Drive<'a, R> = &'a mut dyn FnMut(
+    &mut DumpReader<R>,
+    usize,
+    Option<u64>,
+    Option<&PipelineMetrics>,
+    Consume<'_>,
+) -> Result<(), PipelineError>;
+
+/// Runs `consume` over successive read slices decoded inline on the
+/// calling thread. `limit` stops reading once that many image bytes have
+/// been pulled (the consumer clamps the final window itself).
+fn drive_serial<R: Read>(
+    reader: &mut DumpReader<R>,
+    read_blocks: usize,
+    limit: Option<u64>,
+    metrics: Option<&PipelineMetrics>,
+    consume: Consume<'_>,
+) -> Result<(), PipelineError> {
+    let mut read_bytes = 0u64;
+    loop {
+        if limit.is_some_and(|l| read_bytes >= l) {
+            break;
+        }
+        let read_started = metrics.map(|_| Instant::now());
+        let window = reader.next_window(read_blocks)?;
+        if let Some((pm, t0)) = metrics.zip(read_started) {
+            pm.window_read_us.observe(duration_us(t0.elapsed()));
+        }
+        let Some(window) = window else {
+            break;
+        };
+        read_bytes += window.len() as u64;
+        if !consume(&window)? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// The overlapped driver: a producer thread reads, RLE-decodes, and
+/// CRC-checks window N+1 while `consume` scans window N on the calling
+/// thread. The rendezvous channel bounds the pass to two in-flight
+/// windows — one being decoded, one being scanned — and consumed buffers
+/// cycle back to the producer ([`MemoryDump::into_vec`] reclaims the
+/// allocation once the scan drops its borrows), so the steady state
+/// allocates nothing.
+///
+/// Results are byte-identical to [`drive_serial`]: the consumer sees the
+/// same windows in the same order and runs the same closure, including
+/// its [`ScanControl::tick`] calls, so cancellation and deadline checks
+/// keep their per-slice cadence. When the consumer stops early the
+/// producer's next `send` fails and it exits before the scope joins it;
+/// producer-side stream errors arrive in-band, after every window that
+/// preceded them.
+fn drive_pipelined<R: Read + Send>(
+    reader: &mut DumpReader<R>,
+    read_blocks: usize,
+    limit: Option<u64>,
+    metrics: Option<&PipelineMetrics>,
+    consume: Consume<'_>,
+) -> Result<(), PipelineError> {
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::sync_channel::<Result<(Vec<u8>, u64), DumpError>>(0);
+        let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<u8>>();
+        s.spawn(move || {
+            let mut read_bytes = 0u64;
+            loop {
+                if limit.is_some_and(|l| read_bytes >= l) {
+                    break;
+                }
+                let mut buf = recycle_rx.try_recv().unwrap_or_default();
+                let decode_started = metrics.map(|_| Instant::now());
+                match reader.next_window_into(read_blocks, &mut buf) {
+                    Ok(Some(addr)) => {
+                        if let Some((pm, t0)) = metrics.zip(decode_started) {
+                            pm.decode_us.observe(duration_us(t0.elapsed()));
+                        }
+                        read_bytes += buf.len() as u64;
+                        // A failed send means the consumer bailed
+                        // (cancel, deadline, scan error): stop quietly.
+                        if tx.send(Ok((buf, addr))).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
+        loop {
+            let recv_started = metrics.map(|_| Instant::now());
+            let msg = rx.recv();
+            if let Some((pm, t0)) = metrics.zip(recv_started) {
+                let stalled = duration_us(t0.elapsed());
+                pm.scan_stall_us.observe(stalled);
+                pm.window_read_us.observe(stalled);
+            }
+            match msg {
+                // Producer hung up: end of image (or limit reached).
+                Err(_) => return Ok(()),
+                Ok(Err(e)) => return Err(e.into()),
+                Ok(Ok((buf, addr))) => {
+                    let window = MemoryDump::new(buf, addr);
+                    let more = consume(&window)?;
+                    let _ = recycle_tx.send(window.into_vec());
+                    if !more {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// The mining pass body shared by [`mine_stream`] and
+/// [`mine_stream_pipelined`]: one consumer closure, one tick cadence,
+/// whichever driver the entry point picked.
+fn mine_with<R: Read>(
+    reader: &mut DumpReader<R>,
+    config: &MiningConfig,
+    window_blocks: usize,
+    max_bytes: Option<u64>,
+    ctrl: &ScanControl<'_>,
+    drive: Drive<'_, R>,
+) -> Result<Vec<CandidateKey>, PipelineError> {
+    let image_base = reader.meta().base_addr;
+    let limit = mining_limit(max_bytes, reader.meta().total_bytes);
+    let read_blocks = slice_blocks(window_blocks, config.threads);
+    let mut miner = KeyMiner::new(config);
+    if let Some(pm) = ctrl.metrics {
+        miner = miner.with_metrics(Arc::clone(&pm.mining));
+    }
+    let mut bytes_done = 0u64;
+    ctrl.tick(0)?;
+    let mut consume = |window: &MemoryDump| -> Result<bool, PipelineError> {
+        let first_block = ((window.base_addr() - image_base) / BLOCK_BYTES as u64) as usize;
+        let keep = (limit - bytes_done).min(window.len() as u64) as usize;
+        // `limit` and every window length are whole blocks, so the prefix
+        // is block-aligned. The clamped view drops before the driver
+        // reclaims the window's buffer.
+        let clamped;
+        let window = if keep < window.len() {
+            clamped = window.prefix(keep);
+            &clamped
+        } else {
+            window
+        };
+        let scan_started = ctrl.metrics.map(|_| Instant::now());
+        miner.absorb(window, first_block);
+        if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
+            pm.window_scan_us.observe(duration_us(t0.elapsed()));
+            pm.windows.inc();
+        }
+        bytes_done += window.len() as u64;
+        ctrl.tick(bytes_done / BLOCK_BYTES as u64)?;
+        Ok(bytes_done < limit)
+    };
+    drive(reader, read_blocks, Some(limit), ctrl.metrics, &mut consume)?;
+    Ok(miner.finish())
+}
+
 /// Streams scrambler-key mining over at most `max_bytes` of the image.
 ///
 /// Byte-identical to `mine_candidate_keys` over the same prefix.
@@ -198,43 +378,60 @@ pub fn mine_stream<R: Read>(
     max_bytes: Option<u64>,
     ctrl: &ScanControl<'_>,
 ) -> Result<Vec<CandidateKey>, PipelineError> {
-    let image_base = reader.meta().base_addr;
-    let limit = mining_limit(max_bytes, reader.meta().total_bytes);
+    mine_with(reader, config, window_blocks, max_bytes, ctrl, &mut drive_serial)
+}
+
+/// [`mine_stream`] with decode/scan overlap: a producer thread decodes
+/// the next read slice while the miner absorbs the current one.
+/// Byte-identical to the serial form.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn mine_stream_pipelined<R: Read + Send>(
+    reader: &mut DumpReader<R>,
+    config: &MiningConfig,
+    window_blocks: usize,
+    max_bytes: Option<u64>,
+    ctrl: &ScanControl<'_>,
+) -> Result<Vec<CandidateKey>, PipelineError> {
+    mine_with(reader, config, window_blocks, max_bytes, ctrl, &mut drive_pipelined)
+}
+
+/// The search pass body shared by [`search_stream`] and
+/// [`search_stream_pipelined`].
+fn search_with<R: Read>(
+    reader: &mut DumpReader<R>,
+    candidates: &[CandidateKey],
+    config: &SearchConfig,
+    window_blocks: usize,
+    ctrl: &ScanControl<'_>,
+    drive: Drive<'_, R>,
+) -> Result<SearchOutcome, PipelineError> {
     let read_blocks = slice_blocks(window_blocks, config.threads);
-    let mut miner = KeyMiner::new(config);
+    let mut searcher = StreamSearcher::new(candidates, config);
     if let Some(pm) = ctrl.metrics {
-        miner = miner.with_metrics(Arc::clone(&pm.mining));
+        searcher = searcher.with_metrics(Arc::clone(&pm.search));
     }
-    let mut bytes_done = 0u64;
+    let mut blocks_done = 0u64;
     ctrl.tick(0)?;
-    while bytes_done < limit {
-        let read_started = ctrl.metrics.map(|_| Instant::now());
-        let window = reader.next_window(read_blocks)?;
-        if let Some((pm, t0)) = ctrl.metrics.zip(read_started) {
-            pm.window_read_us.observe(duration_us(t0.elapsed()));
-        }
-        let Some(window) = window else {
-            break;
-        };
-        let first_block = ((window.base_addr() - image_base) / BLOCK_BYTES as u64) as usize;
-        let keep = (limit - bytes_done).min(window.len() as u64) as usize;
-        // `limit` and every window length are whole blocks, so the prefix
-        // is block-aligned.
-        let window = if keep < window.len() {
-            window.prefix(keep)
-        } else {
-            window
-        };
+    let mut consume = |window: &MemoryDump| -> Result<bool, PipelineError> {
+        blocks_done += (window.len() / BLOCK_BYTES) as u64;
         let scan_started = ctrl.metrics.map(|_| Instant::now());
-        miner.absorb(&window, first_block);
+        searcher.push(window);
         if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
             pm.window_scan_us.observe(duration_us(t0.elapsed()));
             pm.windows.inc();
         }
-        bytes_done += window.len() as u64;
-        ctrl.tick(bytes_done / BLOCK_BYTES as u64)?;
-    }
-    Ok(miner.finish())
+        ctrl.tick(blocks_done)?;
+        Ok(true)
+    };
+    drive(reader, read_blocks, None, ctrl.metrics, &mut consume)?;
+    Ok(searcher.finish())
 }
 
 /// Streams the AES schedule search over the whole image.
@@ -255,32 +452,56 @@ pub fn search_stream<R: Read>(
     window_blocks: usize,
     ctrl: &ScanControl<'_>,
 ) -> Result<SearchOutcome, PipelineError> {
-    let read_blocks = slice_blocks(window_blocks, config.threads);
-    let mut searcher = StreamSearcher::new(candidates, config);
-    if let Some(pm) = ctrl.metrics {
-        searcher = searcher.with_metrics(Arc::clone(&pm.search));
-    }
+    search_with(reader, candidates, config, window_blocks, ctrl, &mut drive_serial)
+}
+
+/// [`search_stream`] with decode/scan overlap; byte-identical to the
+/// serial form.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn search_stream_pipelined<R: Read + Send>(
+    reader: &mut DumpReader<R>,
+    candidates: &[CandidateKey],
+    config: &SearchConfig,
+    window_blocks: usize,
+    ctrl: &ScanControl<'_>,
+) -> Result<SearchOutcome, PipelineError> {
+    search_with(reader, candidates, config, window_blocks, ctrl, &mut drive_pipelined)
+}
+
+/// The frequency pass body shared by [`frequency_stream`] and
+/// [`frequency_stream_pipelined`].
+fn frequency_with<R: Read>(
+    reader: &mut DumpReader<R>,
+    top_n: usize,
+    window_blocks: usize,
+    ctrl: &ScanControl<'_>,
+    drive: Drive<'_, R>,
+) -> Result<Vec<CandidateKey>, PipelineError> {
+    // The frequency counter is a single-threaded byte histogram.
+    let read_blocks = slice_blocks(window_blocks, 1);
+    let mut counter = FrequencyCounter::new();
     let mut blocks_done = 0u64;
     ctrl.tick(0)?;
-    loop {
-        let read_started = ctrl.metrics.map(|_| Instant::now());
-        let window = reader.next_window(read_blocks)?;
-        if let Some((pm, t0)) = ctrl.metrics.zip(read_started) {
-            pm.window_read_us.observe(duration_us(t0.elapsed()));
-        }
-        let Some(window) = window else {
-            break;
-        };
+    let mut consume = |window: &MemoryDump| -> Result<bool, PipelineError> {
         blocks_done += (window.len() / BLOCK_BYTES) as u64;
         let scan_started = ctrl.metrics.map(|_| Instant::now());
-        searcher.push(&window);
+        counter.absorb(window);
         if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
             pm.window_scan_us.observe(duration_us(t0.elapsed()));
             pm.windows.inc();
         }
         ctrl.tick(blocks_done)?;
-    }
-    Ok(searcher.finish())
+        Ok(true)
+    };
+    drive(reader, read_blocks, None, ctrl.metrics, &mut consume)?;
+    Ok(counter.finish(top_n))
 }
 
 /// Streams the DDR3 frequency-analysis pass over the whole image.
@@ -300,30 +521,26 @@ pub fn frequency_stream<R: Read>(
     window_blocks: usize,
     ctrl: &ScanControl<'_>,
 ) -> Result<Vec<CandidateKey>, PipelineError> {
-    // The frequency counter is a single-threaded byte histogram.
-    let read_blocks = slice_blocks(window_blocks, 1);
-    let mut counter = FrequencyCounter::new();
-    let mut blocks_done = 0u64;
-    ctrl.tick(0)?;
-    loop {
-        let read_started = ctrl.metrics.map(|_| Instant::now());
-        let window = reader.next_window(read_blocks)?;
-        if let Some((pm, t0)) = ctrl.metrics.zip(read_started) {
-            pm.window_read_us.observe(duration_us(t0.elapsed()));
-        }
-        let Some(window) = window else {
-            break;
-        };
-        blocks_done += (window.len() / BLOCK_BYTES) as u64;
-        let scan_started = ctrl.metrics.map(|_| Instant::now());
-        counter.absorb(&window);
-        if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
-            pm.window_scan_us.observe(duration_us(t0.elapsed()));
-            pm.windows.inc();
-        }
-        ctrl.tick(blocks_done)?;
-    }
-    Ok(counter.finish(top_n))
+    frequency_with(reader, top_n, window_blocks, ctrl, &mut drive_serial)
+}
+
+/// [`frequency_stream`] with decode/scan overlap; byte-identical to the
+/// serial form.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn frequency_stream_pipelined<R: Read + Send>(
+    reader: &mut DumpReader<R>,
+    top_n: usize,
+    window_blocks: usize,
+    ctrl: &ScanControl<'_>,
+) -> Result<Vec<CandidateKey>, PipelineError> {
+    frequency_with(reader, top_n, window_blocks, ctrl, &mut drive_pipelined)
 }
 
 /// The file-backed twin of [`run_ddr4_attack`]: mines scrambler keys from
@@ -361,6 +578,49 @@ pub fn attack_file<R: Read + Seek>(
     reader.rewind()?;
     let mined_blocks = mined_bytes / BLOCK_BYTES as u64;
     let outcome = search_stream(
+        reader,
+        &candidates,
+        &config.search,
+        window_blocks,
+        &ctrl.offset(mined_blocks),
+    )?;
+    Ok(AttackReport {
+        candidates,
+        outcome,
+        mined_bytes: mined_bytes as usize,
+    })
+}
+
+/// [`attack_file`] with decode/scan overlap in both phases; byte-identical
+/// to the serial form (both delegate to the same pass bodies, which are
+/// driver-agnostic).
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn attack_file_pipelined<R: Read + Seek + Send>(
+    reader: &mut DumpReader<R>,
+    config: &AttackConfig,
+    window_blocks: usize,
+    ctrl: &ScanControl<'_>,
+) -> Result<AttackReport, PipelineError> {
+    let total = reader.meta().total_bytes;
+    let mined_bytes = mining_limit(Some(config.mining_prefix_bytes as u64), total);
+    reader.rewind()?;
+    let candidates = mine_stream_pipelined(
+        reader,
+        &config.mining,
+        window_blocks,
+        Some(mined_bytes),
+        ctrl,
+    )?;
+    reader.rewind()?;
+    let mined_blocks = mined_bytes / BLOCK_BYTES as u64;
+    let outcome = search_stream_pipelined(
         reader,
         &candidates,
         &config.search,
@@ -472,6 +732,94 @@ mod tests {
         assert_eq!(metrics.windows.get(), expected_windows);
         assert_eq!(metrics.window_scan_us.count(), expected_windows);
         assert!(metrics.window_read_us.count() >= expected_windows);
+        assert_eq!(metrics.mining.blocks.get(), blocks as u64);
+    }
+
+    #[test]
+    fn pipelined_passes_match_serial_at_any_window_size() {
+        let blocks = 700usize;
+        let image: Vec<u8> = (0..64 * blocks).map(|i| (i * 7 % 256) as u8).collect();
+        let file = cbdf_of(&image);
+        let config = MiningConfig {
+            threads: 2,
+            ..MiningConfig::default()
+        };
+        for window_blocks in [3, 128, 1 << 20] {
+            let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+            let serial =
+                frequency_stream(&mut r, 4, window_blocks, &ScanControl::new()).unwrap();
+            let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+            let piped =
+                frequency_stream_pipelined(&mut r, 4, window_blocks, &ScanControl::new())
+                    .unwrap();
+            assert_eq!(serial, piped, "frequency window_blocks={window_blocks}");
+
+            let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+            let serial =
+                mine_stream(&mut r, &config, window_blocks, Some(64 * 300), &ScanControl::new())
+                    .unwrap();
+            let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+            let piped = mine_stream_pipelined(
+                &mut r,
+                &config,
+                window_blocks,
+                Some(64 * 300),
+                &ScanControl::new(),
+            )
+            .unwrap();
+            assert_eq!(serial, piped, "mine window_blocks={window_blocks}");
+        }
+    }
+
+    #[test]
+    fn cancel_flag_stops_a_pipelined_pass() {
+        let file = cbdf_of(&vec![0u8; 64 * 64]);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let cancel = AtomicBool::new(true);
+        let ctrl = ScanControl::new().with_cancel(&cancel);
+        let err = frequency_stream_pipelined(&mut r, 4, 8, &ctrl).unwrap_err();
+        assert!(matches!(err, PipelineError::Cancelled));
+    }
+
+    #[test]
+    fn elapsed_deadline_times_out_a_pipelined_pass() {
+        let file = cbdf_of(&vec![0u8; 64 * 64]);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let ctrl = ScanControl::new()
+            .with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        let err = frequency_stream_pipelined(&mut r, 4, 8, &ctrl).unwrap_err();
+        assert!(matches!(err, PipelineError::TimedOut));
+    }
+
+    #[test]
+    fn pipelined_metrics_observe_decode_and_stall() {
+        use crate::stats::PipelineMetrics;
+        use coldboot_metrics::MetricsRegistry;
+
+        let blocks = 600usize;
+        let image: Vec<u8> = (0..64 * blocks).map(|i| (i * 13 % 256) as u8).collect();
+        let file = cbdf_of(&image);
+        let config = MiningConfig {
+            threads: 1,
+            ..MiningConfig::default()
+        };
+
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let plain = mine_stream(&mut r, &config, 1 << 20, None, &ScanControl::new()).unwrap();
+
+        let registry = MetricsRegistry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        let ctrl = ScanControl::new().with_metrics(&metrics);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let observed = mine_stream_pipelined(&mut r, &config, 1 << 20, None, &ctrl).unwrap();
+
+        assert_eq!(plain, observed);
+        let expected_windows = blocks.div_ceil(TICK_BLOCKS) as u64;
+        assert_eq!(metrics.windows.get(), expected_windows);
+        // The producer timed every decode; the consumer timed every
+        // hand-over (plus the final hang-up).
+        assert_eq!(metrics.decode_us.count(), expected_windows);
+        assert!(metrics.scan_stall_us.count() >= expected_windows);
         assert_eq!(metrics.mining.blocks.get(), blocks as u64);
     }
 

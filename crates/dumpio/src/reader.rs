@@ -33,6 +33,9 @@ pub struct DumpReader<R: Read> {
     window_addr: u64,
     /// Optional observability hook; `None` costs nothing per chunk.
     metrics: Option<Arc<ReaderMetrics>>,
+    /// Scratch buffer for the encoded chunk payload; grows to the largest
+    /// chunk once and is reused so steady-state reads allocate nothing.
+    payload: Vec<u8>,
 }
 
 impl<R: Read> DumpReader<R> {
@@ -56,6 +59,7 @@ impl<R: Read> DumpReader<R> {
             carry: Vec::new(),
             window_addr,
             metrics: None,
+            payload: Vec::new(),
         })
     }
 
@@ -80,38 +84,63 @@ impl<R: Read> DumpReader<R> {
     /// [`DumpError::ChunkCrc`], [`DumpError::RleCorrupt`]),
     /// [`DumpError::Truncated`], or an underlying I/O failure.
     pub fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, DumpError> {
-        let Some(metrics) = self.metrics.clone() else {
+        let mut out = Vec::new();
+        Ok(self.read_chunk_into(&mut out)?.map(|_| out))
+    }
+
+    /// Reads, validates, and decodes the next chunk, appending the decoded
+    /// bytes to `out` — the caller's buffer is the only allocation in the
+    /// loop, so a recycled window buffer makes steady-state decoding
+    /// allocation-free. Returns the appended byte count, `Ok(None)` at end
+    /// of image. On error `out` is restored to its original length.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DumpReader::next_chunk`].
+    pub fn read_chunk_into(&mut self, out: &mut Vec<u8>) -> Result<Option<usize>, DumpError> {
+        let base = out.len();
+        let result = match self.metrics.clone() {
             // Fast path: detached readers pay no clock read per chunk.
-            return self.read_chunk_inner().map(|c| c.map(|(raw, _)| raw));
-        };
-        let started = Instant::now();
-        let result = self.read_chunk_inner();
-        match &result {
-            Ok(Some((_, encoding))) => {
-                let elapsed = started.elapsed().as_micros();
-                metrics
-                    .chunk_decode_us
-                    .observe(u64::try_from(elapsed).unwrap_or(u64::MAX));
-                if *encoding == ENCODING_ZERO_RLE {
-                    metrics.chunks_rle.inc();
-                } else {
-                    metrics.chunks_raw.inc();
+            None => self.read_chunk_inner(out),
+            Some(metrics) => {
+                let started = Instant::now();
+                let result = self.read_chunk_inner(out);
+                match &result {
+                    Ok(Some(encoding)) => {
+                        let elapsed = started.elapsed().as_micros();
+                        metrics
+                            .chunk_decode_us
+                            .observe(u64::try_from(elapsed).unwrap_or(u64::MAX));
+                        if *encoding == ENCODING_ZERO_RLE {
+                            metrics.chunks_rle.inc();
+                        } else {
+                            metrics.chunks_raw.inc();
+                        }
+                    }
+                    Ok(None) => {}
+                    // CBDF has no retries: integrity failures are fatal to
+                    // the read, so they are counted here and propagated.
+                    Err(DumpError::ChunkCrc { .. } | DumpError::RleCorrupt { .. }) => {
+                        metrics.integrity_errors.inc();
+                    }
+                    Err(_) => {}
                 }
+                result
             }
-            Ok(None) => {}
-            // CBDF has no retries: integrity failures are fatal to the
-            // read, so they are counted here and then propagated.
-            Err(DumpError::ChunkCrc { .. } | DumpError::RleCorrupt { .. }) => {
-                metrics.integrity_errors.inc();
+        };
+        match result {
+            Ok(Some(_)) => Ok(Some(out.len() - base)),
+            Ok(None) => Ok(None),
+            Err(e) => {
+                out.truncate(base);
+                Err(e)
             }
-            Err(_) => {}
         }
-        result.map(|c| c.map(|(raw, _)| raw))
     }
 
     /// The unobserved chunk read: validate → read → decode → CRC-check.
-    /// Returns the decoded bytes plus the on-disk encoding id.
-    fn read_chunk_inner(&mut self) -> Result<Option<(Vec<u8>, u8)>, DumpError> {
+    /// Appends decoded bytes to `out` and returns the on-disk encoding id.
+    fn read_chunk_inner(&mut self, out: &mut Vec<u8>) -> Result<Option<u8>, DumpError> {
         let produced = self.bytes_out;
         if produced == self.meta.total_bytes {
             return Ok(None);
@@ -157,19 +186,28 @@ impl<R: Read> DumpReader<R> {
                 });
             }
         }
-        let mut payload = vec![0u8; ch.encoded_len as usize];
-        self.inner.read_exact(&mut payload)?;
-        let raw = match ch.encoding {
-            ENCODING_RAW => payload,
-            _ => rle::decode(&payload, ch.raw_len as usize)
-                .ok_or(DumpError::RleCorrupt { chunk: ch.index })?,
-        };
-        if crc32(&raw) != ch.crc {
+        let base = out.len();
+        match ch.encoding {
+            ENCODING_RAW => {
+                // Raw chunks decode straight into the caller's buffer.
+                out.resize(base + ch.raw_len as usize, 0);
+                self.inner.read_exact(&mut out[base..])?;
+            }
+            _ => {
+                self.payload.clear();
+                self.payload.resize(ch.encoded_len as usize, 0);
+                self.inner.read_exact(&mut self.payload)?;
+                if rle::decode_into(&self.payload, ch.raw_len as usize, out).is_none() {
+                    return Err(DumpError::RleCorrupt { chunk: ch.index });
+                }
+            }
+        }
+        if crc32(&out[base..]) != ch.crc {
             return Err(DumpError::ChunkCrc { chunk: ch.index });
         }
         self.next_chunk += 1;
-        self.bytes_out += raw.len() as u64;
-        Ok(Some((raw, ch.encoding)))
+        self.bytes_out += (out.len() - base) as u64;
+        Ok(Some(ch.encoding))
     }
 
     /// Assembles the next scan window of up to `window_blocks` blocks.
@@ -184,25 +222,53 @@ impl<R: Read> DumpReader<R> {
     ///
     /// Panics if `window_blocks` is zero.
     pub fn next_window(&mut self, window_blocks: usize) -> Result<Option<MemoryDump>, DumpError> {
+        let mut buf = Vec::new();
+        Ok(self
+            .next_window_into(window_blocks, &mut buf)?
+            .map(|addr| MemoryDump::new(buf, addr)))
+    }
+
+    /// Assembles the next scan window directly into `out` (cleared first)
+    /// and returns its base address; `Ok(None)` at end of image. This is
+    /// the recycled-buffer form of [`DumpReader::next_window`]: chunks
+    /// decode straight into `out`, so a buffer cycled back by the consumer
+    /// makes the whole read→decode→CRC path allocation-free in steady
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DumpReader::next_chunk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_blocks` is zero.
+    pub fn next_window_into(
+        &mut self,
+        window_blocks: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<Option<u64>, DumpError> {
         assert!(window_blocks > 0, "window must hold at least one block");
         let want = window_blocks * BLOCK_BYTES;
-        while self.carry.len() < want {
-            match self.next_chunk()? {
-                Some(raw) => self.carry.extend_from_slice(&raw),
-                None => break,
+        out.clear();
+        out.append(&mut self.carry);
+        while out.len() < want {
+            if self.read_chunk_into(out)?.is_none() {
+                break;
             }
         }
-        if self.carry.is_empty() {
+        if out.is_empty() {
             return Ok(None);
         }
-        let take = want.min(self.carry.len());
-        // Chunk lengths are validated against the header geometry, whose
-        // sizes are all block multiples — so `take` is block-aligned.
-        let rest = self.carry.split_off(take);
-        let window_bytes = std::mem::replace(&mut self.carry, rest);
-        let window = MemoryDump::new(window_bytes, self.window_addr);
-        self.window_addr += take as u64;
-        Ok(Some(window))
+        if out.len() > want {
+            // Chunk lengths are validated against the header geometry,
+            // whose sizes are all block multiples — so the cut is
+            // block-aligned.
+            self.carry.extend_from_slice(&out[want..]);
+            out.truncate(want);
+        }
+        let addr = self.window_addr;
+        self.window_addr += out.len() as u64;
+        Ok(Some(addr))
     }
 
     /// Consumes the reader into an iterator of scan windows.
@@ -219,6 +285,49 @@ impl<R: Read> DumpReader<R> {
         }
     }
 
+    /// Consumes the reader into a read-ahead window iterator: a producer
+    /// thread reads, RLE-decodes, and CRC-checks the next window while
+    /// the caller processes the current one. The rendezvous channel
+    /// bounds the pipeline to two in-flight windows; callers that hand
+    /// buffers back via [`PipelinedWindows::recycle`] make the steady
+    /// state allocation-free. Yields exactly the windows
+    /// [`DumpReader::windows`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_blocks` is zero.
+    pub fn windows_pipelined(self, window_blocks: usize) -> PipelinedWindows
+    where
+        R: Send + 'static,
+    {
+        assert!(window_blocks > 0, "window must hold at least one block");
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Result<(Vec<u8>, u64), DumpError>>(0);
+        let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let mut reader = self;
+        let producer = std::thread::spawn(move || loop {
+            let mut buf = recycle_rx.try_recv().unwrap_or_default();
+            match reader.next_window_into(window_blocks, &mut buf) {
+                Ok(Some(addr)) => {
+                    // A failed send means the consumer was dropped.
+                    if tx.send(Ok((buf, addr))).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
+            }
+        });
+        PipelinedWindows {
+            rx: Some(rx),
+            recycle: recycle_tx,
+            producer: Some(producer),
+            failed: false,
+        }
+    }
+
     /// Reads the remaining image into one in-memory dump.
     ///
     /// # Errors
@@ -227,9 +336,7 @@ impl<R: Read> DumpReader<R> {
     pub fn read_to_memory(&mut self) -> Result<MemoryDump, DumpError> {
         let base = self.window_addr;
         let mut image = std::mem::take(&mut self.carry);
-        while let Some(raw) = self.next_chunk()? {
-            image.extend_from_slice(&raw);
-        }
+        while self.read_chunk_into(&mut image)?.is_some() {}
         self.window_addr += image.len() as u64;
         Ok(MemoryDump::new(image, base))
     }
@@ -274,6 +381,69 @@ impl<R: Read> Iterator for Windows<R> {
                 self.failed = true;
                 Some(Err(e))
             }
+        }
+    }
+}
+
+/// Read-ahead window iterator backed by a producer thread; yielded by
+/// [`DumpReader::windows_pipelined`]. Dropping it mid-stream shuts the
+/// producer down cleanly.
+pub struct PipelinedWindows {
+    rx: Option<std::sync::mpsc::Receiver<Result<(Vec<u8>, u64), DumpError>>>,
+    recycle: std::sync::mpsc::Sender<Vec<u8>>,
+    producer: Option<std::thread::JoinHandle<()>>,
+    failed: bool,
+}
+
+impl PipelinedWindows {
+    /// Hands a spent buffer back to the producer (typically
+    /// `window.into_vec()` after the scan is done with it), so the next
+    /// decode reuses the allocation instead of growing a fresh one.
+    pub fn recycle(&self, buf: Vec<u8>) {
+        let _ = self.recycle.send(buf);
+    }
+
+    fn join_producer(&mut self) {
+        if let Some(handle) = self.producer.take() {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Iterator for PipelinedWindows {
+    type Item = Result<MemoryDump, DumpError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.rx.as_ref()?.recv() {
+            Ok(Ok((buf, addr))) => Some(Ok(MemoryDump::new(buf, addr))),
+            Ok(Err(e)) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+            Err(_) => {
+                // Producer hung up: end of image. Reap the thread (and
+                // surface any panic) before reporting exhaustion.
+                self.rx = None;
+                self.join_producer();
+                None
+            }
+        }
+    }
+}
+
+impl Drop for PipelinedWindows {
+    fn drop(&mut self) {
+        // Disconnect first so a producer parked in send() exits, then
+        // reap it. Panics are swallowed here — next() already propagated
+        // them on the normal path, and drop must not double-panic.
+        self.rx = None;
+        if let Some(handle) = self.producer.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -326,6 +496,66 @@ mod tests {
             }
             assert_eq!(reassembled, image, "window_blocks={window_blocks}");
         }
+    }
+
+    #[test]
+    fn pipelined_windows_match_serial_windows() {
+        let image = sample_image(64 * 100);
+        let file = encode(&image, 16, 0x8000);
+        for wb in [1, 3, 16, 33, 1000] {
+            let serial: Vec<(u64, Vec<u8>)> = DumpReader::new(Cursor::new(file.clone()))
+                .unwrap()
+                .windows(wb)
+                .map(|w| {
+                    let w = w.unwrap();
+                    (w.base_addr(), w.bytes().to_vec())
+                })
+                .collect();
+            let mut piped = DumpReader::new(Cursor::new(file.clone()))
+                .unwrap()
+                .windows_pipelined(wb);
+            let mut got = Vec::new();
+            while let Some(w) = piped.next() {
+                let w = w.unwrap();
+                got.push((w.base_addr(), w.bytes().to_vec()));
+                piped.recycle(w.into_vec());
+            }
+            assert_eq!(serial, got, "wb={wb}");
+        }
+    }
+
+    #[test]
+    fn dropping_pipelined_windows_mid_stream_shuts_down() {
+        let image = sample_image(64 * 100);
+        let file = encode(&image, 4, 0);
+        let mut piped = DumpReader::new(Cursor::new(file)).unwrap().windows_pipelined(2);
+        let first = piped.next().unwrap().unwrap();
+        assert_eq!(first.base_addr(), 0);
+        drop(piped); // must not deadlock on the producer parked in send()
+    }
+
+    #[test]
+    fn next_window_into_recycles_one_buffer_without_reallocating() {
+        let image = sample_image(64 * 100);
+        let file = encode(&image, 16, 0x8000);
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        // Pre-grown to window + one chunk (a decode may overshoot the
+        // window by up to a chunk before the tail moves to carry): the
+        // whole pass must then reuse the buffer in place.
+        let mut buf = Vec::with_capacity((3 + 16) * BLOCK_BYTES);
+        let cap = buf.capacity();
+        let mut reassembled = Vec::new();
+        let mut next_addr = 0x8000u64;
+        while let Some(addr) = r.next_window_into(3, &mut buf).unwrap() {
+            assert_eq!(addr, next_addr);
+            assert!(buf.len() <= 3 * BLOCK_BYTES);
+            assert_eq!(buf.capacity(), cap, "window buffer must not regrow");
+            next_addr += buf.len() as u64;
+            reassembled.extend_from_slice(&buf);
+        }
+        assert_eq!(reassembled, image);
+        assert!(r.next_window_into(3, &mut buf).unwrap().is_none());
+        assert!(buf.is_empty(), "end of image clears the buffer");
     }
 
     #[test]

@@ -98,8 +98,20 @@ pub fn encode(raw: &[u8]) -> Vec<u8> {
 /// record, or a record that makes no progress.
 pub fn decode(encoded: &[u8], raw_len: usize) -> Option<Vec<u8>> {
     let mut out = Vec::with_capacity(raw_len);
+    decode_into(encoded, raw_len, &mut out)?;
+    Some(out)
+}
+
+/// Appends exactly `raw_len` decoded bytes to `out`, reusing whatever
+/// capacity the caller's buffer already holds — the steady-state decode
+/// path allocates nothing once the scratch vector has grown to chunk
+/// size. Rejects the same malformations as [`decode`]; on failure `out`
+/// may hold a partial record and the caller must discard or truncate it.
+pub fn decode_into(encoded: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Option<()> {
+    let base = out.len();
+    out.reserve(raw_len);
     let mut pos = 0;
-    while out.len() < raw_len {
+    while out.len() - base < raw_len {
         let (zeros, n) = read_varint(&encoded[pos..])?;
         pos += n;
         let (lit, n) = read_varint(&encoded[pos..])?;
@@ -109,7 +121,7 @@ pub fn decode(encoded: &[u8], raw_len: usize) -> Option<Vec<u8>> {
         if zeros == 0 && lit == 0 {
             return None; // no progress: the stream could loop forever
         }
-        let after = out.len().checked_add(zeros)?.checked_add(lit)?;
+        let after = (out.len() - base).checked_add(zeros)?.checked_add(lit)?;
         if after > raw_len {
             return None;
         }
@@ -121,7 +133,7 @@ pub fn decode(encoded: &[u8], raw_len: usize) -> Option<Vec<u8>> {
     if pos != encoded.len() {
         return None; // trailing garbage
     }
-    Some(out)
+    Some(())
 }
 
 #[cfg(test)]
@@ -171,6 +183,23 @@ mod tests {
             write_varint(&mut buf, v);
             assert_eq!(read_varint(&buf), Some((v, buf.len())));
         }
+    }
+
+    #[test]
+    fn decode_into_appends_and_reuses_capacity() {
+        let raw: Vec<u8> = (0..300).map(|i| (i % 17) as u8 * ((i % 9 != 0) as u8)).collect();
+        let enc = encode(&raw);
+        let mut out = b"prefix".to_vec();
+        out.reserve(4096);
+        let cap = out.capacity();
+        assert_eq!(decode_into(&enc, raw.len(), &mut out), Some(()));
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(&out[6..], &raw[..]);
+        assert_eq!(out.capacity(), cap, "decode_into must not reallocate");
+        // A failed decode leaves the prefix intact (callers truncate).
+        let mut bad = b"xy".to_vec();
+        assert_eq!(decode_into(&enc, raw.len() + 1, &mut bad), None);
+        assert_eq!(&bad[..2], b"xy");
     }
 
     #[test]

@@ -51,7 +51,8 @@ use coldboot_dram::BLOCK_BYTES;
 use crate::error::DumpError;
 use crate::json::{self, Json};
 use crate::pipeline::{
-    attack_file, attack_total_blocks, frequency_stream, mine_stream, PipelineError, ScanControl,
+    attack_file, attack_file_pipelined, attack_total_blocks, frequency_stream,
+    frequency_stream_pipelined, mine_stream, mine_stream_pipelined, PipelineError, ScanControl,
     DEFAULT_WINDOW_BLOCKS,
 };
 use crate::reader::DumpReader;
@@ -99,6 +100,9 @@ struct JobSpec {
     deep: bool,
     max_bytes: Option<u64>,
     top_keys: usize,
+    /// Overlap decode and scan on a producer thread (the default); results
+    /// are byte-identical either way, so this is a measurement/debug knob.
+    pipelined: bool,
 }
 
 enum JobState {
@@ -382,6 +386,7 @@ fn parse_spec(request: &Json) -> Result<JobSpec, Json> {
         deep: request.get("deep").and_then(Json::as_bool).unwrap_or(false),
         max_bytes: opt_u64(request, "max_bytes")?,
         top_keys: opt_u64(request, "top_keys")?.map_or(48, |n| n as usize),
+        pipelined: request.get("pipelined").and_then(Json::as_bool).unwrap_or(true),
     })
 }
 
@@ -626,7 +631,11 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
                 attack_total_blocks(total_bytes, &config),
                 Ordering::Relaxed,
             );
-            let report = attack_file(&mut reader, &config, spec.window_blocks, &ctrl)?;
+            let report = if spec.pipelined {
+                attack_file_pipelined(&mut reader, &config, spec.window_blocks, &ctrl)?
+            } else {
+                attack_file(&mut reader, &config, spec.window_blocks, &ctrl)?
+            };
             let recovered = report
                 .outcome
                 .recovered
@@ -662,19 +671,20 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
                 .map_or(total_blocks, |m| m.min(total_bytes).div_ceil(64));
             job.blocks_total
                 .store(limit_blocks.min(total_blocks), Ordering::Relaxed);
-            let candidates = mine_stream(
-                &mut reader,
-                &mining,
-                spec.window_blocks,
-                spec.max_bytes,
-                &ctrl,
-            )?;
+            let candidates = if spec.pipelined {
+                mine_stream_pipelined(&mut reader, &mining, spec.window_blocks, spec.max_bytes, &ctrl)?
+            } else {
+                mine_stream(&mut reader, &mining, spec.window_blocks, spec.max_bytes, &ctrl)?
+            };
             Ok(candidates_json("mine", &candidates))
         }
         JobKind::Frequency => {
             job.blocks_total.store(total_blocks, Ordering::Relaxed);
-            let candidates =
-                frequency_stream(&mut reader, spec.top_keys, spec.window_blocks, &ctrl)?;
+            let candidates = if spec.pipelined {
+                frequency_stream_pipelined(&mut reader, spec.top_keys, spec.window_blocks, &ctrl)?
+            } else {
+                frequency_stream(&mut reader, spec.top_keys, spec.window_blocks, &ctrl)?
+            };
             Ok(candidates_json("frequency", &candidates))
         }
     }
@@ -701,14 +711,18 @@ mod tests {
         assert_eq!(spec.top_keys, 48);
         assert!(!spec.deep);
         assert_eq!(spec.timeout_secs, None);
+        assert!(spec.pipelined, "decode/scan overlap is on by default");
 
-        let req = json::parse(r#"{"kind":"search","dump":"d","window_blocks":8,"deep":true,"timeout_secs":3}"#)
-            .expect("valid json");
+        let req = json::parse(
+            r#"{"kind":"search","dump":"d","window_blocks":8,"deep":true,"timeout_secs":3,"pipelined":false}"#,
+        )
+        .expect("valid json");
         let spec = parse_spec(&req).map_err(|e| e.render_compact()).expect("spec");
         assert_eq!(spec.kind, JobKind::Attack);
         assert_eq!(spec.window_blocks, 8);
         assert!(spec.deep);
         assert_eq!(spec.timeout_secs, Some(3));
+        assert!(!spec.pipelined);
 
         for bad in [
             r#"{"kind":"laundry","dump":"d"}"#,

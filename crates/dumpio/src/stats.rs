@@ -62,6 +62,15 @@ pub struct PipelineMetrics {
     pub window_read_us: Arc<Histogram>,
     /// Per-window scan (absorb/push) latency (`pipeline_window_scan_us`).
     pub window_scan_us: Arc<Histogram>,
+    /// Producer-side read+RLE+CRC latency per window on the pipelined
+    /// path (`pipeline_decode_us`). Unlike `window_read_us` this time runs
+    /// on the producer thread, overlapped with the scan — comparing the
+    /// two histograms shows how much decode latency the overlap hides.
+    pub decode_us: Arc<Histogram>,
+    /// Time the scan side spent stalled waiting for the producer to hand
+    /// over the next window (`pipeline_scan_stall_us`). Near-zero stalls
+    /// mean the pipeline is scan-bound and the overlap win is maximal.
+    pub scan_stall_us: Arc<Histogram>,
     /// Mining-stage counters (`mine_*`).
     pub mining: Arc<MiningMetrics>,
     /// Search-stage counters (`search_*`).
@@ -75,6 +84,8 @@ impl PipelineMetrics {
             windows: registry.counter("pipeline_windows"),
             window_read_us: registry.latency_histogram("pipeline_window_read_us"),
             window_scan_us: registry.latency_histogram("pipeline_window_scan_us"),
+            decode_us: registry.latency_histogram("pipeline_decode_us"),
+            scan_stall_us: registry.latency_histogram("pipeline_scan_stall_us"),
             mining: MiningMetrics::register(registry),
             search: SearchMetrics::register(registry),
         })
@@ -199,6 +210,9 @@ mod tests {
         metrics.reader.chunks_raw.inc();
         let snap = metrics.registry.snapshot();
         assert!(snap.len() >= 20, "expected the full metric set, got {}", snap.len());
+        let names: Vec<&str> = snap.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"pipeline_decode_us"), "{names:?}");
+        assert!(names.contains(&"pipeline_scan_stall_us"), "{names:?}");
     }
 
     #[test]

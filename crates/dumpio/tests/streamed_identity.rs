@@ -3,20 +3,25 @@
 //! bounded windows must yield **byte-identical** mined scrambler keys and
 //! recovered AES/XTS master keys to the in-memory pipeline.
 
-use std::io::Cursor;
+use std::io::{Cursor, Read, Seek, SeekFrom};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use coldboot::attack::ddr3::frequency_keys;
 use coldboot::attack::{
     capture_dump_via_transplant, run_ddr4_attack, AttackConfig, TransplantParams,
 };
 use coldboot::dump::MemoryDump;
-use coldboot::litmus::mine_candidate_keys;
+use coldboot::keysearch::SearchConfig;
+use coldboot::litmus::{mine_candidate_keys, MiningConfig};
 use coldboot_dram::geometry::DramGeometry;
 use coldboot_dram::mapping::Microarchitecture;
 use coldboot_dram::module::DramModule;
 use coldboot_dram::retention::DecayModel;
 use coldboot_dumpio::format::DumpMeta;
-use coldboot_dumpio::pipeline::{attack_file, frequency_stream, mine_stream, ScanControl};
+use coldboot_dumpio::pipeline::{
+    attack_file, attack_file_pipelined, frequency_stream, mine_stream, PipelineError, ScanControl,
+};
 use coldboot_dumpio::reader::DumpReader;
 use coldboot_dumpio::writer::write_image;
 use coldboot_scrambler::controller::{BiosConfig, Machine};
@@ -110,6 +115,183 @@ fn file_backed_attack_is_byte_identical_and_recovers_the_volume() {
     };
     let plaintext = volume.decrypt_all(&keys).expect("master keys decrypt");
     assert_eq!(&plaintext[..SECRET.len()], SECRET);
+}
+
+/// A `Read + Seek` wrapper that fires a callback once, after `trigger_at`
+/// total bytes have passed through it, and counts every byte read after
+/// that — so a test can flip a cancel flag (or burn a deadline)
+/// mid-stream and then assert the pass stopped within a bounded amount of
+/// further input.
+struct TriggerReader<R, F: FnMut()> {
+    inner: R,
+    read_so_far: u64,
+    trigger_at: u64,
+    on_trigger: Option<F>,
+    after_trigger: Arc<AtomicU64>,
+}
+
+impl<R, F: FnMut()> TriggerReader<R, F> {
+    fn new(inner: R, trigger_at: u64, on_trigger: F, after_trigger: Arc<AtomicU64>) -> Self {
+        Self {
+            inner,
+            read_so_far: 0,
+            trigger_at,
+            on_trigger: Some(on_trigger),
+            after_trigger,
+        }
+    }
+}
+
+impl<R: Read, F: FnMut()> Read for TriggerReader<R, F> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read_so_far += n as u64;
+        if self.read_so_far >= self.trigger_at {
+            if let Some(mut f) = self.on_trigger.take() {
+                f();
+            } else {
+                self.after_trigger.fetch_add(n as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl<R: Seek, F: FnMut()> Seek for TriggerReader<R, F> {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}
+
+/// Bytes the pipelined driver may still pull after a stop condition fires:
+/// the rest of the window being decoded plus the one look-ahead window the
+/// double buffer allows, each up to a slice (256 blocks at one thread) and
+/// a 64 KiB chunk of decode carry, plus headers. A serial full-file-window
+/// pass would instead read everything, so staying under this bound is what
+/// "overshoot ≤ one slice" means observably.
+const STOP_SLACK_BYTES: u64 = 256 * 1024;
+
+fn single_thread_attack_config() -> AttackConfig {
+    AttackConfig {
+        mining: MiningConfig {
+            threads: 1,
+            ..MiningConfig::default()
+        },
+        search: SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        },
+        ..AttackConfig::default()
+    }
+}
+
+#[test]
+fn pipelined_attack_matches_serial_at_any_window_tile_and_thread_count() {
+    let (_volume, dump) = captured_dump(17);
+    let file = cbdf_of(&dump);
+    let expected = run_ddr4_attack(&dump, &AttackConfig::default());
+    assert!(!expected.outcome.recovered.is_empty());
+
+    for (window_blocks, threads, tile_blocks) in
+        [(96, 1, 64), (1024, 2, 1024), (1_000_000, 4, 1 << 20)]
+    {
+        let config = AttackConfig {
+            mining: MiningConfig {
+                threads,
+                tile_blocks,
+                ..MiningConfig::default()
+            },
+            search: SearchConfig {
+                threads,
+                ..SearchConfig::default()
+            },
+            ..AttackConfig::default()
+        };
+        let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+        let serial =
+            attack_file(&mut reader, &config, window_blocks, &ScanControl::new())
+                .expect("serial attack");
+        let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+        let pipelined =
+            attack_file_pipelined(&mut reader, &config, window_blocks, &ScanControl::new())
+                .expect("pipelined attack");
+        let tag = format!("window={window_blocks} threads={threads} tile={tile_blocks}");
+        assert_eq!(serial.candidates, pipelined.candidates, "candidates {tag}");
+        assert_eq!(serial.outcome.hits, pipelined.outcome.hits, "hits {tag}");
+        assert_eq!(
+            serial.outcome.recovered, pipelined.outcome.recovered,
+            "recovered {tag}"
+        );
+        assert_eq!(
+            serial.outcome.blocks_scanned, pipelined.outcome.blocks_scanned,
+            "blocks {tag}"
+        );
+        assert_eq!(serial.mined_bytes, pipelined.mined_bytes, "mined {tag}");
+        // And the knobs never change the answer itself.
+        assert_eq!(serial.outcome.hits, expected.outcome.hits, "hits vs in-memory {tag}");
+        assert_eq!(
+            serial.outcome.recovered, expected.outcome.recovered,
+            "recovered vs in-memory {tag}"
+        );
+    }
+}
+
+#[test]
+fn mid_stream_cancel_stops_the_pipelined_attack_within_a_slice() {
+    let (_volume, dump) = captured_dump(19);
+    let file = cbdf_of(&dump);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let after = Arc::new(AtomicU64::new(0));
+    let trigger_at = file.len() as u64 / 4;
+    assert!(
+        file.len() as u64 - trigger_at > 2 * STOP_SLACK_BYTES,
+        "fixture must leave enough input after the trigger for the bound to mean anything"
+    );
+    let flag = Arc::clone(&cancel);
+    let inner = TriggerReader::new(
+        Cursor::new(&file),
+        trigger_at,
+        move || flag.store(true, Ordering::Relaxed),
+        Arc::clone(&after),
+    );
+    let mut reader = DumpReader::new(inner).expect("header");
+    let config = single_thread_attack_config();
+    let ctrl = ScanControl::new().with_cancel(&cancel);
+    // Whole file as one caller window: only the per-slice ticks can stop it.
+    let err = attack_file_pipelined(&mut reader, &config, 1_000_000, &ctrl).unwrap_err();
+    assert!(matches!(err, PipelineError::Cancelled), "got {err}");
+    let overrun = after.load(Ordering::Relaxed);
+    assert!(
+        overrun <= STOP_SLACK_BYTES,
+        "cancelled pass kept reading: {overrun} bytes after the flag"
+    );
+}
+
+#[test]
+fn deadline_overshoot_is_bounded_to_a_slice() {
+    let (_volume, dump) = captured_dump(23);
+    let file = cbdf_of(&dump);
+    let after = Arc::new(AtomicU64::new(0));
+    let trigger_at = file.len() as u64 / 4;
+    // Burn well past the deadline mid-stream; whether the clock ran out
+    // before or at the trigger, the pass must stop within a slice of it.
+    let inner = TriggerReader::new(
+        Cursor::new(&file),
+        trigger_at,
+        || std::thread::sleep(std::time::Duration::from_millis(80)),
+        Arc::clone(&after),
+    );
+    let mut reader = DumpReader::new(inner).expect("header");
+    let config = single_thread_attack_config();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(40);
+    let ctrl = ScanControl::new().with_deadline(deadline);
+    let err = attack_file_pipelined(&mut reader, &config, 1_000_000, &ctrl).unwrap_err();
+    assert!(matches!(err, PipelineError::TimedOut), "got {err}");
+    let overrun = after.load(Ordering::Relaxed);
+    assert!(
+        overrun <= STOP_SLACK_BYTES,
+        "timed-out pass kept reading: {overrun} bytes past the deadline"
+    );
 }
 
 #[test]

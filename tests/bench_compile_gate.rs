@@ -33,10 +33,11 @@ fn benches_compile() {
 
 #[test]
 fn dumpio_bench_compiles_standalone() {
-    // The dumpio bench has a custom `main` (it emits BENCH_dumpio.json
-    // before handing over to criterion); make sure the crate's bench
-    // target builds with only its own feature set resolved.
-    bench_no_run(&["-p", "coldboot-dumpio"]);
+    // The dumpio bench has a custom `main` (it records BENCH_dumpio.json —
+    // including the serial-vs-pipelined attack_file stage — before handing
+    // over to criterion); gate it individually so a pipeline API change
+    // can't silently orphan the report.
+    bench_no_run(&["-p", "coldboot-bench", "--bench", "dumpio_throughput"]);
 }
 
 #[test]

@@ -250,6 +250,30 @@ mod tests {
     }
 
     #[test]
+    fn cluster_throughput_fields_classify_for_the_gate() {
+        // BENCH_dumpd.json's headline fields must keep their regression
+        // directions: fewer jobs/sec is a regression, and so is a longer
+        // p99 queue wait. Guards the suffix classification the cluster
+        // bench relies on.
+        let doc = |jobs: f64, p99: f64| {
+            Json::obj([
+                ("jobs_per_s", Json::Num(jobs)),
+                ("p99_queue_wait_us", Json::Num(p99)),
+            ])
+        };
+        let slower = regressions_between("dumpd", &doc(1000.0, 5000.0), &doc(800.0, 5000.0));
+        assert_eq!(slower.len(), 1, "{slower:?}");
+        assert_eq!(slower[0].field, "jobs_per_s");
+        let longer_wait =
+            regressions_between("dumpd", &doc(1000.0, 5000.0), &doc(1000.0, 6000.0));
+        assert_eq!(longer_wait.len(), 1, "{longer_wait:?}");
+        assert_eq!(longer_wait[0].field, "p99_queue_wait_us");
+        // Moving both in the *good* direction must not trip the gate.
+        let better = regressions_between("dumpd", &doc(1000.0, 5000.0), &doc(1500.0, 2000.0));
+        assert!(better.is_empty(), "{better:?}");
+    }
+
+    #[test]
     fn civil_dates_are_correct() {
         assert_eq!(civil_from_days(0), (1970, 1, 1));
         assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year

@@ -1,0 +1,636 @@
+//! The worker pool: shard scheduling, failover, and the `dumpd`
+//! conversation.
+//!
+//! One runner thread per configured worker address pulls shard tasks
+//! from a shared ready queue and drives the blocking line-protocol
+//! exchange with its `dumpd`: submit the shard, poll `status`, fetch
+//! `result`, and hand the partial to the job's [`Assembly`]. The
+//! connection persists across tasks and reconnects on error.
+//!
+//! Failure policy:
+//!
+//! * A **retryable** failure (connect refused, I/O error mid-poll, a
+//!   worker reply with `retryable: true` such as `queue_full`, or a shard
+//!   that the worker cancelled/timed out) re-queues the shard with
+//!   exponential backoff. Each shard carries an attempt counter; when it
+//!   exceeds [`BackendOptions::shard_attempts`] the whole job fails.
+//! * A **fatal** failure (the worker ran the shard and said `failed`, or
+//!   replied with a non-retryable error code such as `bad_request`) fails
+//!   the job immediately — retrying cannot change a deterministic answer.
+//! * A worker that fails [`BackendOptions::evict_after`] times in a row
+//!   is **evicted**: its runner stops taking tasks and instead pings the
+//!   address every [`BackendOptions::probe_interval`] until it answers,
+//!   then rejoins. Its queued work drains through the surviving runners,
+//!   which is what makes a mid-job worker kill invisible in the merged
+//!   output.
+//!
+//! This module is deliberately *not* part of the non-blocking front end:
+//! runner threads block on their own worker sockets (with read timeouts),
+//! which keeps the per-worker state machine trivial. The single-threaded
+//! event loop in [`crate::server`] never touches a worker socket.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use coldboot_dumpio::json::{self, Json};
+use coldboot_dumpio::DumpReader;
+
+use crate::merge::{Assembly, JobSpec, ShardRequest, Step};
+use crate::stats::ClusterMetrics;
+
+/// Scheduling and failover knobs.
+#[derive(Debug, Clone)]
+pub struct BackendOptions {
+    /// Attempts per shard before the job fails (first try included).
+    pub shard_attempts: u32,
+    /// Base re-queue delay; doubles per failed attempt (capped at 32×).
+    pub retry_backoff: Duration,
+    /// Consecutive failures before a worker is evicted.
+    pub evict_after: u32,
+    /// Ping cadence for evicted workers.
+    pub probe_interval: Duration,
+    /// Job-status poll cadence against a busy worker.
+    pub poll_interval: Duration,
+    /// Read timeout on worker sockets (bounds every blocking read).
+    pub io_timeout: Duration,
+}
+
+impl Default for BackendOptions {
+    fn default() -> Self {
+        Self {
+            shard_attempts: 5,
+            retry_backoff: Duration::from_millis(50),
+            evict_after: 3,
+            probe_interval: Duration::from_millis(200),
+            poll_interval: Duration::from_millis(15),
+            io_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JobState {
+    Running,
+    Done,
+    Failed(String),
+}
+
+struct Entry {
+    state: JobState,
+    assembly: Assembly,
+    result: Option<Json>,
+}
+
+struct Task {
+    job: u64,
+    shard: Range<u64>,
+    attempts: u32,
+    ready_at: Instant,
+    /// The rendered `submit` line, newline included — built once so
+    /// retries resend identical bytes.
+    line: String,
+}
+
+#[derive(Default)]
+struct SchedState {
+    pending: VecDeque<Task>,
+    jobs: HashMap<u64, Entry>,
+    next_id: u64,
+    unfinished: u64,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    ready: Condvar,
+    stop: AtomicBool,
+    opts: BackendOptions,
+    metrics: ClusterMetrics,
+}
+
+/// Locks a mutex, continuing through poisoning: scheduler state stays
+/// usable even if some thread panicked while holding it.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The coordinator's scheduling core: job table, shard queue, and one
+/// runner thread per worker.
+pub struct Backend {
+    shared: Arc<Shared>,
+    runners: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl Backend {
+    /// Starts one runner per worker address. The backend assumes every
+    /// worker can open the same dump paths (shared storage).
+    #[must_use]
+    pub fn start(workers: Vec<String>, opts: BackendOptions) -> Self {
+        let metrics = ClusterMetrics::new();
+        metrics.workers_healthy.set(workers.len() as i64);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState::default()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            opts,
+            metrics,
+        });
+        let count = workers.len();
+        let runners = workers
+            .into_iter()
+            .map(|addr| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || run_worker_loop(&shared, &addr))
+            })
+            .collect();
+        Self {
+            shared,
+            runners: Mutex::new(runners),
+            workers: count,
+        }
+    }
+
+    /// Plans and enqueues a job. The dump is opened locally once to read
+    /// its size (the coordinator shares storage with the workers).
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, String> {
+        let total_bytes = read_total_bytes(&spec.dump)?;
+        let mut assembly = Assembly::new(spec, total_bytes);
+        let step = assembly.begin();
+        let metrics = &self.shared.metrics;
+        let mut state = lock(&self.shared.state);
+        let id = state.next_id;
+        state.next_id += 1;
+        match step {
+            Step::Done(result) => {
+                state.jobs.insert(
+                    id,
+                    Entry {
+                        state: JobState::Done,
+                        assembly,
+                        result: Some(result),
+                    },
+                );
+                metrics.jobs_done.inc();
+            }
+            Step::Dispatch(requests) => {
+                state.jobs.insert(
+                    id,
+                    Entry {
+                        state: JobState::Running,
+                        assembly,
+                        result: None,
+                    },
+                );
+                state.unfinished += 1;
+                enqueue(&mut state, metrics, id, requests);
+                self.shared.ready.notify_all();
+            }
+            Step::Wait => return Err("planner returned no work".to_string()),
+        }
+        metrics.jobs_submitted.inc();
+        Ok(id)
+    }
+
+    /// The `status` reply body for a job, `None` for unknown ids.
+    #[must_use]
+    pub fn status_json(&self, id: u64) -> Option<Json> {
+        let state = lock(&self.shared.state);
+        let entry = state.jobs.get(&id)?;
+        let (done, total) = entry.assembly.progress();
+        let mut pairs = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("id".to_string(), Json::Int(id as i64)),
+            (
+                "state".to_string(),
+                Json::Str(state_name(&entry.state).to_string()),
+            ),
+            (
+                "phase".to_string(),
+                Json::Str(entry.assembly.phase_name().to_string()),
+            ),
+            ("shards_done".to_string(), Json::Int(done as i64)),
+            ("shards_total".to_string(), Json::Int(total as i64)),
+        ];
+        if let JobState::Failed(why) = &entry.state {
+            pairs.push(("error".to_string(), Json::Str(why.clone())));
+        }
+        Some(Json::Obj(pairs))
+    }
+
+    /// The `result` reply body for a job, `None` for unknown ids.
+    #[must_use]
+    pub fn result_json(&self, id: u64) -> Option<Json> {
+        let state = lock(&self.shared.state);
+        let entry = state.jobs.get(&id)?;
+        let mut pairs = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("id".to_string(), Json::Int(id as i64)),
+            (
+                "state".to_string(),
+                Json::Str(state_name(&entry.state).to_string()),
+            ),
+            (
+                "result".to_string(),
+                entry.result.clone().unwrap_or(Json::Null),
+            ),
+        ];
+        if let JobState::Failed(why) = &entry.state {
+            pairs.push(("error".to_string(), Json::Str(why.clone())));
+        }
+        Some(Json::Obj(pairs))
+    }
+
+    /// Whether a job id exists and has reached `done` or `failed`.
+    #[must_use]
+    pub fn is_terminal(&self, id: u64) -> bool {
+        let state = lock(&self.shared.state);
+        state
+            .jobs
+            .get(&id)
+            .is_some_and(|e| e.state != JobState::Running)
+    }
+
+    /// Jobs submitted but not yet terminal — the drain condition.
+    #[must_use]
+    pub fn unfinished(&self) -> u64 {
+        lock(&self.shared.state).unfinished
+    }
+
+    /// The coordinator metrics bundle (shared with runner threads).
+    #[must_use]
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.shared.metrics
+    }
+
+    /// Number of configured workers.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Stops the runners and joins them. In-flight shards are abandoned;
+    /// call only after draining (or when abandoning the jobs is intended).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.ready.notify_all();
+        let handles = std::mem::take(&mut *lock(&self.runners));
+        for handle in handles {
+            // A runner that panicked already poisoned nothing we rely on.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn state_name(state: &JobState) -> &'static str {
+    match state {
+        JobState::Running => "running",
+        JobState::Done => "done",
+        JobState::Failed(_) => "failed",
+    }
+}
+
+fn read_total_bytes(path: &str) -> Result<u64, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = DumpReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    Ok(reader.meta().total_bytes)
+}
+
+fn enqueue(
+    state: &mut SchedState,
+    metrics: &ClusterMetrics,
+    job: u64,
+    requests: Vec<ShardRequest>,
+) {
+    let now = Instant::now();
+    for request in requests {
+        let mut line = request.body.render_compact();
+        line.push('\n');
+        state.pending.push_back(Task {
+            job,
+            shard: request.shard,
+            attempts: 0,
+            ready_at: now,
+            line,
+        });
+        metrics.shard_queue_depth.add(1);
+    }
+}
+
+fn fail_job(state: &mut SchedState, metrics: &ClusterMetrics, job: u64, why: String) {
+    if let Some(entry) = state.jobs.get_mut(&job) {
+        if entry.state == JobState::Running {
+            entry.state = JobState::Failed(why);
+            metrics.jobs_failed.inc();
+            state.unfinished -= 1;
+        }
+    }
+}
+
+/// A persistent line-protocol connection to one worker.
+struct Wire {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Wire {
+    fn connect(addr: &str, opts: &BackendOptions) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(opts.io_timeout))
+            .map_err(|e| e.to_string())?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        let writer = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// One request/reply exchange. Any error invalidates the connection.
+    fn roundtrip(&mut self, line: &str) -> Result<Json, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err("worker closed the connection".to_string()),
+            Ok(_) => json::parse(reply.trim_end()).ok_or_else(|| "unparseable reply".to_string()),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+}
+
+/// How one shard attempt ended.
+enum Outcome {
+    /// The worker produced this `result` body.
+    Delivered(Json),
+    /// Transient: re-queue the shard (connection trouble, worker overload,
+    /// worker-side cancellation/timeout, or coordinator shutdown).
+    Retry(String),
+    /// Deterministic worker-side failure: retrying cannot help.
+    Fatal(String),
+}
+
+/// The per-worker runner: alternates between draining the shard queue and
+/// (when evicted) probing its worker for a rejoin.
+fn run_worker_loop(shared: &Arc<Shared>, addr: &str) {
+    let opts = &shared.opts;
+    let metrics = &shared.metrics;
+    let mut wire: Option<Wire> = None;
+    let mut consecutive = 0u32;
+    let mut evicted = false;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if evicted {
+            thread::sleep(opts.probe_interval);
+            if ping(addr, opts) {
+                evicted = false;
+                consecutive = 0;
+                metrics.worker_rejoins.inc();
+                metrics.workers_healthy.add(1);
+            }
+            continue;
+        }
+        let Some(task) = next_task(shared) else {
+            return; // shutdown
+        };
+        metrics.shards_dispatched.inc();
+        metrics
+            .shard_queue_wait_us
+            .observe(duration_us(task.ready_at.elapsed()));
+        let started = Instant::now();
+        let outcome = run_shard(&mut wire, addr, &task, shared);
+        match outcome {
+            Outcome::Delivered(body) => {
+                consecutive = 0;
+                metrics.shard_run_us.observe(duration_us(started.elapsed()));
+                deliver(shared, &task, &body);
+            }
+            Outcome::Retry(why) => {
+                wire = None; // reconnect on the next attempt
+                if shared.stop.load(Ordering::Relaxed) {
+                    // Abandoning mid-shutdown: put the task back untouched
+                    // so a later drain inspection sees it pending.
+                    let mut state = lock(&shared.state);
+                    state.pending.push_back(task);
+                    metrics.shard_queue_depth.add(1);
+                    return;
+                }
+                consecutive += 1;
+                if consecutive >= opts.evict_after {
+                    evicted = true;
+                    metrics.worker_evictions.inc();
+                    metrics.workers_healthy.sub(1);
+                }
+                requeue(shared, task, why);
+            }
+            Outcome::Fatal(why) => {
+                consecutive = 0;
+                let mut state = lock(&shared.state);
+                fail_job(&mut state, metrics, task.job, why);
+            }
+        }
+    }
+}
+
+/// Pops the first ready task whose job is still running; blocks (with a
+/// bounded wait) until one appears or shutdown.
+fn next_task(shared: &Arc<Shared>) -> Option<Task> {
+    let mut state = lock(&shared.state);
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return None;
+        }
+        let now = Instant::now();
+        let ready_idx = state
+            .pending
+            .iter()
+            .position(|t| t.ready_at <= now);
+        if let Some(idx) = ready_idx {
+            if let Some(task) = state.pending.remove(idx) {
+                shared.metrics.shard_queue_depth.sub(1);
+                let live = state
+                    .jobs
+                    .get(&task.job)
+                    .is_some_and(|e| e.state == JobState::Running);
+                if live {
+                    return Some(task);
+                }
+                continue; // job already terminal: drop its stale shards
+            }
+        }
+        // Sleep until notified, but wake periodically: a backoff delay
+        // expiring does not signal the condvar.
+        state = shared
+            .ready
+            .wait_timeout(state, Duration::from_millis(20))
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0;
+    }
+}
+
+/// Drives one shard attempt against the worker: submit, poll, fetch.
+fn run_shard(
+    wire: &mut Option<Wire>,
+    addr: &str,
+    task: &Task,
+    shared: &Arc<Shared>,
+) -> Outcome {
+    let opts = &shared.opts;
+    if wire.is_none() {
+        match Wire::connect(addr, opts) {
+            Ok(conn) => *wire = Some(conn),
+            Err(why) => return Outcome::Retry(why),
+        }
+    }
+    let Some(conn) = wire.as_mut() else {
+        return Outcome::Retry("no worker connection".to_string());
+    };
+    let reply = match conn.roundtrip(&task.line) {
+        Ok(reply) => reply,
+        Err(why) => return Outcome::Retry(why),
+    };
+    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        return reject_outcome(&reply);
+    }
+    let Some(id) = reply.get("id").and_then(Json::as_i64) else {
+        return Outcome::Retry("submit reply carried no job id".to_string());
+    };
+    let status_line = format!("{{\"verb\":\"status\",\"id\":{id}}}\n");
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return Outcome::Retry("coordinator shutting down".to_string());
+        }
+        thread::sleep(opts.poll_interval);
+        let status = match conn.roundtrip(&status_line) {
+            Ok(status) => status,
+            Err(why) => return Outcome::Retry(why),
+        };
+        match status.get("state").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("queued" | "running") => continue,
+            Some("failed") => {
+                let why = status
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("worker reported failure");
+                return Outcome::Fatal(format!("worker {addr}: {why}"));
+            }
+            // A worker-side timeout or cancellation is not a verdict on
+            // the data — another attempt may succeed.
+            Some(other) => {
+                return Outcome::Retry(format!("worker job ended {other}"));
+            }
+            None => return Outcome::Retry("malformed status reply".to_string()),
+        }
+    }
+    let result_line = format!("{{\"verb\":\"result\",\"id\":{id}}}\n");
+    match conn.roundtrip(&result_line) {
+        Ok(reply) => match reply.get("result") {
+            Some(body) if *body != Json::Null => Outcome::Delivered(body.clone()),
+            _ => Outcome::Retry("done job returned no result body".to_string()),
+        },
+        Err(why) => Outcome::Retry(why),
+    }
+}
+
+/// Classifies a worker's error reply via the uniform error schema.
+fn reject_outcome(reply: &Json) -> Outcome {
+    let code = reply.get("code").and_then(Json::as_str).unwrap_or("error");
+    let message = reply
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("worker rejected the shard");
+    let why = format!("{code}: {message}");
+    if reply.get("retryable").and_then(Json::as_bool) == Some(true) {
+        Outcome::Retry(why)
+    } else {
+        Outcome::Fatal(why)
+    }
+}
+
+/// Hands a delivered partial to the job's assembly and acts on the step.
+fn deliver(shared: &Arc<Shared>, task: &Task, body: &Json) {
+    let metrics = &shared.metrics;
+    let mut state = lock(&shared.state);
+    let merge_started = Instant::now();
+    let step = match state.jobs.get_mut(&task.job) {
+        Some(entry) if entry.state == JobState::Running => {
+            entry.assembly.accept(&task.shard, body)
+        }
+        _ => return, // job failed while this shard was in flight
+    };
+    metrics
+        .merge_us
+        .observe(duration_us(merge_started.elapsed()));
+    match step {
+        Ok(Step::Wait) => {}
+        Ok(Step::Dispatch(requests)) => {
+            enqueue(&mut state, metrics, task.job, requests);
+            drop(state);
+            shared.ready.notify_all();
+        }
+        Ok(Step::Done(result)) => {
+            if let Some(entry) = state.jobs.get_mut(&task.job) {
+                entry.result = Some(result);
+                entry.state = JobState::Done;
+                metrics.jobs_done.inc();
+                state.unfinished -= 1;
+            }
+        }
+        Err(why) => fail_job(&mut state, metrics, task.job, format!("merge: {why}")),
+    }
+}
+
+/// Re-queues a failed shard with exponential backoff, or fails the job
+/// when its attempt budget is spent.
+fn requeue(shared: &Arc<Shared>, mut task: Task, why: String) {
+    let opts = &shared.opts;
+    let metrics = &shared.metrics;
+    task.attempts += 1;
+    if task.attempts >= opts.shard_attempts {
+        let mut state = lock(&shared.state);
+        fail_job(
+            &mut state,
+            metrics,
+            task.job,
+            format!(
+                "shard {}..{} failed after {} attempts: {why}",
+                task.shard.start, task.shard.end, task.attempts
+            ),
+        );
+        return;
+    }
+    let factor = 1u32 << (task.attempts - 1).min(5);
+    task.ready_at = Instant::now() + opts.retry_backoff.saturating_mul(factor);
+    let mut state = lock(&shared.state);
+    state.pending.push_back(task);
+    metrics.shards_requeued.inc();
+    metrics.shard_queue_depth.add(1);
+    drop(state);
+    shared.ready.notify_all();
+}
+
+/// One ping exchange on a fresh connection — the rejoin probe.
+fn ping(addr: &str, opts: &BackendOptions) -> bool {
+    match Wire::connect(addr, opts) {
+        Ok(mut conn) => conn
+            .roundtrip("{\"verb\":\"ping\"}\n")
+            .map(|reply| reply.get("ok").and_then(Json::as_bool) == Some(true))
+            .unwrap_or(false),
+        Err(_) => false,
+    }
+}

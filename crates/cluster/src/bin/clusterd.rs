@@ -1,0 +1,107 @@
+//! `clusterd` — the sharded scan coordinator daemon.
+//!
+//! Binds the client-facing event loop, starts one runner per `--worker`
+//! address, and serves the same line-delimited JSON verbs as a single
+//! `coldboot-dumpd` — so `dumpctl` drives a cluster unchanged. A client
+//! `{"verb":"shutdown"}` starts a graceful drain: running jobs finish and
+//! stay fetchable, then the daemon exits and prints the final metrics
+//! snapshot.
+//!
+//! ```text
+//! clusterd [--listen ADDR] --worker ADDR [--worker ADDR]...
+//!          [--shards N] [--rate N] [--quota N]
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use coldboot_cluster::server::{ClusterConfig, ClusterServer};
+
+const DEFAULT_LISTEN: &str = "127.0.0.1:7411";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: clusterd [--listen ADDR] --worker ADDR [--worker ADDR]...\n\
+         \x20               [--shards N] [--rate N] [--quota N]\n\
+         \n\
+         --worker ADDR   a coldboot-dumpd address (repeatable; required)\n\
+         --shards N      shards per job phase (default: one per worker)\n\
+         --rate N        per-connection requests/sec (default: unlimited)\n\
+         --quota N       per-connection open jobs (default: unlimited)\n\
+         defaults: --listen {DEFAULT_LISTEN}"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<(String, ClusterConfig), ExitCode> {
+    let mut listen = DEFAULT_LISTEN.to_string();
+    let mut config = ClusterConfig::new(Vec::new());
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            argv.next().ok_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--worker" => config.workers.push(value("--worker")?),
+            "--shards" => {
+                config.shards = value("--shards")?.parse().map_err(|_| usage())?;
+            }
+            "--rate" => {
+                config.max_requests_per_sec = value("--rate")?.parse().map_err(|_| usage())?;
+            }
+            "--quota" => {
+                config.max_open_jobs = value("--quota")?.parse().map_err(|_| usage())?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("unknown flag: {other}");
+                return Err(usage());
+            }
+        }
+    }
+    if config.workers.is_empty() {
+        eprintln!("clusterd: at least one --worker address is required");
+        return Err(usage());
+    }
+    Ok((listen, config))
+}
+
+fn main() -> ExitCode {
+    let (listen, config) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    let listener = match TcpListener::bind(&listen) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("clusterd: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let worker_count = config.workers.len();
+    let server = match ClusterServer::start(listener, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("clusterd: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "clusterd listening on {} ({worker_count} workers)",
+        server.local_addr(),
+    );
+    while !server.drained() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("clusterd: drain complete, stopping runners");
+    let stats = server.stats_json();
+    server.shutdown();
+    println!("clusterd: final stats {}", stats.render_compact());
+    println!("clusterd: bye");
+    ExitCode::SUCCESS
+}

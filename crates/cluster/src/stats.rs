@@ -1,0 +1,105 @@
+//! The coordinator's `coldboot-metrics` bundle.
+//!
+//! Every [`crate::Backend`] carries one [`ClusterMetrics`]; the `stats`
+//! verb snapshots the registry with
+//! [`coldboot_dumpio::stats::snapshot_json`], so `dumpctl stats` against a
+//! `clusterd` reads the same shape it reads from a `dumpd` — counters as
+//! integers, histograms as cumulative buckets. Names are prefixed
+//! `cluster_` to keep them disjoint from the worker-side metric names when
+//! dashboards aggregate both.
+
+use std::sync::Arc;
+
+use coldboot_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Handles for every coordinator metric, plus the registry that owns them.
+///
+/// Cloning is cheap (all handles are `Arc`s onto atomics); the backend,
+/// the runner threads, and the front-end event loop share one instance.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// The registry the handles are registered in — snapshot this for the
+    /// `stats` verb.
+    pub registry: Arc<MetricsRegistry>,
+    /// Jobs accepted by `submit`.
+    pub jobs_submitted: Arc<Counter>,
+    /// Jobs whose merged result reached a terminal `done`.
+    pub jobs_done: Arc<Counter>,
+    /// Jobs that failed (shard retries exhausted, fatal worker error, or a
+    /// merge-protocol violation).
+    pub jobs_failed: Arc<Counter>,
+    /// Shard tasks handed to a worker runner (retries count again).
+    pub shards_dispatched: Arc<Counter>,
+    /// Shard tasks put back on the queue after a retryable failure.
+    pub shards_requeued: Arc<Counter>,
+    /// Workers taken out of rotation after consecutive failures.
+    pub worker_evictions: Arc<Counter>,
+    /// Evicted workers that answered a ping probe and rejoined.
+    pub worker_rejoins: Arc<Counter>,
+    /// Client requests rejected by the per-connection rate limit.
+    pub rate_limited_rejects: Arc<Counter>,
+    /// Client `submit`s rejected by the per-connection open-job quota.
+    pub quota_rejects: Arc<Counter>,
+    /// Workers currently in rotation (configured minus evicted).
+    pub workers_healthy: Arc<Gauge>,
+    /// Shard tasks waiting for a runner.
+    pub shard_queue_depth: Arc<Gauge>,
+    /// Ready-to-dispatched wait per shard task, µs.
+    pub shard_queue_wait_us: Arc<Histogram>,
+    /// Dispatch-to-result time per shard attempt, µs.
+    pub shard_run_us: Arc<Histogram>,
+    /// Time absorbing one shard partial into the assembly, µs.
+    pub merge_us: Arc<Histogram>,
+}
+
+impl ClusterMetrics {
+    /// Creates a fresh registry with every coordinator metric registered.
+    #[must_use]
+    pub fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::default());
+        let metrics = Self {
+            jobs_submitted: registry.counter("cluster_jobs_submitted"),
+            jobs_done: registry.counter("cluster_jobs_done"),
+            jobs_failed: registry.counter("cluster_jobs_failed"),
+            shards_dispatched: registry.counter("cluster_shards_dispatched"),
+            shards_requeued: registry.counter("cluster_shards_requeued"),
+            worker_evictions: registry.counter("cluster_worker_evictions"),
+            worker_rejoins: registry.counter("cluster_worker_rejoins"),
+            rate_limited_rejects: registry.counter("cluster_rate_limited_rejects"),
+            quota_rejects: registry.counter("cluster_quota_rejects"),
+            workers_healthy: registry.gauge("cluster_workers_healthy"),
+            shard_queue_depth: registry.gauge("cluster_shard_queue_depth"),
+            shard_queue_wait_us: registry.latency_histogram("cluster_shard_queue_wait_us"),
+            shard_run_us: registry.latency_histogram("cluster_shard_run_us"),
+            merge_us: registry.latency_histogram("cluster_merge_us"),
+            registry,
+        };
+        metrics
+    }
+}
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_register_and_snapshot() {
+        let m = ClusterMetrics::new();
+        m.jobs_submitted.inc();
+        m.shards_dispatched.add(3);
+        m.workers_healthy.set(4);
+        m.merge_us.observe(17);
+        let snapshot = coldboot_dumpio::stats::snapshot_json(&m.registry);
+        let text = snapshot.render_compact();
+        assert!(text.contains("\"cluster_jobs_submitted\":1"));
+        assert!(text.contains("\"cluster_shards_dispatched\":3"));
+        assert!(text.contains("\"cluster_workers_healthy\":4"));
+        assert!(text.contains("cluster_merge_us"));
+    }
+}

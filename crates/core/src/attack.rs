@@ -266,6 +266,30 @@ pub mod ddr3 {
             }
         }
 
+        /// Exports the raw histogram as `(value, count)` pairs sorted by
+        /// value — the mergeable partial form of a frequency pass. A
+        /// cluster shard counts its block range, exports, and a
+        /// coordinator [`FrequencyCounter::absorb_counts`]s every shard's
+        /// export into one counter before ranking; summation is
+        /// commutative, so the ranking is byte-identical to a single
+        /// whole-image pass for any sharding.
+        pub fn into_counts(self) -> Vec<([u8; BLOCK_BYTES], u32)> {
+            let mut out: Vec<_> = self.counts.into_iter().collect();
+            out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            out
+        }
+
+        /// Merges previously exported counts (typically from another
+        /// shard's counter) into this histogram.
+        pub fn absorb_counts<I>(&mut self, counts: I)
+        where
+            I: IntoIterator<Item = ([u8; BLOCK_BYTES], u32)>,
+        {
+            for (key, n) in counts {
+                *self.counts.entry(key).or_insert(0) += n;
+            }
+        }
+
         /// The `top_n` most common block values, ties broken by key bytes.
         pub fn finish(self, top_n: usize) -> Vec<CandidateKey> {
             let mut all: Vec<CandidateKey> = self
@@ -510,6 +534,38 @@ mod tests {
                 i += take;
             }
             assert_eq!(counter.finish(10), whole, "window={window_blocks}");
+        }
+    }
+
+    #[test]
+    fn sharded_frequency_counting_matches_one_shot() {
+        let mut image = Vec::new();
+        for i in 0..96u8 {
+            let tag = i % 7;
+            image.extend_from_slice(&[tag.wrapping_mul(0x1D); 64]);
+        }
+        let dump = MemoryDump::new(image, 0);
+        let whole = ddr3::frequency_keys(&dump, 10);
+        let total = dump.len_blocks();
+        for shards in [1usize, 2, 4, 8] {
+            let per = total.div_ceil(shards);
+            let mut merged = ddr3::FrequencyCounter::new();
+            // Absorb shard exports out of order: summation commutes.
+            for s in (0..shards).rev() {
+                let a = s * per;
+                let b = ((s + 1) * per).min(total);
+                if a >= b {
+                    continue;
+                }
+                let w = MemoryDump::new(
+                    dump.bytes()[a * 64..b * 64].to_vec(),
+                    dump.block_addr(a),
+                );
+                let mut shard = ddr3::FrequencyCounter::new();
+                shard.absorb(&w);
+                merged.absorb_counts(shard.into_counts());
+            }
+            assert_eq!(merged.finish(10), whole, "shards={shards}");
         }
     }
 

@@ -17,7 +17,11 @@
 use crate::dump::{xor_block, MemoryDump};
 use crate::litmus::CandidateKey;
 use crate::scan::{self, EngineMetrics, ScanOptions};
-use coldboot_crypto::aes::key_schedule::{expansion_step, rcon, KeySchedule, KeySize};
+use coldboot_crypto::aes::key_schedule::{expansion_step, rcon, KeySchedule};
+// Re-exported because `ScheduleHit`/`RecoveredAesKey` expose it in public
+// fields: downstream crates (the dumpio wire codec, the cluster
+// coordinator) can name the type without a direct crypto dependency.
+pub use coldboot_crypto::aes::key_schedule::KeySize;
 use coldboot_crypto::aes::sbox::{rot_word, sub_word};
 use coldboot_crypto::hamming;
 use coldboot_dram::BLOCK_BYTES;
@@ -192,6 +196,56 @@ pub struct SearchOutcome {
     pub recovered: Vec<RecoveredAesKey>,
     /// Number of blocks scanned.
     pub blocks_scanned: usize,
+}
+
+/// The mergeable partial form of a search: what one shard of a sharded
+/// scan contributes before cross-shard deduplication.
+///
+/// `recoveries` holds every successful verification **in verification
+/// order and before overlap dedup**. Dedup ([`merge_recovery`]) is
+/// order-sensitive when overlap chains span a shard boundary (a loser can
+/// evict an entry that a later recovery would not have overlapped), so a
+/// shard must not pre-deduplicate: [`merge_search_partials`] replays the
+/// fold over the concatenated raw sequences, which — because shards in
+/// block order concatenate to the exact global verification order — makes
+/// the merged outcome byte-identical to a single whole-image search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchPartial {
+    /// Single-block hits, in global block order within the shard.
+    pub hits: Vec<ScheduleHit>,
+    /// Successful verifications in verification order, before dedup.
+    pub recoveries: Vec<RecoveredAesKey>,
+    /// Blocks this shard scanned (its region-filtered count).
+    pub blocks_scanned: usize,
+}
+
+/// Merges per-shard [`SearchPartial`]s (in shard block order) into the
+/// final [`SearchOutcome`], byte-identical to a single-pass search over
+/// the whole image.
+///
+/// Hits concatenate (shards are disjoint block ranges in order, so this is
+/// the global block order); recoveries replay the single-pass dedup fold;
+/// block counts sum.
+pub fn merge_search_partials<I>(parts: I) -> SearchOutcome
+where
+    I: IntoIterator<Item = SearchPartial>,
+{
+    let mut hits = Vec::new();
+    let mut recovered = Vec::new();
+    let mut blocks_scanned = 0usize;
+    for part in parts {
+        hits.extend(part.hits);
+        for rec in part.recoveries {
+            merge_recovery(&mut recovered, rec);
+        }
+        blocks_scanned += part.blocks_scanned;
+    }
+    recovered.sort_by_key(|r| r.schedule_addr);
+    SearchOutcome {
+        hits,
+        recovered,
+        blocks_scanned,
+    }
 }
 
 /// One passing position of the AES block litmus test.
@@ -518,7 +572,12 @@ fn merge_recovery(recovered: &mut Vec<RecoveredAesKey>, rec: RecoveredAesKey) {
 /// produced a hit the full schedule reaches at most 192 bytes before the
 /// block start (window at offset ≤ 16, up to 48 schedule words behind it)
 /// and 192 bytes past the block end — under 4 blocks either way.
-const SCHEDULE_CONTEXT_BLOCKS: usize = 4;
+///
+/// Public because sharded scans need it: a shard covering blocks
+/// `[a, b)` must be fed `[a - SCHEDULE_CONTEXT_BLOCKS,
+/// b + SCHEDULE_CONTEXT_BLOCKS)` (clamped to the image) so hits at its
+/// region edges verify with the same context the whole-image pass sees.
+pub const SCHEDULE_CONTEXT_BLOCKS: usize = 4;
 
 /// Incremental AES key search over a dump delivered in contiguous windows.
 ///
@@ -549,6 +608,10 @@ pub struct StreamSearcher {
     pending: VecDeque<ScheduleHit>,
     hits: Vec<ScheduleHit>,
     recovered: Vec<RecoveredAesKey>,
+    /// Every successful verification in order, before dedup — the shard
+    /// export [`StreamSearcher::finish_partial`] returns (recoveries are
+    /// rare, so retaining both forms costs nothing measurable).
+    raw_recoveries: Vec<RecoveredAesKey>,
     blocks_scanned: usize,
     metrics: Option<Arc<SearchMetrics>>,
 }
@@ -582,6 +645,7 @@ impl StreamSearcher {
             pending: VecDeque::new(),
             hits: Vec::new(),
             recovered: Vec::new(),
+            raw_recoveries: Vec::new(),
             blocks_scanned: 0,
             metrics: None,
         }
@@ -687,6 +751,7 @@ impl StreamSearcher {
                         metrics.recoveries.inc();
                         metrics.decayed_bits.add(u64::from(rec.total_error_bits));
                     }
+                    self.raw_recoveries.push(rec.clone());
                     merge_recovery(&mut self.recovered, rec);
                 }
                 None => {
@@ -728,6 +793,19 @@ impl StreamSearcher {
         SearchOutcome {
             hits: self.hits,
             recovered,
+            blocks_scanned: self.blocks_scanned,
+        }
+    }
+
+    /// Like [`StreamSearcher::finish`], but returns the shard-mergeable
+    /// partial form (raw, pre-dedup recoveries) for
+    /// [`merge_search_partials`].
+    pub fn finish_partial(mut self) -> SearchPartial {
+        let view = MemoryDump::new(std::mem::take(&mut self.buf), self.buf_base);
+        self.verify_ready(&view, true);
+        SearchPartial {
+            hits: self.hits,
+            recoveries: self.raw_recoveries,
             blocks_scanned: self.blocks_scanned,
         }
     }
@@ -1411,6 +1489,109 @@ mod tests {
             "every hit is verified exactly once"
         );
         assert!(metrics.engine.items.get() >= dump.len_blocks() as u64);
+    }
+
+    /// Runs one shard of a sharded search: blocks `[a, b)` of `dump` are
+    /// this shard's region; windows covering `[a - ctx, b + ctx)` (clamped)
+    /// are fed so hits at the region edges verify with full context —
+    /// exactly what a cluster worker does with a CBDF block range.
+    fn shard_search(
+        dump: &MemoryDump,
+        candidates: &[CandidateKey],
+        config: &SearchConfig,
+        a: usize,
+        b: usize,
+        window_blocks: usize,
+    ) -> SearchPartial {
+        let total = dump.len_blocks();
+        let feed_start = a.saturating_sub(SCHEDULE_CONTEXT_BLOCKS);
+        let feed_end = (b + SCHEDULE_CONTEXT_BLOCKS).min(total);
+        let region_start = dump.base_addr() + (a * BLOCK_BYTES) as u64;
+        let region_end = dump.base_addr() + (b * BLOCK_BYTES) as u64;
+        let shard_config = SearchConfig {
+            region: Some(region_start..region_end),
+            ..config.clone()
+        };
+        let mut s = StreamSearcher::new(candidates, &shard_config);
+        let mut i = feed_start;
+        while i < feed_end {
+            let take = window_blocks.min(feed_end - i);
+            let w = MemoryDump::new(
+                dump.bytes()[i * 64..(i + take) * 64].to_vec(),
+                dump.block_addr(i),
+            );
+            s.push(&w);
+            i += take;
+        }
+        s.finish_partial()
+    }
+
+    #[test]
+    fn sharded_search_merge_is_byte_identical_to_whole_dump() {
+        // Three schedules, one straddling a shard boundary, so cross-shard
+        // context and the dedup replay are both exercised.
+        let keys = test_keys();
+        let mut image = vec![0x33u8; 64 * 96];
+        let masters: Vec<[u8; 32]> = (0..3u8)
+            .map(|t| {
+                core::array::from_fn(|i| {
+                    (i as u8).wrapping_mul(61).wrapping_add(t.wrapping_mul(87) ^ 0x19)
+                })
+            })
+            .collect();
+        for (n, master) in masters.iter().enumerate() {
+            let sched = schedule_bytes(master);
+            let at = 64 * (20 + n * 26); // blocks 20, 46, 72
+            image[at..at + sched.len()].copy_from_slice(&sched);
+        }
+        for (i, chunk) in image.chunks_mut(64).enumerate() {
+            let k = &keys[i % keys.len()];
+            for (b, kb) in chunk.iter_mut().zip(k.iter()) {
+                *b ^= kb;
+            }
+        }
+        let candidates: Vec<CandidateKey> = keys
+            .iter()
+            .map(|k| CandidateKey {
+                key: *k,
+                observations: 1,
+            })
+            .collect();
+        let dump = MemoryDump::new(image, 0);
+        let config = SearchConfig::default();
+        let whole = search_dump(&dump, &candidates, &config);
+        assert_eq!(whole.recovered.len(), 3);
+        let total = dump.len_blocks();
+        for shards in [1usize, 2, 4, 8] {
+            let per = total.div_ceil(shards);
+            let parts: Vec<SearchPartial> = (0..shards)
+                .filter_map(|s| {
+                    let a = s * per;
+                    let b = ((s + 1) * per).min(total);
+                    (a < b).then(|| shard_search(&dump, &candidates, &config, a, b, 7))
+                })
+                .collect();
+            let merged = merge_search_partials(parts);
+            assert_eq!(whole.hits, merged.hits, "shards={shards}");
+            assert_eq!(whole.recovered, merged.recovered, "shards={shards}");
+            assert_eq!(whole.blocks_scanned, merged.blocks_scanned, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn finish_partial_of_whole_image_merges_to_finish() {
+        let master: [u8; 32] =
+            core::array::from_fn(|i| (i as u8).wrapping_mul(29).wrapping_add(0xD2));
+        let keys = test_keys();
+        let (dump, candidates) = build_dump(320, &master, &keys);
+        let config = SearchConfig::default();
+        let whole = search_dump(&dump, &candidates, &config);
+        let mut s = StreamSearcher::new(&candidates, &config);
+        s.push(&dump);
+        let merged = merge_search_partials([s.finish_partial()]);
+        assert_eq!(whole.hits, merged.hits);
+        assert_eq!(whole.recovered, merged.recovered);
+        assert_eq!(whole.blocks_scanned, merged.blocks_scanned);
     }
 
     #[test]

@@ -230,6 +230,26 @@ struct Observation {
     first_idx: usize,
 }
 
+/// A raw mining observation exported by [`KeyMiner::into_observations`]:
+/// one distinct litmus-passing block value with its observation count and
+/// first-seen global block index.
+///
+/// This is the mergeable partial form of a mining pass. A cluster shard
+/// mines its block range (absorbing windows at their true global offsets),
+/// exports observations, and a coordinator re-absorbs every shard's
+/// observations into one miner before calling [`KeyMiner::finish`] — the
+/// dedup merge is commutative, so the consolidated candidates are
+/// byte-identical to a single whole-image pass for any sharding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedObservation {
+    /// The distinct 64-byte block value.
+    pub value: [u8; BLOCK_BYTES],
+    /// How many blocks matched this value.
+    pub count: u32,
+    /// Smallest global block index where the value was seen.
+    pub first_idx: usize,
+}
+
 /// Distinct values per parallel-clustering round. Bounds the sequential
 /// fallback work (a value only probes clusters seeded within its own
 /// round sequentially; earlier rounds are probed in parallel).
@@ -362,6 +382,39 @@ impl KeyMiner {
             metrics.decayed_bits.add(local.decayed_bits);
         }
         self.observed = merge_value_maps(std::mem::take(&mut self.observed), local.map);
+    }
+
+    /// Exports everything absorbed so far as raw observations, sorted by
+    /// `(first_idx, value)` so the serialized form is deterministic.
+    ///
+    /// See [`MinedObservation`] for the cross-shard merge contract.
+    pub fn into_observations(self) -> Vec<MinedObservation> {
+        let mut out: Vec<MinedObservation> = self
+            .observed
+            .into_iter()
+            .map(|(value, (count, first_idx))| MinedObservation {
+                value,
+                count,
+                first_idx,
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| (a.first_idx, a.value).cmp(&(b.first_idx, b.value)));
+        out
+    }
+
+    /// Merges previously exported observations (typically from another
+    /// shard's miner) into this miner. Counts add and first-seen indices
+    /// take the minimum — the same commutative merge the windowed sweep
+    /// uses, so absorb order never matters.
+    pub fn absorb_observations<I>(&mut self, observations: I)
+    where
+        I: IntoIterator<Item = MinedObservation>,
+    {
+        for obs in observations {
+            let entry = self.observed.entry(obs.value).or_insert((0, obs.first_idx));
+            entry.0 += obs.count;
+            entry.1 = entry.1.min(obs.first_idx);
+        }
     }
 
     /// Consolidates everything absorbed so far into ranked candidate keys.
@@ -738,6 +791,57 @@ mod tests {
             ..MiningConfig::default()
         };
         assert_eq!(mine_candidate_keys(&dump, &config), base);
+    }
+
+    #[test]
+    fn sharded_mining_merge_is_byte_identical_to_whole_dump() {
+        let dump = skewed_dump();
+        let config = MiningConfig::default();
+        let whole = mine_candidate_keys(&dump, &config);
+        let total = dump.len_blocks();
+        for shards in [1usize, 2, 4, 8] {
+            let per = total.div_ceil(shards);
+            // Absorb shards out of order to prove the merge is commutative.
+            let mut partials: Vec<Vec<MinedObservation>> = Vec::new();
+            for s in (0..shards).rev() {
+                let start = s * per;
+                let end = ((s + 1) * per).min(total);
+                if start >= end {
+                    continue;
+                }
+                let window = MemoryDump::new(
+                    dump.bytes()[start * 64..end * 64].to_vec(),
+                    dump.block_addr(start),
+                );
+                let mut shard_miner = KeyMiner::new(&config);
+                shard_miner.absorb(&window, start);
+                partials.push(shard_miner.into_observations());
+            }
+            let mut merged = KeyMiner::new(&config);
+            for part in partials {
+                merged.absorb_observations(part);
+            }
+            assert_eq!(merged.finish(), whole, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn exported_observations_are_deterministically_ordered() {
+        let dump = skewed_dump();
+        let config = MiningConfig::default();
+        let export = |dump: &MemoryDump| {
+            let mut miner = KeyMiner::new(&config);
+            miner.absorb(dump, 0);
+            miner.into_observations()
+        };
+        let first = export(&dump);
+        assert!(!first.is_empty());
+        for _ in 0..3 {
+            assert_eq!(export(&dump), first, "HashMap order must not leak");
+        }
+        assert!(first
+            .windows(2)
+            .all(|w| (w[0].first_idx, w[0].value) < (w[1].first_idx, w[1].value)));
     }
 
     #[test]

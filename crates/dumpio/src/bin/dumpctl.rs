@@ -4,7 +4,7 @@
 //! dumpctl [--connect ADDR] ping
 //! dumpctl [--connect ADDR] submit <attack|mine|frequency> <DUMP.cbdf>
 //!         [--window-blocks N] [--timeout-secs N] [--threads N]
-//!         [--deep] [--max-bytes N] [--top-keys N]
+//!         [--deep] [--max-bytes N] [--top-keys N] [--shards N]
 //! dumpctl [--connect ADDR] status <ID>
 //! dumpctl [--connect ADDR] result <ID>
 //! dumpctl [--connect ADDR] cancel <ID>
@@ -12,8 +12,13 @@
 //! dumpctl [--connect ADDR] shutdown
 //! ```
 //!
-//! Prints the server's JSON response (pretty-printed) and exits 0 when
-//! the response carries `"ok": true`, 1 otherwise.
+//! Works against a single `coldboot-dumpd` and against a `clusterd`
+//! coordinator alike — the protocols are the same (`--shards` only means
+//! something to a coordinator; a `dumpd` ignores it). Prints the server's
+//! JSON response (pretty-printed) and exits 0 when the response carries
+//! `"ok": true`. On a rejection, the uniform error schema's `code` and
+//! its retryable/fatal class are summarized on stderr so scripts (and
+//! operators) can tell "try again later" from "fix the request".
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -31,6 +36,7 @@ fn usage() -> ExitCode {
          \x20 ping\n\
          \x20 submit <attack|mine|frequency> <DUMP.cbdf> [--window-blocks N]\n\
          \x20        [--timeout-secs N] [--threads N] [--deep] [--max-bytes N] [--top-keys N]\n\
+         \x20        [--shards N]   (shards: clusterd coordinators only)\n\
          \x20 status <ID>\n\
          \x20 result <ID>\n\
          \x20 cancel <ID>\n\
@@ -101,6 +107,7 @@ fn build_request(mut argv: impl Iterator<Item = String>) -> Result<(String, Json
                     "--threads" => "threads",
                     "--max-bytes" => "max_bytes",
                     "--top-keys" => "top_keys",
+                    "--shards" => "shards",
                     other => {
                         eprintln!("unknown flag: {other}");
                         return Err(usage());
@@ -158,6 +165,19 @@ fn main() -> ExitCode {
     if response.get("ok").and_then(Json::as_bool) == Some(true) {
         ExitCode::SUCCESS
     } else {
+        // Surface the uniform error schema: the code plus whether the
+        // same request can succeed later (cluster failover keys off the
+        // same distinction).
+        let code = response
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or("error");
+        let class = match response.get("retryable").and_then(Json::as_bool) {
+            Some(true) => "retryable — the same request can succeed later",
+            Some(false) => "fatal — fix the request before resending",
+            None => "unclassified",
+        };
+        eprintln!("dumpctl: rejected with code `{code}` ({class})");
         ExitCode::FAILURE
     }
 }

@@ -63,6 +63,15 @@ impl Json {
         out
     }
 
+    /// [`render_compact`](Self::render_compact) into a caller-owned
+    /// buffer. The buffer is cleared first, so a per-connection scratch
+    /// `String` makes steady-state rendering allocation-free once it has
+    /// grown to the working-set line length.
+    pub fn render_compact_into(&self, out: &mut String) {
+        out.clear();
+        self.write_compact(out);
+    }
+
     /// Looks up a field of an object; `None` for missing fields and
     /// non-objects.
     pub fn get(&self, key: &str) -> Option<&Json> {
@@ -353,12 +362,22 @@ impl Parser<'_> {
                     }
                 }
                 0x00..=0x1F => return None, // control bytes must be escaped
+                b if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-walk the UTF-8 sequence as chars; the input is a
-                    // &str, so the byte at pos-1 starts a valid sequence.
+                    // Decode exactly one UTF-8 sequence. The input is a
+                    // &str, so the byte at pos-1 starts a valid sequence —
+                    // validate only its own bytes, never the whole tail
+                    // (re-validating the remainder per character made
+                    // string parsing quadratic, which megabyte-scale shard
+                    // result lines turned into a hang).
                     let start = self.pos - 1;
-                    let rest = std::str::from_utf8(&self.bytes[start..]).ok()?;
-                    let c = rest.chars().next()?;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let seq = self.bytes.get(start..start + len)?;
+                    let c = std::str::from_utf8(seq).ok()?.chars().next()?;
                     out.push(c);
                     self.pos = start + c.len_utf8();
                 }
@@ -474,6 +493,17 @@ mod tests {
     }
 
     #[test]
+    fn compact_rendering_reuses_a_scratch_buffer() {
+        let doc = Json::obj([("ok", Json::Bool(true))]);
+        let mut scratch = String::from("stale contents from the last line");
+        doc.render_compact_into(&mut scratch);
+        assert_eq!(scratch, r#"{"ok":true}"#);
+        // A second render into the same buffer replaces, never appends.
+        Json::Int(7).render_compact_into(&mut scratch);
+        assert_eq!(scratch, "7");
+    }
+
+    #[test]
     fn parse_roundtrips_both_renderings() {
         let doc = Json::obj([
             ("verb", Json::Str("submit".into())),
@@ -533,6 +563,22 @@ mod tests {
         assert_eq!(parse(&deep), None);
         let shallow = "[".repeat(20) + &"]".repeat(20);
         assert!(parse(&shallow).is_some());
+    }
+
+    #[test]
+    fn parse_scales_to_megabyte_string_payloads() {
+        // Shard result lines carry megabytes of hex strings; a quadratic
+        // string scanner once turned this into an effective hang. This
+        // stays sub-second when string parsing is linear and times out the
+        // whole suite when it is not.
+        let long = "ab".repeat(1 << 20); // 2 MiB of ASCII
+        let doc = format!("{{\"counts\":[[\"{long}\",3],[\"caf\\u00e9\",1]]}}");
+        let parsed = parse(&doc).expect("large payload parses");
+        let pairs = parsed.get("counts").and_then(Json::as_arr).expect("array");
+        let first = pairs[0].as_arr().expect("pair")[0].as_str().expect("str");
+        assert_eq!(first.len(), long.len());
+        let second = pairs[1].as_arr().expect("pair")[0].as_str().expect("str");
+        assert_eq!(second, "café");
     }
 
     #[test]

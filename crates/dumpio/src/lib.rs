@@ -40,6 +40,7 @@ pub mod reader;
 pub mod rle;
 pub mod service;
 pub mod stats;
+pub mod wire;
 pub mod writer;
 
 pub use error::DumpError;

@@ -26,6 +26,7 @@
 //! changes wall-clock time and nothing else.
 
 use std::io::{Read, Seek};
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -33,8 +34,10 @@ use std::time::{Duration, Instant};
 use coldboot::attack::ddr3::FrequencyCounter;
 use coldboot::attack::{AttackConfig, AttackReport};
 use coldboot::dump::MemoryDump;
-use coldboot::keysearch::{SearchConfig, SearchOutcome, StreamSearcher};
-use coldboot::litmus::{CandidateKey, KeyMiner, MiningConfig};
+use coldboot::keysearch::{
+    SearchConfig, SearchOutcome, SearchPartial, StreamSearcher, SCHEDULE_CONTEXT_BLOCKS,
+};
+use coldboot::litmus::{CandidateKey, KeyMiner, MinedObservation, MiningConfig};
 use coldboot_dram::BLOCK_BYTES;
 
 use crate::error::DumpError;
@@ -543,6 +546,328 @@ pub fn frequency_stream_pipelined<R: Read + Send>(
     frequency_with(reader, top_n, window_blocks, ctrl, &mut drive_pipelined)
 }
 
+/// Splits `total_blocks` into at most `shards` contiguous near-equal
+/// block ranges — the coordinator's work-distribution plan. Earlier
+/// ranges absorb the remainder, every block lands in exactly one range,
+/// and empty ranges are never produced (fewer ranges come back when there
+/// are more shards than blocks).
+pub fn plan_shards(total_blocks: u64, shards: usize) -> Vec<Range<u64>> {
+    let shards = (shards.max(1) as u64).min(total_blocks.max(1));
+    let base = total_blocks / shards;
+    let extra = total_blocks % shards;
+    let mut out = Vec::new();
+    let mut start = 0u64;
+    for i in 0..shards {
+        let len = base + u64::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Clamps a shard's block range to the image and converts to byte bounds.
+/// A range ending on (or past) the last whole block extends to
+/// `total_bytes`, so a shard union always covers exactly the bytes a
+/// whole-image pass reads even when the image has a partial tail block.
+fn shard_bytes(shard: &Range<u64>, total_bytes: u64) -> (u64, u64) {
+    let total_blocks = total_bytes / BLOCK_BYTES as u64;
+    let start = (shard.start.min(total_blocks)) * BLOCK_BYTES as u64;
+    let end = if shard.end >= total_blocks {
+        total_bytes
+    } else {
+        shard.end * BLOCK_BYTES as u64
+    };
+    (start, end.max(start))
+}
+
+/// The sharded mining pass body shared by [`mine_shard_stream`] and
+/// [`mine_shard_stream_pipelined`]: scans global blocks `[shard.start,
+/// shard.end)` (clamped to the image) and exports the miner's raw
+/// observation map instead of finishing it. A coordinator absorbs the
+/// partials from every shard into one [`KeyMiner`]
+/// ([`KeyMiner::absorb_observations`]) and finishes once — byte-identical
+/// to a single mining pass over the union, because the observation merge
+/// is commutative and clustering happens only at finish.
+fn mine_shard_with<R: Read + Seek>(
+    reader: &mut DumpReader<R>,
+    config: &MiningConfig,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+    drive: Drive<'_, R>,
+) -> Result<Vec<MinedObservation>, PipelineError> {
+    let image_base = reader.meta().base_addr;
+    let (start_byte, end_byte) = shard_bytes(shard, reader.meta().total_bytes);
+    let read_blocks = slice_blocks(window_blocks, config.threads);
+    let mut miner = KeyMiner::new(config);
+    if let Some(pm) = ctrl.metrics {
+        miner = miner.with_metrics(Arc::clone(&pm.mining));
+    }
+    ctrl.tick(0)?;
+    if start_byte < end_byte {
+        reader.seek_to_block(start_byte / BLOCK_BYTES as u64)?;
+        let limit = end_byte - start_byte;
+        let mut bytes_done = 0u64;
+        let mut consume = |window: &MemoryDump| -> Result<bool, PipelineError> {
+            let first_block = ((window.base_addr() - image_base) / BLOCK_BYTES as u64) as usize;
+            let keep = (limit - bytes_done).min(window.len() as u64) as usize;
+            let clamped;
+            let window = if keep < window.len() {
+                clamped = window.prefix(keep);
+                &clamped
+            } else {
+                window
+            };
+            let scan_started = ctrl.metrics.map(|_| Instant::now());
+            miner.absorb(window, first_block);
+            if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
+                pm.window_scan_us.observe(duration_us(t0.elapsed()));
+                pm.windows.inc();
+            }
+            bytes_done += window.len() as u64;
+            ctrl.tick(bytes_done / BLOCK_BYTES as u64)?;
+            Ok(bytes_done < limit)
+        };
+        drive(reader, read_blocks, Some(limit), ctrl.metrics, &mut consume)?;
+    }
+    Ok(miner.into_observations())
+}
+
+/// Streams scrambler-key mining over one shard of the image, exporting
+/// mergeable observations. See [`mine_shard_with`] for the merge contract.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn mine_shard_stream<R: Read + Seek>(
+    reader: &mut DumpReader<R>,
+    config: &MiningConfig,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+) -> Result<Vec<MinedObservation>, PipelineError> {
+    mine_shard_with(reader, config, window_blocks, shard, ctrl, &mut drive_serial)
+}
+
+/// [`mine_shard_stream`] with decode/scan overlap; byte-identical to the
+/// serial form.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn mine_shard_stream_pipelined<R: Read + Seek + Send>(
+    reader: &mut DumpReader<R>,
+    config: &MiningConfig,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+) -> Result<Vec<MinedObservation>, PipelineError> {
+    mine_shard_with(reader, config, window_blocks, shard, ctrl, &mut drive_pipelined)
+}
+
+/// The sharded search pass body shared by [`search_shard_stream`] and
+/// [`search_shard_stream_pipelined`].
+///
+/// The shard owns region `[shard.start, shard.end)` in blocks, but is fed
+/// [`SCHEDULE_CONTEXT_BLOCKS`] of extra context on both sides (clamped to
+/// the image) so hits at its region edges verify against exactly the
+/// bytes the whole-image pass would see; the `SearchConfig` region filter
+/// keeps hit ownership disjoint across shards. The exported
+/// [`SearchPartial`] carries *pre-dedup* recoveries in verification
+/// order: a coordinator concatenates partials in shard order and replays
+/// the overlap dedup ([`coldboot::keysearch::merge_search_partials`]),
+/// which reproduces the single-node verification sequence exactly.
+fn search_shard_with<R: Read + Seek>(
+    reader: &mut DumpReader<R>,
+    candidates: &[CandidateKey],
+    config: &SearchConfig,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+    drive: Drive<'_, R>,
+) -> Result<SearchPartial, PipelineError> {
+    let image_base = reader.meta().base_addr;
+    let total_bytes = reader.meta().total_bytes;
+    let (start_byte, end_byte) = shard_bytes(shard, total_bytes);
+    let shard_config = SearchConfig {
+        region: Some(image_base + start_byte..image_base + end_byte),
+        ..config.clone()
+    };
+    let read_blocks = slice_blocks(window_blocks, config.threads);
+    let mut searcher = StreamSearcher::new(candidates, &shard_config);
+    if let Some(pm) = ctrl.metrics {
+        searcher = searcher.with_metrics(Arc::clone(&pm.search));
+    }
+    ctrl.tick(0)?;
+    if start_byte < end_byte {
+        let ctx = (SCHEDULE_CONTEXT_BLOCKS * BLOCK_BYTES) as u64;
+        let feed_start = start_byte.saturating_sub(ctx);
+        let feed_end = end_byte.saturating_add(ctx).min(total_bytes);
+        reader.seek_to_block(feed_start / BLOCK_BYTES as u64)?;
+        let limit = feed_end - feed_start;
+        let mut bytes_done = 0u64;
+        let mut consume = |window: &MemoryDump| -> Result<bool, PipelineError> {
+            let keep = (limit - bytes_done).min(window.len() as u64) as usize;
+            let clamped;
+            let window = if keep < window.len() {
+                clamped = window.prefix(keep);
+                &clamped
+            } else {
+                window
+            };
+            let scan_started = ctrl.metrics.map(|_| Instant::now());
+            searcher.push(window);
+            if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
+                pm.window_scan_us.observe(duration_us(t0.elapsed()));
+                pm.windows.inc();
+            }
+            bytes_done += window.len() as u64;
+            ctrl.tick(bytes_done / BLOCK_BYTES as u64)?;
+            Ok(bytes_done < limit)
+        };
+        drive(reader, read_blocks, Some(limit), ctrl.metrics, &mut consume)?;
+    }
+    Ok(searcher.finish_partial())
+}
+
+/// Streams the AES schedule search over one shard of the image, exporting
+/// a mergeable [`SearchPartial`]. See [`search_shard_with`] for the merge
+/// contract.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn search_shard_stream<R: Read + Seek>(
+    reader: &mut DumpReader<R>,
+    candidates: &[CandidateKey],
+    config: &SearchConfig,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+) -> Result<SearchPartial, PipelineError> {
+    search_shard_with(reader, candidates, config, window_blocks, shard, ctrl, &mut drive_serial)
+}
+
+/// [`search_shard_stream`] with decode/scan overlap; byte-identical to
+/// the serial form.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn search_shard_stream_pipelined<R: Read + Seek + Send>(
+    reader: &mut DumpReader<R>,
+    candidates: &[CandidateKey],
+    config: &SearchConfig,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+) -> Result<SearchPartial, PipelineError> {
+    search_shard_with(reader, candidates, config, window_blocks, shard, ctrl, &mut drive_pipelined)
+}
+
+/// The sharded frequency pass body shared by [`frequency_shard_stream`]
+/// and [`frequency_shard_stream_pipelined`]: exports the raw block
+/// histogram for the shard's range, sorted by value. A coordinator sums
+/// the histograms ([`FrequencyCounter::absorb_counts`]) and finishes once
+/// — byte-identical to a single pass, the sum of disjoint histograms
+/// being the histogram of the union.
+fn frequency_shard_with<R: Read + Seek>(
+    reader: &mut DumpReader<R>,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+    drive: Drive<'_, R>,
+) -> Result<Vec<([u8; BLOCK_BYTES], u32)>, PipelineError> {
+    let (start_byte, end_byte) = shard_bytes(shard, reader.meta().total_bytes);
+    let read_blocks = slice_blocks(window_blocks, 1);
+    let mut counter = FrequencyCounter::new();
+    ctrl.tick(0)?;
+    if start_byte < end_byte {
+        reader.seek_to_block(start_byte / BLOCK_BYTES as u64)?;
+        let limit = end_byte - start_byte;
+        let mut bytes_done = 0u64;
+        let mut consume = |window: &MemoryDump| -> Result<bool, PipelineError> {
+            let keep = (limit - bytes_done).min(window.len() as u64) as usize;
+            let clamped;
+            let window = if keep < window.len() {
+                clamped = window.prefix(keep);
+                &clamped
+            } else {
+                window
+            };
+            let scan_started = ctrl.metrics.map(|_| Instant::now());
+            counter.absorb(window);
+            if let Some((pm, t0)) = ctrl.metrics.zip(scan_started) {
+                pm.window_scan_us.observe(duration_us(t0.elapsed()));
+                pm.windows.inc();
+            }
+            bytes_done += window.len() as u64;
+            ctrl.tick(bytes_done / BLOCK_BYTES as u64)?;
+            Ok(bytes_done < limit)
+        };
+        drive(reader, read_blocks, Some(limit), ctrl.metrics, &mut consume)?;
+    }
+    Ok(counter.into_counts())
+}
+
+/// Streams the DDR3 frequency histogram over one shard of the image,
+/// exporting mergeable counts. See [`frequency_shard_with`] for the merge
+/// contract.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn frequency_shard_stream<R: Read + Seek>(
+    reader: &mut DumpReader<R>,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+) -> Result<Vec<([u8; BLOCK_BYTES], u32)>, PipelineError> {
+    frequency_shard_with(reader, window_blocks, shard, ctrl, &mut drive_serial)
+}
+
+/// [`frequency_shard_stream`] with decode/scan overlap; byte-identical to
+/// the serial form.
+///
+/// # Errors
+///
+/// Stream corruption ([`PipelineError::Dump`]) or a [`ScanControl`] stop.
+///
+/// # Panics
+///
+/// Panics if `window_blocks` is zero.
+pub fn frequency_shard_stream_pipelined<R: Read + Seek + Send>(
+    reader: &mut DumpReader<R>,
+    window_blocks: usize,
+    shard: &Range<u64>,
+    ctrl: &ScanControl<'_>,
+) -> Result<Vec<([u8; BLOCK_BYTES], u32)>, PipelineError> {
+    frequency_shard_with(reader, window_blocks, shard, ctrl, &mut drive_pipelined)
+}
+
 /// The file-backed twin of [`run_ddr4_attack`]: mines scrambler keys from
 /// a prefix of the file, rewinds, and searches the whole image, producing
 /// an identical [`AttackReport`].
@@ -821,6 +1146,85 @@ mod tests {
         assert_eq!(metrics.decode_us.count(), expected_windows);
         assert!(metrics.scan_stall_us.count() >= expected_windows);
         assert_eq!(metrics.mining.blocks.get(), blocks as u64);
+    }
+
+    #[test]
+    fn plan_shards_covers_every_block_exactly_once() {
+        for (total, n) in [(0u64, 4usize), (1, 4), (7, 3), (96, 8), (100, 1), (5, 9)] {
+            let plan = plan_shards(total, n);
+            let mut next = 0u64;
+            for r in &plan {
+                assert_eq!(r.start, next, "gap in plan({total}, {n})");
+                assert!(r.end > r.start, "empty range in plan({total}, {n})");
+                next = r.end;
+            }
+            assert_eq!(next, total, "plan({total}, {n}) does not cover the image");
+            assert!(plan.len() <= n.max(1));
+        }
+    }
+
+    #[test]
+    fn shard_passes_merge_to_the_whole_file_result() {
+        let blocks = 600usize;
+        let image: Vec<u8> = (0..64 * blocks).map(|i| (i * 13 % 256) as u8).collect();
+        let file = cbdf_of(&image);
+        let config = MiningConfig {
+            threads: 1,
+            ..MiningConfig::default()
+        };
+
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let whole_mine = mine_stream(&mut r, &config, 128, None, &ScanControl::new()).unwrap();
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let whole_freq = frequency_stream(&mut r, 6, 128, &ScanControl::new()).unwrap();
+
+        for shards in [1usize, 2, 4, 8] {
+            let plan = plan_shards(blocks as u64, shards);
+            let mut miner = KeyMiner::new(&config);
+            let mut counter = FrequencyCounter::new();
+            // Absorb in reverse shard order: the merge is commutative, so
+            // arrival order (which a cluster cannot control) is free.
+            for range in plan.iter().rev() {
+                let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+                let obs =
+                    mine_shard_stream(&mut r, &config, 128, range, &ScanControl::new()).unwrap();
+                miner.absorb_observations(obs);
+                let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+                let counts =
+                    frequency_shard_stream_pipelined(&mut r, 128, range, &ScanControl::new())
+                        .unwrap();
+                counter.absorb_counts(counts);
+            }
+            assert_eq!(miner.finish(), whole_mine, "mining diverged at shards={shards}");
+            assert_eq!(counter.finish(6), whole_freq, "frequency diverged at shards={shards}");
+        }
+    }
+
+    #[test]
+    fn search_shard_scan_counts_partition_the_image() {
+        let blocks = 200usize;
+        let image: Vec<u8> = (0..64 * blocks).map(|i| (i * 7 % 256) as u8).collect();
+        let file = cbdf_of(&image);
+        let config = SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let candidates: Vec<CandidateKey> = Vec::new();
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let whole = search_stream(&mut r, &candidates, &config, 64, &ScanControl::new()).unwrap();
+        for shards in [2usize, 5] {
+            let mut total = 0usize;
+            for range in plan_shards(blocks as u64, shards) {
+                let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+                let part =
+                    search_shard_stream(&mut r, &candidates, &config, 64, &range, &ScanControl::new())
+                        .unwrap();
+                total += part.blocks_scanned;
+            }
+            // Context blocks are fed but only region blocks are counted,
+            // so the shard counts partition the whole-image count.
+            assert_eq!(total, whole.blocks_scanned, "shards={shards}");
+        }
     }
 
     #[test]

@@ -357,6 +357,87 @@ impl<R: Read + Seek> DumpReader<R> {
         self.window_addr = self.meta.base_addr;
         Ok(())
     }
+
+    /// Positions the stream so the next window starts at image block
+    /// `block` (clamped to the end of the image). Chunk headers carry the
+    /// encoded payload length, so whole chunks before the target are
+    /// seeked past without decoding; only the boundary chunk is decoded
+    /// (and CRC-checked), its prefix discarded into the carry buffer.
+    ///
+    /// This is what lets a cluster worker serve a shard of a CBDF dump in
+    /// `O(skipped chunks)` header reads instead of decoding the whole
+    /// prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DumpReader::next_chunk`], plus any I/O
+    /// failure from the underlying seeks.
+    pub fn seek_to_block(&mut self, block: u64) -> Result<(), DumpError> {
+        let target = (block.saturating_mul(BLOCK_BYTES as u64)).min(self.meta.total_bytes);
+        self.rewind()?;
+        while self.bytes_out < target {
+            let mut header = [0u8; CHUNK_HEADER_BYTES];
+            self.inner.read_exact(&mut header)?;
+            let ch = ChunkHeader::decode(&header);
+            if ch.index != self.next_chunk {
+                return Err(DumpError::ChunkOrder {
+                    expected: self.next_chunk,
+                    found: ch.index,
+                });
+            }
+            let expected_raw =
+                (self.meta.total_bytes - self.bytes_out).min(self.meta.chunk_bytes() as u64);
+            if u64::from(ch.raw_len) != expected_raw {
+                return Err(DumpError::ChunkLength {
+                    chunk: ch.index,
+                    expected: expected_raw as u32,
+                    found: ch.raw_len,
+                });
+            }
+            if self.bytes_out + expected_raw <= target {
+                // The whole chunk lies before the target: validate the
+                // same bounds the decode path would, then skip the payload.
+                match ch.encoding {
+                    ENCODING_RAW => {
+                        if ch.encoded_len != ch.raw_len {
+                            return Err(DumpError::ChunkLength {
+                                chunk: ch.index,
+                                expected: ch.raw_len,
+                                found: ch.encoded_len,
+                            });
+                        }
+                    }
+                    ENCODING_ZERO_RLE => {
+                        if ch.encoded_len as usize > self.meta.chunk_bytes() + 64 {
+                            return Err(DumpError::RleCorrupt { chunk: ch.index });
+                        }
+                    }
+                    other => {
+                        return Err(DumpError::BadEncoding {
+                            chunk: ch.index,
+                            encoding: other,
+                        });
+                    }
+                }
+                self.inner.seek(SeekFrom::Current(i64::from(ch.encoded_len)))?;
+                self.next_chunk += 1;
+                self.bytes_out += expected_raw;
+            } else {
+                // Boundary chunk: decode it through the validating path
+                // and keep only the bytes at and past the target.
+                self.inner.seek(SeekFrom::Current(-(CHUNK_HEADER_BYTES as i64)))?;
+                let prefix = (target - self.bytes_out) as usize;
+                let mut buf = Vec::new();
+                if self.read_chunk_into(&mut buf)?.is_none() {
+                    break;
+                }
+                self.carry.extend_from_slice(&buf[prefix..]);
+                break;
+            }
+        }
+        self.window_addr = self.meta.base_addr + target;
+        Ok(())
+    }
 }
 
 /// Iterator over bounded-memory scan windows; yielded by
@@ -568,6 +649,71 @@ mod tests {
         let second = r.read_to_memory().unwrap();
         assert_eq!(first.bytes(), second.bytes());
         assert_eq!(first.base_addr(), second.base_addr());
+    }
+
+    #[test]
+    fn seek_to_block_resumes_anywhere() {
+        let image = sample_image(64 * 100);
+        // chunk_blocks=16 → chunk boundaries at blocks 0, 16, 32, ...
+        let file = encode(&image, 16, 0x8000);
+        // Chunk-aligned, mid-chunk, block 0, last block, and past the end.
+        for block in [0u64, 1, 15, 16, 17, 50, 99, 100, 1000] {
+            let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+            r.seek_to_block(block).unwrap();
+            let rest = r.read_to_memory().unwrap();
+            let at = (block as usize * 64).min(image.len());
+            assert_eq!(rest.bytes(), &image[at..], "block={block}");
+            assert_eq!(rest.base_addr(), 0x8000 + at as u64, "block={block}");
+        }
+    }
+
+    #[test]
+    fn seek_to_block_windows_match_skipped_windows() {
+        let image = sample_image(64 * 100);
+        let file = encode(&image, 16, 0x8000);
+        // Windows read after a seek are identical to the tail of the
+        // windows a full scan yields (same boundaries, same addresses).
+        let wb = 7usize;
+        let all: Vec<(u64, Vec<u8>)> = DumpReader::new(Cursor::new(&file))
+            .unwrap()
+            .windows(wb)
+            .map(|w| {
+                let w = w.unwrap();
+                (w.base_addr(), w.bytes().to_vec())
+            })
+            .collect();
+        let skip_blocks = 3 * wb as u64; // aligned with window boundaries
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        r.seek_to_block(skip_blocks).unwrap();
+        let tail: Vec<(u64, Vec<u8>)> = r
+            .windows(wb)
+            .map(|w| {
+                let w = w.unwrap();
+                (w.base_addr(), w.bytes().to_vec())
+            })
+            .collect();
+        assert_eq!(&all[3..], &tail[..]);
+    }
+
+    #[test]
+    fn seek_to_block_still_detects_corruption_in_the_boundary_chunk() {
+        let image = sample_image(64 * 40);
+        let mut file = encode(&image, 4, 0);
+        // Corrupt the payload of the chunk holding block 10 (chunk 2).
+        // Chunks here are raw (sample_image is incompressible) so payload
+        // offsets are deterministic: header + 2*(chunk header + 4 blocks).
+        let chunk2_payload = HEADER_BYTES + 2 * (CHUNK_HEADER_BYTES + 4 * 64) + CHUNK_HEADER_BYTES;
+        file[chunk2_payload + 5] ^= 0x20;
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        let err = r.seek_to_block(10).unwrap_err();
+        assert!(
+            matches!(err, DumpError::ChunkCrc { chunk: 2 } | DumpError::RleCorrupt { chunk: 2 }),
+            "{err}"
+        );
+        // Seeking PAST a corrupt chunk is allowed (payload never read) —
+        // that is the point of skipping.
+        let mut r = DumpReader::new(Cursor::new(&file)).unwrap();
+        r.seek_to_block(12).unwrap();
     }
 
     #[test]

@@ -10,12 +10,17 @@
 //!
 //! Line-delimited JSON over TCP; one request object per line, one
 //! response object per line, connections are persistent. Responses always
-//! carry `"ok"`; failures add `"error"`.
+//! carry `"ok"`; every failure uses one uniform shape:
+//! `{"ok":false,"status":"error","code":CODE,"retryable":BOOL,"error":MSG}`.
+//! Codes: `queue_full` and `shutting_down` are *retryable* (the same
+//! request can succeed later, or on another worker — cluster failover
+//! keys off this flag); `bad_request`, `unknown_verb`, `unknown_job`, and
+//! `malformed_request` are fatal.
 //!
 //! | request | response |
 //! |---|---|
 //! | `{"verb":"ping"}` | `{"ok":true,"pong":true}` |
-//! | `{"verb":"submit","kind":"attack"\|"mine"\|"frequency","dump":PATH,...}` | `{"ok":true,"id":N}` |
+//! | `{"verb":"submit","kind":"attack"\|"mine"\|"frequency"\|"search_shard","dump":PATH,...}` | `{"ok":true,"id":N}` |
 //! | `{"verb":"status","id":N}` | `{"ok":true,"state":...,"blocks_done":N,"blocks_total":N}` |
 //! | `{"verb":"result","id":N}` | `{"ok":true,"state":...,"result":...}` |
 //! | `{"verb":"cancel","id":N}` | `{"ok":true,"state":...}` |
@@ -28,6 +33,23 @@
 //! mining prefix), `top_keys` (frequency: how many keys to report).
 //! `"search"` is accepted as an alias for `"attack"`. Job states:
 //! `queued`, `running`, `done`, `failed`, `cancelled`, `timed_out`.
+//! A job with a `timeout_secs` budget spends it from *submit* time: a job
+//! whose budget expires while still queued fails fast as `timed_out`
+//! without running.
+//!
+//! ## Shard jobs (cluster protocol)
+//!
+//! `submit` additionally accepts `shard_start`/`shard_end` (global block
+//! indices, half-open). With a shard range, `mine` and `frequency` scan
+//! only that range and return *mergeable* partials instead of finished
+//! results (`crate::wire` shapes): the raw observation map / histogram
+//! the coordinator absorbs and finishes once. The `search_shard` kind
+//! takes a `candidates` array (the pass-through form
+//! [`crate::wire::candidates_to_json`] emits) and returns the shard's
+//! [`coldboot::keysearch::SearchPartial`] — hits, *pre-dedup* recoveries
+//! in verification order, and the region-filtered scan count. Merging
+//! partials in shard order reproduces the single-node result
+//! byte-for-byte; `crates/cluster` is the reference consumer.
 //!
 //! `stats` snapshots the service's [`crate::stats::ServiceMetrics`]
 //! registry — job lifecycle counters, queue depth/wait, per-stage scan
@@ -51,12 +73,15 @@ use coldboot_dram::BLOCK_BYTES;
 use crate::error::DumpError;
 use crate::json::{self, Json};
 use crate::pipeline::{
-    attack_file, attack_file_pipelined, attack_total_blocks, frequency_stream,
-    frequency_stream_pipelined, mine_stream, mine_stream_pipelined, PipelineError, ScanControl,
+    attack_file, attack_file_pipelined, attack_total_blocks, frequency_shard_stream,
+    frequency_shard_stream_pipelined, frequency_stream, frequency_stream_pipelined,
+    mine_shard_stream, mine_shard_stream_pipelined, mine_stream, mine_stream_pipelined,
+    search_shard_stream, search_shard_stream_pipelined, PipelineError, ScanControl,
     DEFAULT_WINDOW_BLOCKS,
 };
 use crate::reader::DumpReader;
 use crate::stats::{snapshot_json, ServiceMetrics};
+use crate::wire::{self, hex_lower};
 
 /// Longest accepted request line; longer input drops the connection.
 const MAX_LINE_BYTES: usize = 1 << 20;
@@ -89,6 +114,9 @@ enum JobKind {
     Attack,
     Mine,
     Frequency,
+    /// One shard of a cluster search: scans a block range against a
+    /// passed-through candidate list and returns a mergeable partial.
+    SearchShard,
 }
 
 struct JobSpec {
@@ -103,6 +131,12 @@ struct JobSpec {
     /// Overlap decode and scan on a producer thread (the default); results
     /// are byte-identical either way, so this is a measurement/debug knob.
     pipelined: bool,
+    /// Global block range this job owns (cluster shard jobs). With a
+    /// range, `mine`/`frequency` return mergeable partials instead of
+    /// finished results; `search_shard` requires one.
+    shard: Option<std::ops::Range<u64>>,
+    /// Pass-through scrambler candidates for `search_shard`.
+    candidates: Vec<CandidateKey>,
 }
 
 enum JobState {
@@ -267,6 +301,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
     let mut buf: Vec<u8> = Vec::new();
     let mut scratch = [0u8; 4096];
+    // Reused across lines so steady-state responses allocate nothing
+    // once the buffer has grown to the connection's line length.
+    let mut response = String::new();
     loop {
         if let Some(newline) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=newline).collect();
@@ -275,7 +312,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             if text.is_empty() {
                 continue;
             }
-            let mut response = dispatch(text, shared).render_compact();
+            dispatch(text, shared).render_compact_into(&mut response);
             response.push('\n');
             if stream.write_all(response.as_bytes()).is_err() {
                 return;
@@ -308,16 +345,31 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn error_response(message: &str) -> Json {
+/// Whether a request rejected with `code` can succeed verbatim later (or
+/// on another worker). Cluster failover re-queues shards on retryable
+/// rejections and fails them on fatal ones, so the split matters.
+pub fn error_code_retryable(code: &str) -> bool {
+    matches!(code, "queue_full" | "shutting_down")
+}
+
+/// The uniform error reply: every rejection, whatever the verb, renders
+/// as `{"ok":false,"status":"error","code":...,"retryable":...,"error":...}`.
+fn error_response(code: &str, message: &str) -> Json {
     Json::Obj(vec![
         ("ok".to_string(), Json::Bool(false)),
+        ("status".to_string(), Json::Str("error".to_string())),
+        ("code".to_string(), Json::Str(code.to_string())),
+        (
+            "retryable".to_string(),
+            Json::Bool(error_code_retryable(code)),
+        ),
         ("error".to_string(), Json::Str(message.to_string())),
     ])
 }
 
 fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
     let Some(request) = json::parse(line) else {
-        return error_response("malformed JSON");
+        return error_response("malformed_request", "malformed JSON");
     };
     match request.get("verb").and_then(Json::as_str) {
         Some("ping") => Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
@@ -343,7 +395,7 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             shared.available.notify_all();
             Json::obj([("ok", Json::Bool(true))])
         }
-        _ => error_response("unknown verb"),
+        _ => error_response("unknown_verb", "unknown verb"),
     }
 }
 
@@ -356,7 +408,7 @@ fn opt_u64(request: &Json, name: &str) -> Result<Option<u64>, Json> {
             _ => {
                 let mut message = String::from(name);
                 message.push_str(" must be a non-negative integer");
-                Err(error_response(&message))
+                Err(error_response("bad_request", &message))
             }
         },
     }
@@ -367,15 +419,66 @@ fn parse_spec(request: &Json) -> Result<JobSpec, Json> {
         Some("attack" | "search") => JobKind::Attack,
         Some("mine") => JobKind::Mine,
         Some("frequency") => JobKind::Frequency,
-        _ => return Err(error_response("kind must be attack, mine, or frequency")),
+        Some("search_shard") => JobKind::SearchShard,
+        _ => {
+            return Err(error_response(
+                "bad_request",
+                "kind must be attack, mine, frequency, or search_shard",
+            ))
+        }
     };
     let Some(dump) = request.get("dump").and_then(Json::as_str) else {
-        return Err(error_response("missing dump path"));
+        return Err(error_response("bad_request", "missing dump path"));
     };
     let window_blocks = match opt_u64(request, "window_blocks")? {
-        Some(0) => return Err(error_response("window_blocks must be positive")),
+        Some(0) => {
+            return Err(error_response(
+                "bad_request",
+                "window_blocks must be positive",
+            ))
+        }
         Some(n) => n as usize,
         None => DEFAULT_WINDOW_BLOCKS,
+    };
+    let shard = match (opt_u64(request, "shard_start")?, opt_u64(request, "shard_end")?) {
+        (None, None) => None,
+        (Some(start), Some(end)) if start <= end => Some(start..end),
+        (Some(_), Some(_)) => {
+            return Err(error_response(
+                "bad_request",
+                "shard_start must not exceed shard_end",
+            ))
+        }
+        _ => {
+            return Err(error_response(
+                "bad_request",
+                "shard_start and shard_end must be given together",
+            ))
+        }
+    };
+    if kind == JobKind::SearchShard && shard.is_none() {
+        return Err(error_response(
+            "bad_request",
+            "search_shard requires shard_start and shard_end",
+        ));
+    }
+    if kind == JobKind::Attack && shard.is_some() {
+        return Err(error_response(
+            "bad_request",
+            "attack does not shard; submit mine and search_shard phases instead",
+        ));
+    }
+    let candidates = match request.get("candidates") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(value) => match wire::candidates_from_json(value) {
+            Some(candidates) => candidates,
+            None => {
+                return Err(error_response(
+                    "bad_request",
+                    "candidates must be an array of {key_hex, observations}",
+                ))
+            }
+        },
     };
     Ok(JobSpec {
         kind,
@@ -387,12 +490,14 @@ fn parse_spec(request: &Json) -> Result<JobSpec, Json> {
         max_bytes: opt_u64(request, "max_bytes")?,
         top_keys: opt_u64(request, "top_keys")?.map_or(48, |n| n as usize),
         pipelined: request.get("pipelined").and_then(Json::as_bool).unwrap_or(true),
+        shard,
+        candidates,
     })
 }
 
 fn submit(request: &Json, shared: &Arc<Shared>) -> Json {
     if shared.shutdown.load(Ordering::Relaxed) {
-        return error_response("shutting down");
+        return error_response("shutting_down", "shutting down");
     }
     let spec = match parse_spec(request) {
         Ok(spec) => spec,
@@ -413,7 +518,7 @@ fn submit(request: &Json, shared: &Arc<Shared>) -> Json {
         let mut queue = lock(&shared.queue);
         if queue.len() >= shared.queue_limit {
             shared.metrics.queue_full_rejects.inc();
-            return error_response("queue full");
+            return error_response("queue_full", "queue full");
         }
         lock(&shared.jobs).insert(id, Arc::clone(&job));
         queue.push_back(job);
@@ -430,12 +535,12 @@ fn submit(request: &Json, shared: &Arc<Shared>) -> Json {
 fn find_job(request: &Json, shared: &Arc<Shared>) -> Result<Arc<Job>, Json> {
     let id = match opt_u64(request, "id")? {
         Some(id) => id,
-        None => return Err(error_response("missing job id")),
+        None => return Err(error_response("bad_request", "missing job id")),
     };
     lock(&shared.jobs)
         .get(&id)
         .cloned()
-        .ok_or_else(|| error_response("unknown job id"))
+        .ok_or_else(|| error_response("unknown_job", "unknown job id"))
 }
 
 fn job_status(job: &Job) -> Json {
@@ -523,6 +628,20 @@ fn worker_loop(shared: &Arc<Shared>) {
             if !matches!(*state, JobState::Queued) {
                 continue; // cancelled while queued
             }
+            // The wall-clock budget spends from submit time. A job whose
+            // budget expired while still queued fails fast instead of
+            // running a scan that is already over its deadline; this is
+            // its single terminal transition, so `jobs_timed_out` moves
+            // exactly once (the run-outcome arms below never see it).
+            if job
+                .spec
+                .timeout_secs
+                .is_some_and(|secs| job.enqueued_at.elapsed() >= Duration::from_secs(secs))
+            {
+                *state = JobState::TimedOut;
+                metrics.jobs_timed_out.inc();
+                continue;
+            }
             *state = JobState::Running;
         }
         metrics
@@ -561,16 +680,6 @@ fn duration_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
-fn hex_lower(bytes: &[u8]) -> String {
-    const DIGITS: &[u8; 16] = b"0123456789abcdef";
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for &b in bytes {
-        out.push(DIGITS[(b >> 4) as usize] as char);
-        out.push(DIGITS[(b & 0x0F) as usize] as char);
-    }
-    out
-}
-
 fn candidates_json(kind: &'static str, candidates: &[CandidateKey]) -> Json {
     let rows = candidates
         .iter()
@@ -594,9 +703,12 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
     reader.set_metrics(Arc::clone(&shared.metrics.reader));
     let total_bytes = reader.meta().total_bytes;
     let total_blocks = total_bytes / BLOCK_BYTES as u64;
+    // The budget is anchored at submit, not run start: queue wait spends
+    // it (expired-in-queue jobs never reach here — the worker loop fails
+    // them fast).
     let deadline = spec
         .timeout_secs
-        .map(|secs| Instant::now() + Duration::from_secs(secs));
+        .map(|secs| job.enqueued_at + Duration::from_secs(secs));
     let mut ctrl = ScanControl::new()
         .with_cancel(&job.cancel)
         .with_progress(&job.blocks_done)
@@ -607,6 +719,17 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
     let mining = MiningConfig {
         threads: spec.threads,
         ..MiningConfig::default()
+    };
+    // A shard job's progress denominator: the blocks it owns, clamped to
+    // the image.
+    let shard_blocks = |shard: &std::ops::Range<u64>| {
+        shard.end.min(total_blocks) - shard.start.min(total_blocks)
+    };
+    let shard_fields = |shard: &std::ops::Range<u64>| {
+        [
+            ("shard_start".to_string(), Json::Int(shard.start as i64)),
+            ("shard_end".to_string(), Json::Int(shard.end as i64)),
+        ]
     };
     match spec.kind {
         JobKind::Attack => {
@@ -666,6 +789,21 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
             ]))
         }
         JobKind::Mine => {
+            if let Some(shard) = &spec.shard {
+                job.blocks_total.store(shard_blocks(shard), Ordering::Relaxed);
+                let observations = if spec.pipelined {
+                    mine_shard_stream_pipelined(&mut reader, &mining, spec.window_blocks, shard, &ctrl)?
+                } else {
+                    mine_shard_stream(&mut reader, &mining, spec.window_blocks, shard, &ctrl)?
+                };
+                let mut pairs = vec![("kind".to_string(), Json::Str("mine_shard".to_string()))];
+                pairs.extend(shard_fields(shard));
+                pairs.push((
+                    "observations".to_string(),
+                    wire::observations_to_json(&observations),
+                ));
+                return Ok(Json::Obj(pairs));
+            }
             let limit_blocks = spec
                 .max_bytes
                 .map_or(total_blocks, |m| m.min(total_bytes).div_ceil(64));
@@ -679,6 +817,21 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
             Ok(candidates_json("mine", &candidates))
         }
         JobKind::Frequency => {
+            if let Some(shard) = &spec.shard {
+                job.blocks_total.store(shard_blocks(shard), Ordering::Relaxed);
+                let counts = if spec.pipelined {
+                    frequency_shard_stream_pipelined(&mut reader, spec.window_blocks, shard, &ctrl)?
+                } else {
+                    frequency_shard_stream(&mut reader, spec.window_blocks, shard, &ctrl)?
+                };
+                let mut pairs = vec![(
+                    "kind".to_string(),
+                    Json::Str("frequency_shard".to_string()),
+                )];
+                pairs.extend(shard_fields(shard));
+                pairs.push(("counts".to_string(), wire::counts_to_json(&counts)));
+                return Ok(Json::Obj(pairs));
+            }
             job.blocks_total.store(total_blocks, Ordering::Relaxed);
             let candidates = if spec.pipelined {
                 frequency_stream_pipelined(&mut reader, spec.top_keys, spec.window_blocks, &ctrl)?
@@ -686,6 +839,45 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
                 frequency_stream(&mut reader, spec.top_keys, spec.window_blocks, &ctrl)?
             };
             Ok(candidates_json("frequency", &candidates))
+        }
+        JobKind::SearchShard => {
+            // parse_spec guarantees the range is present.
+            let shard = spec.shard.clone().unwrap_or(0..total_blocks);
+            job.blocks_total.store(shard_blocks(&shard), Ordering::Relaxed);
+            let search = if spec.deep {
+                SearchConfig::deep()
+            } else {
+                SearchConfig::default()
+            };
+            let search = SearchConfig {
+                threads: spec.threads,
+                ..search
+            };
+            let partial = if spec.pipelined {
+                search_shard_stream_pipelined(
+                    &mut reader,
+                    &spec.candidates,
+                    &search,
+                    spec.window_blocks,
+                    &shard,
+                    &ctrl,
+                )?
+            } else {
+                search_shard_stream(
+                    &mut reader,
+                    &spec.candidates,
+                    &search,
+                    spec.window_blocks,
+                    &shard,
+                    &ctrl,
+                )?
+            };
+            let mut pairs = vec![("kind".to_string(), Json::Str("search_shard".to_string()))];
+            pairs.extend(shard_fields(&shard));
+            if let Json::Obj(partial_pairs) = wire::search_partial_to_json(&partial) {
+                pairs.extend(partial_pairs);
+            }
+            Ok(Json::Obj(pairs))
         }
     }
 }

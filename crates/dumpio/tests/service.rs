@@ -337,11 +337,16 @@ fn cancel_queue_bounds_and_errors_without_workers() {
         ("dump", Json::Str(dump_arg.clone())),
     ]);
 
-    // Queue is at its limit of 2: the next submit must be rejected loudly.
+    // Queue is at its limit of 2: the next submit must be rejected loudly,
+    // with the uniform error schema and a *retryable* code — cluster
+    // failover re-queues shards on exactly this flag.
     let overflow = client.raw(&format!(
         r#"{{"verb":"submit","kind":"mine","dump":"{dump_arg}"}}"#
     ));
     assert_eq!(overflow.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(overflow.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(overflow.get("code").and_then(Json::as_str), Some("queue_full"));
+    assert_eq!(overflow.get("retryable").and_then(Json::as_bool), Some(true));
     assert_eq!(overflow.get("error").and_then(Json::as_str), Some("queue full"));
 
     // Cancelling a queued job is immediate and terminal.
@@ -354,15 +359,45 @@ fn cancel_queue_bounds_and_errors_without_workers() {
         Some("queued")
     );
 
-    // Protocol error paths.
+    // Protocol error paths: every rejection is the same shape, and the
+    // fatal codes are marked non-retryable.
+    let code_of = |response: &Json| {
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(response.get("status").and_then(Json::as_str), Some("error"));
+        response
+            .get("code")
+            .and_then(Json::as_str)
+            .expect("error code")
+            .to_string()
+    };
     let unknown = client.request(&Json::obj_id("status", 999));
-    assert_eq!(unknown.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(code_of(&unknown), "unknown_job");
     let garbage = client.raw("this is not json");
-    assert_eq!(garbage.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(code_of(&garbage), "malformed_request");
     let bad_verb = client.raw(r#"{"verb":"launder"}"#);
-    assert_eq!(bad_verb.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(code_of(&bad_verb), "unknown_verb");
     let missing_file = client.raw(r#"{"verb":"submit","kind":"mine"}"#);
-    assert_eq!(missing_file.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(code_of(&missing_file), "bad_request");
+    let lone_shard = client.raw(&format!(
+        r#"{{"verb":"submit","kind":"mine","dump":"{dump_arg}","shard_start":0}}"#
+    ));
+    assert_eq!(code_of(&lone_shard), "bad_request");
+    let rangeless_search = client.raw(&format!(
+        r#"{{"verb":"submit","kind":"search_shard","dump":"{dump_arg}"}}"#
+    ));
+    assert_eq!(code_of(&rangeless_search), "bad_request");
+    let sharded_attack = client.raw(&format!(
+        r#"{{"verb":"submit","kind":"attack","dump":"{dump_arg}","shard_start":0,"shard_end":8}}"#
+    ));
+    assert_eq!(code_of(&sharded_attack), "bad_request");
+    for fatal in [&unknown, &garbage, &bad_verb, &missing_file] {
+        assert_eq!(
+            fatal.get("retryable").and_then(Json::as_bool),
+            Some(false),
+            "{}",
+            fatal.render_compact()
+        );
+    }
 
     service.shutdown();
 }
@@ -555,6 +590,115 @@ fn progress_is_monotonic_and_reaches_the_attack_total() {
     let status = client.status(id);
     assert_eq!(status.get("blocks_done").and_then(Json::as_i64), Some(expected));
     assert_eq!(status.get("blocks_total").and_then(Json::as_i64), Some(expected));
+    service.shutdown();
+}
+
+#[test]
+fn expired_in_queue_jobs_fail_fast_without_running() {
+    let service = start_service(ServiceConfig {
+        workers: 1,
+        queue_limit: 8,
+    });
+    let mut client = Client::connect(&service);
+    // The dump path does not exist: if this job ever *ran*, it would fail
+    // with a file error — so `timed_out` proves the expired-in-queue fast
+    // path skipped execution entirely.
+    let id = client.submit(vec![
+        ("kind", Json::Str("mine".into())),
+        ("dump", Json::Str("/nonexistent/expired.cbdf".into())),
+        ("timeout_secs", Json::Int(0)),
+    ]);
+    assert_eq!(client.wait_terminal(id), "timed_out");
+    // Never ran: no scan ever published a denominator.
+    let status = client.status(id);
+    assert_eq!(status.get("blocks_total").and_then(Json::as_i64), Some(0));
+    // Counted exactly once, and as a timeout rather than a failure.
+    let stats = client.stats();
+    assert_eq!(counter(&stats, "jobs_timed_out"), 1);
+    assert_eq!(counter(&stats, "jobs_failed"), 0);
+    service.shutdown();
+}
+
+#[test]
+fn shard_jobs_merge_to_the_single_node_result() {
+    use coldboot::attack::ddr3::FrequencyCounter;
+    use coldboot::keysearch::merge_search_partials;
+    use coldboot::litmus::KeyMiner;
+    use coldboot_dumpio::pipeline::plan_shards;
+    use coldboot_dumpio::wire;
+
+    let (path, dump) = dump_file("svc_shard.cbdf", 147);
+    let service = start_service(ServiceConfig {
+        workers: 4,
+        queue_limit: 64,
+    });
+    let mut client = Client::connect(&service);
+    let config = AttackConfig::default();
+    let expected = run_ddr4_attack(&dump, &config);
+    assert!(
+        !expected.outcome.recovered.is_empty(),
+        "scenario must recover keys for the merge check to mean anything"
+    );
+    let dump_arg = path.to_string_lossy().into_owned();
+    let total_blocks = (dump.len() / 64) as u64;
+    let mined_blocks = (expected.mined_bytes / 64) as u64;
+
+    let run_shard = |client: &mut Client, mut pairs: Vec<(&str, Json)>, range: &std::ops::Range<u64>| {
+        pairs.push(("dump", Json::Str(dump_arg.clone())));
+        pairs.push(("shard_start", Json::Int(range.start as i64)));
+        pairs.push(("shard_end", Json::Int(range.end as i64)));
+        let id = client.submit(pairs);
+        assert_eq!(client.wait_terminal(id), "done", "shard job {id}");
+        client.result(id).get("result").expect("result body").clone()
+    };
+
+    // Phase 1: mine the prefix in three shards; absorb and finish once.
+    let mut miner = KeyMiner::new(&config.mining);
+    for range in plan_shards(mined_blocks, 3) {
+        let body = run_shard(&mut client, vec![("kind", Json::Str("mine".into()))], &range);
+        assert_eq!(body.get("kind").and_then(Json::as_str), Some("mine_shard"));
+        let observations = wire::observations_from_json(body.get("observations").expect("rows"))
+            .expect("parse observations");
+        miner.absorb_observations(observations);
+    }
+    let candidates = miner.finish();
+    assert_eq!(candidates, expected.candidates, "merged mining diverged");
+
+    // Phase 2: search in three shards with the candidates passed through;
+    // concatenate partials in shard order and replay the dedup.
+    let candidates_json = wire::candidates_to_json(&candidates);
+    let mut partials = Vec::new();
+    for range in plan_shards(total_blocks, 3) {
+        let body = run_shard(
+            &mut client,
+            vec![
+                ("kind", Json::Str("search_shard".into())),
+                ("candidates", candidates_json.clone()),
+            ],
+            &range,
+        );
+        assert_eq!(body.get("kind").and_then(Json::as_str), Some("search_shard"));
+        partials.push(wire::search_partial_from_json(&body).expect("parse partial"));
+    }
+    let outcome = merge_search_partials(partials);
+    assert_eq!(outcome.hits, expected.outcome.hits, "merged hits diverged");
+    assert_eq!(
+        outcome.recovered, expected.outcome.recovered,
+        "merged recoveries diverged"
+    );
+    assert_eq!(outcome.blocks_scanned, expected.outcome.blocks_scanned);
+
+    // Frequency histograms sum across shards.
+    let mut freq = FrequencyCounter::new();
+    for range in plan_shards(total_blocks, 3) {
+        let body = run_shard(&mut client, vec![("kind", Json::Str("frequency".into()))], &range);
+        assert_eq!(body.get("kind").and_then(Json::as_str), Some("frequency_shard"));
+        let counts =
+            wire::counts_from_json(body.get("counts").expect("rows")).expect("parse counts");
+        freq.absorb_counts(counts);
+    }
+    assert_eq!(freq.finish(24), frequency_keys(&dump, 24), "merged frequency diverged");
+
     service.shutdown();
 }
 

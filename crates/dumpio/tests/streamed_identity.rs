@@ -18,9 +18,13 @@ use coldboot_dram::geometry::DramGeometry;
 use coldboot_dram::mapping::Microarchitecture;
 use coldboot_dram::module::DramModule;
 use coldboot_dram::retention::DecayModel;
+use coldboot::attack::ddr3::FrequencyCounter;
+use coldboot::keysearch::merge_search_partials;
+use coldboot::litmus::KeyMiner;
 use coldboot_dumpio::format::DumpMeta;
 use coldboot_dumpio::pipeline::{
-    attack_file, attack_file_pipelined, frequency_stream, mine_stream, PipelineError, ScanControl,
+    attack_file, attack_file_pipelined, frequency_stream, frequency_shard_stream, mine_stream,
+    mine_shard_stream, plan_shards, search_shard_stream_pipelined, PipelineError, ScanControl,
 };
 use coldboot_dumpio::reader::DumpReader;
 use coldboot_dumpio::writer::write_image;
@@ -316,6 +320,78 @@ fn prefix_limited_mining_matches_across_window_boundaries() {
         )
         .expect("streamed mining");
         assert_eq!(streamed, expected, "diverged at max_bytes={max_bytes}");
+    }
+}
+
+#[test]
+fn sharded_passes_merge_byte_identically_at_any_shard_count() {
+    let (_volume, dump) = captured_dump(29);
+    let file = cbdf_of(&dump);
+    let config = single_thread_attack_config();
+    let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+    let expected = attack_file(&mut reader, &config, 512, &ScanControl::new()).expect("attack");
+    assert!(
+        !expected.outcome.recovered.is_empty(),
+        "scenario must recover keys for the shard identity check to mean anything"
+    );
+    let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+    let expected_freq =
+        frequency_stream(&mut reader, 24, 512, &ScanControl::new()).expect("frequency");
+
+    let total_blocks = (dump.len() / 64) as u64;
+    let mined_blocks = (expected.mined_bytes / 64) as u64;
+
+    for shards in [1usize, 2, 4, 8] {
+        // Phase 1: mine the prefix in shards; the observation merge is
+        // commutative, so absorb in reverse arrival order and finish once.
+        let mut miner = KeyMiner::new(&config.mining);
+        for range in plan_shards(mined_blocks, shards).iter().rev() {
+            let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+            let obs =
+                mine_shard_stream(&mut reader, &config.mining, 512, range, &ScanControl::new())
+                    .expect("mine shard");
+            miner.absorb_observations(obs);
+        }
+        let candidates = miner.finish();
+        assert_eq!(candidates, expected.candidates, "candidates diverged at shards={shards}");
+
+        // Phase 2: search the whole image in shards; partials concatenate
+        // in shard (= global block) order and replay the overlap dedup.
+        let mut partials = Vec::new();
+        for range in plan_shards(total_blocks, shards) {
+            let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+            partials.push(
+                search_shard_stream_pipelined(
+                    &mut reader,
+                    &candidates,
+                    &config.search,
+                    512,
+                    &range,
+                    &ScanControl::new(),
+                )
+                .expect("search shard"),
+            );
+        }
+        let outcome = merge_search_partials(partials);
+        assert_eq!(outcome.hits, expected.outcome.hits, "hits diverged at shards={shards}");
+        assert_eq!(
+            outcome.recovered, expected.outcome.recovered,
+            "recoveries diverged at shards={shards}"
+        );
+        assert_eq!(
+            outcome.blocks_scanned, expected.outcome.blocks_scanned,
+            "scan counts diverged at shards={shards}"
+        );
+
+        // The frequency histogram sums across disjoint shard ranges.
+        let mut counter = FrequencyCounter::new();
+        for range in plan_shards(total_blocks, shards).iter().rev() {
+            let mut reader = DumpReader::new(Cursor::new(&file)).expect("header");
+            let counts = frequency_shard_stream(&mut reader, 512, range, &ScanControl::new())
+                .expect("frequency shard");
+            counter.absorb_counts(counts);
+        }
+        assert_eq!(counter.finish(24), expected_freq, "frequency diverged at shards={shards}");
     }
 }
 

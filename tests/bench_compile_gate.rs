@@ -58,6 +58,15 @@ fn lint_throughput_bench_compiles() {
 }
 
 #[test]
+fn cluster_throughput_bench_compiles() {
+    // The coordinator load bench (BENCH_dumpd.json: jobs/sec plus p50/p99
+    // queue-wait from the shard queue-wait histogram, 100+ clients against
+    // 2–8 workers) has a custom `main`; gate it individually so a cluster
+    // API change can't silently orphan the scaling report.
+    bench_no_run(&["-p", "coldboot-bench", "--bench", "cluster_throughput"]);
+}
+
+#[test]
 fn bench_diff_compiles_and_handles_empty_history() {
     // `bench-diff` gates perf regressions off BENCH_history.jsonl; build
     // it and confirm the no-history case is a clean exit, so a rename in

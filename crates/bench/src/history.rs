@@ -6,7 +6,8 @@
 //! the snapshot files being overwritten. [`diff_latest`] compares the two
 //! most recent records per bench and flags >10% regressions: time-suffixed
 //! fields (`*_ms`, `*_us`, `*_ns`) regress upward, rate-like fields
-//! (`*speedup`, `*throughput*`, `*_per_s`, `*_mib_s`) regress downward;
+//! (`*speedup`, `*throughput*`, `*_per_s`, `*_mib_s`, `*recovery_rate*`)
+//! regress downward;
 //! everything else (file counts, sample counts) is configuration, not
 //! performance, and is ignored.
 
@@ -75,6 +76,7 @@ fn lower_is_worse(field: &str) -> bool {
         || field.contains("throughput")
         || field.ends_with("_per_s")
         || field.ends_with("_mib_s")
+        || field.contains("recovery_rate")
 }
 
 /// Compares two payloads of the same bench; every numeric field of
@@ -271,6 +273,23 @@ mod tests {
         // Moving both in the *good* direction must not trip the gate.
         let better = regressions_between("dumpd", &doc(1000.0, 5000.0), &doc(1500.0, 2000.0));
         assert!(better.is_empty(), "{better:?}");
+    }
+
+    #[test]
+    fn recovery_rate_fields_regress_downward() {
+        // BENCH_reconstruct.json's headline: a drop in the channel-model
+        // recovery rate at a given decay level is a regression the gate
+        // must catch; the baseline rate classifies the same way.
+        let doc = |rate: f64| {
+            Json::obj([
+                ("decay_0_22_reconstruct_recovery_rate", Json::Num(rate)),
+                ("decay_0_22_baseline_recovery_rate", Json::Num(0.0)),
+            ])
+        };
+        let dropped = regressions_between("reconstruct", &doc(0.9), &doc(0.5));
+        assert_eq!(dropped.len(), 1, "{dropped:?}");
+        assert_eq!(dropped[0].field, "decay_0_22_reconstruct_recovery_rate");
+        assert!(regressions_between("reconstruct", &doc(0.9), &doc(0.95)).is_empty());
     }
 
     #[test]

@@ -90,6 +90,14 @@ pub struct JobSpec {
     /// Worker threads per shard scan (shards are the cluster's
     /// parallelism; per-shard threading stays conservative).
     pub threads: u64,
+    /// Ground-state dump path **as the workers see it**; forwarded to
+    /// every search shard to enable channel-model reconstruction.
+    pub ground: Option<String>,
+    /// Explicit decay-fraction override forwarded with `ground` (the
+    /// workers otherwise derive the channel from the dump's metadata).
+    pub decay_fraction: Option<f64>,
+    /// Branch-and-bound work budget forwarded with `ground`.
+    pub work_budget: Option<u64>,
 }
 
 impl JobSpec {
@@ -105,6 +113,9 @@ impl JobSpec {
             top_keys: 48,
             max_bytes: None,
             threads: 1,
+            ground: None,
+            decay_fraction: None,
+            work_budget: None,
         }
     }
 }
@@ -359,6 +370,15 @@ impl Assembly {
                 "candidates".to_string(),
                 wire::candidates_to_json(&self.candidates),
             ));
+            if let Some(ground) = &self.spec.ground {
+                pairs.push(("ground".to_string(), Json::Str(ground.clone())));
+                if let Some(d) = self.spec.decay_fraction {
+                    pairs.push(("decay_fraction".to_string(), Json::Num(d)));
+                }
+                if let Some(budget) = self.spec.work_budget {
+                    pairs.push(("work_budget".to_string(), Json::Int(budget as i64)));
+                }
+            }
         }
         Json::Obj(pairs)
     }
@@ -395,7 +415,10 @@ impl Assembly {
                     .recovered
                     .iter()
                     .map(|r| {
-                        Json::obj([
+                        // Must render exactly like dumpd's single-node
+                        // attack rows — channel fields included — for the
+                        // byte-identity contract.
+                        let mut fields = vec![
                             ("key_bits", Json::Int((r.master_key.len() * 8) as i64)),
                             ("master_hex", Json::Str(wire::hex_lower(&r.master_key))),
                             ("schedule_addr", Json::Int(r.schedule_addr as i64)),
@@ -407,7 +430,24 @@ impl Assembly {
                                 "unexplained_blocks",
                                 Json::Int(i64::from(r.unexplained_blocks)),
                             ),
-                        ])
+                        ];
+                        if let Some(cost) = r.cost_millinats {
+                            fields.push((
+                                "cost_mnat",
+                                Json::Int(i64::try_from(cost).unwrap_or(i64::MAX)),
+                            ));
+                        }
+                        if let Some(flips) = r.flips {
+                            fields.push((
+                                "to_ground_bits",
+                                Json::Int(i64::from(flips.to_ground)),
+                            ));
+                            fields.push((
+                                "anti_ground_bits",
+                                Json::Int(i64::from(flips.anti_ground)),
+                            ));
+                        }
+                        Json::obj(fields)
                     })
                     .collect();
                 self.phase = Phase::Complete;
@@ -510,6 +550,8 @@ mod tests {
             schedule_addr,
             total_error_bits: u32::from(seed),
             unexplained_blocks: 0,
+            cost_millinats: None,
+            flips: None,
             hit: ScheduleHit {
                 block_addr: schedule_addr,
                 scrambler_key: [seed; BLOCK_BYTES],
@@ -684,6 +726,61 @@ mod tests {
         );
         assert!(row.get("hit").is_none(), "attack rows omit the raw hit");
         assert_eq!(assembly.progress(), (4, 4));
+    }
+
+    #[test]
+    fn reconstruction_knobs_forward_to_search_shards_only() {
+        use coldboot::reconstruct::FlipCounts;
+        let mut spec = JobSpec::new(JobKind::Attack, "/d.cbdf");
+        spec.shards = 1;
+        spec.max_bytes = Some(BLOCK);
+        spec.ground = Some("/g.cbdf".to_string());
+        spec.decay_fraction = Some(0.19);
+        spec.work_budget = Some(512);
+        let mut assembly = Assembly::new(spec, 4 * BLOCK);
+        let Step::Dispatch(mine_reqs) = assembly.begin() else {
+            panic!("expected mine dispatch");
+        };
+        // Mining shards never carry the reconstruction knobs (dumpd
+        // rejects them for non-search kinds).
+        assert!(mine_reqs[0].body.get("ground").is_none());
+        let Ok(Step::Dispatch(search_reqs)) = assembly.accept(
+            &mine_reqs[0].shard,
+            &mine_reply(&mine_reqs[0].shard, &[obs(0xAA, 3, 0)]),
+        ) else {
+            panic!("expected search dispatch");
+        };
+        let body = &search_reqs[0].body;
+        assert_eq!(body.get("ground").and_then(Json::as_str), Some("/g.cbdf"));
+        assert_eq!(body.get("decay_fraction").and_then(Json::as_f64), Some(0.19));
+        assert_eq!(body.get("work_budget").and_then(Json::as_i64), Some(512));
+
+        // A channel-mode recovery renders its extra fields in the merged
+        // attack result, exactly as the single-node row would.
+        let mut rec = recovery(1, 2 * BLOCK);
+        rec.cost_millinats = Some(4242);
+        rec.flips = Some(FlipCounts { to_ground: 17, anti_ground: 0 });
+        let partial = SearchPartial {
+            hits: vec![rec.hit.clone()],
+            recoveries: vec![rec],
+            blocks_scanned: 4,
+        };
+        let Ok(Step::Done(merged)) = assembly.accept(
+            &search_reqs[0].shard,
+            &search_reply(&search_reqs[0].shard, &partial),
+        ) else {
+            panic!("expected done");
+        };
+        let recovered = merged.get("recovered").and_then(Json::as_arr).expect("array");
+        assert_eq!(recovered[0].get("cost_mnat").and_then(Json::as_i64), Some(4242));
+        assert_eq!(
+            recovered[0].get("to_ground_bits").and_then(Json::as_i64),
+            Some(17)
+        );
+        assert_eq!(
+            recovered[0].get("anti_ground_bits").and_then(Json::as_i64),
+            Some(0)
+        );
     }
 
     #[test]

@@ -481,6 +481,23 @@ fn enroll(
     if let Some(deep) = request.get("deep").and_then(Json::as_bool) {
         spec.deep = deep;
     }
+    if let Some(ground) = request.get("ground").and_then(Json::as_str) {
+        spec.ground = Some(ground.to_string());
+        if let Some(d) = request.get("decay_fraction").and_then(Json::as_f64) {
+            if !(d.is_finite() && (0.0..=1.0).contains(&d)) {
+                return fail("bad_request", "decay_fraction must be a number in [0, 1]");
+            }
+            spec.decay_fraction = Some(d);
+        }
+        if let Some(budget) = field("work_budget") {
+            spec.work_budget = Some(budget as u64);
+        }
+    } else if request.get("decay_fraction").is_some() || request.get("work_budget").is_some() {
+        return fail(
+            "bad_request",
+            "decay_fraction and work_budget require a ground dump",
+        );
+    }
     match backend.submit(spec) {
         Ok(id) => {
             link.jobs.push(id);

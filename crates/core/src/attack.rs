@@ -50,6 +50,19 @@ impl TransplantParams {
             transfer_seconds: 5.0,
         }
     }
+
+    /// A marginal transplant: light chill, slow transfer (≈ −10 °C, 8 s).
+    ///
+    /// Under the paper-calibrated retention model this decays ≈ 19 % of
+    /// charged bits — far beyond what raw Hamming-distance search
+    /// tolerates, but recoverable with channel-model reconstruction
+    /// ([`crate::reconstruct`]).
+    pub fn warm_transfer() -> Self {
+        Self {
+            freeze_celsius: -10.0,
+            transfer_seconds: 8.0,
+        }
+    }
 }
 
 /// Freezes and moves the victim's module into the attacker's machine, then

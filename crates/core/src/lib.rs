@@ -55,5 +55,6 @@ pub mod dump;
 pub mod keymap;
 pub mod keysearch;
 pub mod litmus;
+pub mod reconstruct;
 pub mod scan;
 pub mod stats;

@@ -320,6 +320,37 @@ impl KeySchedule {
     }
 }
 
+/// Reconstructs a full schedule into a caller-provided buffer from `Nk`
+/// consecutive schedule words at absolute word index `start`, without
+/// allocating.
+///
+/// Semantically identical to [`KeySchedule::reconstruct`] but shaped for
+/// hot loops that evaluate thousands of candidate windows (the
+/// branch-and-bound schedule corrector re-expands on every node): `out`
+/// must hold exactly [`KeySize::schedule_words`] words and is fully
+/// overwritten. Returns `false` (leaving `out` unspecified) if the window
+/// length or position is out of range.
+///
+/// The caller owns zeroization of `out`; the corrector keeps one scratch
+/// buffer for its whole search and clears it once at the end.
+pub fn reconstruct_into(size: KeySize, window: &[u32], start: usize, out: &mut [u32]) -> bool {
+    let nk = size.nk();
+    let total = size.schedule_words();
+    if window.len() != nk || start + nk > total || out.len() != total {
+        return false;
+    }
+    out[start..start + nk].copy_from_slice(window);
+    for i in (start + nk)..total {
+        let temp = expansion_step(size, i, out[i - 1]);
+        out[i] = out[i - nk] ^ temp;
+    }
+    for i in (0..start).rev() {
+        let temp = expansion_step(size, i + nk, out[i + nk - 1]);
+        out[i] = out[i + nk] ^ temp;
+    }
+    true
+}
+
 /// Extends a window of schedule words forward by `count` words.
 ///
 /// `window` must contain at least `Nk` words and is interpreted as the
@@ -416,6 +447,24 @@ mod tests {
         let window = vec![0u32; 8];
         assert!(KeySchedule::reconstruct(KeySize::Aes256, &window, 53).is_none());
         assert!(KeySchedule::reconstruct(KeySize::Aes256, &window[..4], 0).is_none());
+    }
+
+    #[test]
+    fn reconstruct_into_matches_allocating_form() {
+        for size in KeySize::ALL {
+            let key: Vec<u8> = (0..size.key_len() as u8).map(|b| b.wrapping_mul(91)).collect();
+            let ks = KeySchedule::expand(&key).unwrap();
+            let nk = size.nk();
+            let mut scratch = vec![0u32; size.schedule_words()];
+            for start in [0, 1, size.schedule_words() - nk] {
+                let window = ks.words()[start..start + nk].to_vec();
+                assert!(reconstruct_into(size, &window, start, &mut scratch));
+                assert_eq!(&scratch[..], ks.words(), "size {size:?} window {start}");
+            }
+            assert!(!reconstruct_into(size, &vec![0u32; nk], size.schedule_words(), &mut scratch));
+            assert!(!reconstruct_into(size, &[0u32; 2], 0, &mut scratch));
+            assert!(!reconstruct_into(size, &vec![0u32; nk], 0, &mut scratch[..nk]));
+        }
     }
 
     #[test]

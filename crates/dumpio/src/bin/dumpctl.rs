@@ -5,6 +5,7 @@
 //! dumpctl [--connect ADDR] submit <attack|mine|frequency> <DUMP.cbdf>
 //!         [--window-blocks N] [--timeout-secs N] [--threads N]
 //!         [--deep] [--max-bytes N] [--top-keys N] [--shards N]
+//!         [--ground GROUND.cbdf] [--decay-fraction F] [--work-budget N]
 //! dumpctl [--connect ADDR] status <ID>
 //! dumpctl [--connect ADDR] result <ID>
 //! dumpctl [--connect ADDR] cancel <ID>
@@ -37,6 +38,8 @@ fn usage() -> ExitCode {
          \x20 submit <attack|mine|frequency> <DUMP.cbdf> [--window-blocks N]\n\
          \x20        [--timeout-secs N] [--threads N] [--deep] [--max-bytes N] [--top-keys N]\n\
          \x20        [--shards N]   (shards: clusterd coordinators only)\n\
+         \x20        [--ground GROUND.cbdf] [--decay-fraction F] [--work-budget N]\n\
+         \x20        (ground-state reconstruction: attack jobs only)\n\
          \x20 status <ID>\n\
          \x20 result <ID>\n\
          \x20 cancel <ID>\n\
@@ -101,6 +104,26 @@ fn build_request(mut argv: impl Iterator<Item = String>) -> Result<(String, Json
                     pairs.push(("deep".to_string(), Json::Bool(true)));
                     continue;
                 }
+                if flag == "--ground" {
+                    let Some(path) = argv.next() else {
+                        eprintln!("--ground needs a CBDF path");
+                        return Err(usage());
+                    };
+                    pairs.push(("ground".to_string(), Json::Str(path)));
+                    continue;
+                }
+                if flag == "--decay-fraction" {
+                    let Some(raw) = argv.next() else {
+                        eprintln!("--decay-fraction needs a value");
+                        return Err(usage());
+                    };
+                    let Ok(value) = raw.parse::<f64>() else {
+                        eprintln!("--decay-fraction: not a number: {raw}");
+                        return Err(usage());
+                    };
+                    pairs.push(("decay_fraction".to_string(), Json::Num(value)));
+                    continue;
+                }
                 let field = match flag.as_str() {
                     "--window-blocks" => "window_blocks",
                     "--timeout-secs" => "timeout_secs",
@@ -108,6 +131,7 @@ fn build_request(mut argv: impl Iterator<Item = String>) -> Result<(String, Json
                     "--max-bytes" => "max_bytes",
                     "--top-keys" => "top_keys",
                     "--shards" => "shards",
+                    "--work-budget" => "work_budget",
                     other => {
                         eprintln!("unknown flag: {other}");
                         return Err(usage());

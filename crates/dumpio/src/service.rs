@@ -68,6 +68,8 @@ use std::time::{Duration, Instant};
 use coldboot::attack::AttackConfig;
 use coldboot::keysearch::SearchConfig;
 use coldboot::litmus::{CandidateKey, MiningConfig};
+use coldboot::reconstruct::ReconstructConfig;
+use coldboot_dram::retention::{BitChannel, DecayModel};
 use coldboot_dram::BLOCK_BYTES;
 
 use crate::error::DumpError;
@@ -137,6 +139,15 @@ struct JobSpec {
     shard: Option<std::ops::Range<u64>>,
     /// Pass-through scrambler candidates for `search_shard`.
     candidates: Vec<CandidateKey>,
+    /// Ground-state dump path; enables channel-model reconstruction for
+    /// `attack`/`search_shard` jobs when present.
+    ground: Option<String>,
+    /// Explicit charged-bit decay fraction. Without it, a reconstruction
+    /// job derives the channel from the dump's capture metadata
+    /// (temperature + transfer time) via the paper-calibrated model.
+    decay_fraction: Option<f64>,
+    /// Branch-and-bound work budget override (popped nodes per span).
+    work_budget: Option<u64>,
 }
 
 enum JobState {
@@ -480,6 +491,31 @@ fn parse_spec(request: &Json) -> Result<JobSpec, Json> {
             }
         },
     };
+    let ground = request.get("ground").and_then(Json::as_str).map(String::from);
+    let decay_fraction = match request.get("decay_fraction") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_f64() {
+            Some(d) if d.is_finite() && (0.0..=1.0).contains(&d) => Some(d),
+            _ => {
+                return Err(error_response(
+                    "bad_request",
+                    "decay_fraction must be a number in [0, 1]",
+                ))
+            }
+        },
+    };
+    if ground.is_none() && (decay_fraction.is_some() || request.get("work_budget").is_some()) {
+        return Err(error_response(
+            "bad_request",
+            "decay_fraction and work_budget require a ground dump",
+        ));
+    }
+    if ground.is_some() && !matches!(kind, JobKind::Attack | JobKind::SearchShard) {
+        return Err(error_response(
+            "bad_request",
+            "ground applies only to attack and search_shard jobs",
+        ));
+    }
     Ok(JobSpec {
         kind,
         dump: dump.to_string(),
@@ -492,6 +528,9 @@ fn parse_spec(request: &Json) -> Result<JobSpec, Json> {
         pipelined: request.get("pipelined").and_then(Json::as_bool).unwrap_or(true),
         shard,
         candidates,
+        ground,
+        decay_fraction,
+        work_budget: opt_u64(request, "work_budget")?,
     })
 }
 
@@ -680,6 +719,33 @@ fn duration_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Builds the channel-reconstruction config for a job that asked for it:
+/// loads the ground-state dump and prices the channel from the explicit
+/// `decay_fraction` override or, failing that, the dump's own capture
+/// metadata through the paper-calibrated retention model.
+fn reconstruct_config(
+    spec: &JobSpec,
+    meta: &crate::format::DumpMeta,
+) -> Result<Option<ReconstructConfig>, PipelineError> {
+    let Some(path) = &spec.ground else {
+        return Ok(None);
+    };
+    let file = File::open(path).map_err(DumpError::from)?;
+    let ground = DumpReader::new(BufReader::new(file))?.read_to_memory()?;
+    let d = spec.decay_fraction.unwrap_or_else(|| {
+        DecayModel::paper_calibrated().decay_fraction(
+            meta.capture_temp_c,
+            meta.transfer_seconds,
+            1.0,
+        )
+    });
+    let mut rc = ReconstructConfig::new(BitChannel::from_decay_fraction(d), Arc::new(ground));
+    if let Some(budget) = spec.work_budget {
+        rc.work_budget = u32::try_from(budget).unwrap_or(u32::MAX);
+    }
+    Ok(Some(rc))
+}
+
 fn candidates_json(kind: &'static str, candidates: &[CandidateKey]) -> Json {
     let rows = candidates
         .iter()
@@ -742,6 +808,7 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
                 mining,
                 search: SearchConfig {
                     threads: spec.threads,
+                    reconstruct: reconstruct_config(spec, reader.meta())?,
                     ..search
                 },
                 mining_prefix_bytes: spec
@@ -764,7 +831,7 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
                 .recovered
                 .iter()
                 .map(|r| {
-                    Json::obj([
+                    let mut fields = vec![
                         ("key_bits", Json::Int((r.master_key.len() * 8) as i64)),
                         ("master_hex", Json::Str(hex_lower(&r.master_key))),
                         ("schedule_addr", Json::Int(r.schedule_addr as i64)),
@@ -773,7 +840,18 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
                             "unexplained_blocks",
                             Json::Int(i64::from(r.unexplained_blocks)),
                         ),
-                    ])
+                    ];
+                    if let Some(cost) = r.cost_millinats {
+                        fields.push((
+                            "cost_mnat",
+                            Json::Int(i64::try_from(cost).unwrap_or(i64::MAX)),
+                        ));
+                    }
+                    if let Some(flips) = r.flips {
+                        fields.push(("to_ground_bits", Json::Int(i64::from(flips.to_ground))));
+                        fields.push(("anti_ground_bits", Json::Int(i64::from(flips.anti_ground))));
+                    }
+                    Json::obj(fields)
                 })
                 .collect();
             Ok(Json::obj([
@@ -851,6 +929,7 @@ fn execute(job: &Job, shared: &Shared) -> Result<Json, PipelineError> {
             };
             let search = SearchConfig {
                 threads: spec.threads,
+                reconstruct: reconstruct_config(spec, reader.meta())?,
                 ..search
             };
             let partial = if spec.pipelined {
@@ -925,6 +1004,40 @@ mod tests {
             let req = json::parse(bad).expect("valid json");
             assert!(parse_spec(&req).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn spec_parsing_reconstruction_knobs() {
+        let req = json::parse(
+            r#"{"kind":"attack","dump":"d","ground":"g.cbdf","decay_fraction":0.19,"work_budget":512}"#,
+        )
+        .expect("valid json");
+        let spec = parse_spec(&req).map_err(|e| e.render_compact()).expect("spec");
+        assert_eq!(spec.ground.as_deref(), Some("g.cbdf"));
+        assert_eq!(spec.decay_fraction, Some(0.19));
+        assert_eq!(spec.work_budget, Some(512));
+
+        // Without a ground dump nothing can be reconstructed, so the
+        // dependent knobs are rejected rather than silently ignored.
+        for bad in [
+            r#"{"kind":"attack","dump":"d","decay_fraction":0.19}"#,
+            r#"{"kind":"attack","dump":"d","work_budget":512}"#,
+            r#"{"kind":"attack","dump":"d","ground":"g","decay_fraction":1.5}"#,
+            r#"{"kind":"attack","dump":"d","ground":"g","decay_fraction":-0.1}"#,
+            r#"{"kind":"mine","dump":"d","ground":"g"}"#,
+            r#"{"kind":"frequency","dump":"d","ground":"g"}"#,
+        ] {
+            let req = json::parse(bad).expect("valid json");
+            assert!(parse_spec(&req).is_err(), "accepted {bad}");
+        }
+
+        // A ground path alone is enough: the channel then comes from the
+        // dump's own capture metadata.
+        let req = json::parse(r#"{"kind":"attack","dump":"d","ground":"g"}"#).expect("valid json");
+        let spec = parse_spec(&req).map_err(|e| e.render_compact()).expect("spec");
+        assert_eq!(spec.ground.as_deref(), Some("g"));
+        assert_eq!(spec.decay_fraction, None);
+        assert_eq!(spec.work_budget, None);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! panic, because the bytes come from the network.
 
 use coldboot::keysearch::{KeySize, RecoveredAesKey, ScheduleHit, SearchPartial};
+use coldboot::reconstruct::FlipCounts;
 use coldboot::litmus::{CandidateKey, MinedObservation};
 use coldboot_dram::BLOCK_BYTES;
 
@@ -178,24 +179,49 @@ fn hit_from_json(value: &Json) -> Option<ScheduleHit> {
 }
 
 fn recovery_to_json(rec: &RecoveredAesKey) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("key_bits", Json::Int((rec.master_key.len() * 8) as i64)),
         ("master_hex", Json::Str(hex_lower(&rec.master_key))),
         ("schedule_addr", Json::Int(rec.schedule_addr as i64)),
         ("total_error_bits", Json::Int(i64::from(rec.total_error_bits))),
         ("unexplained_blocks", Json::Int(i64::from(rec.unexplained_blocks))),
-        ("hit", hit_to_json(&rec.hit)),
-    ])
+    ];
+    // Channel-reconstruction fields travel only when the shard ran with
+    // reconstruction on: their absence is what keeps the off-mode wire
+    // shape byte-identical to the historical protocol.
+    if let Some(cost) = rec.cost_millinats {
+        fields.push(("cost_mnat", Json::Int(i64::try_from(cost).unwrap_or(i64::MAX))));
+    }
+    if let Some(flips) = rec.flips {
+        fields.push(("to_ground_bits", Json::Int(i64::from(flips.to_ground))));
+        fields.push(("anti_ground_bits", Json::Int(i64::from(flips.anti_ground))));
+    }
+    fields.push(("hit", hit_to_json(&rec.hit)));
+    Json::obj(fields)
 }
 
 fn recovery_from_json(value: &Json) -> Option<RecoveredAesKey> {
     let master_key = hex_decode(get_str(value, "master_hex")?)?;
+    let flips = match (value.get("to_ground_bits"), value.get("anti_ground_bits")) {
+        (Some(_), Some(_)) => Some(FlipCounts {
+            to_ground: u32::try_from(get_u64(value, "to_ground_bits")?).ok()?,
+            anti_ground: u32::try_from(get_u64(value, "anti_ground_bits")?).ok()?,
+        }),
+        (None, None) => None,
+        // Half a flip report is a corrupt frame, not an off-mode one.
+        _ => return None,
+    };
     Some(RecoveredAesKey {
         key_size: KeySize::from_key_len(master_key.len()).ok()?,
         master_key,
         schedule_addr: get_u64(value, "schedule_addr")?,
         total_error_bits: u32::try_from(get_u64(value, "total_error_bits")?).ok()?,
         unexplained_blocks: u32::try_from(get_u64(value, "unexplained_blocks")?).ok()?,
+        cost_millinats: match value.get("cost_mnat") {
+            Some(_) => Some(get_u64(value, "cost_mnat")?),
+            None => None,
+        },
+        flips,
         hit: hit_from_json(value.get("hit")?)?,
     })
 }
@@ -293,6 +319,8 @@ mod tests {
                     schedule_addr: 0x9000,
                     total_error_bits: 17,
                     unexplained_blocks: 1,
+                    cost_millinats: Some(123_456),
+                    flips: Some(FlipCounts { to_ground: 17, anti_ground: 0 }),
                     hit: sample_hit(2),
                 },
                 RecoveredAesKey {
@@ -301,6 +329,8 @@ mod tests {
                     schedule_addr: 0xA000,
                     total_error_bits: 0,
                     unexplained_blocks: 0,
+                    cost_millinats: None,
+                    flips: None,
                     hit: sample_hit(3),
                 },
             ],
@@ -311,6 +341,34 @@ mod tests {
         assert_eq!(parsed.hits, partial.hits);
         assert_eq!(parsed.recoveries, partial.recoveries);
         assert_eq!(parsed.blocks_scanned, partial.blocks_scanned);
+
+        // Off-mode recoveries keep the historical wire shape: no channel
+        // keys appear at all, so pre-reconstruction parsers still work.
+        let off = recovery_to_json(&partial.recoveries[1]);
+        assert!(off.get("cost_mnat").is_none());
+        assert!(off.get("to_ground_bits").is_none());
+        assert!(off.get("anti_ground_bits").is_none());
+        let on = recovery_to_json(&partial.recoveries[0]);
+        assert_eq!(on.get("cost_mnat").and_then(Json::as_i64), Some(123_456));
+    }
+
+    #[test]
+    fn recovery_rejects_half_a_flip_report() {
+        let rec = RecoveredAesKey {
+            key_size: KeySize::Aes256,
+            master_key: (0..32u8).collect(),
+            schedule_addr: 0x9000,
+            total_error_bits: 1,
+            unexplained_blocks: 0,
+            cost_millinats: Some(7),
+            flips: Some(FlipCounts { to_ground: 1, anti_ground: 0 }),
+            hit: sample_hit(2),
+        };
+        let Json::Obj(mut fields) = recovery_to_json(&rec) else {
+            panic!("recovery renders an object")
+        };
+        fields.retain(|(k, _)| k != "anti_ground_bits");
+        assert!(recovery_from_json(&Json::Obj(fields)).is_none());
     }
 
     #[test]

@@ -67,6 +67,15 @@ fn cluster_throughput_bench_compiles() {
 }
 
 #[test]
+fn reconstruct_curve_bench_compiles() {
+    // The recovery-rate-vs-decay curve (BENCH_reconstruct.json, the
+    // channel-model reconstruction acceptance artifact) has a custom
+    // `main`; gate it individually so a reconstruct API change can't
+    // silently orphan the curve.
+    bench_no_run(&["-p", "coldboot-bench", "--bench", "reconstruct_curve"]);
+}
+
+#[test]
 fn bench_diff_compiles_and_handles_empty_history() {
     // `bench-diff` gates perf regressions off BENCH_history.jsonl; build
     // it and confirm the no-history case is a clean exit, so a rename in

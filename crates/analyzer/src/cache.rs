@@ -32,8 +32,10 @@ use crate::locks::LockEdge;
 use crate::summaries::{parse_facts, serialize_fact, FnFact};
 
 /// Bump when the record format or rule semantics change in a way the
-/// rule-id fingerprint does not capture.
-const CACHE_VERSION: u32 = 2;
+/// rule-id fingerprint does not capture. v3: spawn/channel/atomic facts
+/// (`S`/`H`/`O`/`A` lines) plus the widened `N`/`C` formats for the
+/// concurrency pass.
+const CACHE_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a.
 pub(crate) fn fnv64(bytes: &[u8]) -> u64 {

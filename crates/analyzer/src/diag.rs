@@ -20,6 +20,10 @@ pub const RULE_IDS: &[&str] = &[
     "zeroize-coverage",
     "panic-reachability",
     "blocking-in-worker",
+    "atomic-ordering",
+    "blocking-in-event-loop",
+    "channel-deadlock",
+    "join-leak",
     "stale-allow",
 ];
 
@@ -42,6 +46,10 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("zeroize-coverage", "structs holding secret-tainted data need a zeroizing Drop"),
     ("panic-reachability", "service worker/connection paths must not reach a panic"),
     ("blocking-in-worker", "queue workers must not perform blocking socket IO"),
+    ("atomic-ordering", "Relaxed stores that publish to another thread role need Release/Acquire"),
+    ("blocking-in-event-loop", "event-loop and connection-handler threads must not sleep or block"),
+    ("channel-deadlock", "rendezvous send+recv on one thread, or unwrapped cross-thread sends"),
+    ("join-leak", "spawned JoinHandles must be joined, kept, or explicitly detached"),
     ("stale-allow", "lint.toml allow entries must match at least one raw finding"),
 ];
 
@@ -156,6 +164,42 @@ pub const RULE_EXPLANATIONS: &[(&str, &str, &str)] = &[
          queued job behind a slow peer. IO belongs in the connection path.",
         "worker_loop reads from a TcpStream  ->  have the accept/connection path do \
          the read and enqueue parsed jobs only",
+    ),
+    (
+        "atomic-ordering",
+        "A Relaxed store gives readers on other threads no happens-before edge to the \
+         data written before it, so a flag/cursor handoff published with Relaxed can be \
+         observed before the writes it guards. Monotonic fetch_add counters and \
+         literal-bool cancel flags carry no payload and stay clean; everything else \
+         needs a Release store paired with Acquire loads (or a justified allow).",
+        "shutdown.store(true, Ordering::Relaxed)  ->  shutdown.store(true, \
+         Ordering::Release) with shutdown.load(Ordering::Acquire) on the reader side",
+    ),
+    (
+        "blocking-in-event-loop",
+        "The cluster front end multiplexes every connection onto one poll thread; a \
+         thread::sleep, blocking socket call, or unbounded recv reachable from that \
+         thread (at any call depth) stops polling all of them at once. Per-connection \
+         handler threads likewise must not sleep or drain unbounded queues.",
+        "if !active { thread::sleep(IDLE_SLEEP); }  ->  poll with a timeout, or sleep a \
+         capped backoff that resets the moment any connection makes progress",
+    ),
+    (
+        "channel-deadlock",
+        "sync_channel(0) is a rendezvous: send blocks until recv arrives, so both ends \
+         reachable on the same thread self-deadlock. And a send whose receiver lives on \
+         another thread panics on unwrap when that thread exits first (the recycle-loop \
+         shutdown race).",
+        "tx.send(x).unwrap(); rx.recv()  ->  move one endpoint to the spawned thread, \
+         and write `let _ = tx.send(x)` where receiver shutdown is a normal exit",
+    ),
+    (
+        "join-leak",
+        "Dropping a JoinHandle detaches the thread silently: its panic is lost and \
+         shutdown cannot wait for it. Keeping the handle (join, store, return) or \
+         writing `let _ =` makes the detach an audited decision.",
+        "thread::spawn(|| handle_connection(s));  ->  let _ = thread::spawn(|| \
+         handle_connection(s));  // or keep the handle and join on drain",
     ),
     (
         "stale-allow",

@@ -397,6 +397,7 @@ pub fn lint_sources_with(
     rule_zeroize_coverage(&records, &sctx, &mut findings);
     findings.extend(sctx.panic_reachability_findings());
     findings.extend(sctx.blocking_in_worker_findings());
+    findings.extend(crate::concurrency::findings(&sctx));
     let mut lock_edges: Vec<(String, LockEdge)> = Vec::new();
     for (path, rec) in &records {
         for e in &rec.lock_edges {
@@ -513,6 +514,18 @@ pub fn summarize_sources(files: &[SourceFile], opts: &LintOptions) -> SummaryRun
         summary_cached: files.len() - summarized,
         stats: sctx.stats,
     }
+}
+
+/// Runs the summary phase plus only the v4 concurrency pass (thread-role
+/// graph + the four concurrency rule families), skipping per-file checks.
+/// This isolates the concurrency-phase overhead for `lint_throughput`.
+pub fn concurrency_findings(files: &[SourceFile], opts: &LintOptions) -> Vec<Finding> {
+    let cache = opts
+        .cache_dir
+        .as_deref()
+        .and_then(|dir| LintCache::open(dir).ok());
+    let (sctx, _, _) = summary_phase(files, cache.as_ref(), opts.threads);
+    crate::concurrency::findings(&sctx)
 }
 
 /// Runs the full per-file check pass: every per-file rule over an already

@@ -17,7 +17,9 @@
 //! annotations. Syntax-aware dataflow rules (on the hand-rolled AST in
 //! [`ast`]): `lossy-len-cast`, `unbounded-loop`, `untimed-io`,
 //! `lock-order`, `secret-taint`, plus the `stale-allow` meta-rule over
-//! `lint.toml`. See DESIGN.md ("Static analysis") for each rule's paper
+//! `lint.toml`. Concurrency rules on the thread-role graph ([`threads`]):
+//! `atomic-ordering`, `blocking-in-event-loop`, `channel-deadlock`,
+//! `join-leak`. See DESIGN.md ("Static analysis") for each rule's paper
 //! rationale.
 //!
 //! The per-file analysis fans out over a work-stealing thread pool and is
@@ -33,6 +35,7 @@
 pub mod ast;
 pub mod cache;
 mod callgraph;
+mod concurrency;
 pub mod config;
 mod dataflow;
 pub mod diag;
@@ -42,6 +45,7 @@ mod locks;
 pub mod sarif;
 pub mod secrets;
 mod summaries;
+mod threads;
 pub mod walk;
 
 pub use cache::LintCache;
@@ -50,8 +54,8 @@ pub use diag::{
     render_json, render_text, rule_explanation, Baseline, Finding, RULE_DESCRIPTIONS, RULE_IDS,
 };
 pub use engine::{
-    lint_sources, lint_sources_with, summarize_sources, LintOptions, LintRun, RunStats,
-    SourceFile, SummaryRun,
+    concurrency_findings, lint_sources, lint_sources_with, summarize_sources, LintOptions,
+    LintRun, RunStats, SourceFile, SummaryRun,
 };
 pub use sarif::render_sarif;
 pub use summaries::SummaryStats;

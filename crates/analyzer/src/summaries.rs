@@ -170,6 +170,9 @@ pub(crate) struct CallFact {
     pub(crate) args_t: Vec<Set>,
     /// Length-domain taint of each argument.
     pub(crate) args_l: Vec<Set>,
+    /// Plain-identifier argument names (`""` for anything else), so
+    /// channel endpoints can be tracked one call level deep.
+    pub(crate) args_id: Vec<String>,
 }
 
 impl Default for CallFact {
@@ -179,6 +182,7 @@ impl Default for CallFact {
             line: 0,
             args_t: Vec::new(),
             args_l: Vec::new(),
+            args_id: Vec::new(),
         }
     }
 }
@@ -189,6 +193,101 @@ pub(crate) struct StructInit {
     pub(crate) struct_name: String,
     pub(crate) field: String,
     pub(crate) set: Set,
+}
+
+/// One thread-spawn site. The closure body is extracted as a synthetic
+/// function fact named `{fn}::spawn@{line}`, which the thread-role graph
+/// treats as a root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpawnFact {
+    pub(crate) line: u32,
+    /// Name of the synthetic closure fact in the same file.
+    pub(crate) closure: String,
+    /// `scope.spawn(..)` — auto-joined at scope exit, exempt from
+    /// `join-leak` (but still a thread-role root).
+    pub(crate) scoped: bool,
+    /// The JoinHandle is dropped implicitly: neither bound and used, nor
+    /// escaping, nor explicitly discarded with `let _ =`.
+    pub(crate) leaked: bool,
+}
+
+/// How a channel was created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChanKind {
+    /// `sync_channel(0)`: send blocks until a receiver arrives.
+    Rendezvous,
+    /// `sync_channel(n > 0)`.
+    Bounded,
+    /// `channel()`: send never blocks, the queue is unbounded.
+    Unbounded,
+}
+
+/// One channel creation site (`let (tx, rx) = channel()` and friends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ChannelFact {
+    pub(crate) line: u32,
+    pub(crate) kind: ChanKind,
+    /// Binding name of the sender endpoint.
+    pub(crate) tx: String,
+    /// Binding name of the receiver endpoint.
+    pub(crate) rx: String,
+}
+
+/// A send/recv-family operation on a named endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChanOpKind {
+    Send,
+    TrySend,
+    /// Blocking `recv()` (and `for msg in rx` iteration).
+    Recv,
+    TryRecv,
+    /// `recv_timeout` / `recv_deadline`: blocking but bounded.
+    RecvTimeout,
+}
+
+/// One channel operation inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ChanOp {
+    pub(crate) line: u32,
+    pub(crate) op: ChanOpKind,
+    /// The send/recv result is immediately `.unwrap()`/`.expect()`ed, so
+    /// endpoint disconnect becomes a panic.
+    pub(crate) unwrapped: bool,
+    /// The endpoint binding (or field/parameter) name operated on.
+    pub(crate) endpoint: String,
+}
+
+/// Memory ordering named at an atomic call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AtomicOrd {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+/// Shape of an atomic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AtomicOpKind {
+    Store,
+    Load,
+    /// fetch_*/swap/compare_exchange: read-modify-write, inherently a
+    /// single-location monotonic update.
+    Rmw,
+}
+
+/// One atomic operation inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AtomicFact {
+    pub(crate) line: u32,
+    pub(crate) op: AtomicOpKind,
+    pub(crate) ord: AtomicOrd,
+    /// The stored value is a literal `true`/`false` — the cooperative-flag
+    /// shape the `atomic-ordering` allowlist keys on.
+    pub(crate) is_flag: bool,
+    /// Receiver tail: `shared.stop.store(..)` records `stop`.
+    pub(crate) name: String,
 }
 
 /// Everything the fixpoint needs to know about one function, extracted
@@ -202,7 +301,17 @@ pub(crate) struct FnFact {
     pub(crate) local_panic: Option<u32>,
     /// Line of the first blocking socket operation, if any.
     pub(crate) local_block: Option<u32>,
+    /// Line of the first `thread::sleep` call, if any.
+    pub(crate) local_sleep: Option<u32>,
+    /// Param bits a send-family operation is performed on.
+    pub(crate) param_send: u16,
+    /// Param bits a *blocking* recv is performed on.
+    pub(crate) param_recv: u16,
     pub(crate) calls: Vec<CallFact>,
+    pub(crate) spawns: Vec<SpawnFact>,
+    pub(crate) channels: Vec<ChannelFact>,
+    pub(crate) chan_ops: Vec<ChanOp>,
+    pub(crate) atomics: Vec<AtomicFact>,
     /// Taint reaching the return value.
     pub(crate) ret_t: Set,
     pub(crate) ret_l: Set,
@@ -302,11 +411,14 @@ pub(crate) fn extract(a: &Analysis) -> Vec<FnFact> {
             a,
             self_ty,
             env: HashMap::new(),
+            params: f.params.iter().map(|(n, _)| n.clone()).collect(),
             fact: FnFact {
                 name: f.name.clone(),
                 line: f.line,
                 ..FnFact::default()
             },
+            pending: Vec::new(),
+            spawned: Vec::new(),
             len_scoped: !LEN_CAST_EXEMPT.contains(&a.path.as_str()),
         };
         for (i, (name, _ty)) in f.params.iter().enumerate() {
@@ -322,9 +434,37 @@ pub(crate) fn extract(a: &Analysis) -> Vec<FnFact> {
         ex.fact.ret_t = std::mem::take(&mut ex.fact.ret_t).join(&tail.t);
         ex.fact.ret_l = std::mem::take(&mut ex.fact.ret_l).join(&tail.l);
         ex.fact.local_panic = local_panic_line(a, f.tok, f.body.span.1);
+        resolve_spawn_bindings(a, f.tok, f.body.span.1, &mut ex.fact, &ex.pending);
+        let spawned = std::mem::take(&mut ex.spawned);
         out.push(ex.fact);
+        out.extend(spawned);
     }
     out
+}
+
+/// Decides `leaked` for `let h = thread::spawn(..)` bindings: a handle
+/// name never mentioned again inside the function is dropped implicitly.
+/// Any further use (`h.join()`, `handles.push(h)`, a return) keeps it
+/// clean — false-negative-friendly, like the rest of the linter.
+fn resolve_spawn_bindings(
+    a: &Analysis,
+    start: usize,
+    end: usize,
+    fact: &mut FnFact,
+    pending: &[(usize, String)],
+) {
+    for (idx, name) in pending {
+        let uses = a.tokens[start..=end.min(a.tokens.len().saturating_sub(1))]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text == *name)
+            .count();
+        // One occurrence is the binding itself.
+        if uses <= 1 {
+            if let Some(s) = fact.spawns.get_mut(*idx) {
+                s.leaked = true;
+            }
+        }
+    }
 }
 
 /// First unsuppressed panic construct in `[start, end]` (the same
@@ -360,11 +500,82 @@ fn local_panic_line(a: &Analysis, start: usize, end: usize) -> Option<u32> {
     None
 }
 
+/// A `thread::spawn`/`.spawn(|..| ..)` call, possibly wrapped in the
+/// Builder's `unwrap()`/`expect()` — used to decide the statement-position
+/// and `let`-binding contexts for `join-leak`.
+fn is_spawn_expr(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Call { callee, args } => {
+            matches!(
+                &callee.kind,
+                ExprKind::Path(segs)
+                    if segs.len() >= 2
+                        && segs.last().map(String::as_str) == Some("spawn")
+                        && segs.contains(&"thread".to_string())
+            ) && matches!(args.as_slice(), [a] if matches!(a.kind, ExprKind::Closure { .. }))
+        }
+        ExprKind::MethodCall { recv, method, args } => match method.as_str() {
+            "spawn" => {
+                matches!(args.as_slice(), [a] if matches!(a.kind, ExprKind::Closure { .. }))
+            }
+            "unwrap" | "expect" => is_spawn_expr(recv),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// The name of a bare-identifier expression (through `&`/`&mut`).
+fn plain_ident(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Path(segs) => match segs.as_slice() {
+            [only] => Some(only.clone()),
+            _ => None,
+        },
+        ExprKind::Unary { expr } => plain_ident(expr),
+        _ => None,
+    }
+}
+
+/// The receiver's trailing name: `shared.stop.store(..)` -> `stop`,
+/// `flag.load(..)` -> `flag`.
+fn receiver_tail(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Path(segs) => segs.last().cloned(),
+        ExprKind::Field { name, .. } => Some(name.clone()),
+        ExprKind::Unary { expr } | ExprKind::Try { expr } => receiver_tail(expr),
+        _ => None,
+    }
+}
+
+/// Parses an `Ordering::X` argument.
+fn ordering_of(e: &Expr) -> Option<AtomicOrd> {
+    let ExprKind::Path(segs) = &e.kind else {
+        return None;
+    };
+    match segs.last().map(String::as_str) {
+        Some("Relaxed") => Some(AtomicOrd::Relaxed),
+        Some("Acquire") => Some(AtomicOrd::Acquire),
+        Some("Release") => Some(AtomicOrd::Release),
+        Some("AcqRel") => Some(AtomicOrd::AcqRel),
+        Some("SeqCst") => Some(AtomicOrd::SeqCst),
+        _ => None,
+    }
+}
+
 struct Extractor<'a> {
     a: &'a Analysis,
     self_ty: Option<String>,
     env: HashMap<String, Val>,
+    /// Parameter names of the function being extracted (empty for spawn
+    /// closures — captures are not parameters).
+    params: Vec<String>,
     fact: FnFact,
+    /// `(spawn index, binding name)` for `let h = thread::spawn(..)`,
+    /// resolved against the function's token span after the walk.
+    pending: Vec<(usize, String)>,
+    /// Synthetic facts for spawn-closure bodies, in extraction order.
+    spawned: Vec<FnFact>,
     len_scoped: bool,
 }
 
@@ -384,7 +595,23 @@ impl<'a> Extractor<'a> {
                 } => {
                     last = Val::default();
                     if let Some(e) = init {
+                        let spawn_before = self.fact.spawns.len();
                         let v = self.eval(e);
+                        self.note_channel_binding(names, e);
+                        if is_spawn_expr(e) && self.fact.spawns.len() > spawn_before {
+                            let idx = self.fact.spawns.len() - 1;
+                            if !self.fact.spawns[idx].scoped {
+                                match name {
+                                    // `let h = ..`: leak unless `h` is used.
+                                    Some(n) if n != "_" => {
+                                        self.pending.push((idx, n.clone()))
+                                    }
+                                    // `let _ = ..` is an explicit detach;
+                                    // destructurings keep the handle.
+                                    _ => {}
+                                }
+                            }
+                        }
                         if let Some(n) = name {
                             if v.is_taint() {
                                 self.env.insert(n.clone(), v);
@@ -401,10 +628,66 @@ impl<'a> Extractor<'a> {
                         self.scan_block(eb);
                     }
                 }
-                Stmt::Expr(e) => last = self.eval(e),
+                Stmt::Expr(e) => {
+                    let spawn_before = self.fact.spawns.len();
+                    last = self.eval(e);
+                    // A spawn in statement position (trailing `;`) drops
+                    // its JoinHandle on the floor. A tail expression has
+                    // no semicolon: its value flows to the enclosing
+                    // `let`/field/return, so the handle is kept.
+                    let dropped = self
+                        .a
+                        .tokens
+                        .get(e.span.1 + 1)
+                        .map_or(false, |t| t.text == ";");
+                    if dropped && is_spawn_expr(e) && self.fact.spawns.len() > spawn_before {
+                        let idx = self.fact.spawns.len() - 1;
+                        if !self.fact.spawns[idx].scoped {
+                            self.fact.spawns[idx].leaked = true;
+                        }
+                    }
+                }
             }
         }
         last
+    }
+
+    /// Records `let (tx, rx) = channel()` / `sync_channel(n)` creation
+    /// sites. The capacity literal distinguishes a rendezvous channel.
+    fn note_channel_binding(&mut self, names: &[String], init: &Expr) {
+        let ExprKind::Call { callee, args } = &init.kind else {
+            return;
+        };
+        let ExprKind::Path(segs) = &callee.kind else {
+            return;
+        };
+        let kind = match segs.last().map(String::as_str) {
+            Some("channel") if args.is_empty() => ChanKind::Unbounded,
+            Some("sync_channel") if args.len() == 1 => {
+                if self.token_text(&args[0]) == Some("0") {
+                    ChanKind::Rendezvous
+                } else {
+                    ChanKind::Bounded
+                }
+            }
+            _ => return,
+        };
+        if let [tx, rx] = names {
+            self.fact.channels.push(ChannelFact {
+                line: init.line,
+                kind,
+                tx: tx.clone(),
+                rx: rx.clone(),
+            });
+        }
+    }
+
+    /// The text of a single-token expression (a literal or bare ident).
+    fn token_text(&self, e: &Expr) -> Option<&str> {
+        if e.span.0 != e.span.1 {
+            return None;
+        }
+        self.a.tokens.get(e.span.0).map(|t| t.text.as_str())
     }
 
     fn bind(&mut self, names: &[String], v: &Val) {
@@ -449,6 +732,28 @@ impl<'a> Extractor<'a> {
                 Val::default()
             }
             ExprKind::Call { callee, args } => {
+                // `thread::spawn(|| ..)`: the closure body runs on a new
+                // thread, so it becomes a synthetic fact (a thread-role
+                // root), not part of this function's flow.
+                if let ExprKind::Path(segs) = &callee.kind {
+                    if segs.len() >= 2
+                        && segs.last().map(String::as_str) == Some("spawn")
+                        && segs.contains(&"thread".to_string())
+                    {
+                        if let [arg] = args.as_slice() {
+                            if matches!(arg.kind, ExprKind::Closure { .. }) {
+                                self.extract_spawn(e.line, arg, false);
+                                return Val::default();
+                            }
+                        }
+                    }
+                    if segs.last().map(String::as_str) == Some("sleep")
+                        && segs.iter().rev().nth(1).map(String::as_str) == Some("thread")
+                        && self.fact.local_sleep.is_none()
+                    {
+                        self.fact.local_sleep = Some(e.line);
+                    }
+                }
                 let argvals: Vec<Val> = args.iter().map(|a| self.eval(a)).collect();
                 let mut t = Set::default();
                 for v in &argvals {
@@ -483,7 +788,7 @@ impl<'a> Extractor<'a> {
                             *first = ty.clone();
                         }
                     }
-                    let j = self.register(CallKey::Path(segs), e.line, &argvals);
+                    let j = self.register(CallKey::Path(segs), e.line, &argvals, args);
                     return Val {
                         t: t.join(&Set::call(j)),
                         l: Set::call(j),
@@ -496,11 +801,37 @@ impl<'a> Extractor<'a> {
                 }
             }
             ExprKind::MethodCall { recv, method, args } => {
+                // `scope.spawn(|| ..)` / `Builder::new()..spawn(|| ..)`:
+                // same synthetic-fact treatment as `thread::spawn`. Scoped
+                // spawns are auto-joined, so only Builder handles can leak.
+                if method == "spawn" {
+                    if let [arg] = args.as_slice() {
+                        if matches!(arg.kind, ExprKind::Closure { .. }) {
+                            let scoped = !self.span_mentions(recv, "Builder");
+                            self.eval(recv);
+                            self.extract_spawn(e.line, arg, scoped);
+                            return Val::default();
+                        }
+                    }
+                }
                 let rv = self.eval(recv);
                 let argvals: Vec<Val> = args.iter().map(|a| self.eval(a)).collect();
                 if READ_METHODS.contains(&method.as_str()) || method == "accept" {
                     if receiver_is_socket(recv) && self.fact.local_block.is_none() {
                         self.fact.local_block = Some(e.line);
+                    }
+                }
+                self.note_chan_op(e.line, method, recv);
+                self.note_atomic(e.line, method, recv, args);
+                if matches!(method.as_str(), "unwrap" | "expect") {
+                    if let ExprKind::MethodCall { method: m2, .. } = &recv.kind {
+                        if matches!(m2.as_str(), "send" | "recv") {
+                            if let Some(op) = self.fact.chan_ops.last_mut() {
+                                if op.line == recv.line {
+                                    op.unwrapped = true;
+                                }
+                            }
+                        }
                     }
                 }
                 match method.as_str() {
@@ -525,7 +856,7 @@ impl<'a> Extractor<'a> {
                     }
                     _ => {}
                 }
-                let j = self.register(CallKey::Method(method.clone()), e.line, &argvals);
+                let j = self.register(CallKey::Method(method.clone()), e.line, &argvals, args);
                 let mut t = rv.t.join(&Set::call(j));
                 for v in &argvals {
                     t = t.join(&v.t);
@@ -648,6 +979,12 @@ impl<'a> Extractor<'a> {
             }
             ExprKind::For { names, iter, body } => {
                 let iv = self.eval(iter);
+                // `for msg in rx` blocks on recv every iteration.
+                if let Some(endpoint) = plain_ident(iter) {
+                    if self.endpoint_known(&endpoint) {
+                        self.push_chan_op(iter.line, ChanOpKind::Recv, endpoint);
+                    }
+                }
                 self.bind(names, &iv);
                 self.scan_block(body);
                 Val::default()
@@ -703,15 +1040,162 @@ impl<'a> Extractor<'a> {
         }
     }
 
-    fn register(&mut self, callee: CallKey, line: u32, argvals: &[Val]) -> usize {
+    fn register(&mut self, callee: CallKey, line: u32, argvals: &[Val], args: &[Expr]) -> usize {
         let j = self.fact.calls.len();
         self.fact.calls.push(CallFact {
             callee,
             line,
             args_t: argvals.iter().map(|v| v.t.clone()).collect(),
             args_l: argvals.iter().map(|v| v.l.clone()).collect(),
+            args_id: args
+                .iter()
+                .map(|a| plain_ident(a).unwrap_or_default())
+                .collect(),
         });
         j
+    }
+
+    /// Extracts a spawn-closure body into a synthetic `{fn}::spawn@{line}`
+    /// fact. The environment is cloned so captured taint flows into the
+    /// closure; channel endpoints in scope are inherited so ops on
+    /// captured senders/receivers still resolve.
+    fn extract_spawn(&mut self, line: u32, closure: &Expr, scoped: bool) {
+        let ExprKind::Closure { body } = &closure.kind else {
+            return;
+        };
+        let name = format!("{}::spawn@{}", self.fact.name, line);
+        let mut sub = Extractor {
+            a: self.a,
+            self_ty: self.self_ty.clone(),
+            env: self.env.clone(),
+            params: Vec::new(),
+            fact: FnFact {
+                name: name.clone(),
+                line,
+                ..FnFact::default()
+            },
+            pending: Vec::new(),
+            spawned: Vec::new(),
+            len_scoped: self.len_scoped,
+        };
+        // Captured channel endpoints keep their identity inside the
+        // closure body.
+        sub.fact.channels = self
+            .fact
+            .channels
+            .iter()
+            .map(|c| ChannelFact {
+                line: c.line,
+                kind: c.kind,
+                tx: c.tx.clone(),
+                rx: c.rx.clone(),
+            })
+            .collect();
+        let inherited = sub.fact.channels.len();
+        let tail = sub.eval(body);
+        sub.fact.ret_t = std::mem::take(&mut sub.fact.ret_t).join(&tail.t);
+        sub.fact.ret_l = std::mem::take(&mut sub.fact.ret_l).join(&tail.l);
+        sub.fact.local_panic = local_panic_line(self.a, closure.span.0, closure.span.1);
+        resolve_spawn_bindings(self.a, closure.span.0, closure.span.1, &mut sub.fact, &sub.pending);
+        // Inherited channels were only context for op resolution; they are
+        // not creation sites of the closure.
+        sub.fact.channels.drain(..inherited);
+        self.fact.spawns.push(SpawnFact {
+            line,
+            closure: name,
+            scoped,
+            leaked: false,
+        });
+        let nested = std::mem::take(&mut sub.spawned);
+        self.spawned.push(sub.fact);
+        self.spawned.extend(nested);
+    }
+
+    /// Records send/recv-family operations on a plain-ident or field
+    /// receiver, and marks param endpoints in `param_send`/`param_recv`.
+    fn note_chan_op(&mut self, line: u32, method: &str, recv: &Expr) {
+        let op = match method {
+            "send" => ChanOpKind::Send,
+            "try_send" => ChanOpKind::TrySend,
+            "recv" => ChanOpKind::Recv,
+            "try_recv" => ChanOpKind::TryRecv,
+            "recv_timeout" | "recv_deadline" => ChanOpKind::RecvTimeout,
+            _ => return,
+        };
+        let Some(endpoint) = receiver_tail(recv) else {
+            return;
+        };
+        self.push_chan_op(line, op, endpoint);
+    }
+
+    fn push_chan_op(&mut self, line: u32, op: ChanOpKind, endpoint: String) {
+        if let Some(i) = self.params.iter().position(|p| *p == endpoint) {
+            if i < 16 {
+                match op {
+                    ChanOpKind::Send | ChanOpKind::TrySend => self.fact.param_send |= 1 << i,
+                    ChanOpKind::Recv => self.fact.param_recv |= 1 << i,
+                    _ => {}
+                }
+            }
+        }
+        self.fact.chan_ops.push(ChanOp {
+            line,
+            op,
+            unwrapped: false,
+            endpoint,
+        });
+    }
+
+    /// True when `name` is a channel endpoint this extractor knows about:
+    /// a locally (or inherited-from-spawner) created channel binding, or a
+    /// parameter whose name says it is a receiver.
+    fn endpoint_known(&self, name: &str) -> bool {
+        self.fact
+            .channels
+            .iter()
+            .any(|c| c.tx == name || c.rx == name)
+            || (self.params.iter().any(|p| p == name)
+                && seg_matches(name, &["rx", "receiver"]))
+    }
+
+    /// Records atomic `store`/`load`/RMW calls with their named ordering.
+    fn note_atomic(&mut self, line: u32, method: &str, recv: &Expr, args: &[Expr]) {
+        let (op, ord_arg) = match method {
+            "store" if args.len() == 2 => (AtomicOpKind::Store, &args[1]),
+            "load" if args.len() == 1 => (AtomicOpKind::Load, &args[0]),
+            "swap" if args.len() == 2 => (AtomicOpKind::Rmw, &args[1]),
+            m if m.starts_with("fetch_") && args.len() == 2 => (AtomicOpKind::Rmw, &args[1]),
+            m if m.starts_with("compare_exchange") && args.len() >= 4 => {
+                (AtomicOpKind::Rmw, &args[2])
+            }
+            _ => return,
+        };
+        let Some(ord) = ordering_of(ord_arg) else {
+            return;
+        };
+        let Some(name) = receiver_tail(recv) else {
+            return;
+        };
+        let is_flag = matches!(
+            args.first().and_then(|a| self.token_text(a)),
+            Some("true") | Some("false")
+        );
+        self.fact.atomics.push(AtomicFact {
+            line,
+            op,
+            ord,
+            is_flag,
+            name,
+        });
+    }
+
+    /// The token span of `e` mentions `needle` as an identifier.
+    fn span_mentions(&self, e: &Expr, needle: &str) -> bool {
+        let (start, end) = e.span;
+        let toks = &self.a.tokens;
+        toks[start.min(toks.len())..(end + 1).min(toks.len())]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == needle)
     }
 
     /// Mirrors `check_taint_sink`'s skip: macros that lexically mention a
@@ -1100,13 +1584,17 @@ impl SummaryCtx {
 // ---------------------------------------------------------------------------
 
 /// Serializes one function's facts as cache body lines (`N` for the
-/// function, `C` per call, `I` per tainted struct init).
+/// function, `C` per call, `I` per tainted struct init, `S`/`H`/`O`/`A`
+/// for the v4 spawn/channel/chan-op/atomic facts).
 pub(crate) fn serialize_fact(fact: &FnFact, out: &mut String, esc: impl Fn(&str) -> String) {
     out.push_str(&format!(
-        "N\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        "N\t{}\t{}\t{}\t{}\t{:04x}\t{:04x}\t{}\t{}\t{}\t{}\t{}\n",
         fact.line,
         fact.local_panic.map_or("-".to_string(), |l| l.to_string()),
         fact.local_block.map_or("-".to_string(), |l| l.to_string()),
+        fact.local_sleep.map_or("-".to_string(), |l| l.to_string()),
+        fact.param_send,
+        fact.param_recv,
         fact.ret_t.serialize(),
         fact.ret_l.serialize(),
         fact.sink_t.serialize(),
@@ -1124,12 +1612,18 @@ pub(crate) fn serialize_fact(fact: &FnFact, out: &mut String, esc: impl Fn(&str)
                     .join("|")
             }
         };
+        let ids = if c.args_id.is_empty() {
+            "-".to_string()
+        } else {
+            c.args_id.join("|")
+        };
         out.push_str(&format!(
-            "C\t{}\t{}\t{}\t{}\n",
+            "C\t{}\t{}\t{}\t{}\t{}\n",
             c.line,
             esc(&c.callee.serialize()),
             join(&c.args_t),
             join(&c.args_l),
+            ids,
         ));
     }
     for i in &fact.struct_inits {
@@ -1138,6 +1632,67 @@ pub(crate) fn serialize_fact(fact: &FnFact, out: &mut String, esc: impl Fn(&str)
             i.set.serialize(),
             esc(&i.struct_name),
             esc(&i.field),
+        ));
+    }
+    for s in &fact.spawns {
+        out.push_str(&format!(
+            "S\t{}\t{}\t{}\t{}\n",
+            s.line,
+            u8::from(s.scoped),
+            u8::from(s.leaked),
+            esc(&s.closure),
+        ));
+    }
+    for ch in &fact.channels {
+        let kind = match ch.kind {
+            ChanKind::Rendezvous => "r",
+            ChanKind::Bounded => "b",
+            ChanKind::Unbounded => "u",
+        };
+        out.push_str(&format!(
+            "H\t{}\t{}\t{}\t{}\n",
+            ch.line,
+            kind,
+            esc(&ch.tx),
+            esc(&ch.rx),
+        ));
+    }
+    for op in &fact.chan_ops {
+        let kind = match op.op {
+            ChanOpKind::Send => "s",
+            ChanOpKind::TrySend => "ts",
+            ChanOpKind::Recv => "r",
+            ChanOpKind::TryRecv => "tr",
+            ChanOpKind::RecvTimeout => "rt",
+        };
+        out.push_str(&format!(
+            "O\t{}\t{}\t{}\t{}\n",
+            op.line,
+            kind,
+            u8::from(op.unwrapped),
+            esc(&op.endpoint),
+        ));
+    }
+    for at in &fact.atomics {
+        let op = match at.op {
+            AtomicOpKind::Store => "s",
+            AtomicOpKind::Load => "l",
+            AtomicOpKind::Rmw => "m",
+        };
+        let ord = match at.ord {
+            AtomicOrd::Relaxed => "x",
+            AtomicOrd::Acquire => "a",
+            AtomicOrd::Release => "r",
+            AtomicOrd::AcqRel => "ar",
+            AtomicOrd::SeqCst => "sc",
+        };
+        out.push_str(&format!(
+            "A\t{}\t{}\t{}\t{}\t{}\n",
+            at.line,
+            op,
+            ord,
+            u8::from(at.is_flag),
+            esc(&at.name),
         ));
     }
 }
@@ -1171,6 +1726,9 @@ pub(crate) fn parse_facts<'a>(
                 let line_no: u32 = parts.next()?.parse().ok()?;
                 let local_panic = parse_opt_line(parts.next()?)?;
                 let local_block = parse_opt_line(parts.next()?)?;
+                let local_sleep = parse_opt_line(parts.next()?)?;
+                let param_send = u16::from_str_radix(parts.next()?, 16).ok()?;
+                let param_recv = u16::from_str_radix(parts.next()?, 16).ok()?;
                 let ret_t = Set::deserialize(parts.next()?)?;
                 let ret_l = Set::deserialize(parts.next()?)?;
                 let sink_t = Set::deserialize(parts.next()?)?;
@@ -1181,7 +1739,14 @@ pub(crate) fn parse_facts<'a>(
                     line: line_no,
                     local_panic,
                     local_block,
+                    local_sleep,
+                    param_send,
+                    param_recv,
                     calls: Vec::new(),
+                    spawns: Vec::new(),
+                    channels: Vec::new(),
+                    chan_ops: Vec::new(),
+                    atomics: Vec::new(),
                     ret_t,
                     ret_l,
                     sink_t,
@@ -1195,11 +1760,21 @@ pub(crate) fn parse_facts<'a>(
                 let callee = CallKey::deserialize(&unesc(parts.next()?))?;
                 let args_t = parse_sets(parts.next()?)?;
                 let args_l = parse_sets(parts.next()?)?;
+                let ids_field = parts.next()?;
+                let args_id: Vec<String> = if ids_field == "-" {
+                    Vec::new()
+                } else {
+                    ids_field.split('|').map(str::to_string).collect()
+                };
+                if args_id.len() != args_t.len() {
+                    return None;
+                }
                 fact.calls.push(CallFact {
                     callee,
                     line: line_no,
                     args_t,
                     args_l,
+                    args_id,
                 });
             }
             "I" => {
@@ -1211,6 +1786,84 @@ pub(crate) fn parse_facts<'a>(
                     struct_name,
                     field,
                     set,
+                });
+            }
+            "S" => {
+                let fact = out.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let scoped = parts.next()? == "1";
+                let leaked = parts.next()? == "1";
+                let closure = unesc(parts.next()?);
+                fact.spawns.push(SpawnFact {
+                    line: line_no,
+                    closure,
+                    scoped,
+                    leaked,
+                });
+            }
+            "H" => {
+                let fact = out.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let kind = match parts.next()? {
+                    "r" => ChanKind::Rendezvous,
+                    "b" => ChanKind::Bounded,
+                    "u" => ChanKind::Unbounded,
+                    _ => return None,
+                };
+                let tx = unesc(parts.next()?);
+                let rx = unesc(parts.next()?);
+                fact.channels.push(ChannelFact {
+                    line: line_no,
+                    kind,
+                    tx,
+                    rx,
+                });
+            }
+            "O" => {
+                let fact = out.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let op = match parts.next()? {
+                    "s" => ChanOpKind::Send,
+                    "ts" => ChanOpKind::TrySend,
+                    "r" => ChanOpKind::Recv,
+                    "tr" => ChanOpKind::TryRecv,
+                    "rt" => ChanOpKind::RecvTimeout,
+                    _ => return None,
+                };
+                let unwrapped = parts.next()? == "1";
+                let endpoint = unesc(parts.next()?);
+                fact.chan_ops.push(ChanOp {
+                    line: line_no,
+                    op,
+                    unwrapped,
+                    endpoint,
+                });
+            }
+            "A" => {
+                let fact = out.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let op = match parts.next()? {
+                    "s" => AtomicOpKind::Store,
+                    "l" => AtomicOpKind::Load,
+                    "m" => AtomicOpKind::Rmw,
+                    _ => return None,
+                };
+                let ord = match parts.next()? {
+                    "x" => AtomicOrd::Relaxed,
+                    "a" => AtomicOrd::Acquire,
+                    "r" => AtomicOrd::Release,
+                    "ar" => AtomicOrd::AcqRel,
+                    "sc" => AtomicOrd::SeqCst,
+                    _ => return None,
+                };
+                let is_flag = parts.next()? == "1";
+                let name = unesc(parts.next()?);
+                fact.atomics.push(AtomicFact {
+                    line: line_no,
+                    op,
+                    ord,
+                    is_flag,
+                    name,
                 });
             }
             _ => return None,

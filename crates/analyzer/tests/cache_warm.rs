@@ -137,6 +137,57 @@ fn callee_edit_invalidates_transitive_callers_only() {
 }
 
 #[test]
+fn version_bump_invalidates_every_record_exactly_once() {
+    // The cache folds `CACHE_VERSION` (and the rule-id list) into every
+    // record key, so a version bump — like v2 → v3, which added the
+    // spawn/channel/atomic fact lines — lands as a key mismatch on every
+    // stored record. Simulate a previous-version cache by rewriting the
+    // stored keys: the next run must invalidate and re-analyze everything
+    // exactly once, after which a warm run re-analyzes zero files and the
+    // findings are unchanged.
+    let dir = temp_cache_dir("version");
+    let config = LintConfig::default();
+    let opts = LintOptions {
+        threads: 1,
+        cache_dir: Some(dir.clone()),
+        check_stale_allows: false,
+    };
+    let files = sources();
+
+    let cold = lint_sources_with(&files, &config, &opts);
+    assert_eq!(cold.stats.reanalyzed, 3);
+
+    // Stamp every record (.rec and .sum) with a stale key, the observable
+    // effect of a cache written by a different CACHE_VERSION.
+    let mut stamped = 0;
+    for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
+        let path = entry.expect("dir entry").path();
+        let text = std::fs::read_to_string(&path).expect("record is utf-8");
+        let (header, rest) = text.split_once('\n').expect("record has a header");
+        let magic = header.split('\t').next().expect("header has a magic");
+        std::fs::write(&path, format!("{magic}\t{:016x}\n{rest}", 0u64)).expect("rewrite");
+        stamped += 1;
+    }
+    assert_eq!(stamped, 6, "three .rec plus three .sum records");
+
+    let bumped = lint_sources_with(&files, &config, &opts);
+    assert_eq!(
+        bumped.stats.reanalyzed, 3,
+        "every stale-version record re-analyzes exactly once: {:?}",
+        bumped.stats
+    );
+    assert_eq!(bumped.stats.summarized, 3, "facts re-extract too");
+    assert_eq!(bumped.findings, cold.findings);
+
+    let warm = lint_sources_with(&files, &config, &opts);
+    assert_eq!(warm.stats.reanalyzed, 0, "fresh records are warm again");
+    assert_eq!(warm.stats.summarized, 0);
+    assert_eq!(warm.findings, cold.findings);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cache_disabled_always_reanalyzes() {
     let config = LintConfig::default();
     let opts = LintOptions {

@@ -1,0 +1,19 @@
+//! Atomic-ordering fixture (negative): all three allowed shapes. A
+//! Release store is a real publish done right; a Relaxed RMW is the
+//! monotonic-counter pattern (the returned/accumulated value is the whole
+//! message); a literal-bool store to a cancel-named flag is the
+//! cooperative-cancellation pattern the rule's allowlist recognizes.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn publish_progress(slot: &AtomicUsize, blocks_done: usize) {
+    slot.store(blocks_done, Ordering::Release);
+}
+
+pub fn bump_counter(counter: &AtomicUsize) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn request_cancel(cancel_flag: &AtomicBool) {
+    cancel_flag.store(true, Ordering::Relaxed);
+}

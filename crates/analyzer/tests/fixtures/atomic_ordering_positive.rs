@@ -1,0 +1,10 @@
+//! Atomic-ordering fixture (positive): the scan publishes its high-water
+//! block index with a Relaxed store. A reader that observes the index and
+//! then reads the block buffer has no acquire edge back to the writes
+//! that filled it — the classic publish-without-release bug.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish_progress(slot: &AtomicUsize, blocks_done: usize) {
+    slot.store(blocks_done, Ordering::Relaxed);
+}

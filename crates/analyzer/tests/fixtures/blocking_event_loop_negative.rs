@@ -1,0 +1,33 @@
+//! Blocking-in-event-loop fixture (negative): the poll loop spins on a
+//! readiness flag without sleeping or blocking, and the queue worker that
+//! *does* block on its job queue carries the queue-worker role — blocking
+//! on its own queue is its purpose, so nothing fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::thread;
+
+pub fn start_event_loop(done: Arc<AtomicBool>) -> thread::JoinHandle<()> {
+    thread::spawn(move || poll_events(&done))
+}
+
+fn poll_events(done: &AtomicBool) {
+    while !done.load(Ordering::Acquire) {
+        dispatch();
+    }
+}
+
+fn dispatch() {}
+
+pub fn start_worker(jobs: Receiver<u64>) -> thread::JoinHandle<()> {
+    thread::spawn(move || drain_jobs(&jobs))
+}
+
+fn drain_jobs(jobs: &Receiver<u64>) {
+    while let Ok(job) = jobs.recv() {
+        run(job);
+    }
+}
+
+fn run(_job: u64) {}

@@ -1,0 +1,24 @@
+//! Blocking-in-event-loop fixture (positive): the poll loop naps on a
+//! fixed interval while it owns every connection — each idle sleep adds
+//! latency to all of them. The spawn site names the role (`event`), the
+//! sleep sits in a callee, and the role BFS connects the two.
+
+use std::thread;
+use std::time::Duration;
+
+pub fn start_event_loop() -> thread::JoinHandle<()> {
+    thread::spawn(|| poll_events())
+}
+
+fn poll_events() {
+    loop {
+        if drained() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn drained() -> bool {
+    true
+}

@@ -1,0 +1,20 @@
+//! Channel-deadlock fixture (negative): the pipelined-producer shape done
+//! right. The rendezvous send runs on the spawned producer thread, the
+//! recv on the spawning thread, the send's disconnect error is handled
+//! (receiver dropping early is a normal shutdown, not a panic), and the
+//! producer handle is joined.
+
+use std::sync::mpsc;
+use std::thread;
+
+pub fn pipeline() -> u64 {
+    let (tx, rx) = mpsc::sync_channel(0);
+    let producer = thread::spawn(move || {
+        if tx.send(1u64).is_err() {
+            return;
+        }
+    });
+    let got = rx.recv().unwrap_or(0);
+    let _ = producer.join();
+    got
+}

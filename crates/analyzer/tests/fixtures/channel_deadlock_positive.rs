@@ -1,0 +1,12 @@
+//! Channel-deadlock fixture (positive): both ends of a rendezvous channel
+//! (`sync_channel(0)`) are used on the same thread. The send blocks until
+//! a receiver arrives on *another* thread; with the recv below it on the
+//! same one, the function parks forever.
+
+use std::sync::mpsc;
+
+pub fn rendezvous_with_self() -> u64 {
+    let (tx, rx) = mpsc::sync_channel(0);
+    tx.send(1u64).ok();
+    rx.recv().unwrap_or(0)
+}

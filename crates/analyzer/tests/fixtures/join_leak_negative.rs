@@ -1,0 +1,21 @@
+//! Join-leak fixture (negative): the three clean shapes. A joined handle,
+//! an explicit `let _ =` detach (the handle is deliberately discarded,
+//! visibly), and a spawn whose handle escapes as the function's value —
+//! the caller owns the join decision.
+
+use std::thread;
+
+pub fn joined() {
+    let handle = thread::spawn(|| scan());
+    let _ = handle.join();
+}
+
+pub fn detached_explicitly() {
+    let _ = thread::spawn(|| scan());
+}
+
+pub fn handle_escapes() -> thread::JoinHandle<()> {
+    thread::spawn(|| scan())
+}
+
+fn scan() {}

@@ -1,0 +1,16 @@
+//! Join-leak fixture (positive): two ways to drop a JoinHandle on the
+//! floor — a spawn in statement position, and a binding that is never
+//! used again. Either way the thread's panic is lost and shutdown cannot
+//! wait for it.
+
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| scan());
+}
+
+pub fn bound_but_never_used() {
+    let handle = thread::spawn(|| scan());
+}
+
+fn scan() {}

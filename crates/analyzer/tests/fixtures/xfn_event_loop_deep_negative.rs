@@ -1,0 +1,27 @@
+//! Counterpart to `xfn_event_loop_deep_positive.rs`: byte-identical call
+//! chain and sleep, but no spawn — `drain_backlog` runs on whatever
+//! thread calls it, no role reaches it, and nothing fires. Together the
+//! pair pins that the *role graph*, not a lexical sleep scan, drives the
+//! rule.
+
+use std::thread;
+use std::time::Duration;
+
+pub fn run_once() {
+    poll_once();
+}
+
+fn poll_once() {
+    drain_backlog();
+}
+
+fn drain_backlog() {
+    if backlog_empty() {
+        return;
+    }
+    thread::sleep(Duration::from_millis(5));
+}
+
+fn backlog_empty() -> bool {
+    true
+}

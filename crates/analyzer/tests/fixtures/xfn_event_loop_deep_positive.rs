@@ -1,0 +1,30 @@
+//! Interprocedural pin for `blocking-in-event-loop`: the sleep is *two*
+//! calls deep from the spawn site. Nothing in the closure's own body
+//! blocks, and nothing near the sleep says "event loop" — only the role
+//! BFS over resolved call edges connects the spawn's inferred role to the
+//! hazard. A per-function (v3) pass provably cannot make this connection:
+//! the same sleep with the spawn removed is clean (see the lint_rules
+//! test), so no lexical sleep scan could fire here without also firing
+//! there.
+
+use std::thread;
+use std::time::Duration;
+
+pub fn start_event_loop() -> thread::JoinHandle<()> {
+    thread::spawn(|| poll_once())
+}
+
+fn poll_once() {
+    drain_backlog();
+}
+
+fn drain_backlog() {
+    if backlog_empty() {
+        return;
+    }
+    thread::sleep(Duration::from_millis(5));
+}
+
+fn backlog_empty() -> bool {
+    true
+}

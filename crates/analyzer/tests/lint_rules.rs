@@ -544,6 +544,161 @@ fn blocking_in_worker_true_negative() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+// ---------------------------------------------------------------------------
+// v4 concurrency rules (thread-role graph)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn atomic_ordering_true_positive() {
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/atomic_ordering_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["atomic-ordering"], "{findings:?}");
+    assert_eq!(findings[0].line, 9);
+    assert_eq!(findings[0].item.as_deref(), Some("slot"));
+}
+
+#[test]
+fn atomic_ordering_true_negative() {
+    // Release publish, Relaxed RMW counter, and a literal-bool cancel
+    // flag: all three allowed patterns in one file, zero findings.
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/atomic_ordering_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn blocking_in_event_loop_true_positive() {
+    let findings = lint(
+        "crates/cluster/src/fix.rs",
+        include_str!("fixtures/blocking_event_loop_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["blocking-in-event-loop"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("poll_events"));
+    // The message carries the spawn-site provenance the role BFS found.
+    assert!(
+        findings[0].message.contains("start_event_loop"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn blocking_in_event_loop_true_negative() {
+    // A spin-on-flag event loop and a queue worker blocking on its own
+    // queue: both clean — the worker role is allowed to block on recv.
+    let findings = lint(
+        "crates/cluster/src/fix.rs",
+        include_str!("fixtures/blocking_event_loop_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn channel_deadlock_true_positive() {
+    let findings = lint(
+        "crates/dumpio/src/fix.rs",
+        include_str!("fixtures/channel_deadlock_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["channel-deadlock"], "{findings:?}");
+    // Reported at the send: that's the line that parks forever.
+    assert_eq!(findings[0].line, 10);
+    assert_eq!(findings[0].item.as_deref(), Some("rendezvous_with_self"));
+}
+
+#[test]
+fn channel_deadlock_true_negative() {
+    // The pipelined-producer shape done right: send on the spawned
+    // thread, recv on the spawner, disconnect handled, handle joined.
+    let findings = lint(
+        "crates/dumpio/src/fix.rs",
+        include_str!("fixtures/channel_deadlock_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unwrapped_cross_thread_send_is_flagged() {
+    // The recycle-loop shutdown race: the receiver thread exiting first
+    // turns a normal disconnect into a sender panic.
+    let findings = lint(
+        "crates/dumpio/src/fix.rs",
+        concat!(
+            "use std::sync::mpsc;\n",
+            "use std::thread;\n",
+            "\n",
+            "pub fn feed_pipeline() -> u64 {\n",
+            "    let (tx, rx) = mpsc::sync_channel(4);\n",
+            "    let producer = thread::spawn(move || {\n",
+            "        tx.send(7u64).unwrap();\n",
+            "    });\n",
+            "    let got = rx.recv().unwrap_or(0);\n",
+            "    let _ = producer.join();\n",
+            "    got\n",
+            "}\n",
+        ),
+    );
+    // The raw unwrap also trips the panic rule; this test pins the
+    // concurrency-specific finding.
+    let deadlock: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "channel-deadlock")
+        .collect();
+    assert_eq!(deadlock.len(), 1, "{findings:?}");
+    assert_eq!(deadlock[0].line, 7);
+    assert!(deadlock[0].message.contains("unwrap"), "{findings:?}");
+}
+
+#[test]
+fn join_leak_true_positive() {
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/join_leak_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["join-leak", "join-leak"], "{findings:?}");
+    // Statement-position spawn, then the never-used binding.
+    assert_eq!(findings[0].line, 9);
+    assert_eq!(findings[1].line, 13);
+}
+
+#[test]
+fn join_leak_true_negative() {
+    // Joined, explicitly detached with `let _ =`, and handle-escapes (the
+    // caller owns the join decision): all clean.
+    let findings = lint(
+        "crates/core/src/fix.rs",
+        include_str!("fixtures/join_leak_negative.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn v3_summary_pass_misses_the_deep_event_loop_sleep() {
+    // The interprocedural pin: the sleep is two calls below the spawn
+    // site. v4's role BFS connects them…
+    let findings = lint(
+        "crates/cluster/src/fix.rs",
+        include_str!("fixtures/xfn_event_loop_deep_positive.rs"),
+    );
+    assert_eq!(rules(&findings), vec!["blocking-in-event-loop"], "{findings:?}");
+    assert_eq!(findings[0].item.as_deref(), Some("drain_backlog"));
+    assert!(
+        findings[0].message.contains("start_event_loop"),
+        "{findings:?}"
+    );
+    // …while the byte-identical call chain without the spawn is clean.
+    // No per-function (v3) pass could flag the first file and not the
+    // second: the sleeping function is the same in both; only the role
+    // graph distinguishes them.
+    let clean = lint(
+        "crates/cluster/src/fix.rs",
+        include_str!("fixtures/xfn_event_loop_deep_negative.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
 #[test]
 fn zeroize_coverage_true_positive() {
     let findings = lint(

@@ -9,15 +9,19 @@
 //! v3 interprocedural pass adds a summary phase (fact extraction plus the
 //! call-graph fixpoint) ahead of the checks; its cold and warm cost is
 //! measured separately so the overhead of going cross-function stays
-//! visible. Emits `BENCH_lint.json` (and appends to `BENCH_history.jsonl`)
-//! so CI can chart the ratios without scraping criterion output.
+//! visible. The v4 concurrency pass (thread-role graph plus the four
+//! concurrency rule families) runs on top of the same summaries; its
+//! standalone cost is tracked too so role-graph growth shows up in the
+//! history rather than hiding inside the cold totals. Emits
+//! `BENCH_lint.json` (and appends to `BENCH_history.jsonl`) so CI can
+//! chart the ratios without scraping criterion output.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use coldboot_analyzer::{
-    lint_workspace_with, load_config, summarize_sources, walk::collect_sources, LintConfig,
-    LintOptions, RunStats,
+    concurrency_findings, lint_workspace_with, load_config, summarize_sources,
+    walk::collect_sources, LintConfig, LintOptions, RunStats,
 };
 use coldboot_bench::{history, report::Json};
 use criterion::{criterion_group, Criterion};
@@ -77,6 +81,11 @@ fn bench_lint(c: &mut Criterion) {
         let files = collect_sources(&root).expect("workspace sources are readable");
         let opts = options(0, None);
         b.iter(|| black_box(summarize_sources(&files, &opts)))
+    });
+    group.bench_function("concurrency_phase_cold", |b| {
+        let files = collect_sources(&root).expect("workspace sources are readable");
+        let opts = options(0, None);
+        b.iter(|| black_box(concurrency_findings(&files, &opts)))
     });
     group.finish();
     let _ = std::fs::remove_dir_all(&cache_dir);
@@ -141,6 +150,17 @@ fn emit_report() {
         assert_eq!(run.summarized, 0, "summary cache must be warm here");
         RunStats::default()
     });
+
+    // The v4 concurrency pass in isolation: summary phase plus the
+    // thread-role graph and the four concurrency rule families. Measured
+    // against the warm summary cache so the delta over `summary_warm_ms`
+    // is the role-graph + rule cost itself. The workspace is triaged
+    // clean, so the finding count doubles as a gate sanity check.
+    let mut concurrency_count = 0usize;
+    let (concurrency_s, _) = best_of(SAMPLES, || {
+        concurrency_count = concurrency_findings(&files, &warm_opts).len();
+        RunStats::default()
+    });
     let _ = std::fs::remove_dir_all(&cache_dir);
 
     let doc = Json::obj([
@@ -162,6 +182,8 @@ fn emit_report() {
         ("summary_fns", Json::Int(summary_fns as i64)),
         ("summary_cold_ms", Json::Num(summary_cold_s * 1e3)),
         ("summary_warm_ms", Json::Num(summary_warm_s * 1e3)),
+        ("concurrency_pass_ms", Json::Num(concurrency_s * 1e3)),
+        ("concurrency_findings", Json::Int(concurrency_count as i64)),
     ]);
     if let Err(e) = history::record("lint", &doc) {
         eprintln!("could not write BENCH_lint.json: {e}");

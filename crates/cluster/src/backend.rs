@@ -282,7 +282,7 @@ impl Backend {
     /// Stops the runners and joins them. In-flight shards are abandoned;
     /// call only after draining (or when abandoning the jobs is intended).
     pub fn shutdown(&self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Release);
         self.shared.ready.notify_all();
         let handles = std::mem::take(&mut *lock(&self.runners));
         for handle in handles {
@@ -391,7 +391,7 @@ fn run_worker_loop(shared: &Arc<Shared>, addr: &str) {
     let mut consecutive = 0u32;
     let mut evicted = false;
     loop {
-        if shared.stop.load(Ordering::Relaxed) {
+        if shared.stop.load(Ordering::Acquire) {
             return;
         }
         if evicted {
@@ -421,7 +421,7 @@ fn run_worker_loop(shared: &Arc<Shared>, addr: &str) {
             }
             Outcome::Retry(why) => {
                 wire = None; // reconnect on the next attempt
-                if shared.stop.load(Ordering::Relaxed) {
+                if shared.stop.load(Ordering::Acquire) {
                     // Abandoning mid-shutdown: put the task back untouched
                     // so a later drain inspection sees it pending.
                     let mut state = lock(&shared.state);
@@ -451,7 +451,7 @@ fn run_worker_loop(shared: &Arc<Shared>, addr: &str) {
 fn next_task(shared: &Arc<Shared>) -> Option<Task> {
     let mut state = lock(&shared.state);
     loop {
-        if shared.stop.load(Ordering::Relaxed) {
+        if shared.stop.load(Ordering::Acquire) {
             return None;
         }
         let now = Instant::now();
@@ -511,7 +511,7 @@ fn run_shard(
     };
     let status_line = format!("{{\"verb\":\"status\",\"id\":{id}}}\n");
     loop {
-        if shared.stop.load(Ordering::Relaxed) {
+        if shared.stop.load(Ordering::Acquire) {
             return Outcome::Retry("coordinator shutting down".to_string());
         }
         thread::sleep(opts.poll_interval);

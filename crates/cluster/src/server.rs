@@ -47,8 +47,12 @@ use crate::merge::{JobKind, JobSpec};
 
 /// Hard cap on one request line; longer input closes the connection.
 const MAX_LINE_BYTES: usize = 1 << 20;
-/// Event-loop sleep when every socket is idle.
-const IDLE_SLEEP: Duration = Duration::from_millis(2);
+/// Shortest event-loop idle sleep: the first idle pass barely naps, so a
+/// request landing just after a quiet poll is picked up almost instantly.
+const IDLE_MIN: Duration = Duration::from_micros(100);
+/// Longest event-loop idle sleep; the doubling backoff never exceeds this,
+/// bounding worst-case wakeup latency at the old fixed interval.
+const IDLE_MAX: Duration = Duration::from_millis(2);
 /// Per-connection rate-limit window.
 const RATE_WINDOW: Duration = Duration::from_secs(1);
 
@@ -168,7 +172,7 @@ impl ClusterServer {
     /// Whether a `shutdown` request has started the drain.
     #[must_use]
     pub fn is_draining(&self) -> bool {
-        self.shared.draining.load(Ordering::Relaxed)
+        self.shared.draining.load(Ordering::Acquire)
     }
 
     /// Whether the drain is complete: a `shutdown` was requested and no
@@ -207,7 +211,7 @@ impl ClusterServer {
     /// In-flight jobs are abandoned; drain first (see [`Self::drained`])
     /// for a graceful stop.
     pub fn shutdown(mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Release);
         if let Some(pump) = self.pump_thread.take() {
             let _ = pump.join();
         }
@@ -261,6 +265,33 @@ fn prepare(stream: &TcpStream) -> std::io::Result<()> {
     stream.set_nodelay(true)
 }
 
+/// Capped exponential idle backoff for the poll loop. Each consecutive
+/// idle iteration sleeps twice as long, from [`IDLE_MIN`] up to
+/// [`IDLE_MAX`]; any socket progress snaps back to the minimum. The loop
+/// therefore stays hot while traffic flows and never oversleeps a burst
+/// by more than the current (recently-reset) interval.
+struct IdleBackoff {
+    current: Duration,
+}
+
+impl IdleBackoff {
+    fn new() -> Self {
+        Self { current: IDLE_MIN }
+    }
+
+    /// The sleep for one idle iteration; doubles for the next, capped.
+    fn next(&mut self) -> Duration {
+        let d = self.current;
+        self.current = (self.current * 2).min(IDLE_MAX);
+        d
+    }
+
+    /// Activity observed: start the ramp over.
+    fn reset(&mut self) {
+        self.current = IDLE_MIN;
+    }
+}
+
 /// The single-threaded front end: admit, pump, flush, repeat.
 fn event_loop(
     listener: &TcpListener,
@@ -269,9 +300,11 @@ fn event_loop(
     config: &ClusterConfig,
 ) {
     let mut links: Vec<Link> = Vec::new();
-    while !shared.stop.load(Ordering::Relaxed) {
+    let mut backoff = IdleBackoff::new();
+    while !shared.stop.load(Ordering::Acquire) {
         let mut active = false;
         loop {
+            // lint:allow(blocking-in-event-loop): listener is nonblocking (set in start); accept returns WouldBlock, never parks
             match listener.accept() {
                 Ok((stream, _)) => {
                     if prepare(&stream).is_ok() {
@@ -293,8 +326,11 @@ fn event_loop(
             }
         }
         links.retain(|link| !link.closed);
-        if !active {
-            thread::sleep(IDLE_SLEEP);
+        if active {
+            backoff.reset();
+        } else {
+            // lint:allow(blocking-in-event-loop): capped idle backoff (100µs→2ms), reset on any socket progress; naps only when every link was silent this pass
+            thread::sleep(backoff.next());
         }
     }
 }
@@ -310,6 +346,7 @@ fn pump(
     let mut progress = false;
     let mut scratch = [0u8; 4096];
     loop {
+        // lint:allow(blocking-in-event-loop): `prepare` made this socket nonblocking with a 100ms timeout backstop; the read drains readiness and returns WouldBlock
         match link.stream.read(&mut scratch) {
             Ok(0) => {
                 link.closed = true;
@@ -426,7 +463,7 @@ fn respond(
             ("metrics", snapshot_json(&backend.metrics().registry)),
         ]),
         Some("shutdown") => {
-            shared.draining.store(true, Ordering::Relaxed);
+            shared.draining.store(true, Ordering::Release);
             Json::obj([("ok", Json::Bool(true))])
         }
         Some(_) => fail("unknown_verb", "unknown verb"),
@@ -442,7 +479,7 @@ fn enroll(
     backend: &Arc<Backend>,
     config: &ClusterConfig,
 ) -> Json {
-    if shared.draining.load(Ordering::Relaxed) {
+    if shared.draining.load(Ordering::Acquire) {
         return fail("shutting_down", "coordinator is draining");
     }
     link.jobs.retain(|&id| !backend.is_terminal(id));
@@ -529,6 +566,23 @@ mod tests {
         assert_eq!(reply.get("code").and_then(Json::as_str), Some("rate_limited"));
         assert_eq!(reply.get("retryable").and_then(Json::as_bool), Some(true));
         assert_eq!(reply.get("error").and_then(Json::as_str), Some("slow down"));
+    }
+
+    #[test]
+    fn idle_backoff_doubles_caps_and_resets() {
+        let mut backoff = IdleBackoff::new();
+        assert_eq!(backoff.next(), IDLE_MIN);
+        assert_eq!(backoff.next(), IDLE_MIN * 2);
+        assert_eq!(backoff.next(), IDLE_MIN * 4);
+        // Ramp to the cap and confirm it holds there.
+        for _ in 0..16 {
+            backoff.next();
+        }
+        assert_eq!(backoff.next(), IDLE_MAX);
+        assert_eq!(backoff.next(), IDLE_MAX);
+        // Any activity restarts the ramp from the minimum.
+        backoff.reset();
+        assert_eq!(backoff.next(), IDLE_MIN);
     }
 
     #[test]

@@ -2,16 +2,21 @@
 //!
 //! Runs the in-tree analyzer (crates/analyzer) — token rules plus the
 //! AST/dataflow rules (`lossy-len-cast`, `unbounded-loop`, `untimed-io`,
-//! `lock-order`, `secret-taint`) — over every `.rs` file in the
+//! `lock-order`, `secret-taint`) and the v4 concurrency families on the
+//! thread-role graph (`atomic-ordering`, `blocking-in-event-loop`,
+//! `channel-deadlock`, `join-leak`) — over every `.rs` file in the
 //! repository with the checked-in `lint.toml` allowlist, in the strict
 //! mode the CLI's `--deny` maps to: any finding fails, and stale
 //! `lint.toml` allow entries count as findings too. Seeding a violation —
 //! e.g. `println!("{:?}", round_key)` in crates/crypto, `data.len() as
-//! u32` in the dumpio writer, or deleting the dumpd `ErrorKind::Interrupted`
-//! retry arm — makes this test fail with the offending file, line, and
-//! rule in the message.
+//! u32` in the dumpio writer, deleting the dumpd `ErrorKind::Interrupted`
+//! retry arm, or a `thread::sleep` in the cluster event loop — makes this
+//! test fail with the offending file, line, and rule in the message.
 
-use coldboot_analyzer::{lint_workspace_with, load_config, render_sarif, render_text, LintOptions};
+use coldboot_analyzer::{
+    lint_sources, lint_workspace_with, load_config, render_sarif, render_text, LintConfig,
+    LintOptions, SourceFile, RULE_IDS,
+};
 use std::path::Path;
 
 #[test]
@@ -37,6 +42,38 @@ fn workspace_has_no_lint_findings() {
         run.findings.len(),
         render_text(&run.findings)
     );
+}
+
+#[test]
+fn gate_denies_the_concurrency_families() {
+    // The four v4 families are registered (so `--deny` and this gate
+    // police them) and actually fire: a seeded sleep-under-event-loop
+    // violation must produce exactly the new rule, proving the gate's
+    // clean pass above is an actual check, not a missing pass.
+    for family in [
+        "atomic-ordering",
+        "blocking-in-event-loop",
+        "channel-deadlock",
+        "join-leak",
+    ] {
+        assert!(RULE_IDS.contains(&family), "{family} not registered");
+    }
+    let seeded = vec![SourceFile {
+        path: "crates/cluster/src/seeded.rs".to_string(),
+        source: "use std::thread;\n\
+                 use std::time::Duration;\n\
+                 pub fn start_event_loop() -> thread::JoinHandle<()> {\n\
+                 \x20   thread::spawn(|| poll())\n\
+                 }\n\
+                 fn poll() {\n\
+                 \x20   thread::sleep(Duration::from_millis(1));\n\
+                 }\n"
+            .to_string(),
+    }];
+    let findings = lint_sources(&seeded, &LintConfig::default());
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "blocking-in-event-loop");
+    assert_eq!(findings[0].line, 7);
 }
 
 #[test]
